@@ -1,0 +1,173 @@
+// Ablation — encoder architecture comparison.
+//
+// The paper fixes one architecture (E(n)-GNN, §4.2) but motivates the
+// toolkit as architecture-pluggable, naming SchNet-class invariant GNNs
+// and dense point-cloud attention (geometric-algebra networks) as the
+// alternatives (§2.1/§2.2). This ablation runs all three encoders the
+// toolkit implements through the same two workloads:
+//   (a) Materials Project band-gap regression (radius graphs),
+//   (b) symmetry-group classification (complete point clouds),
+// reporting parameters, wall time, and attained validation metrics.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "materials/materials_project.hpp"
+#include "models/attention.hpp"
+#include "models/schnet.hpp"
+#include "sym/detect.hpp"
+#include "tasks/regression.hpp"
+
+namespace {
+
+using namespace matsci;
+
+using EncoderFactory =
+    std::function<std::shared_ptr<models::Encoder>(core::RngEngine&)>;
+
+struct EncoderSpec {
+  const char* name;
+  EncoderFactory make;
+};
+
+std::vector<EncoderSpec> encoder_specs() {
+  return {
+      {"E(n)-GNN", [](core::RngEngine& rng) -> std::shared_ptr<models::Encoder> {
+         models::EGNNConfig cfg;
+         cfg.hidden_dim = 32;
+         cfg.pos_hidden = 16;
+         cfg.num_layers = 3;
+         return std::make_shared<models::EGNN>(cfg, rng);
+       }},
+      {"SchNet", [](core::RngEngine& rng) -> std::shared_ptr<models::Encoder> {
+         models::SchNetConfig cfg;
+         cfg.hidden_dim = 32;
+         cfg.num_interactions = 3;
+         cfg.num_rbf = 24;
+         return std::make_shared<models::SchNet>(cfg, rng);
+       }},
+      {"PointCloudAttention",
+       [](core::RngEngine& rng) -> std::shared_ptr<models::Encoder> {
+         models::PointCloudAttentionConfig cfg;
+         cfg.hidden_dim = 32;
+         cfg.num_layers = 2;
+         cfg.num_rbf = 16;
+         return std::make_shared<models::PointCloudAttentionEncoder>(cfg,
+                                                                     rng);
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — encoder architectures on both workloads");
+
+  // --- (a) band-gap regression ----------------------------------------
+  std::printf("\n[a] Materials Project band gap (radius graph, 8 epochs):\n");
+  std::printf("%-22s %12s %12s %12s\n", "encoder", "params", "wall s",
+              "val MAE");
+  materials::MaterialsProjectDataset mp(256, 41);
+  auto [mp_train, mp_val] = data::train_val_split(mp, 0.2, 7);
+  const data::TargetStats stats =
+      data::compute_target_stats(mp_train, "band_gap");
+  for (const EncoderSpec& spec : encoder_specs()) {
+    core::RngEngine rng(23);
+    auto encoder = spec.make(rng);
+    tasks::ScalarRegressionTask task(encoder, "band_gap",
+                                     bench::bench_head_config(), rng, stats);
+    data::DataLoaderOptions lo;
+    lo.batch_size = 16;
+    lo.seed = 3;
+    lo.collate.radius.cutoff = 4.5;
+    data::DataLoader train_loader(mp_train, lo);
+    data::DataLoaderOptions vo = lo;
+    vo.shuffle = false;
+    data::DataLoader val_loader(mp_val, vo);
+    optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3, 1e-4);
+    train::TrainerOptions topts;
+    topts.max_epochs = 8;
+    const auto t0 = std::chrono::steady_clock::now();
+    const train::FitResult fit =
+        train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%-22s %12lld %12.2f %12.4f\n", spec.name,
+                static_cast<long long>(task.num_parameters()), wall,
+                fit.epochs.back().val.at("mae"));
+  }
+
+  // --- (b) symmetry-group classification ------------------------------
+  std::printf("\n[b] Point-group classification (complete point cloud, "
+              "6 epochs):\n");
+  std::printf("%-22s %12s %12s %12s %12s\n", "encoder", "params", "wall s",
+              "val CE", "val acc");
+  sym::SyntheticPointGroupDataset sym_ds(320, 41, bench::bench_sym_options());
+  auto [sym_train, sym_val] = data::train_val_split(sym_ds, 0.2, 2);
+  for (const EncoderSpec& spec : encoder_specs()) {
+    core::RngEngine rng(55);
+    auto encoder = spec.make(rng);
+    tasks::ClassificationTask task(encoder, "point_group",
+                                   sym::num_point_groups(),
+                                   bench::bench_head_config(), rng);
+    data::DataLoaderOptions lo;
+    lo.batch_size = 32;
+    lo.seed = 5;
+    lo.collate.representation = data::Representation::kPointCloud;
+    data::DataLoader train_loader(sym_train, lo);
+    data::DataLoaderOptions vo = lo;
+    vo.shuffle = false;
+    data::DataLoader val_loader(sym_val, vo);
+    optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3);
+    train::TrainerOptions topts;
+    topts.max_epochs = 6;
+    const auto t0 = std::chrono::steady_clock::now();
+    const train::FitResult fit =
+        train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%-22s %12lld %12.2f %12.4f %12.4f\n", spec.name,
+                static_cast<long long>(task.num_parameters()), wall,
+                fit.epochs.back().val.at("ce"),
+                fit.epochs.back().val.at("accuracy"));
+  }
+
+  // --- (c) classical baseline on the symmetry task --------------------
+  // The exact group-theoretic detector (principal-axis alignment + set
+  // invariance test) on the same validation clouds: the non-learned
+  // reference point. Its failure mode — frame alignment under jitter and
+  // rotation — is the argument for learned invariant encoders.
+  std::printf("\n[c] Classical point-group detector on the same validation "
+              "set:\n");
+  std::int64_t correct = 0;
+  const std::int64_t n_val = sym_val.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < n_val; ++i) {
+    const data::StructureSample s = sym_val.get(i);
+    sym::DetectionOptions dopts;
+    dopts.tolerance = 0.08;  // ~3 sigma of the generator jitter
+    const sym::DetectionResult det = sym::detect_point_group(s.positions,
+                                                             dopts);
+    if (det.label == s.class_targets.at("point_group")) ++correct;
+  }
+  const double det_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%-22s %12s %12.2f %12s %12.4f\n", "exact detector", "-",
+              det_wall, "-",
+              static_cast<double>(correct) / static_cast<double>(n_val));
+
+  std::printf(
+      "\nReading: the equivariant encoder's coordinate refinement and the\n"
+      "attention encoder's dense mixing trade compute for accuracy in\n"
+      "different places; all three plug into identical tasks/loaders —\n"
+      "the modularity claim of the toolkit's Fig. 1. The classical\n"
+      "detector shows where learning pays: it is exact on clean\n"
+      "axis-aligned clouds but degrades under the dataset's jitter and\n"
+      "random orientations, while learned invariant encoders are\n"
+      "unaffected by the frame.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Ablation — graph vs point-cloud representation (§2.1).
+//
+// The paper motivates point clouds as a way to bypass imposed graph
+// structure: radius graphs need construction work and sparse kernels but
+// keep edge counts linear-ish in atoms; complete point clouds avoid
+// construction and use dense compute but scale O(n²) in edges. This
+// ablation quantifies the trade-off on identical structures: edge
+// counts, per-step wall time, and attained validation MAE.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "materials/lips.hpp"
+#include "materials/materials_project.hpp"
+#include "tasks/regression.hpp"
+
+namespace {
+
+using namespace matsci;
+
+struct ReprResult {
+  double mean_edges = 0.0;
+  double seconds_per_step = 0.0;
+  double final_mae = 0.0;
+};
+
+ReprResult run(data::Representation repr, double cutoff) {
+  materials::MaterialsProjectDataset ds(192, 41);
+  auto [train_ds, val_ds] = data::train_val_split(ds, 0.2, 7);
+  const data::TargetStats stats =
+      data::compute_target_stats(train_ds, "band_gap");
+
+  data::DataLoaderOptions lo;
+  lo.batch_size = 16;
+  lo.seed = 3;
+  lo.collate.representation = repr;
+  lo.collate.radius.cutoff = cutoff;
+  data::DataLoader train_loader(train_ds, lo);
+  data::DataLoaderOptions vo = lo;
+  vo.shuffle = false;
+  data::DataLoader val_loader(val_ds, vo);
+
+  ReprResult result;
+  std::int64_t batches = 0;
+  for (std::int64_t b = 0; b < train_loader.num_batches(); ++b) {
+    const data::Batch batch = train_loader.batch(b);
+    result.mean_edges += static_cast<double>(batch.topology.num_edges()) /
+                         static_cast<double>(batch.num_graphs());
+    ++batches;
+  }
+  result.mean_edges /= static_cast<double>(batches);
+
+  core::RngEngine rng(23);
+  auto encoder = std::make_shared<models::EGNN>(
+      bench::bench_encoder_config(), rng);
+  tasks::ScalarRegressionTask task(encoder, "band_gap",
+                                   bench::bench_head_config(), rng, stats);
+  optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3, 1e-4);
+
+  train::TrainerOptions topts;
+  topts.max_epochs = 6;
+  const auto t0 = std::chrono::steady_clock::now();
+  const train::FitResult fit =
+      train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.seconds_per_step = wall / static_cast<double>(fit.total_steps);
+  result.final_mae = fit.epochs.back().val.at("mae");
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace matsci;
+  bench::print_header(
+      "Ablation — radius-graph vs point-cloud representation trade-off\n"
+      "(Materials Project band-gap regression, identical structures)");
+
+  struct Row {
+    const char* name;
+    data::Representation repr;
+    double cutoff;
+  };
+  const std::vector<Row> rows = {
+      {"radius graph r=3.5", data::Representation::kRadiusGraph, 3.5},
+      {"radius graph r=5.0", data::Representation::kRadiusGraph, 5.0},
+      {"point cloud (complete)", data::Representation::kPointCloud, 0.0},
+  };
+
+  std::printf("\n%-26s %14s %16s %12s\n", "representation", "edges/graph",
+              "sec/step", "val MAE");
+  for (const Row& row : rows) {
+    const ReprResult r = run(row.repr, row.cutoff > 0 ? row.cutoff : 5.0);
+    std::printf("%-26s %14.1f %16.5f %12.4f\n", row.name, r.mean_edges,
+                r.seconds_per_step, r.final_mae);
+  }
+
+  // Structure-size scaling: radius graphs grow ~linearly in atoms at
+  // fixed density; complete point clouds grow quadratically. Measured on
+  // LiPS supercells (12 -> 96 atoms) with an EGNN forward pass.
+  std::printf("\nStructure-size scaling (LiPS supercells, EGNN forward):\n");
+  std::printf("%8s %16s %16s %14s %14s\n", "atoms", "radius edges",
+              "complete edges", "radius s", "complete s");
+  core::RngEngine rng(31);
+  models::EGNN encoder(bench::bench_encoder_config(), rng);
+  for (const std::int64_t mult : {1, 2, 4, 8}) {
+    materials::Structure cell =
+        materials::LiPSDataset::initial_structure().supercell(mult, 1, 1);
+    data::StructureSample sample = cell.to_sample();
+    sample.scalar_targets["y"] = 0.0f;
+
+    double secs[2] = {0.0, 0.0};
+    std::int64_t edges[2] = {0, 0};
+    const data::Representation reprs[2] = {
+        data::Representation::kRadiusGraph,
+        data::Representation::kPointCloud};
+    for (int r = 0; r < 2; ++r) {
+      data::CollateOptions copts;
+      copts.representation = reprs[r];
+      copts.radius.cutoff = 4.0;
+      const data::Batch batch = data::collate({sample}, copts);
+      edges[r] = batch.topology.num_edges();
+      core::NoGradGuard no_grad;
+      encoder.encode(batch);  // warmup
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < 3; ++it) encoder.encode(batch);
+      secs[r] = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                3.0;
+    }
+    std::printf("%8lld %16lld %16lld %14.5f %14.5f\n",
+                static_cast<long long>(cell.num_atoms()),
+                static_cast<long long>(edges[0]),
+                static_cast<long long>(edges[1]), secs[0], secs[1]);
+  }
+
+  std::printf(
+      "\nReading: the complete point cloud avoids imposing structure\n"
+      "(§2.1) at O(n²) edge cost, which the size-scaling table makes\n"
+      "explicit; radius graphs stay near-linear at fixed density. On\n"
+      "small molecules the two nearly coincide — the regime where the\n"
+      "paper argues dense point-cloud attention is competitive.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Figure 2 — pretraining throughput vs number of DDP workers.
+//
+// The paper measures aggregate samples/s for the symmetry pretraining
+// task from 16 to 512 ranks (1–32 Sapphire Rapids nodes, 16 ranks/node)
+// and finds linear scaling: gradient-allreduce time is negligible next
+// to per-rank compute. Reproduction strategy (DESIGN.md §2):
+//   1. run *real* thread-backed DDP for small worlds to validate the
+//      synchronous-training semantics end to end;
+//   2. measure true single-rank compute time per step;
+//   3. compose it with the α-β ring-allreduce model of the HDR200
+//      cluster to regenerate the 16→512-rank curve and epoch times for
+//      the paper's 2M-sample dataset.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "comm/perf_model.hpp"
+#include "optim/sgd.hpp"
+#include "train/ddp.hpp"
+
+namespace {
+
+using namespace matsci;
+
+constexpr std::int64_t kBatchPerRank = 32;
+constexpr std::int64_t kPaperDatasetSize = 2'000'000;
+
+/// One rank's full training context for the DDP validation runs.
+train::RankContext make_rank_context(
+    const sym::SyntheticPointGroupDataset& ds, std::int64_t rank,
+    std::int64_t world) {
+  train::RankContext ctx;
+  core::RngEngine rng(7);
+  auto encoder = std::make_shared<models::EGNN>(
+      bench::bench_encoder_config(), rng);
+  auto task = std::make_unique<tasks::ClassificationTask>(
+      encoder, "point_group", sym::num_point_groups(),
+      bench::bench_head_config(), rng);
+  data::DataLoaderOptions lo;
+  lo.batch_size = kBatchPerRank;
+  lo.seed = 3;
+  lo.rank = rank;
+  lo.world_size = world;
+  lo.collate.representation = data::Representation::kPointCloud;
+  ctx.train_loader = std::make_unique<data::DataLoader>(ds, lo);
+  ctx.optimizer = std::make_unique<optim::SGD>(
+      task->parameters(), optim::SGDOptions{.lr = 1e-3});
+  ctx.task = std::move(task);
+  return ctx;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 2 — DDP throughput scaling (symmetry pretraining)");
+
+  // --- Part 1: functional thread-DDP validation at small worlds -------
+  std::printf(
+      "\n[1] Thread-backed DDP validation (real collectives; single\n"
+      "    physical core, so aggregate wall-clock throughput is flat —\n"
+      "    this validates semantics, not speedup):\n\n");
+  std::printf("%8s %12s %14s %16s\n", "ranks", "steps", "samples", "train CE");
+  sym::SyntheticPointGroupDataset ds(512, 11, bench::bench_sym_options());
+  for (const std::int64_t world : {1, 2, 4}) {
+    train::DDPTrainer ddp;
+    train::DDPOptions opts;
+    opts.world_size = world;
+    opts.max_epochs = 1;
+    const train::DDPResult result = ddp.fit(
+        [&ds](std::int64_t rank, std::int64_t ws) {
+          return make_rank_context(ds, rank, ws);
+        },
+        opts);
+    std::printf("%8lld %12lld %14.0f %16.4f\n",
+                static_cast<long long>(world),
+                static_cast<long long>(result.total_steps),
+                result.total_samples,
+                result.epochs.back().train.at("ce"));
+  }
+
+  // --- Part 2: measure single-rank compute time per step --------------
+  core::RngEngine rng(5);
+  auto encoder = std::make_shared<models::EGNN>(
+      bench::bench_encoder_config(), rng);
+  tasks::ClassificationTask task(encoder, "point_group",
+                                 sym::num_point_groups(),
+                                 bench::bench_head_config(), rng);
+  optim::SGD opt(task.parameters(), {.lr = 1e-3});
+  data::DataLoaderOptions lo;
+  lo.batch_size = kBatchPerRank;
+  lo.collate.representation = data::Representation::kPointCloud;
+  data::DataLoader loader(ds, lo);
+
+  // Warmup + timed steps (forward + backward + optimizer).
+  const std::int64_t timed_steps = 8;
+  for (std::int64_t b = 0; b < 2; ++b) {
+    opt.zero_grad();
+    task.step(loader.batch(b)).loss.backward();
+    opt.step();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t b = 0; b < timed_steps; ++b) {
+    opt.zero_grad();
+    task.step(loader.batch(b)).loss.backward();
+    opt.step();
+  }
+  const double compute_per_step =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count() /
+      static_cast<double>(timed_steps);
+  const std::int64_t grad_bytes = task.num_parameters() * 4;
+  std::printf(
+      "\n[2] Measured single-rank compute: %.4f s/step (B=%lld, %lld\n"
+      "    parameters -> %.2f MiB gradient bucket)\n",
+      compute_per_step, static_cast<long long>(kBatchPerRank),
+      static_cast<long long>(task.num_parameters()),
+      static_cast<double>(grad_bytes) / (1024.0 * 1024.0));
+
+  // --- Part 3: α-β-modeled scale-out curve (the Fig. 2 series) --------
+  comm::PerfModel model;
+  std::printf(
+      "\n[3] Modeled scale-out on the paper's cluster (16 ranks/node,\n"
+      "    HDR200 inter-node; dataset = %lld samples as in Fig. 2):\n\n",
+      static_cast<long long>(kPaperDatasetSize));
+  std::printf("%8s %8s %16s %18s %14s\n", "ranks", "nodes", "samples/s",
+              "epoch time (s)", "efficiency");
+  const double t1 = model.throughput(1, kBatchPerRank, compute_per_step, 0);
+  for (const std::int64_t ranks : {16, 32, 64, 128, 256, 512}) {
+    const double tput =
+        model.throughput(ranks, kBatchPerRank, compute_per_step, grad_bytes);
+    const double epoch = model.epoch_seconds(
+        ranks, kBatchPerRank, compute_per_step, grad_bytes,
+        kPaperDatasetSize);
+    std::printf("%8lld %8lld %16.0f %18.1f %13.1f%%\n",
+                static_cast<long long>(ranks),
+                static_cast<long long>((ranks + 15) / 16), tput, epoch,
+                100.0 * tput / (static_cast<double>(ranks) * t1));
+  }
+  std::printf(
+      "\nShape check vs paper: throughput grows linearly in worker count\n"
+      "(efficiency stays >90%%), and epoch time falls to minutes — the\n"
+      "communication overhead of per-step gradient averaging is\n"
+      "negligible against per-rank compute.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 6 — pretraining learning curve with the LR schedule trace.
+//
+// The paper's appendix shows the final pretrained model's training
+// curve: cross-entropy with early spikes that die out as the scheduled
+// learning rate — linear warmup to η_base·N over 5 epochs, then
+// exponential decay with γ = 0.8 — comes down, after which learning
+// plateaus. We emulate N = 32 workers (B_eff = N·B via accumulation)
+// with η_base = 1e-5 scaled by N, the paper's chosen recipe.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "train/logging.hpp"
+
+int main() {
+  using namespace matsci;
+  bench::print_header(
+      "Figure 6 — symmetry pretraining curve + learning-rate trace");
+
+  constexpr std::int64_t kWorkers = 32;   // paper: 512
+  constexpr std::int64_t kBatch = 2;      // per-rank batch (paper: 32)
+  constexpr std::int64_t kEpochs = 14;
+  constexpr std::int64_t kWarmupEpochs = 5;
+  constexpr double kBaseLr = 1e-4;
+
+  sym::SyntheticPointGroupDataset train_ds(kWorkers * kBatch * 12, 31,
+                                           bench::bench_sym_options());
+  sym::SyntheticPointGroupDataset val_ds(96, 77, bench::bench_sym_options());
+  data::DataLoaderOptions lo;
+  lo.batch_size = kBatch;
+  lo.seed = 5;
+  lo.collate.representation = data::Representation::kPointCloud;
+  data::DataLoader train_loader(train_ds, lo);
+  data::DataLoaderOptions vo = lo;
+  vo.batch_size = 48;
+  vo.shuffle = false;
+  data::DataLoader val_loader(val_ds, vo);
+
+  core::RngEngine rng(13);
+  auto encoder = std::make_shared<models::EGNN>(
+      bench::bench_encoder_config(24, 2), rng);
+  tasks::ClassificationTask task(encoder, "point_group",
+                                 sym::num_point_groups(),
+                                 bench::bench_head_config(24, 1), rng);
+  optim::AdamOptions ao;
+  ao.lr = optim::scale_lr_for_world_size(kBaseLr, kWorkers);
+  ao.decoupled_weight_decay = true;
+  optim::Adam opt(task.parameters(), ao);
+  optim::WarmupExponential sched(
+      opt, optim::scale_lr_for_world_size(kBaseLr, kWorkers), kWarmupEpochs,
+      0.8);
+
+  train::TrainerOptions topts;
+  topts.max_epochs = kEpochs;
+  topts.accumulate_batches = kWorkers;
+  train::MetricsLogger logger;
+  train::Trainer trainer(topts);
+  const train::FitResult result = trainer.fit(
+      task, train_loader, &val_loader, opt, &sched,
+      [&logger](const train::EpochStats& stats) {
+        logger.log(stats.epoch, "train_ce", stats.train.at("ce"));
+        logger.log(stats.epoch, "val_ce", stats.val.at("ce"));
+        logger.log(stats.epoch, "lr", stats.lr);
+      });
+  (void)result;
+
+  std::printf("\n%s\n",
+              logger.format_table({"train_ce", "val_ce", "lr"}, "epoch")
+                  .c_str());
+
+  // Verify the schedule shape numerically.
+  const auto lr_series = logger.series("lr");
+  bool warmup_monotone = true;
+  for (std::size_t e = 1; e < static_cast<std::size_t>(kWarmupEpochs); ++e) {
+    if (lr_series[e].second <= lr_series[e - 1].second) {
+      warmup_monotone = false;
+    }
+  }
+  const double decay_ratio =
+      lr_series[static_cast<std::size_t>(kWarmupEpochs) + 1].second /
+      lr_series[static_cast<std::size_t>(kWarmupEpochs)].second;
+  std::printf(
+      "Schedule check: warmup monotone ramp = %s; post-warmup decay ratio "
+      "= %.3f (target gamma 0.8)\n",
+      warmup_monotone ? "yes" : "NO", decay_ratio);
+
+  const auto ce = logger.series("train_ce");
+  const auto vce = logger.series("val_ce");
+  // Count upward excursions of validation CE around the lr peak vs in
+  // the decayed tail — the paper's "optimizer stabilizes as the rate is
+  // decreased" observation.
+  int early_bumps = 0, late_bumps = 0;
+  for (std::size_t e = 1; e < vce.size(); ++e) {
+    const bool bump = vce[e].second > vce[e - 1].second;
+    if (e <= static_cast<std::size_t>(kWarmupEpochs) + 3) {
+      early_bumps += bump;
+    } else {
+      late_bumps += bump;
+    }
+  }
+  std::printf(
+      "Learning-curve check: CE start %.3f -> end %.3f; validation\n"
+      "upward excursions: %d around the warmup/lr-peak window vs %d in\n"
+      "the decayed tail. Paper shape: instability while the rate is high\n"
+      "(early spikes), stabilization + gradual plateau as the\n"
+      "exponential decay brings it down.\n",
+      ce.front().second, ce.back().second, early_bumps, late_bumps);
+  return 0;
+}

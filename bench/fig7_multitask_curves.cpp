@@ -1,0 +1,46 @@
+// Figure 7 — per-metric validation curves for the Table 1 runs.
+//
+// The paper plots, per target, the validation trajectory across training
+// for the pretrained and from-scratch configurations. Shape: for the
+// three metrics where pretraining wins, the scratch model "generally
+// struggles to learn throughout training" while the pretrained model
+// starts (and stays) at a better level; the Carolina E_form panel shows
+// a loss spike before recovering.
+#include <cstdio>
+
+#include "multitask_common.hpp"
+
+int main() {
+  using namespace matsci;
+  bench::print_header(
+      "Figure 7 — per-metric validation curves, multi-task multi-dataset");
+
+  bench::MultiTaskRunConfig cfg;
+  std::printf("\nRunning from-scratch configuration...\n");
+  const auto scratch = bench::run_multitask_experiment(false, cfg);
+  std::printf("Running pretrained configuration...\n");
+  const auto pretrained = bench::run_multitask_experiment(true, cfg);
+
+  for (const std::string& key : bench::table1_metrics()) {
+    std::printf("\n--- %s (lower is better) ---\n", key.c_str());
+    std::printf("%8s %16s %16s\n", "epoch", "pretrained", "scratch");
+    const auto& pc = pretrained.curves.at(key);
+    const auto& sc = scratch.curves.at(key);
+    for (std::size_t e = 0; e < pc.size(); ++e) {
+      std::printf("%8zu %16.4f %16.4f\n", e, pc[e], sc[e]);
+    }
+  }
+
+  // Spike detection on the CMD E_form panel (the paper's callout).
+  const auto& cmd_curve = scratch.curves.at("cmd/eform/mae");
+  double worst_jump = 0.0;
+  for (std::size_t e = 1; e < cmd_curve.size(); ++e) {
+    worst_jump = std::max(worst_jump, cmd_curve[e] / cmd_curve[e - 1]);
+  }
+  std::printf(
+      "\nCMD E_form (scratch): worst epoch-over-epoch jump x%.2f\n"
+      "(paper: the E_form CMD panel spikes to abnormal levels before\n"
+      "recovering).\n",
+      worst_jump);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Kernel microbenchmarks (google-benchmark): the primitive operations
+// underneath the training pipeline — dense matmul, the DGL-style
+// gather/segment message-passing kernels, radius-graph construction,
+// and a full EGNN forward — so performance regressions in the substrate
+// are visible independent of end-to-end training noise.
+#include <benchmark/benchmark.h>
+
+#include "core/graph_ops.hpp"
+#include "core/ops.hpp"
+#include "data/collate.hpp"
+#include "graph/radius_graph.hpp"
+#include "models/egnn.hpp"
+#include "sym/synthetic_dataset.hpp"
+
+namespace {
+
+using namespace matsci;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::RngEngine rng(1);
+  core::Tensor a = core::Tensor::randn({n, n}, rng);
+  core::Tensor b = core::Tensor::randn({n, n}, rng);
+  core::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GatherRows(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::RngEngine rng(2);
+  core::Tensor x = core::Tensor::randn({n, 64}, rng);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(4 * n));
+  for (auto& i : idx) i = rng.next_int(n);
+  core::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::gather_rows(x, idx));
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * 64);
+}
+BENCHMARK(BM_GatherRows)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SegmentSum(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const std::int64_t segments = rows / 8;
+  core::RngEngine rng(3);
+  core::Tensor x = core::Tensor::randn({rows, 64}, rng);
+  std::vector<std::int64_t> seg(static_cast<std::size_t>(rows));
+  for (auto& s : seg) s = rng.next_int(segments);
+  core::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::segment_sum(x, seg, segments));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_SegmentSum)->Arg(1024)->Arg(8192);
+
+void BM_RadiusGraph(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::RngEngine rng(4);
+  std::vector<core::Vec3> pts;
+  for (std::int64_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 12), rng.uniform(0, 12), rng.uniform(0, 12)});
+  }
+  graph::RadiusGraphOptions opts;
+  opts.cutoff = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_radius_graph(pts, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RadiusGraph)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_RadiusGraphPeriodic(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::RngEngine rng(5);
+  std::vector<core::Vec3> pts;
+  for (std::int64_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 12), rng.uniform(0, 12), rng.uniform(0, 12)});
+  }
+  const core::Mat3 cell =
+      core::mat3_rows({12, 0, 0}, {0, 12, 0}, {0, 0, 12});
+  graph::RadiusGraphOptions opts;
+  opts.cutoff = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_radius_graph(pts, opts, cell));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_RadiusGraphPeriodic)->Arg(32)->Arg(128);
+
+void BM_EgnnForward(benchmark::State& state) {
+  const std::int64_t hidden = state.range(0);
+  core::RngEngine rng(6);
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = hidden;
+  cfg.pos_hidden = hidden / 4;
+  cfg.num_layers = 3;
+  models::EGNN encoder(cfg, rng);
+
+  sym::SyntheticPointGroupDataset ds(16, 7);
+  std::vector<data::StructureSample> samples;
+  for (std::int64_t i = 0; i < 16; ++i) samples.push_back(ds.get(i));
+  data::CollateOptions copts;
+  copts.representation = data::Representation::kPointCloud;
+  const data::Batch batch = data::collate(samples, copts);
+
+  core::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch.num_nodes());
+}
+BENCHMARK(BM_EgnnForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EgnnTrainStep(benchmark::State& state) {
+  core::RngEngine rng(8);
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = 64;
+  cfg.pos_hidden = 16;
+  cfg.num_layers = 3;
+  models::EGNN encoder(cfg, rng);
+
+  sym::SyntheticPointGroupDataset ds(16, 9);
+  std::vector<data::StructureSample> samples;
+  for (std::int64_t i = 0; i < 16; ++i) samples.push_back(ds.get(i));
+  data::CollateOptions copts;
+  copts.representation = data::Representation::kPointCloud;
+  const data::Batch batch = data::collate(samples, copts);
+
+  for (auto _ : state) {
+    encoder.zero_grad();
+    core::Tensor loss = core::mean(core::square(encoder.encode(batch)));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.num_nodes());
+}
+BENCHMARK(BM_EgnnTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

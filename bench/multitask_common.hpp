@@ -1,0 +1,134 @@
+#pragma once
+
+/// Shared driver for the paper's multi-task, multi-dataset experiment
+/// (Table 1 final metrics, Figure 7 per-epoch curves): joint training of
+/// band gap + Fermi energy + formation energy + stability on (simulated)
+/// Materials Project together with formation energy on (simulated)
+/// Carolina, from either a pretrained or a randomly initialized encoder.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/joint_loader.hpp"
+#include "materials/carolina.hpp"
+#include "materials/materials_project.hpp"
+#include "tasks/multitask.hpp"
+
+namespace matsci::bench {
+
+struct MultiTaskRunConfig {
+  std::int64_t mp_size = 256;
+  std::int64_t cmd_size = 256;
+  std::int64_t epochs = 8;
+  std::int64_t batch_size = 16;
+  /// Equal rates isolate the initialization effect; the paper's η/10
+  /// fine-tuning rule undertrains at this bench's miniature scale (see
+  /// the fig5 protocol note and EXPERIMENTS.md).
+  double lr_scratch = 3e-3;
+  double lr_pretrained = 3e-3;
+  std::int64_t pretrain_samples = 1280;
+  std::int64_t pretrain_epochs = 8;
+};
+
+/// The five Table-1 column keys, in the paper's order.
+inline const std::vector<std::string>& table1_metrics() {
+  static const std::vector<std::string> keys = {
+      "mp/band_gap/mae", "mp/efermi/mae", "mp/eform/mae", "mp/stability/bce",
+      "cmd/eform/mae"};
+  return keys;
+}
+
+struct MultiTaskRunResult {
+  /// Per-epoch validation metric values, keyed by metric name.
+  std::map<std::string, std::vector<double>> curves;
+  /// Final-epoch validation metrics (the Table 1 row).
+  std::map<std::string, double> final_metrics;
+};
+
+inline MultiTaskRunResult run_multitask_experiment(
+    bool pretrained, const MultiTaskRunConfig& cfg) {
+  constexpr std::int64_t kMP = 0, kCMD = 1;
+  auto mp = std::make_shared<data::TaggedDataset>(
+      std::make_shared<materials::MaterialsProjectDataset>(cfg.mp_size, 41),
+      kMP);
+  auto cmd = std::make_shared<data::TaggedDataset>(
+      std::make_shared<materials::CarolinaMaterialsDataset>(cfg.cmd_size, 42),
+      kCMD);
+  auto [mp_train, mp_val] = data::train_val_split(*mp, 0.2, 7);
+  auto [cmd_train, cmd_val] = data::train_val_split(*cmd, 0.2, 8);
+
+  core::RngEngine rng(61);
+  std::shared_ptr<models::EGNN> encoder;
+  if (pretrained) {
+    encoder = pretrain_symmetry_encoder(cfg.pretrain_samples,
+                                        cfg.pretrain_epochs, 17);
+  } else {
+    encoder = std::make_shared<models::EGNN>(bench_encoder_config(), rng);
+  }
+
+  // Multi-task heads use 6 blocks in the paper; 2 here (scaled).
+  tasks::MultiTaskModule task(encoder, bench_head_config(32, 2), 71);
+  task.add_regression(kMP, "band_gap",
+                      data::compute_target_stats(mp_train, "band_gap"),
+                      "mp/band_gap");
+  task.add_regression(kMP, "efermi",
+                      data::compute_target_stats(mp_train, "efermi"),
+                      "mp/efermi");
+  task.add_regression(kMP, "formation_energy",
+                      data::compute_target_stats(mp_train, "formation_energy"),
+                      "mp/eform");
+  task.add_binary_classification(kMP, "stability", "mp/stability");
+  task.add_regression(
+      kCMD, "formation_energy",
+      data::compute_target_stats(cmd_train, "formation_energy"), "cmd/eform");
+
+  data::DataLoaderOptions lo;
+  lo.batch_size = cfg.batch_size;
+  lo.seed = 3;
+  lo.collate.radius.cutoff = 4.5;
+  data::DataLoader mp_loader(mp_train, lo), cmd_loader(cmd_train, lo);
+  data::DataLoaderOptions vo = lo;
+  vo.shuffle = false;
+  data::DataLoader mp_val_loader(mp_val, vo), cmd_val_loader(cmd_val, vo);
+
+  optim::Adam opt = optim::make_adamw(
+      task.parameters(), pretrained ? cfg.lr_pretrained : cfg.lr_scratch,
+      1e-4);
+
+  // The toolkit's joint scheduler: round-robin across datasets.
+  data::JointDataLoader joint({&mp_loader, &cmd_loader},
+                              data::SchedulePolicy::kRoundRobin);
+
+  MultiTaskRunResult result;
+  for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    task.train(true);
+    joint.set_epoch(epoch);
+    for (std::int64_t b = 0; b < joint.num_batches(); ++b) {
+      opt.zero_grad();
+      task.step(joint.batch(b)).loss.backward();
+      opt.step();
+    }
+    // Validation over both datasets.
+    tasks::MetricAccumulator acc;
+    {
+      core::NoGradGuard no_grad;
+      task.train(false);
+      for (data::DataLoader* loader : {&mp_val_loader, &cmd_val_loader}) {
+        for (std::int64_t b = 0; b < loader->num_batches(); ++b) {
+          acc.add(task.step(loader->batch(b)));
+        }
+      }
+    }
+    for (const std::string& key : table1_metrics()) {
+      result.curves[key].push_back(acc.mean(key));
+    }
+  }
+  for (const std::string& key : table1_metrics()) {
+    result.final_metrics[key] = result.curves[key].back();
+  }
+  return result;
+}
+
+}  // namespace matsci::bench

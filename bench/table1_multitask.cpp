@@ -1,0 +1,60 @@
+// Table 1 — multi-task, multi-dataset training: pretrained vs scratch.
+//
+// Paper's Table 1 (validation metrics after joint training on Materials
+// Project {band gap, ζ, E_form, stability} + Carolina {E_form}):
+//
+//   Configuration   gap(eV)  ζ(eV)  E_form(MP)  stability  E_form(CMD)
+//   Pretrained        1.27    0.76     0.83        0.42        0.14
+//   From scratch      4.80    3.86     3.54        0.40        0.10
+//
+// Shape to reproduce: the pretrained encoder wins decisively on the
+// three MP regression targets, while stability BCE and CMD formation
+// energy stay comparable (scratch slightly ahead).
+#include <cstdio>
+
+#include "multitask_common.hpp"
+
+int main() {
+  using namespace matsci;
+  bench::print_header(
+      "Table 1 — multi-task multi-dataset: pretrained vs from scratch");
+
+  bench::MultiTaskRunConfig cfg;
+  std::printf("\nRunning from-scratch configuration...\n");
+  const auto scratch = bench::run_multitask_experiment(false, cfg);
+  std::printf("Running pretrained configuration...\n");
+  const auto pretrained = bench::run_multitask_experiment(true, cfg);
+
+  const std::vector<std::string> headers = {
+      "Band gap (eV)", "zeta (eV)", "E_form MP (eV/atom)", "Stability (BCE)",
+      "E_form CMD (eV/atom)"};
+  std::printf("\n%-14s", "Configuration");
+  for (const auto& h : headers) std::printf(" %20s", h.c_str());
+  std::printf("\n%-14s", "Pretrained");
+  for (const std::string& key : bench::table1_metrics()) {
+    std::printf(" %20.4f", pretrained.final_metrics.at(key));
+  }
+  std::printf("\n%-14s", "From scratch");
+  for (const std::string& key : bench::table1_metrics()) {
+    std::printf(" %20.4f", scratch.final_metrics.at(key));
+  }
+  std::printf("\n");
+
+  int pretrained_wins = 0;
+  std::printf("\nPer-metric winner:\n");
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const std::string& key = bench::table1_metrics()[i];
+    const double p = pretrained.final_metrics.at(key);
+    const double s = scratch.final_metrics.at(key);
+    const bool pre = p < s;
+    if (pre) ++pretrained_wins;
+    std::printf("  %-22s %s (pretrained %.4f vs scratch %.4f)\n",
+                headers[i].c_str(), pre ? "pretrained" : "scratch", p, s);
+  }
+  std::printf(
+      "\nPaper shape: pretrained wins 3 of 5 (the MP regression targets),\n"
+      "with stability and CMD E_form comparable or slightly favoring\n"
+      "scratch. Measured: pretrained wins %d of 5.\n",
+      pretrained_wins);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Fine-tuning — load a pretrained encoder checkpoint and fine-tune it on
+// Materials Project band-gap regression, comparing against random
+// initialization (the paper's Fig. 5 workflow).
+//
+// Usage: finetune_bandgap [checkpoint_path] [epochs]
+//   checkpoint defaults to pretrained_encoder.msck (run
+//   pretrain_symmetry first, or the example falls back to a quick
+//   in-process pretraining pass).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "data/dataloader.hpp"
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "nn/serialize.hpp"
+#include "optim/adam.hpp"
+#include "sym/synthetic_dataset.hpp"
+#include "tasks/classification.hpp"
+#include "tasks/regression.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace matsci;
+
+models::EGNNConfig encoder_config() {
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = 32;
+  cfg.pos_hidden = 16;
+  cfg.num_layers = 3;
+  return cfg;
+}
+
+models::OutputHeadConfig head_config() {
+  models::OutputHeadConfig cfg;
+  cfg.hidden_dim = 32;
+  cfg.num_blocks = 2;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+/// Fallback when no checkpoint exists: a brief in-process pretraining.
+nn::StateDict quick_pretrain() {
+  std::printf("no checkpoint found — running a quick in-process "
+              "pretraining pass...\n");
+  sym::SyntheticPointGroupOptions sym_opts;
+  sym_opts.max_points = 24;
+  sym::SyntheticPointGroupDataset ds(640, 17, sym_opts);
+  data::DataLoaderOptions lo;
+  lo.batch_size = 32;
+  lo.collate.representation = data::Representation::kPointCloud;
+  data::DataLoader loader(ds, lo);
+  core::RngEngine rng(11);
+  auto encoder = std::make_shared<models::EGNN>(encoder_config(), rng);
+  tasks::ClassificationTask task(encoder, "point_group",
+                                 sym::num_point_groups(), head_config(), rng);
+  optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3);
+  train::TrainerOptions topts;
+  topts.max_epochs = 4;
+  train::Trainer(topts).fit(task, loader, nullptr, opt);
+  return nn::state_dict(task);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string ckpt_path =
+      argc > 1 ? argv[1] : "pretrained_encoder.msck";
+  const std::int64_t epochs = argc > 2 ? std::atoll(argv[2]) : 10;
+
+  materials::MaterialsProjectDataset dataset(320, 41);
+  auto [train_ds, val_ds] = data::train_val_split(dataset, 0.2, 7);
+  const data::TargetStats stats =
+      data::compute_target_stats(train_ds, "band_gap");
+
+  data::DataLoaderOptions lo;
+  lo.batch_size = 16;
+  lo.seed = 3;
+  lo.collate.radius.cutoff = 4.5;
+  data::DataLoader train_loader(train_ds, lo);
+  data::DataLoaderOptions vo = lo;
+  vo.shuffle = false;
+  data::DataLoader val_loader(val_ds, vo);
+
+  const nn::StateDict pretrained_sd =
+      std::filesystem::exists(ckpt_path)
+          ? nn::load_state_dict_file(ckpt_path)
+          : quick_pretrain();
+
+  auto run = [&](bool use_pretrained) {
+    core::RngEngine rng(23);
+    auto encoder = std::make_shared<models::EGNN>(encoder_config(), rng);
+    if (use_pretrained) {
+      const nn::LoadReport report = nn::load_into_module(
+          *encoder, pretrained_sd, /*strict=*/false, /*prefix=*/"encoder");
+      std::printf("loaded %lld encoder parameters from checkpoint "
+                  "(%lld skipped)\n",
+                  static_cast<long long>(report.loaded),
+                  static_cast<long long>(report.skipped));
+    }
+    tasks::ScalarRegressionTask task(encoder, "band_gap", head_config(), rng,
+                                     stats);
+    optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3, 1e-4);
+    train::TrainerOptions topts;
+    topts.max_epochs = epochs;
+    const train::FitResult result =
+        train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+    return result;
+  };
+
+  std::printf("\n=== from scratch ===\n");
+  const train::FitResult scratch = run(false);
+  std::printf("\n=== pretrained ===\n");
+  const train::FitResult pretrained = run(true);
+
+  std::printf("\n%8s %18s %18s\n", "epoch", "pretrained MAE", "scratch MAE");
+  for (std::size_t e = 0; e < pretrained.epochs.size(); ++e) {
+    std::printf("%8zu %18.4f %18.4f\n", e,
+                pretrained.epochs[e].val.at("mae"),
+                scratch.epochs[e].val.at("mae"));
+  }
+  std::printf("\nNote the paper's Fig. 5 shape: the pretrained run leads in\n"
+              "the early epochs; given enough training the scratch run\n"
+              "catches up and can finish ahead.\n");
+  return 0;
+}

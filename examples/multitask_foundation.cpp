@@ -1,0 +1,105 @@
+// Multi-task, multi-dataset "foundation model" training — the paper's
+// §3.2 composition: one shared E(n)-GNN encoder, five output heads
+// across two datasets (Materials Project: band gap, Fermi energy,
+// formation energy, stability; Carolina: formation energy), trained
+// jointly with round-robin batches.
+//
+// Usage: multitask_foundation [epochs]   (default 6)
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/dataloader.hpp"
+#include "data/joint_loader.hpp"
+#include "data/tagged.hpp"
+#include "materials/carolina.hpp"
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "optim/adam.hpp"
+#include "tasks/multitask.hpp"
+#include "train/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace matsci;
+  const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 6;
+  constexpr std::int64_t kMP = 0, kCMD = 1;
+
+  auto mp = std::make_shared<data::TaggedDataset>(
+      std::make_shared<materials::MaterialsProjectDataset>(240, 41), kMP);
+  auto cmd = std::make_shared<data::TaggedDataset>(
+      std::make_shared<materials::CarolinaMaterialsDataset>(240, 42), kCMD);
+  auto [mp_train, mp_val] = data::train_val_split(*mp, 0.2, 7);
+  auto [cmd_train, cmd_val] = data::train_val_split(*cmd, 0.2, 8);
+
+  core::RngEngine rng(61);
+  models::EGNNConfig ecfg;
+  ecfg.hidden_dim = 48;
+  ecfg.pos_hidden = 16;
+  ecfg.num_layers = 3;
+  auto encoder = std::make_shared<models::EGNN>(ecfg, rng);
+
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 48;
+  hcfg.num_blocks = 2;  // paper uses 6 blocks per head at full scale
+  tasks::MultiTaskModule model(encoder, hcfg, 71);
+  model.add_regression(kMP, "band_gap",
+                       data::compute_target_stats(mp_train, "band_gap"),
+                       "mp/band_gap");
+  model.add_regression(kMP, "efermi",
+                       data::compute_target_stats(mp_train, "efermi"),
+                       "mp/efermi");
+  model.add_regression(
+      kMP, "formation_energy",
+      data::compute_target_stats(mp_train, "formation_energy"), "mp/eform");
+  model.add_binary_classification(kMP, "stability", "mp/stability");
+  model.add_regression(
+      kCMD, "formation_energy",
+      data::compute_target_stats(cmd_train, "formation_energy"),
+      "cmd/eform");
+  std::printf("joint model: %lld heads, %lld parameters (shared encoder "
+              "%lld)\n",
+              static_cast<long long>(model.num_heads()),
+              static_cast<long long>(model.num_parameters()),
+              static_cast<long long>(encoder->num_parameters()));
+
+  data::DataLoaderOptions lo;
+  lo.batch_size = 16;
+  lo.seed = 3;
+  lo.collate.radius.cutoff = 4.5;
+  data::DataLoader mp_loader(mp_train, lo), cmd_loader(cmd_train, lo);
+  data::DataLoaderOptions vo = lo;
+  vo.shuffle = false;
+  data::DataLoader mp_val_loader(mp_val, vo), cmd_val_loader(cmd_val, vo);
+
+  optim::Adam opt = optim::make_adamw(model.parameters(), 3e-3, 1e-4);
+
+  data::JointDataLoader joint({&mp_loader, &cmd_loader},
+                              data::SchedulePolicy::kRoundRobin);
+  for (std::int64_t epoch = 0; epoch < epochs; ++epoch) {
+    model.train(true);
+    joint.set_epoch(epoch);
+    for (std::int64_t b = 0; b < joint.num_batches(); ++b) {
+      opt.zero_grad();
+      model.step(joint.batch(b)).loss.backward();
+      opt.step();
+    }
+    // Joint validation.
+    tasks::MetricAccumulator acc;
+    {
+      core::NoGradGuard no_grad;
+      model.train(false);
+      for (data::DataLoader* loader : {&mp_val_loader, &cmd_val_loader}) {
+        for (std::int64_t b = 0; b < loader->num_batches(); ++b) {
+          acc.add(model.step(loader->batch(b)));
+        }
+      }
+    }
+    std::printf("epoch %2lld | gap %.3f eV | zeta %.3f eV | Eform(MP) %.3f "
+                "| stab BCE %.3f | Eform(CMD) %.3f\n",
+                static_cast<long long>(epoch), acc.mean("mp/band_gap/mae"),
+                acc.mean("mp/efermi/mae"), acc.mean("mp/eform/mae"),
+                acc.mean("mp/stability/bce"), acc.mean("cmd/eform/mae"));
+  }
+  std::printf("\nall five targets are served by one encoder — the paper's\n"
+              "composition path toward materials foundation models.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Pretraining — the paper's synthetic symmetry-group task (§3.1/§5.2).
+//
+// Generates point clouds by replicating random seed particles under the
+// operations of randomly chosen crystallographic point groups, trains an
+// E(n)-GNN to classify the group (32 classes), and writes a checkpoint
+// that finetune_bandgap can consume.
+//
+// Usage: pretrain_symmetry [checkpoint_path] [num_samples] [epochs]
+//   defaults: pretrained_encoder.msck 1280 8
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/dataloader.hpp"
+#include "models/egnn.hpp"
+#include "nn/serialize.hpp"
+#include "optim/adam.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "sym/synthetic_dataset.hpp"
+#include "tasks/classification.hpp"
+#include "train/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace matsci;
+  const std::string ckpt_path =
+      argc > 1 ? argv[1] : "pretrained_encoder.msck";
+  const std::int64_t num_samples = argc > 2 ? std::atoll(argv[2]) : 1280;
+  const std::int64_t epochs = argc > 3 ? std::atoll(argv[3]) : 8;
+
+  // The synthetic dataset is generated lazily from (seed, index): any
+  // size is available with zero storage, uniformly over the 32 classes.
+  sym::SyntheticPointGroupOptions sym_opts;
+  sym_opts.max_points = 24;
+  sym::SyntheticPointGroupDataset dataset(num_samples, /*seed=*/17, sym_opts);
+  auto [train_ds, val_ds] = data::train_val_split(dataset, 0.15, 3);
+  std::printf("synthetic point-group dataset: %lld samples, %lld classes\n",
+              static_cast<long long>(dataset.size()),
+              static_cast<long long>(dataset.num_classes()));
+
+  data::DataLoaderOptions loader_opts;
+  loader_opts.batch_size = 32;
+  loader_opts.seed = 5;
+  // Pretraining uses the point-cloud representation: no imposed graph.
+  loader_opts.collate.representation = data::Representation::kPointCloud;
+  data::DataLoader train_loader(train_ds, loader_opts);
+  data::DataLoaderOptions val_opts = loader_opts;
+  val_opts.shuffle = false;
+  data::DataLoader val_loader(val_ds, val_opts);
+
+  core::RngEngine rng(11);
+  models::EGNNConfig encoder_cfg;
+  encoder_cfg.hidden_dim = 32;
+  encoder_cfg.pos_hidden = 16;
+  encoder_cfg.num_layers = 3;
+  auto encoder = std::make_shared<models::EGNN>(encoder_cfg, rng);
+  models::OutputHeadConfig head_cfg;
+  head_cfg.hidden_dim = 32;
+  head_cfg.num_blocks = 2;
+  head_cfg.dropout = 0.0f;
+  tasks::ClassificationTask task(encoder, "point_group",
+                                 dataset.num_classes(), head_cfg, rng);
+
+  // Paper §4.2 schedule: linear warmup then exponential decay (γ = 0.8).
+  optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3);
+  optim::WarmupExponential sched(opt, 3e-3, /*warmup_epochs=*/3, 0.8);
+
+  train::TrainerOptions trainer_opts;
+  trainer_opts.max_epochs = epochs;
+  trainer_opts.verbose = true;
+  const train::FitResult result = train::Trainer(trainer_opts)
+                                      .fit(task, train_loader, &val_loader,
+                                           opt, &sched);
+
+  std::printf("\nfinal validation accuracy %.3f (chance %.3f), CE %.3f\n",
+              result.epochs.back().val.at("accuracy"),
+              1.0 / static_cast<double>(dataset.num_classes()),
+              result.epochs.back().val.at("ce"));
+
+  // Checkpoint the whole task; the encoder lives under the "encoder."
+  // prefix and can be loaded alone for fine-tuning.
+  nn::save_state_dict(nn::state_dict(task), ckpt_path);
+  std::printf("checkpoint written to %s\n", ckpt_path.c_str());
+  return 0;
+}

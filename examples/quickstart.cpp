@@ -1,0 +1,69 @@
+// Quickstart — train a band-gap regressor on (simulated) Materials
+// Project data in ~30 lines of library calls.
+//
+//   dataset -> split -> loaders -> E(n)-GNN encoder -> regression task
+//   -> AdamW -> Trainer.fit -> validation MAE
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "data/dataloader.hpp"
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "optim/adam.hpp"
+#include "tasks/regression.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace matsci;
+
+  // 1. A procedurally generated Materials Project profile (see DESIGN.md
+  //    for what "simulated" means) and a reproducible 80/20 split.
+  materials::MaterialsProjectDataset dataset(/*size=*/400, /*seed=*/2024);
+  auto [train_ds, val_ds] = data::train_val_split(dataset, 0.2, /*seed=*/1);
+
+  // 2. Loaders: periodic radius-graph conversion at a 4.5 Å cutoff.
+  data::DataLoaderOptions loader_opts;
+  loader_opts.batch_size = 16;
+  loader_opts.seed = 7;
+  loader_opts.collate.radius.cutoff = 4.5;
+  data::DataLoader train_loader(train_ds, loader_opts);
+  data::DataLoaderOptions val_opts = loader_opts;
+  val_opts.shuffle = false;
+  data::DataLoader val_loader(val_ds, val_opts);
+
+  // 3. Model: E(n)-equivariant GNN encoder + residual-MLP output head,
+  //    with the target z-normalized by training-set statistics.
+  core::RngEngine rng(42);
+  models::EGNNConfig encoder_cfg;
+  encoder_cfg.hidden_dim = 64;
+  encoder_cfg.pos_hidden = 16;
+  encoder_cfg.num_layers = 3;
+  auto encoder = std::make_shared<models::EGNN>(encoder_cfg, rng);
+
+  models::OutputHeadConfig head_cfg;
+  head_cfg.hidden_dim = 64;
+  head_cfg.num_blocks = 2;
+  const data::TargetStats stats =
+      data::compute_target_stats(train_ds, "band_gap");
+  tasks::ScalarRegressionTask task(encoder, "band_gap", head_cfg, rng, stats);
+  std::printf("model: %lld parameters, target band_gap (mean %.2f eV, "
+              "std %.2f eV)\n",
+              static_cast<long long>(task.num_parameters()), stats.mean,
+              stats.stddev);
+
+  // 4. Train with AdamW and report per-epoch validation MAE.
+  optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3, 1e-4);
+  train::TrainerOptions trainer_opts;
+  trainer_opts.max_epochs = 10;
+  trainer_opts.verbose = true;
+  const train::FitResult result =
+      train::Trainer(trainer_opts).fit(task, train_loader, &val_loader, opt);
+
+  std::printf("\nfinal validation MAE: %.3f eV  (predicting the dataset "
+              "mean would give ~%.3f eV)\n",
+              result.epochs.back().val.at("mae"), 0.8 * stats.stddev);
+  std::printf("training throughput: %.0f structures/s\n",
+              result.samples_per_second());
+  return 0;
+}

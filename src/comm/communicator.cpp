@@ -1,0 +1,123 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "core/macros.hpp"
+
+namespace matsci::comm {
+
+ProcessGroup::ProcessGroup(std::int64_t world_size)
+    : world_size_(world_size),
+      barrier_(static_cast<std::ptrdiff_t>(world_size)),
+      bufs_(static_cast<std::size_t>(world_size), nullptr) {
+  MATSCI_CHECK(world_size >= 1, "world_size must be >= 1");
+}
+
+Communicator::Communicator(std::shared_ptr<ProcessGroup> group,
+                           std::int64_t rank)
+    : group_(std::move(group)), rank_(rank) {
+  MATSCI_CHECK(group_ != nullptr, "null process group");
+  MATSCI_CHECK(rank >= 0 && rank < group_->world_size(),
+               "rank " << rank << " out of range for world size "
+                       << group_->world_size());
+}
+
+void Communicator::barrier() {
+  if (world_size() == 1) return;
+  group_->barrier_.arrive_and_wait();
+}
+
+void Communicator::allreduce_sum(std::span<float> data) {
+  if (world_size() == 1) return;
+  group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
+  barrier();
+  // Rank 0 reduces in double precision into the shared scratch buffer;
+  // everyone copies back. (Single physical core: no benefit to a ring.)
+  if (rank_ == 0) {
+    group_->scratch_.assign(data.size(), 0.0);
+    for (std::int64_t r = 0; r < world_size(); ++r) {
+      const float* src = group_->bufs_[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        group_->scratch_[i] += static_cast<double>(src[i]);
+      }
+    }
+  }
+  barrier();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(group_->scratch_[i]);
+  }
+  barrier();
+}
+
+void Communicator::allreduce_mean(std::span<float> data) {
+  allreduce_sum(data);
+  const float inv = 1.0f / static_cast<float>(world_size());
+  for (float& v : data) v *= inv;
+}
+
+void Communicator::broadcast(std::span<float> data, std::int64_t root) {
+  MATSCI_CHECK(root >= 0 && root < world_size(), "broadcast root " << root);
+  if (world_size() == 1) return;
+  group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
+  barrier();
+  if (rank_ != root) {
+    const float* src = group_->bufs_[static_cast<std::size_t>(root)];
+    std::memcpy(data.data(), src, data.size() * sizeof(float));
+  }
+  barrier();
+}
+
+double Communicator::allreduce_scalar_sum(double value) {
+  if (world_size() == 1) return value;
+  float v = static_cast<float>(value);
+  allreduce_sum(std::span<float>(&v, 1));
+  return static_cast<double>(v);
+}
+
+double Communicator::allreduce_scalar_max(double value) {
+  if (world_size() == 1) return value;
+  static thread_local float slot;
+  slot = static_cast<float>(value);
+  group_->bufs_[static_cast<std::size_t>(rank_)] = &slot;
+  barrier();
+  if (rank_ == 0) {
+    double m = -1e300;
+    for (std::int64_t r = 0; r < world_size(); ++r) {
+      m = std::max(m, static_cast<double>(
+                          *group_->bufs_[static_cast<std::size_t>(r)]));
+    }
+    group_->scratch_.assign(1, m);
+  }
+  barrier();
+  const double result = group_->scratch_[0];
+  barrier();
+  return result;
+}
+
+void run_ranks(std::int64_t world_size,
+               const std::function<void(Communicator&)>& rank_fn) {
+  MATSCI_CHECK(world_size >= 1, "world_size must be >= 1");
+  auto group = std::make_shared<ProcessGroup>(world_size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(world_size));
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (std::int64_t r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r]() {
+      try {
+        Communicator comm(group, r);
+        rank_fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace matsci::comm

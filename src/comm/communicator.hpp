@@ -1,0 +1,68 @@
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace matsci::comm {
+
+/// Shared state for a group of communicating ranks. The toolkit's DDP
+/// substitutes threads for MPI processes (DESIGN.md §2): the collective
+/// semantics — synchronous allreduce at the gradient-averaging step,
+/// broadcast from a root, barriers — match MPI/oneCCL exactly, so the
+/// training code is structured the same way as the paper's.
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(std::int64_t world_size);
+  std::int64_t world_size() const { return world_size_; }
+
+ private:
+  friend class Communicator;
+  std::int64_t world_size_;
+  std::barrier<> barrier_;
+  std::vector<float*> bufs_;
+  std::vector<double> scratch_;
+};
+
+/// Per-rank handle onto a ProcessGroup. All ranks must call each
+/// collective the same number of times with equally sized buffers
+/// (standard MPI contract); violations throw or deadlock just as real
+/// MPI would hang.
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<ProcessGroup> group, std::int64_t rank);
+
+  std::int64_t rank() const { return rank_; }
+  std::int64_t world_size() const { return group_->world_size(); }
+
+  void barrier();
+
+  /// In-place sum across ranks (all ranks end with the identical total,
+  /// accumulated in double precision for rank-count independence).
+  void allreduce_sum(std::span<float> data);
+
+  /// In-place mean across ranks — the DDP gradient-averaging collective.
+  void allreduce_mean(std::span<float> data);
+
+  /// In-place broadcast of root's buffer to every rank.
+  void broadcast(std::span<float> data, std::int64_t root);
+
+  /// Scalar convenience forms.
+  double allreduce_scalar_sum(double value);
+  double allreduce_scalar_max(double value);
+
+ private:
+  std::shared_ptr<ProcessGroup> group_;
+  std::int64_t rank_;
+};
+
+/// Launch `world_size` rank threads, each receiving its Communicator, and
+/// join them. The first exception thrown by any rank is rethrown on the
+/// caller after all threads have been joined.
+void run_ranks(std::int64_t world_size,
+               const std::function<void(Communicator&)>& rank_fn);
+
+}  // namespace matsci::comm

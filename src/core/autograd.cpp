@@ -1,0 +1,109 @@
+#include "core/autograd.hpp"
+
+#include <unordered_set>
+
+#include "core/macros.hpp"
+
+namespace matsci::core {
+
+namespace {
+
+/// Iterative post-order DFS over the grad_fn DAG rooted at `root`.
+/// Returns payloads in topological order (inputs before outputs), so the
+/// reverse walk visits each node only after all its consumers.
+std::vector<std::shared_ptr<TensorImpl>> topo_order(
+    const std::shared_ptr<TensorImpl>& root) {
+  std::vector<std::shared_ptr<TensorImpl>> order;
+  std::unordered_set<TensorImpl*> visited;
+
+  struct Frame {
+    std::shared_ptr<TensorImpl> node;
+    std::size_t next_input = 0;
+  };
+  std::vector<Frame> stack;
+  if (root->grad_fn != nullptr) {
+    stack.push_back({root, 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& fn = frame.node->grad_fn;
+    if (fn == nullptr || frame.next_input >= fn->inputs.size()) {
+      order.push_back(frame.node);
+      stack.pop_back();
+      continue;
+    }
+    const auto& child = fn->inputs[frame.next_input++];
+    if (child->grad_fn != nullptr && visited.insert(child.get()).second) {
+      stack.push_back({child, 0});
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+void run_backward(const Tensor& root) {
+  MATSCI_CHECK(root.defined(), "backward() on undefined tensor");
+  MATSCI_CHECK(root.numel() == 1,
+               "backward() requires a scalar root, got numel=" << root.numel());
+  auto impl = root.impl();
+  if (impl->grad_fn == nullptr) {
+    // A leaf scalar: nothing to propagate; seed own grad if it wants one.
+    if (impl->requires_grad) {
+      impl->ensure_grad();
+      impl->grad[0] += 1.0f;
+    }
+    return;
+  }
+
+  auto order = topo_order(impl);
+  impl->ensure_grad();
+  impl->grad[0] += 1.0f;
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl& node = **it;
+    if (node.grad.empty()) {
+      // This node never received gradient (dead branch); skip.
+      continue;
+    }
+    if (node.grad_fn->backward) {
+      node.grad_fn->backward(node);
+    }
+  }
+
+  // Release the tape below the root so intermediate buffers free eagerly
+  // and repeated backward calls fail loudly instead of double-counting.
+  for (const auto& node : order) {
+    node->grad_fn.reset();
+  }
+}
+
+Tensor make_op_result(Shape shape, std::vector<float> data, const char* name,
+                      std::vector<std::shared_ptr<TensorImpl>> inputs,
+                      std::function<void(TensorImpl&)> backward) {
+  Tensor out = Tensor::from_vector(std::move(data), std::move(shape));
+  if (!grad_mode_enabled()) {
+    return out;
+  }
+  bool any = false;
+  for (const auto& in : inputs) {
+    if (in != nullptr && in->needs_grad()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    return out;
+  }
+  auto fn = std::make_shared<GradFn>();
+  fn->name = name;
+  fn->inputs = std::move(inputs);
+  fn->backward = std::move(backward);
+  out.impl()->grad_fn = std::move(fn);
+  return out;
+}
+
+}  // namespace matsci::core

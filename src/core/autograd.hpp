@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace matsci::core {
+
+/// Node in the reverse-mode autodiff tape.
+///
+/// Each differentiable op attaches one GradFn to its output. `inputs`
+/// are the op's argument payloads (used for topological ordering);
+/// `backward` reads the output's grad buffer and accumulates into each
+/// input payload that `needs_grad()`.
+struct GradFn {
+  const char* name = "unknown";
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::function<void(TensorImpl& output)> backward;
+};
+
+/// Run reverse-mode autodiff from `root` (must be a defined scalar).
+/// Seeds d(root)/d(root) = 1 and walks the tape in reverse topological
+/// order, accumulating into leaf `.grad` buffers.
+void run_backward(const Tensor& root);
+
+/// Construct an op result: wraps `data` with `shape`, and if grad mode is
+/// on and any input needs grad, attaches a GradFn with the given backward.
+/// `backward` may be empty when no input needs grad (it is then dropped).
+Tensor make_op_result(Shape shape, std::vector<float> data, const char* name,
+                      std::vector<std::shared_ptr<TensorImpl>> inputs,
+                      std::function<void(TensorImpl&)> backward);
+
+}  // namespace matsci::core

@@ -1,0 +1,253 @@
+#include "core/graph_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/autograd.hpp"
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::core {
+
+namespace {
+void check_segments(const std::vector<std::int64_t>& segment,
+                    std::int64_t num_rows, std::int64_t num_segments,
+                    const char* op) {
+  MATSCI_CHECK(static_cast<std::int64_t>(segment.size()) == num_rows,
+               op << ": segment ids (" << segment.size()
+                  << ") must match rows (" << num_rows << ")");
+  for (const std::int64_t s : segment) {
+    MATSCI_CHECK(s >= 0 && s < num_segments,
+                 op << ": segment id " << s << " out of range [0, "
+                    << num_segments << ")");
+  }
+}
+}  // namespace
+
+Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2, "gather_rows requires 2-D input");
+  const std::int64_t n = x.size(0), d = x.size(1);
+  const std::int64_t m = static_cast<std::int64_t>(index.size());
+  const float* px = x.data();
+  std::vector<float> out(static_cast<std::size_t>(m * d));
+  for (std::int64_t r = 0; r < m; ++r) {
+    const std::int64_t src = index[static_cast<std::size_t>(r)];
+    MATSCI_CHECK(src >= 0 && src < n,
+                 "gather_rows: index " << src << " out of range [0, " << n << ")");
+    std::copy(px + src * d, px + (src + 1) * d, out.data() + r * d);
+  }
+  auto ix = x.impl();
+  return make_op_result(
+      {m, d}, std::move(out), "gather_rows", {ix},
+      [ix, index, n, d, m](TensorImpl& o) {
+        if (!ix->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> gx(static_cast<std::size_t>(n * d), 0.0f);
+        for (std::int64_t r = 0; r < m; ++r) {
+          const std::int64_t src = index[static_cast<std::size_t>(r)];
+          float* dst = gx.data() + src * d;
+          const float* grow = go + r * d;
+          for (std::int64_t j = 0; j < d; ++j) dst[j] += grow[j];
+        }
+        ix->accumulate_grad(gx.data());
+      });
+}
+
+Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
+                   std::int64_t num_segments) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2, "segment_sum requires 2-D input");
+  const std::int64_t n = x.size(0), d = x.size(1);
+  check_segments(segment, n, num_segments, "segment_sum");
+  const float* px = x.data();
+  std::vector<float> out(static_cast<std::size_t>(num_segments * d), 0.0f);
+  for (std::int64_t r = 0; r < n; ++r) {
+    float* dst = out.data() + segment[static_cast<std::size_t>(r)] * d;
+    const float* src = px + r * d;
+    for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  auto ix = x.impl();
+  return make_op_result(
+      {num_segments, d}, std::move(out), "segment_sum", {ix},
+      [ix, segment, n, d](TensorImpl& o) {
+        if (!ix->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> gx(static_cast<std::size_t>(n * d));
+        for (std::int64_t r = 0; r < n; ++r) {
+          const float* src = go + segment[static_cast<std::size_t>(r)] * d;
+          std::copy(src, src + d, gx.data() + r * d);
+        }
+        ix->accumulate_grad(gx.data());
+      });
+}
+
+Tensor segment_counts(const std::vector<std::int64_t>& segment,
+                      std::int64_t num_segments) {
+  std::vector<float> counts(static_cast<std::size_t>(num_segments), 0.0f);
+  for (const std::int64_t s : segment) {
+    MATSCI_CHECK(s >= 0 && s < num_segments,
+                 "segment_counts: id " << s << " out of range");
+    counts[static_cast<std::size_t>(s)] += 1.0f;
+  }
+  return Tensor::from_vector(std::move(counts), {num_segments, 1});
+}
+
+Tensor segment_mean(const Tensor& x, const std::vector<std::int64_t>& segment,
+                    std::int64_t num_segments) {
+  Tensor sums = segment_sum(x, segment, num_segments);
+  Tensor counts = segment_counts(segment, num_segments);
+  // Guard empty segments: dividing by max(count, 1) leaves their zero rows.
+  float* pc = counts.data();
+  for (std::int64_t s = 0; s < num_segments; ++s) {
+    if (pc[s] == 0.0f) pc[s] = 1.0f;
+  }
+  return div(sums, counts);
+}
+
+Tensor segment_max(const Tensor& x, const std::vector<std::int64_t>& segment,
+                   std::int64_t num_segments, float empty_value) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2, "segment_max requires 2-D input");
+  const std::int64_t n = x.size(0), d = x.size(1);
+  check_segments(segment, n, num_segments, "segment_max");
+  const float* px = x.data();
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::vector<float> out(static_cast<std::size_t>(num_segments * d), kNegInf);
+  std::vector<std::int64_t> arg(static_cast<std::size_t>(num_segments * d), -1);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t s = segment[static_cast<std::size_t>(r)];
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float v = px[r * d + j];
+      if (v > out[s * d + j]) {
+        out[s * d + j] = v;
+        arg[s * d + j] = r;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (arg[i] < 0) out[i] = empty_value;
+  }
+  auto ix = x.impl();
+  return make_op_result(
+      {num_segments, d}, std::move(out), "segment_max", {ix},
+      [ix, arg = std::move(arg), n, d](TensorImpl& o) {
+        if (!ix->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> gx(static_cast<std::size_t>(n * d), 0.0f);
+        for (std::size_t i = 0; i < arg.size(); ++i) {
+          if (arg[i] >= 0) {
+            gx[static_cast<std::size_t>(arg[i]) * d +
+               static_cast<std::int64_t>(i) % d] += go[i];
+          }
+        }
+        ix->accumulate_grad(gx.data());
+      });
+}
+
+Tensor row_sq_norm(const Tensor& x) {
+  return sum_dim(square(x), /*dim=*/1, /*keepdim=*/true);
+}
+
+Tensor segment_softmax(const Tensor& x,
+                       const std::vector<std::int64_t>& segment,
+                       std::int64_t num_segments) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2 && x.size(1) == 1,
+               "segment_softmax expects an [E, 1] score column");
+  const std::int64_t n = x.size(0);
+  check_segments(segment, n, num_segments, "segment_softmax");
+  const float* px = x.data();
+
+  // Per-segment max shift, then normalized exponentials.
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::vector<float> seg_max(static_cast<std::size_t>(num_segments), kNegInf);
+  for (std::int64_t r = 0; r < n; ++r) {
+    float& m = seg_max[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])];
+    m = std::max(m, px[r]);
+  }
+  std::vector<double> seg_sum(static_cast<std::size_t>(num_segments), 0.0);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t s = segment[static_cast<std::size_t>(r)];
+    out[static_cast<std::size_t>(r)] =
+        std::exp(px[r] - seg_max[static_cast<std::size_t>(s)]);
+    seg_sum[static_cast<std::size_t>(s)] += out[static_cast<std::size_t>(r)];
+  }
+  for (std::int64_t r = 0; r < n; ++r) {
+    out[static_cast<std::size_t>(r)] /= static_cast<float>(
+        seg_sum[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])]);
+  }
+
+  auto ix = x.impl();
+  std::vector<float> probs = out;
+  return make_op_result(
+      {n, 1}, std::move(out), "segment_softmax", {ix},
+      [ix, segment, n, num_segments, probs = std::move(probs)](TensorImpl& o) {
+        if (!ix->needs_grad()) return;
+        const float* go = o.grad.data();
+        // d/dx softmax within each segment: p_r (g_r − Σ_s p_s g_s).
+        std::vector<double> dot(static_cast<std::size_t>(num_segments), 0.0);
+        for (std::int64_t r = 0; r < n; ++r) {
+          dot[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])] +=
+              static_cast<double>(go[r]) * probs[static_cast<std::size_t>(r)];
+        }
+        std::vector<float> gx(static_cast<std::size_t>(n));
+        for (std::int64_t r = 0; r < n; ++r) {
+          const std::int64_t s = segment[static_cast<std::size_t>(r)];
+          gx[static_cast<std::size_t>(r)] =
+              probs[static_cast<std::size_t>(r)] *
+              (go[r] - static_cast<float>(dot[static_cast<std::size_t>(s)]));
+        }
+        ix->accumulate_grad(gx.data());
+      });
+}
+
+Tensor gaussian_rbf(const Tensor& d, const std::vector<float>& centers,
+                    float gamma) {
+  MATSCI_CHECK(d.defined() && d.dim() == 2 && d.size(1) == 1,
+               "gaussian_rbf expects an [E, 1] distance column");
+  MATSCI_CHECK(!centers.empty() && gamma > 0.0f,
+               "gaussian_rbf needs centers and positive gamma");
+  const std::int64_t n = d.size(0);
+  const std::int64_t k = static_cast<std::int64_t>(centers.size());
+  const float* pd = d.data();
+  std::vector<float> out(static_cast<std::size_t>(n * k));
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      const float diff = pd[r] - centers[static_cast<std::size_t>(c)];
+      out[static_cast<std::size_t>(r * k + c)] =
+          std::exp(-gamma * diff * diff);
+    }
+  }
+  auto id = d.impl();
+  std::vector<float> saved = out;
+  return make_op_result(
+      {n, k}, std::move(out), "gaussian_rbf", {id},
+      [id, centers, gamma, n, k, saved = std::move(saved)](TensorImpl& o) {
+        if (!id->needs_grad()) return;
+        const float* go = o.grad.data();
+        const float* pd2 = id->data.data();
+        std::vector<float> gd(static_cast<std::size_t>(n), 0.0f);
+        for (std::int64_t r = 0; r < n; ++r) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < k; ++c) {
+            const float diff = pd2[r] - centers[static_cast<std::size_t>(c)];
+            acc += static_cast<double>(go[r * k + c]) *
+                   (-2.0 * gamma * diff) *
+                   saved[static_cast<std::size_t>(r * k + c)];
+          }
+          gd[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+        }
+        id->accumulate_grad(gd.data());
+      });
+}
+
+std::vector<float> linspace_centers(float lo, float hi, std::int64_t count) {
+  MATSCI_CHECK(count >= 2 && hi > lo, "linspace_centers: bad range");
+  std::vector<float> centers(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    centers[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * static_cast<float>(i) / static_cast<float>(count - 1);
+  }
+  return centers;
+}
+
+}  // namespace matsci::core

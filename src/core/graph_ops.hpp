@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+/// Sparse gather/scatter kernels for message passing. These are the
+/// C++ analogue of DGL's edge-wise primitives: gather node rows onto
+/// edges, run dense MLPs on edge tensors, then segment-reduce back to
+/// nodes. All ops are differentiable.
+namespace matsci::core {
+
+/// out[r, :] = x[index[r], :]  (x is [N, D], index has M entries < N).
+Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index);
+
+/// out[s, :] = sum over rows r with segment[r] == s of x[r, :].
+/// `segment` need not be sorted. num_segments > max(segment).
+Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
+                   std::int64_t num_segments);
+
+/// Mean-reduced variant; empty segments yield zero rows.
+Tensor segment_mean(const Tensor& x, const std::vector<std::int64_t>& segment,
+                    std::int64_t num_segments);
+
+/// Max-reduced variant (subgradient routed to a single argmax row);
+/// empty segments yield rows of `empty_value`.
+Tensor segment_max(const Tensor& x, const std::vector<std::int64_t>& segment,
+                   std::int64_t num_segments, float empty_value = 0.0f);
+
+/// Per-segment row counts as a float column tensor [S, 1] (no autograd).
+Tensor segment_counts(const std::vector<std::int64_t>& segment,
+                      std::int64_t num_segments);
+
+/// Row-wise squared L2 norm of a 2-D tensor: out is [N, 1].
+Tensor row_sq_norm(const Tensor& x);
+
+/// Softmax over the rows of each segment: for a column of edge scores
+/// [E, 1], out[r] = exp(x[r]) / Σ_{s: seg[s]==seg[r]} exp(x[s]), with a
+/// per-segment max shift for stability. The attention-normalization
+/// primitive over incoming edges.
+Tensor segment_softmax(const Tensor& x, const std::vector<std::int64_t>& segment,
+                       std::int64_t num_segments);
+
+/// Gaussian radial-basis expansion: d [E, 1] -> [E, K] with
+/// out[e, k] = exp(-gamma (d[e] - centers[k])²). Centers are constants;
+/// gradients flow through d (SchNet's continuous-filter input).
+Tensor gaussian_rbf(const Tensor& d, const std::vector<float>& centers,
+                    float gamma);
+
+/// Evenly spaced RBF centers on [lo, hi].
+std::vector<float> linspace_centers(float lo, float hi, std::int64_t count);
+
+}  // namespace matsci::core

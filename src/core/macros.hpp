@@ -1,0 +1,41 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace matsci {
+
+/// Error type thrown by all MATSCI_CHECK failures. Deriving from
+/// std::runtime_error keeps the library usable from generic catch sites.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MATSCI_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace matsci
+
+/// Runtime invariant check. Always active (these guard user-facing API
+/// contracts, not hot inner loops); throws matsci::Error on failure.
+/// `msg` may use stream syntax: MATSCI_CHECK(n > 0, "got n=" << n).
+#define MATSCI_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream matsci_check_os_;                                   \
+      matsci_check_os_ << msg;                                               \
+      ::matsci::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                            matsci_check_os_.str());         \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,832 @@
+#include "core/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/autograd.hpp"
+#include "core/macros.hpp"
+
+namespace matsci::core {
+
+namespace {
+
+/// How the second operand of a binary op maps onto the first.
+enum class Bcast { kSame, kScalar, kRow, kCol };
+
+struct BcastInfo {
+  Bcast kind;
+  std::int64_t rows;  // of a (or numel when 1-D)
+  std::int64_t cols;
+};
+
+BcastInfo classify_broadcast(const Tensor& a, const Tensor& b,
+                             const char* opname) {
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+  if (same_shape(sa, sb)) {
+    const std::int64_t c = sa.size() == 2 ? sa[1] : a.numel();
+    return {Bcast::kSame, sa.size() == 2 ? sa[0] : 1, c};
+  }
+  if (b.numel() == 1) {
+    return {Bcast::kScalar, 1, a.numel()};
+  }
+  MATSCI_CHECK(sa.size() == 2,
+               opname << ": broadcasting requires a 2-D lhs, got "
+                      << shape_to_string(sa) << " vs " << shape_to_string(sb));
+  const std::int64_t n = sa[0];
+  const std::int64_t d = sa[1];
+  const bool row = (sb.size() == 1 && sb[0] == d) ||
+                   (sb.size() == 2 && sb[0] == 1 && sb[1] == d);
+  const bool col = sb.size() == 2 && sb[0] == n && sb[1] == 1;
+  MATSCI_CHECK(row || col, opname << ": cannot broadcast "
+                                  << shape_to_string(sb) << " over "
+                                  << shape_to_string(sa));
+  return {row ? Bcast::kRow : Bcast::kCol, n, d};
+}
+
+/// Generic differentiable binary elementwise op with b-side broadcasting.
+/// f(a,b) computes the output; dfa/dfb give ∂out/∂a and ∂out/∂b at (a,b).
+template <typename F, typename DFA, typename DFB>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f,
+                 DFA dfa, DFB dfb) {
+  MATSCI_CHECK(a.defined() && b.defined(), name << ": undefined operand");
+  const BcastInfo info = classify_broadcast(a, b, name);
+  const std::int64_t n = a.numel();
+  const std::int64_t d = info.cols;
+  const float* pa = a.data();
+  const float* pb = b.data();
+
+  std::vector<float> out(static_cast<std::size_t>(n));
+  switch (info.kind) {
+    case Bcast::kSame:
+      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[i]);
+      break;
+    case Bcast::kScalar:
+      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[0]);
+      break;
+    case Bcast::kRow:
+      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[i % d]);
+      break;
+    case Bcast::kCol:
+      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[i / d]);
+      break;
+  }
+
+  auto ia = a.impl();
+  auto ib = b.impl();
+  return make_op_result(
+      a.shape(), std::move(out), name, {ia, ib},
+      [ia, ib, info, n, d, f, dfa, dfb](TensorImpl& o) {
+        const float* go = o.grad.data();
+        const float* pa2 = ia->data.data();
+        const float* pb2 = ib->data.data();
+        if (ia->needs_grad()) {
+          std::vector<float> ga(static_cast<std::size_t>(n));
+          switch (info.kind) {
+            case Bcast::kSame:
+              for (std::int64_t i = 0; i < n; ++i)
+                ga[i] = go[i] * dfa(pa2[i], pb2[i]);
+              break;
+            case Bcast::kScalar:
+              for (std::int64_t i = 0; i < n; ++i)
+                ga[i] = go[i] * dfa(pa2[i], pb2[0]);
+              break;
+            case Bcast::kRow:
+              for (std::int64_t i = 0; i < n; ++i)
+                ga[i] = go[i] * dfa(pa2[i], pb2[i % d]);
+              break;
+            case Bcast::kCol:
+              for (std::int64_t i = 0; i < n; ++i)
+                ga[i] = go[i] * dfa(pa2[i], pb2[i / d]);
+              break;
+          }
+          ia->accumulate_grad(ga.data());
+        }
+        if (ib->needs_grad()) {
+          std::vector<float> gb(ib->data.size(), 0.0f);
+          switch (info.kind) {
+            case Bcast::kSame:
+              for (std::int64_t i = 0; i < n; ++i)
+                gb[i] += go[i] * dfb(pa2[i], pb2[i]);
+              break;
+            case Bcast::kScalar:
+              for (std::int64_t i = 0; i < n; ++i)
+                gb[0] += go[i] * dfb(pa2[i], pb2[0]);
+              break;
+            case Bcast::kRow:
+              for (std::int64_t i = 0; i < n; ++i)
+                gb[i % d] += go[i] * dfb(pa2[i], pb2[i % d]);
+              break;
+            case Bcast::kCol:
+              for (std::int64_t i = 0; i < n; ++i)
+                gb[i / d] += go[i] * dfb(pa2[i], pb2[i / d]);
+              break;
+          }
+          ib->accumulate_grad(gb.data());
+        }
+      });
+}
+
+/// Generic differentiable unary elementwise op. df receives (x, y).
+template <typename F, typename DF>
+Tensor unary_op(const Tensor& a, const char* name, F f, DF df) {
+  MATSCI_CHECK(a.defined(), name << ": undefined operand");
+  const std::int64_t n = a.numel();
+  const float* pa = a.data();
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i]);
+
+  auto ia = a.impl();
+  // Keep output values for the backward pass (cheap, by value).
+  std::vector<float> saved = out;
+  return make_op_result(
+      a.shape(), std::move(out), name, {ia},
+      [ia, n, df, saved = std::move(saved)](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float* go = o.grad.data();
+        const float* pa2 = ia->data.data();
+        std::vector<float> ga(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i)
+          ga[i] = go[i] * df(pa2[i], saved[i]);
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+constexpr float kSeluLambda = 1.0507009873554805f;
+constexpr float kSeluAlpha = 1.6732632423543772f;
+
+float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+// --- binary ----------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, "div", [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, "add_scalar", [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(
+      a, "mul_scalar", [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+// --- unary -------------------------------------------------------------------
+
+Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+Tensor abs(const Tensor& a) {
+  return unary_op(
+      a, "abs", [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(
+      a, "square", [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary_op(
+      a, "sqrt", [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor rsqrt(const Tensor& a) {
+  return unary_op(
+      a, "rsqrt", [](float x) { return 1.0f / std::sqrt(x); },
+      [](float x, float y) { return -0.5f * y / x; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_op(
+      a, "exp", [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor log(const Tensor& a) {
+  return unary_op(
+      a, "log", [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, "sigmoid", sigmoid_scalar,
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary_op(
+      a, "tanh", [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor silu(const Tensor& a) {
+  return unary_op(
+      a, "silu", [](float x) { return x * sigmoid_scalar(x); },
+      [](float x, float) {
+        const float s = sigmoid_scalar(x);
+        return s * (1.0f + x * (1.0f - s));
+      });
+}
+
+Tensor selu(const Tensor& a) {
+  return unary_op(
+      a, "selu",
+      [](float x) {
+        return x > 0.0f ? kSeluLambda * x
+                        : kSeluLambda * kSeluAlpha * (std::exp(x) - 1.0f);
+      },
+      [](float x, float y) {
+        return x > 0.0f ? kSeluLambda : y + kSeluLambda * kSeluAlpha;
+      });
+}
+
+Tensor gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return unary_op(
+      a, "gelu",
+      [](float x) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor softplus(const Tensor& a) {
+  return unary_op(
+      a, "softplus",
+      [](float x) {
+        // Numerically stable: log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) { return sigmoid_scalar(x); });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  MATSCI_CHECK(lo <= hi, "clamp: lo=" << lo << " > hi=" << hi);
+  return unary_op(
+      a, "clamp",
+      [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
+      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
+}
+
+// --- reductions --------------------------------------------------------------
+
+Tensor sum(const Tensor& a) {
+  MATSCI_CHECK(a.defined(), "sum: undefined operand");
+  const std::int64_t n = a.numel();
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
+  auto ia = a.impl();
+  return make_op_result(
+      {1}, {static_cast<float>(acc)}, "sum", {ia}, [ia, n](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float g = o.grad[0];
+        std::vector<float> ga(static_cast<std::size_t>(n), g);
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+Tensor mean(const Tensor& a) {
+  const std::int64_t n = a.numel();
+  MATSCI_CHECK(n > 0, "mean of empty tensor");
+  return mul_scalar(sum(a), 1.0f / static_cast<float>(n));
+}
+
+Tensor sum_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
+  MATSCI_CHECK(a.defined() && a.dim() == 2,
+               "sum_dim requires a 2-D tensor, got rank "
+                   << (a.defined() ? a.dim() : -1));
+  MATSCI_CHECK(dim == 0 || dim == 1, "sum_dim: dim must be 0 or 1");
+  const std::int64_t n = a.size(0);
+  const std::int64_t d = a.size(1);
+  const float* pa = a.data();
+
+  Shape out_shape;
+  std::vector<float> out;
+  if (dim == 0) {
+    out.assign(static_cast<std::size_t>(d), 0.0f);
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < d; ++j) out[j] += pa[i * d + j];
+    out_shape = keepdim ? Shape{1, d} : Shape{d};
+  } else {
+    out.assign(static_cast<std::size_t>(n), 0.0f);
+    for (std::int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
+      out[i] = static_cast<float>(acc);
+    }
+    out_shape = keepdim ? Shape{n, 1} : Shape{n};
+  }
+
+  auto ia = a.impl();
+  return make_op_result(
+      std::move(out_shape), std::move(out), "sum_dim", {ia},
+      [ia, n, d, dim](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> ga(static_cast<std::size_t>(n * d));
+        if (dim == 0) {
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t j = 0; j < d; ++j) ga[i * d + j] = go[j];
+        } else {
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t j = 0; j < d; ++j) ga[i * d + j] = go[i];
+        }
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+Tensor mean_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
+  const std::int64_t m = dim == 0 ? a.size(0) : a.size(1);
+  MATSCI_CHECK(m > 0, "mean_dim over empty dimension");
+  return mul_scalar(sum_dim(a, dim, keepdim), 1.0f / static_cast<float>(m));
+}
+
+// --- linear algebra ----------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MATSCI_CHECK(a.defined() && b.defined() && a.dim() == 2 && b.dim() == 2,
+               "matmul requires two 2-D tensors");
+  const std::int64_t n = a.size(0), k = a.size(1), m = b.size(1);
+  MATSCI_CHECK(b.size(0) == k, "matmul shape mismatch: "
+                                   << shape_to_string(a.shape()) << " x "
+                                   << shape_to_string(b.shape()));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  std::vector<float> out(static_cast<std::size_t>(n * m), 0.0f);
+  // i-k-j loop order for streaming access on row-major data.
+#ifdef MATSCI_WITH_OPENMP
+#pragma omp parallel for if (n * m * k > (1 << 18)) schedule(static)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * m;
+      float* orow = out.data() + i * m;
+      for (std::int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+
+  auto ia = a.impl();
+  auto ib = b.impl();
+  return make_op_result(
+      {n, m}, std::move(out), "matmul", {ia, ib},
+      [ia, ib, n, k, m](TensorImpl& o) {
+        const float* go = o.grad.data();
+        if (ia->needs_grad()) {
+          // dA = dC * B^T
+          std::vector<float> ga(static_cast<std::size_t>(n * k), 0.0f);
+          const float* pb2 = ib->data.data();
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t j = 0; j < m; ++j) {
+              const float g = go[i * m + j];
+              if (g == 0.0f) continue;
+              for (std::int64_t kk = 0; kk < k; ++kk)
+                ga[i * k + kk] += g * pb2[kk * m + j];
+            }
+          ia->accumulate_grad(ga.data());
+        }
+        if (ib->needs_grad()) {
+          // dB = A^T * dC
+          std::vector<float> gb(static_cast<std::size_t>(k * m), 0.0f);
+          const float* pa2 = ia->data.data();
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              const float av = pa2[i * k + kk];
+              if (av == 0.0f) continue;
+              const float* grow = go + i * m;
+              float* brow = gb.data() + kk * m;
+              for (std::int64_t j = 0; j < m; ++j) brow[j] += av * grow[j];
+            }
+          ib->accumulate_grad(gb.data());
+        }
+      });
+}
+
+Tensor transpose2d(const Tensor& a) {
+  MATSCI_CHECK(a.defined() && a.dim() == 2, "transpose2d requires 2-D");
+  const std::int64_t n = a.size(0), d = a.size(1);
+  const float* pa = a.data();
+  std::vector<float> out(static_cast<std::size_t>(n * d));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < d; ++j) out[j * n + i] = pa[i * d + j];
+  auto ia = a.impl();
+  return make_op_result(
+      {d, n}, std::move(out), "transpose2d", {ia}, [ia, n, d](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> ga(static_cast<std::size_t>(n * d));
+        for (std::int64_t j = 0; j < d; ++j)
+          for (std::int64_t i = 0; i < n; ++i) ga[i * d + j] = go[j * n + i];
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+// --- shape ---------------------------------------------------------------
+
+Tensor reshape(const Tensor& a, Shape shape) {
+  MATSCI_CHECK(a.defined(), "reshape: undefined operand");
+  MATSCI_CHECK(shape_numel(shape) == a.numel(),
+               "reshape: numel mismatch " << a.numel() << " -> "
+                                          << shape_to_string(shape));
+  std::vector<float> out(a.data(), a.data() + a.numel());
+  auto ia = a.impl();
+  return make_op_result(std::move(shape), std::move(out), "reshape", {ia},
+                        [ia](TensorImpl& o) {
+                          if (!ia->needs_grad()) return;
+                          ia->accumulate_grad(o.grad.data());
+                        });
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  MATSCI_CHECK(!parts.empty(), "concat_cols of zero tensors");
+  const std::int64_t n = parts[0].size(0);
+  std::int64_t total = 0;
+  for (const Tensor& p : parts) {
+    MATSCI_CHECK(p.dim() == 2 && p.size(0) == n,
+                 "concat_cols: inconsistent shapes");
+    total += p.size(1);
+  }
+  std::vector<float> out(static_cast<std::size_t>(n * total));
+  std::int64_t off = 0;
+  for (const Tensor& p : parts) {
+    const std::int64_t d = p.size(1);
+    const float* pp = p.data();
+    for (std::int64_t i = 0; i < n; ++i)
+      std::copy(pp + i * d, pp + (i + 1) * d, out.data() + i * total + off);
+    off += d;
+  }
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::vector<std::int64_t> widths;
+  inputs.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    inputs.push_back(p.impl());
+    widths.push_back(p.size(1));
+  }
+  auto inputs_copy = inputs;
+  return make_op_result(
+      {n, total}, std::move(out), "concat_cols", std::move(inputs),
+      [inputs = std::move(inputs_copy), widths, n, total](TensorImpl& o) {
+        const float* go = o.grad.data();
+        std::int64_t off2 = 0;
+        for (std::size_t pi = 0; pi < inputs.size(); ++pi) {
+          const std::int64_t d = widths[pi];
+          if (inputs[pi]->needs_grad()) {
+            std::vector<float> g(static_cast<std::size_t>(n * d));
+            for (std::int64_t i = 0; i < n; ++i)
+              std::copy(go + i * total + off2, go + i * total + off2 + d,
+                        g.data() + i * d);
+            inputs[pi]->accumulate_grad(g.data());
+          }
+          off2 += d;
+        }
+      });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  MATSCI_CHECK(!parts.empty(), "concat_rows of zero tensors");
+  const std::int64_t d = parts[0].size(1);
+  std::int64_t total = 0;
+  for (const Tensor& p : parts) {
+    MATSCI_CHECK(p.dim() == 2 && p.size(1) == d,
+                 "concat_rows: inconsistent shapes");
+    total += p.size(0);
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(total * d));
+  for (const Tensor& p : parts) {
+    out.insert(out.end(), p.data(), p.data() + p.numel());
+  }
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::vector<std::int64_t> heights;
+  for (const Tensor& p : parts) {
+    inputs.push_back(p.impl());
+    heights.push_back(p.size(0));
+  }
+  auto inputs_copy = inputs;
+  return make_op_result(
+      {total, d}, std::move(out), "concat_rows", std::move(inputs),
+      [inputs = std::move(inputs_copy), heights, d](TensorImpl& o) {
+        const float* go = o.grad.data();
+        std::int64_t off = 0;
+        for (std::size_t pi = 0; pi < inputs.size(); ++pi) {
+          const std::int64_t h = heights[pi];
+          if (inputs[pi]->needs_grad()) {
+            inputs[pi]->accumulate_grad(go + off * d);
+          }
+          off += h;
+        }
+      });
+}
+
+Tensor slice_cols(const Tensor& a, std::int64_t start, std::int64_t len) {
+  MATSCI_CHECK(a.defined() && a.dim() == 2, "slice_cols requires 2-D");
+  const std::int64_t n = a.size(0), d = a.size(1);
+  MATSCI_CHECK(start >= 0 && len >= 0 && start + len <= d,
+               "slice_cols [" << start << ", " << start + len
+                              << ") out of range for width " << d);
+  const float* pa = a.data();
+  std::vector<float> out(static_cast<std::size_t>(n * len));
+  for (std::int64_t i = 0; i < n; ++i)
+    std::copy(pa + i * d + start, pa + i * d + start + len,
+              out.data() + i * len);
+  auto ia = a.impl();
+  return make_op_result(
+      {n, len}, std::move(out), "slice_cols", {ia},
+      [ia, n, d, start, len](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> ga(static_cast<std::size_t>(n * d), 0.0f);
+        for (std::int64_t i = 0; i < n; ++i)
+          std::copy(go + i * len, go + (i + 1) * len,
+                    ga.data() + i * d + start);
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t start, std::int64_t len) {
+  MATSCI_CHECK(a.defined() && a.dim() == 2, "slice_rows requires 2-D");
+  const std::int64_t n = a.size(0), d = a.size(1);
+  MATSCI_CHECK(start >= 0 && len >= 0 && start + len <= n,
+               "slice_rows [" << start << ", " << start + len
+                              << ") out of range for height " << n);
+  const float* pa = a.data();
+  std::vector<float> out(pa + start * d, pa + (start + len) * d);
+  auto ia = a.impl();
+  return make_op_result(
+      {len, d}, std::move(out), "slice_rows", {ia},
+      [ia, n, d, start, len](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> ga(static_cast<std::size_t>(n * d), 0.0f);
+        std::copy(go, go + len * d, ga.data() + start * d);
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+// --- regularization ------------------------------------------------------
+
+Tensor dropout(const Tensor& a, float p, bool training, RngEngine& rng) {
+  MATSCI_CHECK(p >= 0.0f && p < 1.0f, "dropout probability p=" << p);
+  if (!training || p == 0.0f) {
+    // Identity that still participates in the graph.
+    return add_scalar(a, 0.0f);
+  }
+  const std::int64_t n = a.numel();
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(static_cast<std::size_t>(n));
+  for (auto& m : mask) m = rng.bernoulli(p) ? 0.0f : scale;
+  const float* pa = a.data();
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) out[i] = pa[i] * mask[i];
+  auto ia = a.impl();
+  return make_op_result(
+      a.shape(), std::move(out), "dropout", {ia},
+      [ia, n, mask = std::move(mask)](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> ga(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) ga[i] = go[i] * mask[i];
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+// --- losses ----------------------------------------------------------------
+
+Tensor softmax_rows(const Tensor& logits) {
+  MATSCI_CHECK(logits.defined() && logits.dim() == 2,
+               "softmax_rows requires 2-D logits");
+  const std::int64_t n = logits.size(0), c = logits.size(1);
+  const float* pl = logits.data();
+  std::vector<float> out(static_cast<std::size_t>(n * c));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = pl + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      out[i * c + j] = std::exp(row[j] - mx);
+      z += out[i * c + j];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] *= inv;
+  }
+  auto il = logits.impl();
+  std::vector<float> probs = out;
+  return make_op_result(
+      logits.shape(), std::move(out), "softmax_rows", {il},
+      [il, n, c, probs = std::move(probs)](TensorImpl& o) {
+        if (!il->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> ga(static_cast<std::size_t>(n * c));
+        for (std::int64_t i = 0; i < n; ++i) {
+          double dot = 0.0;
+          for (std::int64_t j = 0; j < c; ++j)
+            dot += go[i * c + j] * probs[i * c + j];
+          for (std::int64_t j = 0; j < c; ++j)
+            ga[i * c + j] =
+                probs[i * c + j] * (go[i * c + j] - static_cast<float>(dot));
+        }
+        il->accumulate_grad(ga.data());
+      });
+}
+
+Tensor cross_entropy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels) {
+  MATSCI_CHECK(logits.defined() && logits.dim() == 2,
+               "cross_entropy requires 2-D logits");
+  const std::int64_t n = logits.size(0), c = logits.size(1);
+  MATSCI_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "cross_entropy: " << labels.size() << " labels for " << n
+                                 << " rows");
+  const float* pl = logits.data();
+  std::vector<float> probs(static_cast<std::size_t>(n * c));
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    MATSCI_CHECK(y >= 0 && y < c, "label " << y << " out of range [0, " << c << ")");
+    const float* row = pl + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      probs[i * c + j] = std::exp(row[j] - mx);
+      z += probs[i * c + j];
+    }
+    const double logz = std::log(z) + mx;
+    loss += logz - row[y];
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] *= inv;
+  }
+  loss /= static_cast<double>(n);
+
+  auto il = logits.impl();
+  return make_op_result(
+      {1}, {static_cast<float>(loss)}, "cross_entropy", {il},
+      [il, n, c, labels, probs = std::move(probs)](TensorImpl& o) {
+        if (!il->needs_grad()) return;
+        const float g = o.grad[0] / static_cast<float>(n);
+        std::vector<float> ga(static_cast<std::size_t>(n * c));
+        for (std::int64_t i = 0; i < n; ++i) {
+          const std::int64_t y = labels[static_cast<std::size_t>(i)];
+          for (std::int64_t j = 0; j < c; ++j) {
+            ga[i * c + j] = g * (probs[i * c + j] - (j == y ? 1.0f : 0.0f));
+          }
+        }
+        il->accumulate_grad(ga.data());
+      });
+}
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  MATSCI_CHECK(logits.defined() && targets.defined(),
+               "bce_with_logits: undefined operand");
+  MATSCI_CHECK(logits.numel() == targets.numel(),
+               "bce_with_logits numel mismatch: " << logits.numel() << " vs "
+                                                  << targets.numel());
+  const std::int64_t n = logits.numel();
+  const float* pz = logits.data();
+  const float* pt = targets.data();
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float z = pz[i];
+    // max(z,0) - z*t + log(1+exp(-|z|)) — numerically stable form.
+    loss += std::max(z, 0.0f) - z * pt[i] + std::log1p(std::exp(-std::fabs(z)));
+  }
+  loss /= static_cast<double>(n);
+  auto il = logits.impl();
+  auto it = targets.impl();
+  return make_op_result(
+      {1}, {static_cast<float>(loss)}, "bce_with_logits", {il, it},
+      [il, it, n](TensorImpl& o) {
+        const float g = o.grad[0] / static_cast<float>(n);
+        const float* pz2 = il->data.data();
+        const float* pt2 = it->data.data();
+        if (il->needs_grad()) {
+          std::vector<float> ga(static_cast<std::size_t>(n));
+          for (std::int64_t i = 0; i < n; ++i)
+            ga[i] = g * (sigmoid_scalar(pz2[i]) - pt2[i]);
+          il->accumulate_grad(ga.data());
+        }
+        if (it->needs_grad()) {
+          std::vector<float> gt(static_cast<std::size_t>(n));
+          for (std::int64_t i = 0; i < n; ++i) gt[i] = -g * pz2[i];
+          it->accumulate_grad(gt.data());
+        }
+      });
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  MATSCI_CHECK(pred.numel() == target.numel(),
+               "mse_loss numel mismatch: " << pred.numel() << " vs "
+                                           << target.numel());
+  Tensor diff = sub(pred, reshape(target, pred.shape()));
+  return mean(square(diff));
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  MATSCI_CHECK(pred.numel() == target.numel(),
+               "l1_loss numel mismatch: " << pred.numel() << " vs "
+                                          << target.numel());
+  Tensor diff = sub(pred, reshape(target, pred.shape()));
+  return mean(abs(diff));
+}
+
+Tensor huber_loss(const Tensor& pred, const Tensor& target, float beta) {
+  MATSCI_CHECK(beta > 0.0f, "huber_loss beta must be positive");
+  MATSCI_CHECK(pred.numel() == target.numel(),
+               "huber_loss numel mismatch: " << pred.numel() << " vs "
+                                             << target.numel());
+  const std::int64_t n = pred.numel();
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    const float ad = std::fabs(d);
+    loss += ad < beta ? 0.5f * d * d / beta : ad - 0.5f * beta;
+  }
+  loss /= static_cast<double>(n);
+  auto ip = pred.impl();
+  auto it = target.impl();
+  return make_op_result(
+      {1}, {static_cast<float>(loss)}, "huber_loss", {ip, it},
+      [ip, it, n, beta](TensorImpl& o) {
+        const float g = o.grad[0] / static_cast<float>(n);
+        const float* pp2 = ip->data.data();
+        const float* pt2 = it->data.data();
+        auto dval = [beta](float d) {
+          if (d > beta) return 1.0f;
+          if (d < -beta) return -1.0f;
+          return d / beta;
+        };
+        if (ip->needs_grad()) {
+          std::vector<float> ga(static_cast<std::size_t>(n));
+          for (std::int64_t i = 0; i < n; ++i)
+            ga[i] = g * dval(pp2[i] - pt2[i]);
+          ip->accumulate_grad(ga.data());
+        }
+        if (it->needs_grad()) {
+          std::vector<float> gt(static_cast<std::size_t>(n));
+          for (std::int64_t i = 0; i < n; ++i)
+            gt[i] = -g * dval(pp2[i] - pt2[i]);
+          it->accumulate_grad(gt.data());
+        }
+      });
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  MATSCI_CHECK(a.defined() && a.dim() == 2, "argmax_rows requires 2-D");
+  const std::int64_t n = a.size(0), c = a.size(1);
+  const float* pa = a.data();
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = pa + i * c;
+    out[static_cast<std::size_t>(i)] =
+        std::max_element(row, row + c) - row;
+  }
+  return out;
+}
+
+}  // namespace matsci::core

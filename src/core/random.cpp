@@ -1,0 +1,101 @@
+#include "core/random.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::core {
+
+namespace {
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+RngEngine::RngEngine(std::uint64_t seed) : state_(mix(seed + kGamma)) {}
+
+std::uint64_t RngEngine::next_u64() {
+  state_ += kGamma;
+  return mix(state_);
+}
+
+double RngEngine::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double RngEngine::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double RngEngine::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double RngEngine::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::int64_t RngEngine::next_int(std::int64_t n) {
+  MATSCI_CHECK(n > 0, "next_int requires n > 0, got " << n);
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  std::uint64_t x = 0;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return static_cast<std::int64_t>(x % un);
+}
+
+bool RngEngine::bernoulli(double p) { return uniform() < p; }
+
+RngEngine RngEngine::fork(std::uint64_t id) const {
+  RngEngine child(0);
+  child.state_ = mix(state_ ^ mix(id + kGamma));
+  return child;
+}
+
+void RngEngine::shuffle(std::vector<std::int64_t>& v) {
+  for (std::int64_t i = static_cast<std::int64_t>(v.size()) - 1; i > 0; --i) {
+    const std::int64_t j = next_int(i + 1);
+    std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+  }
+}
+
+std::vector<std::int64_t> RngEngine::sample_without_replacement(
+    std::int64_t n, std::int64_t k) {
+  MATSCI_CHECK(k >= 0 && k <= n,
+               "sample_without_replacement: k=" << k << " out of range for n=" << n);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    idx[static_cast<std::size_t>(i)] = i;
+  }
+  // Partial Fisher–Yates: the first k entries are the sample.
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::int64_t j = i + next_int(n - i);
+    std::swap(idx[static_cast<std::size_t>(i)], idx[static_cast<std::size_t>(j)]);
+  }
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+}  // namespace matsci::core

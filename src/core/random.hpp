@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace matsci::core {
+
+/// Deterministic, splittable pseudo-random engine (SplitMix64 core).
+///
+/// Every stochastic component in the toolkit (initializers, dropout,
+/// dataset generators, samplers, UMAP layout) takes an explicit RngEngine
+/// or seed so experiments are bitwise reproducible across runs. `fork`
+/// derives an independent child stream — used to give every DDP rank,
+/// dataloader worker, or dataset sample its own stream without
+/// correlations.
+class RngEngine {
+ public:
+  explicit RngEngine(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::int64_t next_int(std::int64_t n);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Derive an independent child stream. Deterministic in (state, id).
+  RngEngine fork(std::uint64_t id) const;
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<std::int64_t>& v);
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n,
+                                                       std::int64_t k);
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace matsci::core

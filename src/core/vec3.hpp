@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "core/macros.hpp"
+
+/// Minimal 3-vector / 3x3-matrix helpers shared by the geometry-heavy
+/// modules (symmetry ops, crystal lattices, radius graphs, MD). Kept
+/// header-only and double precision; tensors remain fp32.
+namespace matsci::core {
+
+/// Plain 3-vector. A distinct struct (not std::array) so that arithmetic
+/// operators are found via ADL from any namespace.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+/// Row-major 3x3 matrix; rows are lattice vectors when used as a cell.
+struct Mat3 {
+  std::array<Vec3, 3> rows{};
+
+  Vec3& operator[](int i) { return rows[static_cast<std::size_t>(i)]; }
+  const Vec3& operator[](int i) const {
+    return rows[static_cast<std::size_t>(i)];
+  }
+};
+
+inline Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a.x + b.x, a.y + b.y, a.z + b.z};
+}
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+inline Vec3 operator*(const Vec3& a, double s) {
+  return {a.x * s, a.y * s, a.z * s};
+}
+inline Vec3 operator*(double s, const Vec3& a) { return a * s; }
+inline Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+inline Vec3& operator+=(Vec3& a, const Vec3& b) {
+  a.x += b.x; a.y += b.y; a.z += b.z;
+  return a;
+}
+inline Vec3& operator-=(Vec3& a, const Vec3& b) {
+  a.x -= b.x; a.y -= b.y; a.z -= b.z;
+  return a;
+}
+
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+inline double sq_norm(const Vec3& a) { return dot(a, a); }
+
+/// y = M x (rows of M dotted with x).
+inline Vec3 matvec(const Mat3& m, const Vec3& x) {
+  return {dot(m[0], x), dot(m[1], x), dot(m[2], x)};
+}
+
+/// y = x M — used to map fractional coords through row-vector lattices.
+inline Vec3 vecmat(const Vec3& x, const Mat3& m) {
+  return {x.x * m[0].x + x.y * m[1].x + x.z * m[2].x,
+          x.x * m[0].y + x.y * m[1].y + x.z * m[2].y,
+          x.x * m[0].z + x.y * m[1].z + x.z * m[2].z};
+}
+
+inline Mat3 matmul3(const Mat3& a, const Mat3& b) {
+  Mat3 c{};
+  for (int i = 0; i < 3; ++i)
+    for (int k = 0; k < 3; ++k)
+      for (int j = 0; j < 3; ++j) c[i][j] += a[i][k] * b[k][j];
+  return c;
+}
+
+inline double det3(const Mat3& m) {
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+inline Mat3 inverse3(const Mat3& m) {
+  const double d = det3(m);
+  MATSCI_CHECK(std::fabs(d) > 1e-14,
+               "inverse3: singular matrix (det=" << d << ")");
+  const double inv = 1.0 / d;
+  Mat3 r;
+  r[0] = {(m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv,
+          (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv,
+          (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv};
+  r[1] = {(m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv,
+          (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv,
+          (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv};
+  r[2] = {(m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv,
+          (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv,
+          (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv};
+  return r;
+}
+
+inline Mat3 mat3_rows(const Vec3& r0, const Vec3& r1, const Vec3& r2) {
+  Mat3 m;
+  m[0] = r0;
+  m[1] = r1;
+  m[2] = r2;
+  return m;
+}
+
+inline Mat3 identity3() {
+  return {{{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}}}};
+}
+
+inline Mat3 transpose3(const Mat3& m) {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r[i][j] = m[j][i];
+  return r;
+}
+
+}  // namespace matsci::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "graph/graph.hpp"
+
+namespace matsci::data {
+
+/// A collated minibatch ready for the encoder: batched topology, node
+/// species/coordinates, and per-graph targets. One Batch always comes
+/// from a single dataset (`dataset_id`), which is how the multi-task
+/// module routes it to the right output heads.
+struct Batch {
+  graph::BatchedGraph topology;
+  std::vector<std::int64_t> species;  ///< [num_nodes] atomic numbers
+  core::Tensor coords;                ///< [num_nodes, 3] fp32 cartesian
+  std::map<std::string, core::Tensor> scalar_targets;        ///< [G, 1]
+  std::map<std::string, std::vector<std::int64_t>> class_targets;  ///< [G]
+  /// Per-atom force labels [num_nodes, 3]; undefined when the samples
+  /// carry no forces.
+  core::Tensor forces;
+  std::int64_t dataset_id = 0;
+
+  std::int64_t num_graphs() const { return topology.num_graphs; }
+  std::int64_t num_nodes() const { return topology.num_nodes; }
+};
+
+}  // namespace matsci::data

@@ -1,0 +1,102 @@
+#include "data/collate.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::data {
+
+graph::Graph sample_topology(const StructureSample& sample,
+                             const CollateOptions& opts) {
+  switch (opts.representation) {
+    case Representation::kRadiusGraph: {
+      std::optional<core::Mat3> lattice = sample.lattice;
+      return graph::build_radius_graph(sample.positions, opts.radius,
+                                       lattice);
+    }
+    case Representation::kPointCloud:
+      return graph::build_complete_graph(sample.num_atoms());
+  }
+  MATSCI_CHECK(false, "unknown representation");
+  return {};  // unreachable
+}
+
+Batch collate(const std::vector<StructureSample>& samples,
+              const CollateOptions& opts) {
+  MATSCI_CHECK(!samples.empty(), "collate: empty sample list");
+
+  Batch batch;
+  batch.dataset_id = samples.front().dataset_id;
+
+  std::vector<graph::Graph> graphs;
+  graphs.reserve(samples.size());
+  std::vector<float> coords;
+  for (const StructureSample& s : samples) {
+    MATSCI_CHECK(s.dataset_id == batch.dataset_id,
+                 "collate: mixed dataset ids in one batch ("
+                     << s.dataset_id << " vs " << batch.dataset_id << ")");
+    MATSCI_CHECK(s.num_atoms() > 0, "collate: sample with no atoms");
+    graphs.push_back(sample_topology(s, opts));
+    for (const core::Vec3& p : s.positions) {
+      coords.push_back(static_cast<float>(p.x));
+      coords.push_back(static_cast<float>(p.y));
+      coords.push_back(static_cast<float>(p.z));
+    }
+    batch.species.insert(batch.species.end(), s.species.begin(),
+                         s.species.end());
+  }
+  batch.topology = graph::batch_graphs(graphs);
+  batch.coords = core::Tensor::from_vector(std::move(coords),
+                                           {batch.topology.num_nodes, 3});
+
+  // Forces: all-or-nothing across the batch.
+  const bool has_forces = !samples.front().forces.empty();
+  if (has_forces) {
+    std::vector<float> forces;
+    forces.reserve(static_cast<std::size_t>(batch.topology.num_nodes * 3));
+    for (const StructureSample& s : samples) {
+      MATSCI_CHECK(static_cast<std::int64_t>(s.forces.size()) ==
+                       s.num_atoms(),
+                   "collate: sample forces/atoms mismatch");
+      for (const core::Vec3& f : s.forces) {
+        forces.push_back(static_cast<float>(f.x));
+        forces.push_back(static_cast<float>(f.y));
+        forces.push_back(static_cast<float>(f.z));
+      }
+    }
+    batch.forces = core::Tensor::from_vector(std::move(forces),
+                                             {batch.topology.num_nodes, 3});
+  } else {
+    for (const StructureSample& s : samples) {
+      MATSCI_CHECK(s.forces.empty(),
+                   "collate: mixed force-labeled and unlabeled samples");
+    }
+  }
+
+  // Targets: every sample must provide the same keys as the first.
+  const auto& first = samples.front();
+  for (const auto& [key, _] : first.scalar_targets) {
+    std::vector<float> values;
+    values.reserve(samples.size());
+    for (const StructureSample& s : samples) {
+      auto it = s.scalar_targets.find(key);
+      MATSCI_CHECK(it != s.scalar_targets.end(),
+                   "collate: sample missing scalar target '" << key << "'");
+      values.push_back(it->second);
+    }
+    batch.scalar_targets[key] = core::Tensor::from_vector(
+        std::move(values), {static_cast<std::int64_t>(samples.size()), 1});
+  }
+  for (const auto& [key, _] : first.class_targets) {
+    std::vector<std::int64_t> values;
+    values.reserve(samples.size());
+    for (const StructureSample& s : samples) {
+      auto it = s.class_targets.find(key);
+      MATSCI_CHECK(it != s.class_targets.end(),
+                   "collate: sample missing class target '" << key << "'");
+      values.push_back(it->second);
+    }
+    batch.class_targets[key] = std::move(values);
+  }
+  return batch;
+}
+
+}  // namespace matsci::data

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "data/batch.hpp"
+#include "data/sample.hpp"
+#include "graph/radius_graph.hpp"
+
+namespace matsci::data {
+
+/// How structures are converted to message-passing topology — the
+/// "transformation between representations" axis of the paper's Fig. 1.
+enum class Representation {
+  kRadiusGraph,  ///< edges within a cutoff (PBC-aware when lattice set)
+  kPointCloud,   ///< fully connected: no imposed structure
+};
+
+struct CollateOptions {
+  Representation representation = Representation::kRadiusGraph;
+  graph::RadiusGraphOptions radius;
+};
+
+/// Build the topology for one sample under the chosen representation.
+graph::Graph sample_topology(const StructureSample& sample,
+                             const CollateOptions& opts);
+
+/// Collate samples into one Batch. All samples must come from the same
+/// dataset (same dataset_id) and carry identical target key sets; scalar
+/// targets become [G, 1] tensors, class targets become label vectors.
+Batch collate(const std::vector<StructureSample>& samples,
+              const CollateOptions& opts);
+
+}  // namespace matsci::data

@@ -1,0 +1,113 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+
+#include "core/macros.hpp"
+
+namespace matsci::data {
+
+SubsetDataset::SubsetDataset(const StructureDataset& parent,
+                             std::vector<std::int64_t> indices)
+    : parent_(&parent), indices_(std::move(indices)) {
+  for (const std::int64_t i : indices_) {
+    MATSCI_CHECK(i >= 0 && i < parent.size(),
+                 "subset index " << i << " out of range for parent of size "
+                                 << parent.size());
+  }
+}
+
+StructureSample SubsetDataset::get(std::int64_t index) const {
+  MATSCI_CHECK(index >= 0 && index < size(),
+               "subset index " << index << " out of range");
+  return parent_->get(indices_[static_cast<std::size_t>(index)]);
+}
+
+std::pair<SubsetDataset, SubsetDataset> train_val_split(
+    const StructureDataset& ds, double val_fraction, std::uint64_t seed) {
+  MATSCI_CHECK(val_fraction > 0.0 && val_fraction < 1.0,
+               "val_fraction must be in (0, 1), got " << val_fraction);
+  const std::int64_t n = ds.size();
+  MATSCI_CHECK(n >= 2, "cannot split a dataset with " << n << " samples");
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  core::RngEngine rng(seed ^ 0x5B117ull);
+  rng.shuffle(idx);
+  std::int64_t n_val = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(n) * val_fraction));
+  n_val = std::min(n_val, n - 1);
+  std::vector<std::int64_t> val_idx(idx.begin(), idx.begin() + n_val);
+  std::vector<std::int64_t> train_idx(idx.begin() + n_val, idx.end());
+  return {SubsetDataset(ds, std::move(train_idx)),
+          SubsetDataset(ds, std::move(val_idx))};
+}
+
+DataLoader::DataLoader(const StructureDataset& dataset, DataLoaderOptions opts)
+    : dataset_(&dataset), opts_(std::move(opts)) {
+  MATSCI_CHECK(opts_.batch_size >= 1, "batch_size must be >= 1");
+  MATSCI_CHECK(opts_.world_size >= 1 && opts_.rank >= 0 &&
+                   opts_.rank < opts_.world_size,
+               "bad rank/world_size: " << opts_.rank << "/"
+                                       << opts_.world_size);
+  rebuild_order();
+}
+
+void DataLoader::set_epoch(std::int64_t epoch) {
+  epoch_ = epoch;
+  rebuild_order();
+}
+
+void DataLoader::rebuild_order() {
+  const std::int64_t n = dataset_->size();
+  std::vector<std::int64_t> global(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    global[static_cast<std::size_t>(i)] = i;
+  }
+  if (opts_.shuffle) {
+    core::RngEngine rng =
+        core::RngEngine(opts_.seed).fork(static_cast<std::uint64_t>(epoch_));
+    rng.shuffle(global);
+  }
+  // Strided sharding on the common shuffled order.
+  order_.clear();
+  for (std::int64_t i = opts_.rank; i < n; i += opts_.world_size) {
+    order_.push_back(global[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::int64_t DataLoader::samples_per_shard() const {
+  return static_cast<std::int64_t>(order_.size());
+}
+
+std::int64_t DataLoader::num_batches() const {
+  const std::int64_t n = samples_per_shard();
+  if (opts_.drop_last) return n / opts_.batch_size;
+  return (n + opts_.batch_size - 1) / opts_.batch_size;
+}
+
+Batch DataLoader::batch(std::int64_t i) const {
+  MATSCI_CHECK(i >= 0 && i < num_batches(),
+               "batch index " << i << " out of range [0, " << num_batches()
+                              << ")");
+  const std::int64_t start = i * opts_.batch_size;
+  const std::int64_t end = std::min<std::int64_t>(
+      start + opts_.batch_size, samples_per_shard());
+  std::vector<StructureSample> samples;
+  samples.reserve(static_cast<std::size_t>(end - start));
+  for (std::int64_t k = start; k < end; ++k) {
+    const std::int64_t ds_index = order_[static_cast<std::size_t>(k)];
+    StructureSample s = dataset_->get(ds_index);
+    if (opts_.transforms) {
+      // Transform randomness keyed by (seed, epoch, sample) so any rank
+      // computing the same sample applies the same augmentation.
+      core::RngEngine rng =
+          core::RngEngine(opts_.seed ^ 0x7A4Full)
+              .fork(static_cast<std::uint64_t>(epoch_) * 0x10001ull +
+                    static_cast<std::uint64_t>(ds_index));
+      opts_.transforms->apply(s, rng);
+    }
+    samples.push_back(std::move(s));
+  }
+  return collate(samples, opts_.collate);
+}
+
+}  // namespace matsci::data

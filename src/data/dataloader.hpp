@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+
+#include "data/collate.hpp"
+#include "data/transforms.hpp"
+
+namespace matsci::data {
+
+/// View over a subset of a dataset's indices (non-owning: the parent must
+/// outlive the subset). Used for train/val splits.
+class SubsetDataset : public StructureDataset {
+ public:
+  SubsetDataset(const StructureDataset& parent,
+                std::vector<std::int64_t> indices);
+
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+  StructureSample get(std::int64_t index) const override;
+  std::string name() const override { return parent_->name() + "/subset"; }
+
+ private:
+  const StructureDataset* parent_;
+  std::vector<std::int64_t> indices_;
+};
+
+/// Deterministic shuffled train/val split of [0, ds.size()).
+std::pair<SubsetDataset, SubsetDataset> train_val_split(
+    const StructureDataset& ds, double val_fraction, std::uint64_t seed);
+
+struct DataLoaderOptions {
+  std::int64_t batch_size = 32;
+  bool shuffle = true;
+  std::uint64_t seed = 0;
+  /// DDP sharding: this loader yields the rank-th of world_size shards,
+  /// every rank seeing the same shuffled order (so shards are disjoint
+  /// and exhaustive, mirroring torch's DistributedSampler).
+  std::int64_t rank = 0;
+  std::int64_t world_size = 1;
+  bool drop_last = false;
+  CollateOptions collate;
+  std::shared_ptr<const TransformChain> transforms;  ///< optional
+};
+
+/// Map-style loader: shuffles per epoch (deterministically in
+/// (seed, epoch)), shards across DDP ranks, applies transforms, collates.
+class DataLoader {
+ public:
+  DataLoader(const StructureDataset& dataset, DataLoaderOptions opts);
+
+  /// Re-shuffle for a new epoch (no-op when shuffle = false).
+  void set_epoch(std::int64_t epoch);
+
+  std::int64_t num_batches() const;
+  std::int64_t samples_per_shard() const;
+
+  /// Materialize the i-th batch of the current epoch.
+  Batch batch(std::int64_t i) const;
+
+  const DataLoaderOptions& options() const { return opts_; }
+  const StructureDataset& dataset() const { return *dataset_; }
+
+ private:
+  const StructureDataset* dataset_;
+  DataLoaderOptions opts_;
+  std::int64_t epoch_ = 0;
+  std::vector<std::int64_t> order_;  ///< this shard's sample indices
+  void rebuild_order();
+};
+
+}  // namespace matsci::data

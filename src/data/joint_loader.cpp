@@ -1,0 +1,77 @@
+#include "data/joint_loader.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::data {
+
+JointDataLoader::JointDataLoader(std::vector<DataLoader*> loaders,
+                                 SchedulePolicy policy, std::uint64_t seed)
+    : loaders_(std::move(loaders)), policy_(policy), seed_(seed) {
+  MATSCI_CHECK(!loaders_.empty(), "JointDataLoader needs >= 1 loader");
+  for (const DataLoader* l : loaders_) {
+    MATSCI_CHECK(l != nullptr, "JointDataLoader: null loader");
+  }
+  rebuild_schedule();
+}
+
+void JointDataLoader::set_epoch(std::int64_t epoch) {
+  epoch_ = epoch;
+  for (DataLoader* l : loaders_) {
+    l->set_epoch(epoch);
+  }
+  rebuild_schedule();
+}
+
+void JointDataLoader::rebuild_schedule() {
+  schedule_.clear();
+  switch (policy_) {
+    case SchedulePolicy::kRoundRobin: {
+      std::int64_t max_batches = 0;
+      for (const DataLoader* l : loaders_) {
+        max_batches = std::max(max_batches, l->num_batches());
+      }
+      for (std::int64_t b = 0; b < max_batches; ++b) {
+        for (std::size_t li = 0; li < loaders_.size(); ++li) {
+          if (b < loaders_[li]->num_batches()) {
+            schedule_.emplace_back(static_cast<std::int64_t>(li), b);
+          }
+        }
+      }
+      break;
+    }
+    case SchedulePolicy::kProportionalShuffle: {
+      for (std::size_t li = 0; li < loaders_.size(); ++li) {
+        for (std::int64_t b = 0; b < loaders_[li]->num_batches(); ++b) {
+          schedule_.emplace_back(static_cast<std::int64_t>(li), b);
+        }
+      }
+      // Deterministic shuffle keyed by (seed, epoch).
+      core::RngEngine rng =
+          core::RngEngine(seed_ ^ 0x101A7ull)
+              .fork(static_cast<std::uint64_t>(epoch_));
+      for (std::int64_t i =
+               static_cast<std::int64_t>(schedule_.size()) - 1;
+           i > 0; --i) {
+        const std::int64_t j = rng.next_int(i + 1);
+        std::swap(schedule_[static_cast<std::size_t>(i)],
+                  schedule_[static_cast<std::size_t>(j)]);
+      }
+      break;
+    }
+  }
+}
+
+Batch JointDataLoader::batch(std::int64_t i) const {
+  MATSCI_CHECK(i >= 0 && i < num_batches(),
+               "joint batch index " << i << " out of range [0, "
+                                    << num_batches() << ")");
+  const auto& [li, b] = schedule_[static_cast<std::size_t>(i)];
+  return loaders_[static_cast<std::size_t>(li)]->batch(b);
+}
+
+std::int64_t JointDataLoader::loader_index(std::int64_t i) const {
+  MATSCI_CHECK(i >= 0 && i < num_batches(), "index out of range");
+  return schedule_[static_cast<std::size_t>(i)].first;
+}
+
+}  // namespace matsci::data

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "data/dataloader.hpp"
+
+namespace matsci::data {
+
+/// How a JointDataLoader interleaves its member loaders per epoch.
+enum class SchedulePolicy {
+  /// Cycle through loaders in order, skipping exhausted ones — every
+  /// dataset appears at a steady cadence (the paper's multi-dataset
+  /// joint-training pattern, where the encoder must not see long
+  /// single-dataset stretches).
+  kRoundRobin,
+  /// Shuffle all (loader, batch) pairs uniformly: datasets appear in
+  /// proportion to their batch counts.
+  kProportionalShuffle,
+};
+
+/// Composes several DataLoaders (typically one per dataset, each with a
+/// distinct dataset_id via TaggedDataset) into a single epoch-level batch
+/// stream for multi-task multi-dataset training. Deterministic in
+/// (seed, epoch). Non-owning: the member loaders must outlive it.
+class JointDataLoader {
+ public:
+  JointDataLoader(std::vector<DataLoader*> loaders, SchedulePolicy policy,
+                  std::uint64_t seed = 0);
+
+  /// Forwards to every member loader and rebuilds the schedule.
+  void set_epoch(std::int64_t epoch);
+
+  std::int64_t num_batches() const {
+    return static_cast<std::int64_t>(schedule_.size());
+  }
+
+  /// The i-th batch of this epoch's interleaved schedule.
+  Batch batch(std::int64_t i) const;
+
+  /// Which member loader serves the i-th slot (for tests/diagnostics).
+  std::int64_t loader_index(std::int64_t i) const;
+
+ private:
+  void rebuild_schedule();
+
+  std::vector<DataLoader*> loaders_;
+  SchedulePolicy policy_;
+  std::uint64_t seed_;
+  std::int64_t epoch_ = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> schedule_;
+};
+
+}  // namespace matsci::data

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/vec3.hpp"
+
+namespace matsci::data {
+
+/// The universal exchange format between datasets, transforms, and
+/// collation: one material structure (or synthetic point cloud) with its
+/// learning targets. Mirrors Fig. 1 of the paper — every dataset emits
+/// these, every transform maps sample -> sample, and collate turns a
+/// vector of them into a model-ready Batch.
+struct StructureSample {
+  /// Atomic numbers (or 0 for synthetic, species-less particles).
+  std::vector<std::int64_t> species;
+  /// Cartesian coordinates, Å.
+  std::vector<core::Vec3> positions;
+  /// Periodic cell (rows = lattice vectors); nullopt for molecules /
+  /// point clouds.
+  std::optional<core::Mat3> lattice;
+  /// Regression targets by name, e.g. "band_gap", "efermi",
+  /// "formation_energy".
+  std::map<std::string, float> scalar_targets;
+  /// Classification targets by name, e.g. "stability", "point_group".
+  std::map<std::string, std::int64_t> class_targets;
+  /// Per-atom force labels (eV/Å), one per position when present —
+  /// trajectory datasets (LiPS) carry these for force-error evaluation.
+  std::vector<core::Vec3> forces;
+  /// Which dataset produced this sample (index into a DatasetRegistry).
+  std::int64_t dataset_id = 0;
+
+  std::int64_t num_atoms() const {
+    return static_cast<std::int64_t>(positions.size());
+  }
+};
+
+/// Abstract map-style dataset. Samples are generated (or loaded) lazily
+/// by index; generated datasets must be deterministic in (seed, index) so
+/// DDP shards and re-runs agree.
+class StructureDataset {
+ public:
+  virtual ~StructureDataset() = default;
+  virtual std::int64_t size() const = 0;
+  virtual StructureSample get(std::int64_t index) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace matsci::data

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+
+#include "core/macros.hpp"
+#include "data/sample.hpp"
+
+namespace matsci::data {
+
+/// Wraps a dataset so every emitted sample carries a chosen dataset id —
+/// the routing key used by MultiTaskModule and collate. Owns the inner
+/// dataset via shared_ptr so composition sites need no lifetime care.
+class TaggedDataset : public StructureDataset {
+ public:
+  TaggedDataset(std::shared_ptr<const StructureDataset> inner,
+                std::int64_t dataset_id)
+      : inner_(std::move(inner)), id_(dataset_id) {
+    MATSCI_CHECK(inner_ != nullptr, "TaggedDataset: null inner dataset");
+  }
+
+  std::int64_t size() const override { return inner_->size(); }
+  StructureSample get(std::int64_t index) const override {
+    StructureSample s = inner_->get(index);
+    s.dataset_id = id_;
+    return s;
+  }
+  std::string name() const override { return inner_->name(); }
+  std::int64_t dataset_id() const { return id_; }
+
+ private:
+  std::shared_ptr<const StructureDataset> inner_;
+  std::int64_t id_;
+};
+
+}  // namespace matsci::data

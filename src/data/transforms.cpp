@@ -1,0 +1,133 @@
+#include "data/transforms.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "sym/symop.hpp"
+
+namespace matsci::data {
+
+CoordinateJitter::CoordinateJitter(double sigma) : sigma_(sigma) {
+  MATSCI_CHECK(sigma >= 0.0, "jitter sigma must be non-negative");
+}
+
+void CoordinateJitter::apply(StructureSample& sample,
+                             core::RngEngine& rng) const {
+  for (core::Vec3& p : sample.positions) {
+    p += core::Vec3{rng.normal(0.0, sigma_), rng.normal(0.0, sigma_),
+                    rng.normal(0.0, sigma_)};
+  }
+}
+
+void RandomRotation::apply(StructureSample& sample,
+                           core::RngEngine& rng) const {
+  if (sample.lattice.has_value()) return;  // would break the cell frame
+  core::Vec3 axis;
+  double n = 0.0;
+  do {
+    axis = {rng.normal(), rng.normal(), rng.normal()};
+    n = core::norm(axis);
+  } while (n < 1e-9);
+  const core::Mat3 rot =
+      sym::rotation(axis * (1.0 / n), rng.uniform(0.0, 2.0 * M_PI));
+  for (core::Vec3& p : sample.positions) {
+    p = core::matvec(rot, p);
+  }
+}
+
+void CenterPositions::apply(StructureSample& sample,
+                            core::RngEngine& /*rng*/) const {
+  if (sample.lattice.has_value() || sample.positions.empty()) return;
+  core::Vec3 c{};
+  for (const core::Vec3& p : sample.positions) c += p;
+  c = c * (1.0 / static_cast<double>(sample.positions.size()));
+  for (core::Vec3& p : sample.positions) p -= c;
+}
+
+SupercellTransform::SupercellTransform(std::int64_t nx, std::int64_t ny,
+                                       std::int64_t nz)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  MATSCI_CHECK(nx >= 1 && ny >= 1 && nz >= 1,
+               "supercell multipliers must be >= 1");
+}
+
+void SupercellTransform::apply(StructureSample& sample,
+                               core::RngEngine& /*rng*/) const {
+  if (!sample.lattice.has_value() || (nx_ == 1 && ny_ == 1 && nz_ == 1)) {
+    return;
+  }
+  const core::Mat3& cell = *sample.lattice;
+  const std::size_t base_atoms = sample.positions.size();
+  std::vector<core::Vec3> positions;
+  std::vector<std::int64_t> species;
+  std::vector<core::Vec3> forces;
+  positions.reserve(base_atoms * static_cast<std::size_t>(nx_ * ny_ * nz_));
+  for (std::int64_t ix = 0; ix < nx_; ++ix) {
+    for (std::int64_t iy = 0; iy < ny_; ++iy) {
+      for (std::int64_t iz = 0; iz < nz_; ++iz) {
+        const core::Vec3 shift = cell[0] * static_cast<double>(ix) +
+                                 cell[1] * static_cast<double>(iy) +
+                                 cell[2] * static_cast<double>(iz);
+        for (std::size_t a = 0; a < base_atoms; ++a) {
+          positions.push_back(sample.positions[a] + shift);
+          species.push_back(sample.species[a]);
+          if (!sample.forces.empty()) {
+            forces.push_back(sample.forces[a]);
+          }
+        }
+      }
+    }
+  }
+  sample.positions = std::move(positions);
+  sample.species = std::move(species);
+  sample.forces = std::move(forces);
+  core::Mat3 expanded = cell;
+  expanded[0] = cell[0] * static_cast<double>(nx_);
+  expanded[1] = cell[1] * static_cast<double>(ny_);
+  expanded[2] = cell[2] * static_cast<double>(nz_);
+  sample.lattice = expanded;
+}
+
+NormalizeTarget::NormalizeTarget(std::string key, float mean, float stddev)
+    : key_(std::move(key)), mean_(mean), std_(stddev) {
+  MATSCI_CHECK(stddev > 0.0f, "NormalizeTarget: stddev must be positive");
+}
+
+void NormalizeTarget::apply(StructureSample& sample,
+                            core::RngEngine& /*rng*/) const {
+  auto it = sample.scalar_targets.find(key_);
+  if (it != sample.scalar_targets.end()) {
+    it->second = (it->second - mean_) / std_;
+  }
+}
+
+void TransformChain::apply(StructureSample& sample,
+                           core::RngEngine& rng) const {
+  for (const auto& t : transforms_) {
+    t->apply(sample, rng);
+  }
+}
+
+TargetStats compute_target_stats(const StructureDataset& ds,
+                                 const std::string& key,
+                                 std::int64_t max_samples) {
+  const std::int64_t n = std::min(ds.size(), max_samples);
+  MATSCI_CHECK(n > 0, "compute_target_stats on empty dataset");
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const StructureSample s = ds.get(i);
+    auto it = s.scalar_targets.find(key);
+    MATSCI_CHECK(it != s.scalar_targets.end(),
+                 "dataset " << ds.name() << " has no target '" << key << "'");
+    sum += it->second;
+    sum_sq += static_cast<double>(it->second) * it->second;
+  }
+  TargetStats stats;
+  stats.mean = static_cast<float>(sum / static_cast<double>(n));
+  const double var =
+      sum_sq / static_cast<double>(n) - static_cast<double>(stats.mean) * stats.mean;
+  stats.stddev = static_cast<float>(std::sqrt(std::max(var, 1e-8)));
+  return stats;
+}
+
+}  // namespace matsci::data

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/random.hpp"
+#include "data/sample.hpp"
+
+namespace matsci::data {
+
+/// Sample-to-sample transformation — the middle stage of the paper's
+/// Fig. 1 pipeline ("a chain of transformations can be applied to freely
+/// convert between representations and/or modified to introduce inductive
+/// biases"). Transforms are applied by the DataLoader after the dataset
+/// produces a sample and before collation. They must be deterministic in
+/// (sample index, epoch) — stochastic transforms receive a forked RNG.
+class Transform {
+ public:
+  virtual ~Transform() = default;
+  virtual void apply(StructureSample& sample, core::RngEngine& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Gaussian positional noise (data augmentation / denoising bias).
+class CoordinateJitter : public Transform {
+ public:
+  explicit CoordinateJitter(double sigma);
+  void apply(StructureSample& sample, core::RngEngine& rng) const override;
+  std::string name() const override { return "CoordinateJitter"; }
+
+ private:
+  double sigma_;
+};
+
+/// Random global rotation (only valid for non-periodic samples; periodic
+/// samples are left untouched since rotating breaks the lattice frame).
+class RandomRotation : public Transform {
+ public:
+  void apply(StructureSample& sample, core::RngEngine& rng) const override;
+  std::string name() const override { return "RandomRotation"; }
+};
+
+/// Shift the centroid to the origin (translation-invariance aid for
+/// point clouds; periodic samples are left untouched).
+class CenterPositions : public Transform {
+ public:
+  void apply(StructureSample& sample, core::RngEngine& rng) const override;
+  std::string name() const override { return "CenterPositions"; }
+};
+
+/// Replicate a periodic sample into an (nx, ny, nz) supercell — the
+/// "unit cell manipulation" slot of the paper's Fig. 1 transform chain.
+/// Per-structure scalar targets are intensive (band gap, E_form/atom)
+/// and carried over unchanged; force labels are tiled with the atoms.
+/// Non-periodic samples pass through untouched.
+class SupercellTransform : public Transform {
+ public:
+  SupercellTransform(std::int64_t nx, std::int64_t ny, std::int64_t nz);
+  void apply(StructureSample& sample, core::RngEngine& rng) const override;
+  std::string name() const override { return "SupercellTransform"; }
+
+ private:
+  std::int64_t nx_, ny_, nz_;
+};
+
+/// Affine-normalize one scalar target: y' = (y - mean) / std.
+class NormalizeTarget : public Transform {
+ public:
+  NormalizeTarget(std::string key, float mean, float stddev);
+  void apply(StructureSample& sample, core::RngEngine& rng) const override;
+  std::string name() const override { return "NormalizeTarget"; }
+
+  float mean() const { return mean_; }
+  float stddev() const { return std_; }
+  /// Map a normalized prediction back to physical units.
+  float denormalize(float value) const { return value * std_ + mean_; }
+
+ private:
+  std::string key_;
+  float mean_;
+  float std_;
+};
+
+/// Ordered list of transforms applied in sequence.
+class TransformChain {
+ public:
+  TransformChain() = default;
+  explicit TransformChain(std::vector<std::shared_ptr<const Transform>> ts)
+      : transforms_(std::move(ts)) {}
+
+  void add(std::shared_ptr<const Transform> t) {
+    transforms_.push_back(std::move(t));
+  }
+  void apply(StructureSample& sample, core::RngEngine& rng) const;
+  std::size_t size() const { return transforms_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Transform>> transforms_;
+};
+
+struct TargetStats {
+  float mean = 0.0f;
+  float stddev = 1.0f;
+};
+
+/// Estimate mean/std of a scalar target over (up to) `max_samples`
+/// samples of a dataset — used to build NormalizeTarget transforms.
+TargetStats compute_target_stats(const StructureDataset& ds,
+                                 const std::string& key,
+                                 std::int64_t max_samples = 512);
+
+}  // namespace matsci::data

@@ -1,0 +1,163 @@
+#include "embed/cluster_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/macros.hpp"
+#include "embed/kdtree.hpp"
+
+namespace matsci::embed {
+
+namespace {
+double row_distance(const float* a, const float* b, std::int64_t d) {
+  double acc = 0.0;
+  for (std::int64_t c = 0; c < d; ++c) {
+    const double diff = static_cast<double>(a[c]) - b[c];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+}  // namespace
+
+std::vector<ClusterStats> cluster_stats(
+    const core::Tensor& points, const std::vector<std::int64_t>& labels) {
+  MATSCI_CHECK(points.defined() && points.dim() == 2,
+               "cluster_stats requires [N, D] points");
+  const std::int64_t n = points.size(0), d = points.size(1);
+  MATSCI_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "labels size mismatch");
+  std::map<std::int64_t, ClusterStats> by_label;
+  const float* p = points.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    ClusterStats& cs = by_label[labels[static_cast<std::size_t>(i)]];
+    if (cs.centroid.empty()) {
+      cs.label = labels[static_cast<std::size_t>(i)];
+      cs.centroid.assign(static_cast<std::size_t>(d), 0.0);
+    }
+    ++cs.count;
+    for (std::int64_t c = 0; c < d; ++c) {
+      cs.centroid[static_cast<std::size_t>(c)] += p[i * d + c];
+    }
+  }
+  for (auto& [_, cs] : by_label) {
+    for (double& v : cs.centroid) v /= static_cast<double>(cs.count);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    ClusterStats& cs = by_label[labels[static_cast<std::size_t>(i)]];
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const double diff =
+          static_cast<double>(p[i * d + c]) - cs.centroid[static_cast<std::size_t>(c)];
+      acc += diff * diff;
+    }
+    cs.mean_radius += std::sqrt(acc);
+  }
+  std::vector<ClusterStats> out;
+  for (auto& [_, cs] : by_label) {
+    cs.mean_radius /= static_cast<double>(cs.count);
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> centroid_distances(
+    const std::vector<ClusterStats>& stats) {
+  const std::size_t m = stats.size();
+  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < stats[a].centroid.size(); ++c) {
+        const double diff = stats[a].centroid[c] - stats[b].centroid[c];
+        acc += diff * diff;
+      }
+      dist[a][b] = dist[b][a] = std::sqrt(acc);
+    }
+  }
+  return dist;
+}
+
+double silhouette_score(const core::Tensor& points,
+                        const std::vector<std::int64_t>& labels) {
+  const std::int64_t n = points.size(0), d = points.size(1);
+  MATSCI_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "labels size mismatch");
+  const float* p = points.data();
+
+  std::map<std::int64_t, std::int64_t> counts;
+  for (const std::int64_t l : labels) ++counts[l];
+  MATSCI_CHECK(counts.size() >= 2, "silhouette needs at least two clusters");
+
+  double total = 0.0;
+  std::int64_t used = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t li = labels[static_cast<std::size_t>(i)];
+    if (counts[li] < 2) continue;  // silhouette undefined for singletons
+    std::map<std::int64_t, double> sum_d;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum_d[labels[static_cast<std::size_t>(j)]] +=
+          row_distance(p + i * d, p + j * d, d);
+    }
+    const double a = sum_d[li] / static_cast<double>(counts[li] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [l, s] : sum_d) {
+      if (l == li) continue;
+      b = std::min(b, s / static_cast<double>(counts[l]));
+    }
+    total += (b - a) / std::max(a, b);
+    ++used;
+  }
+  MATSCI_CHECK(used > 0, "no valid silhouette points");
+  return total / static_cast<double>(used);
+}
+
+double neighbor_overlap(const core::Tensor& points,
+                        const std::vector<std::int64_t>& labels,
+                        std::int64_t label_a, std::int64_t label_b,
+                        std::int64_t k) {
+  const std::int64_t n = points.size(0);
+  MATSCI_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+               "labels size mismatch");
+  KDTree tree(points);
+  std::int64_t count_a = 0, overlapping = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (labels[static_cast<std::size_t>(i)] != label_a) continue;
+    ++count_a;
+    const auto res = tree.knn_of_point(i, std::min<std::int64_t>(k, n - 1));
+    for (const std::int64_t j : res.indices) {
+      if (labels[static_cast<std::size_t>(j)] == label_b) {
+        ++overlapping;
+        break;
+      }
+    }
+  }
+  MATSCI_CHECK(count_a > 0, "no points with label " << label_a);
+  return static_cast<double>(overlapping) / static_cast<double>(count_a);
+}
+
+double isolation_score(const std::vector<ClusterStats>& stats,
+                       std::int64_t label) {
+  const ClusterStats* self = nullptr;
+  for (const ClusterStats& cs : stats) {
+    if (cs.label == label) self = &cs;
+  }
+  MATSCI_CHECK(self != nullptr, "label " << label << " not in stats");
+  const auto dist = centroid_distances(stats);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < stats.size(); ++a) {
+    if (stats[a].label == label) {
+      for (std::size_t b = 0; b < stats.size(); ++b) {
+        if (a == b) continue;
+        const double denom =
+            std::max(self->mean_radius + stats[b].mean_radius, 1e-12);
+        best = std::min(best, dist[a][b] / denom);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace matsci::embed

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace matsci::embed {
+
+/// Quantitative versions of the qualitative claims the paper draws from
+/// the Fig. 4 UMAP — cluster compactness, pairwise dataset separation,
+/// and neighborhood overlap between dataset pairs.
+struct ClusterStats {
+  std::int64_t label = 0;
+  std::int64_t count = 0;
+  std::vector<double> centroid;
+  double mean_radius = 0.0;  ///< mean distance to own centroid ("spread")
+};
+
+/// Per-label statistics over an [N, D] point set.
+std::vector<ClusterStats> cluster_stats(
+    const core::Tensor& points, const std::vector<std::int64_t>& labels);
+
+/// Pairwise centroid distance matrix indexed by label rank.
+std::vector<std::vector<double>> centroid_distances(
+    const std::vector<ClusterStats>& stats);
+
+/// Mean silhouette coefficient (O(N²); use modest N).
+double silhouette_score(const core::Tensor& points,
+                        const std::vector<std::int64_t>& labels);
+
+/// Fraction of label-a points whose k nearest neighbors contain at least
+/// one label-b point — the "OC20/OC22 overlap significantly" measurement.
+double neighbor_overlap(const core::Tensor& points,
+                        const std::vector<std::int64_t>& labels,
+                        std::int64_t label_a, std::int64_t label_b,
+                        std::int64_t k);
+
+/// Isolation score of one label: min over other labels of
+/// (centroid distance / (radius_a + radius_other)). > 1 means the cluster
+/// stands clear of every other — the LiPS calibration check.
+double isolation_score(const std::vector<ClusterStats>& stats,
+                       std::int64_t label);
+
+}  // namespace matsci::embed

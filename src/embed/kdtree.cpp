@@ -1,0 +1,136 @@
+#include "embed/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::embed {
+
+KDTree::KDTree(const core::Tensor& points, std::int64_t leaf_size)
+    : leaf_size_(leaf_size) {
+  MATSCI_CHECK(points.defined() && points.dim() == 2,
+               "KDTree requires an [N, D] tensor");
+  MATSCI_CHECK(leaf_size >= 1, "leaf_size must be >= 1");
+  n_ = points.size(0);
+  d_ = points.size(1);
+  data_.assign(points.data(), points.data() + n_ * d_);
+  order_.resize(static_cast<std::size_t>(n_));
+  for (std::int64_t i = 0; i < n_; ++i) order_[static_cast<std::size_t>(i)] = i;
+  if (n_ > 0) root_ = build(0, n_);
+}
+
+std::int64_t KDTree::build(std::int64_t begin, std::int64_t end) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  const std::int64_t count = end - begin;
+  if (count <= leaf_size_) {
+    nodes_.push_back(node);
+    return static_cast<std::int64_t>(nodes_.size()) - 1;
+  }
+
+  // Split on the axis with the largest spread over this range.
+  std::int64_t best_axis = 0;
+  float best_spread = -1.0f;
+  for (std::int64_t a = 0; a < d_; ++a) {
+    float lo = 1e30f, hi = -1e30f;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float v =
+          data_[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)] * d_ + a)];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = a;
+    }
+  }
+  node.axis = best_axis;
+
+  const std::int64_t mid = begin + count / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end,
+                   [&](std::int64_t x, std::int64_t y) {
+                     return data_[static_cast<std::size_t>(x * d_ + best_axis)] <
+                            data_[static_cast<std::size_t>(y * d_ + best_axis)];
+                   });
+  node.split = data_[static_cast<std::size_t>(
+      order_[static_cast<std::size_t>(mid)] * d_ + best_axis)];
+
+  // Reserve our slot before recursing.
+  nodes_.push_back(node);
+  const std::int64_t self = static_cast<std::int64_t>(nodes_.size()) - 1;
+  const std::int64_t left = build(begin, mid);
+  const std::int64_t right = build(mid, end);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+void KDTree::search(std::int64_t node_id, std::span<const float> query,
+                    std::int64_t k, std::int64_t exclude,
+                    std::vector<std::pair<double, std::int64_t>>& heap) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.left < 0) {  // leaf
+    for (std::int64_t i = node.begin; i < node.end; ++i) {
+      const std::int64_t row = order_[static_cast<std::size_t>(i)];
+      if (row == exclude) continue;
+      double d2 = 0.0;
+      const float* p = data_.data() + row * d_;
+      for (std::int64_t a = 0; a < d_; ++a) {
+        const double diff = static_cast<double>(query[static_cast<std::size_t>(a)]) - p[a];
+        d2 += diff * diff;
+      }
+      if (static_cast<std::int64_t>(heap.size()) < k) {
+        heap.emplace_back(d2, row);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (d2 < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {d2, row};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    return;
+  }
+  const float qv = query[static_cast<std::size_t>(node.axis)];
+  const std::int64_t near = qv < node.split ? node.left : node.right;
+  const std::int64_t far = qv < node.split ? node.right : node.left;
+  search(near, query, k, exclude, heap);
+  const double margin = static_cast<double>(qv) - node.split;
+  if (static_cast<std::int64_t>(heap.size()) < k ||
+      margin * margin < heap.front().first) {
+    search(far, query, k, exclude, heap);
+  }
+}
+
+KnnResult KDTree::knn(std::span<const float> query, std::int64_t k,
+                      std::int64_t exclude) const {
+  MATSCI_CHECK(static_cast<std::int64_t>(query.size()) == d_,
+               "query dimension " << query.size() << " != " << d_);
+  MATSCI_CHECK(k >= 1, "k must be >= 1");
+  const std::int64_t available = n_ - (exclude >= 0 ? 1 : 0);
+  MATSCI_CHECK(k <= available,
+               "k=" << k << " exceeds available points " << available);
+  std::vector<std::pair<double, std::int64_t>> heap;
+  heap.reserve(static_cast<std::size_t>(k) + 1);
+  search(root_, query, k, exclude, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  KnnResult out;
+  out.indices.reserve(heap.size());
+  out.distances.reserve(heap.size());
+  for (const auto& [d2, idx] : heap) {
+    out.indices.push_back(idx);
+    out.distances.push_back(std::sqrt(d2));
+  }
+  return out;
+}
+
+KnnResult KDTree::knn_of_point(std::int64_t i, std::int64_t k) const {
+  MATSCI_CHECK(i >= 0 && i < n_, "point index out of range");
+  return knn(std::span<const float>(data_.data() + i * d_,
+                                    static_cast<std::size_t>(d_)),
+             k, /*exclude=*/i);
+}
+
+}  // namespace matsci::embed

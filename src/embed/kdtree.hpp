@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace matsci::embed {
+
+/// k-nearest-neighbor result: parallel index/distance arrays sorted by
+/// ascending distance.
+struct KnnResult {
+  std::vector<std::int64_t> indices;
+  std::vector<double> distances;
+};
+
+/// Static kd-tree over the rows of an [N, D] matrix (Euclidean metric).
+/// Exact search with branch-and-bound pruning; degrades gracefully to
+/// near-linear scans in high dimension, which is acceptable at the
+/// Fig. 4 scale (a few thousand embeddings).
+class KDTree {
+ public:
+  explicit KDTree(const core::Tensor& points, std::int64_t leaf_size = 16);
+
+  std::int64_t size() const { return n_; }
+  std::int64_t dim() const { return d_; }
+
+  /// k nearest rows to `query` (k <= size()). `exclude` removes one index
+  /// from consideration (pass the query's own index for self-exclusion).
+  KnnResult knn(std::span<const float> query, std::int64_t k,
+                std::int64_t exclude = -1) const;
+
+  /// Convenience: kNN of the i-th stored point, excluding itself.
+  KnnResult knn_of_point(std::int64_t i, std::int64_t k) const;
+
+ private:
+  struct Node {
+    std::int64_t left = -1, right = -1;  ///< children; -1 = leaf
+    std::int64_t begin = 0, end = 0;     ///< index range (leaves)
+    std::int64_t axis = 0;
+    float split = 0.0f;
+  };
+
+  std::int64_t build(std::int64_t begin, std::int64_t end);
+  void search(std::int64_t node, std::span<const float> query, std::int64_t k,
+              std::int64_t exclude,
+              std::vector<std::pair<double, std::int64_t>>& heap) const;
+
+  std::int64_t n_ = 0, d_ = 0, leaf_size_ = 16;
+  std::vector<float> data_;            ///< row-major copy
+  std::vector<std::int64_t> order_;    ///< permutation into data rows
+  std::vector<Node> nodes_;
+  std::int64_t root_ = -1;
+};
+
+}  // namespace matsci::embed

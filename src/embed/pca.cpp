@@ -1,0 +1,108 @@
+#include "embed/pca.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "core/random.hpp"
+
+namespace matsci::embed {
+
+PCAResult pca(const core::Tensor& x, std::int64_t k,
+              std::int64_t power_iterations, std::uint64_t seed) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2, "pca requires [N, D] input");
+  const std::int64_t n = x.size(0), d = x.size(1);
+  MATSCI_CHECK(k >= 1 && k <= d, "pca: k=" << k << " for D=" << d);
+  MATSCI_CHECK(n >= 2, "pca needs at least two rows");
+
+  PCAResult result;
+  result.mean.assign(static_cast<std::size_t>(d), 0.0f);
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      result.mean[static_cast<std::size_t>(j)] += px[i * d + j];
+    }
+  }
+  for (float& m : result.mean) m /= static_cast<float>(n);
+
+  // Covariance C = Xcᵀ Xc / N (double accumulation).
+  std::vector<double> cov(static_cast<std::size_t>(d * d), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t a = 0; a < d; ++a) {
+      const double va = px[i * d + a] - result.mean[static_cast<std::size_t>(a)];
+      if (va == 0.0) continue;
+      for (std::int64_t b = a; b < d; ++b) {
+        cov[static_cast<std::size_t>(a * d + b)] +=
+            va * (px[i * d + b] - result.mean[static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+  for (std::int64_t a = 0; a < d; ++a) {
+    for (std::int64_t b = a; b < d; ++b) {
+      cov[static_cast<std::size_t>(a * d + b)] /= static_cast<double>(n);
+      cov[static_cast<std::size_t>(b * d + a)] =
+          cov[static_cast<std::size_t>(a * d + b)];
+    }
+  }
+
+  core::RngEngine rng(seed);
+  std::vector<std::vector<double>> comps;
+  for (std::int64_t c = 0; c < k; ++c) {
+    std::vector<double> v(static_cast<std::size_t>(d));
+    for (double& e : v) e = rng.normal();
+    double lambda = 0.0;
+    for (std::int64_t it = 0; it < power_iterations; ++it) {
+      // w = C v, then deflate against found components.
+      std::vector<double> w(static_cast<std::size_t>(d), 0.0);
+      for (std::int64_t a = 0; a < d; ++a) {
+        double acc = 0.0;
+        for (std::int64_t b = 0; b < d; ++b) {
+          acc += cov[static_cast<std::size_t>(a * d + b)] *
+                 v[static_cast<std::size_t>(b)];
+        }
+        w[static_cast<std::size_t>(a)] = acc;
+      }
+      for (const auto& prev : comps) {
+        double proj = 0.0;
+        for (std::int64_t a = 0; a < d; ++a) {
+          proj += w[static_cast<std::size_t>(a)] * prev[static_cast<std::size_t>(a)];
+        }
+        for (std::int64_t a = 0; a < d; ++a) {
+          w[static_cast<std::size_t>(a)] -= proj * prev[static_cast<std::size_t>(a)];
+        }
+      }
+      double norm = 0.0;
+      for (const double e : w) norm += e * e;
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) break;  // exhausted variance
+      lambda = norm;
+      for (std::int64_t a = 0; a < d; ++a) {
+        v[static_cast<std::size_t>(a)] = w[static_cast<std::size_t>(a)] / norm;
+      }
+    }
+    result.explained_variance.push_back(lambda);
+    comps.push_back(std::move(v));
+  }
+
+  std::vector<float> comp_data;
+  comp_data.reserve(static_cast<std::size_t>(k * d));
+  for (const auto& c : comps) {
+    for (const double e : c) comp_data.push_back(static_cast<float>(e));
+  }
+  result.components = core::Tensor::from_vector(std::move(comp_data), {k, d});
+
+  std::vector<float> proj(static_cast<std::size_t>(n * k), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        acc += (px[i * d + j] - result.mean[static_cast<std::size_t>(j)]) *
+               comps[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+      }
+      proj[static_cast<std::size_t>(i * k + c)] = static_cast<float>(acc);
+    }
+  }
+  result.projected = core::Tensor::from_vector(std::move(proj), {n, k});
+  return result;
+}
+
+}  // namespace matsci::embed

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace matsci::embed {
+
+/// Principal component analysis by power iteration with deflation.
+/// Small-D friendly (covariance is formed explicitly, D×D) — used to
+/// initialize UMAP layouts and as a baseline projection.
+struct PCAResult {
+  core::Tensor components;   ///< [k, D] row-wise principal axes
+  core::Tensor projected;    ///< [N, k] centered data times componentsᵀ
+  std::vector<double> explained_variance;  ///< eigenvalues, descending
+  std::vector<float> mean;   ///< feature means used for centering
+};
+
+PCAResult pca(const core::Tensor& x, std::int64_t k,
+              std::int64_t power_iterations = 128, std::uint64_t seed = 17);
+
+}  // namespace matsci::embed

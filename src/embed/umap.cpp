@@ -1,0 +1,270 @@
+#include "embed/umap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/macros.hpp"
+#include "core/random.hpp"
+#include "embed/kdtree.hpp"
+#include "embed/pca.hpp"
+
+namespace matsci::embed {
+
+namespace {
+
+constexpr double kSmoothTolerance = 1e-5;
+constexpr int kSmoothIterations = 64;
+constexpr double kClip = 4.0;
+
+/// Solve for sigma_i such that sum_j exp(-(d_ij - rho_i)/sigma) = log2(k).
+double smooth_knn_sigma(const std::vector<double>& dists, double rho,
+                        double target) {
+  double lo = 0.0, hi = 1e30, mid = 1.0;
+  for (int it = 0; it < kSmoothIterations; ++it) {
+    double sum = 0.0;
+    for (const double d : dists) {
+      const double shifted = d - rho;
+      sum += shifted > 0.0 ? std::exp(-shifted / mid) : 1.0;
+    }
+    if (std::fabs(sum - target) < kSmoothTolerance) break;
+    if (sum > target) {
+      hi = mid;
+      mid = (lo + hi) / 2.0;
+    } else {
+      lo = mid;
+      mid = hi >= 1e30 ? mid * 2.0 : (lo + hi) / 2.0;
+    }
+  }
+  return std::max(mid, 1e-10);
+}
+
+struct WeightedEdge {
+  std::int64_t i, j;
+  double weight;
+};
+
+}  // namespace
+
+std::pair<double, double> fit_ab(double min_dist) {
+  MATSCI_CHECK(min_dist >= 0.0, "min_dist must be non-negative");
+  // Least squares on a dense grid via gradient descent — 2 parameters,
+  // smooth objective, converges quickly from the canonical (1.0, 1.0).
+  const int grid = 300;
+  const double span = 3.0;
+  std::vector<double> xs(grid), ys(grid);
+  for (int g = 0; g < grid; ++g) {
+    const double d = span * (g + 1) / grid;
+    xs[g] = d;
+    ys[g] = d <= min_dist ? 1.0 : std::exp(-(d - min_dist));
+  }
+  auto loss_at = [&](double a, double b) {
+    double loss = 0.0;
+    for (int g = 0; g < grid; ++g) {
+      const double f = 1.0 / (1.0 + a * std::pow(xs[g] * xs[g], b));
+      loss += (f - ys[g]) * (f - ys[g]);
+    }
+    return loss;
+  };
+  // Coarse grid search followed by iterated local refinement — robust and
+  // deterministic for a 2-parameter smooth objective.
+  double best_a = 1.0, best_b = 1.0;
+  double best = loss_at(best_a, best_b);
+  for (double a = 0.05; a <= 10.0; a *= 1.15) {
+    for (double b = 0.2; b <= 3.0; b += 0.05) {
+      const double l = loss_at(a, b);
+      if (l < best) {
+        best = l;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  double step_a = best_a * 0.1, step_b = 0.02;
+  for (int round = 0; round < 60; ++round) {
+    bool improved = false;
+    for (const auto& [da, db] :
+         {std::pair{step_a, 0.0}, std::pair{-step_a, 0.0},
+          std::pair{0.0, step_b}, std::pair{0.0, -step_b}}) {
+      const double ca = std::clamp(best_a + da, 1e-3, 20.0);
+      const double cb = std::clamp(best_b + db, 0.05, 4.0);
+      const double l = loss_at(ca, cb);
+      if (l < best) {
+        best = l;
+        best_a = ca;
+        best_b = cb;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      step_a *= 0.5;
+      step_b *= 0.5;
+    }
+  }
+  return {best_a, best_b};
+}
+
+UMAPResult umap(const core::Tensor& x, const UMAPOptions& opts) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2, "umap requires [N, D] input");
+  const std::int64_t n = x.size(0);
+  MATSCI_CHECK(n >= 4, "umap needs at least 4 points");
+  const std::int64_t k = std::min<std::int64_t>(opts.n_neighbors, n - 1);
+  MATSCI_CHECK(k >= 2, "n_neighbors too small");
+  MATSCI_CHECK(opts.n_components >= 1, "n_components must be >= 1");
+
+  // 1. Exact kNN graph.
+  KDTree tree(x);
+  std::vector<KnnResult> knn(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    knn[static_cast<std::size_t>(i)] = tree.knn_of_point(i, k);
+  }
+
+  // 2. Smooth-kNN calibration (rho = nearest distance, sigma from binary
+  //    search) and directed membership strengths.
+  const double target = std::log2(static_cast<double>(k));
+  std::unordered_map<std::int64_t, double> directed;
+  directed.reserve(static_cast<std::size_t>(n * k));
+  auto key = [n](std::int64_t i, std::int64_t j) { return i * n + j; };
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& res = knn[static_cast<std::size_t>(i)];
+    const double rho = res.distances.front();
+    const double sigma = smooth_knn_sigma(res.distances, rho, target);
+    for (std::size_t nb = 0; nb < res.indices.size(); ++nb) {
+      const double shifted = res.distances[nb] - rho;
+      const double w = shifted > 0.0 ? std::exp(-shifted / sigma) : 1.0;
+      directed[key(i, res.indices[nb])] = w;
+    }
+  }
+
+  // 3. Fuzzy-union symmetrization: w = w_ij + w_ji − w_ij w_ji.
+  std::vector<WeightedEdge> edges;
+  edges.reserve(directed.size());
+  for (const auto& [ij, w] : directed) {
+    const std::int64_t i = ij / n, j = ij % n;
+    if (j < i && directed.count(key(j, i))) continue;  // handled symmetric
+    const auto rev = directed.find(key(j, i));
+    const double wr = rev != directed.end() ? rev->second : 0.0;
+    edges.push_back({i, j, w + wr - w * wr});
+  }
+
+  // 4. Curve fit.
+  auto [a, b] = fit_ab(opts.min_dist);
+
+  // 5. Layout init.
+  const std::int64_t dim = opts.n_components;
+  std::vector<float> y(static_cast<std::size_t>(n * dim));
+  core::RngEngine rng(opts.seed);
+  if (opts.pca_init && x.size(1) >= dim) {
+    PCAResult p = pca(x, dim, 96, opts.seed);
+    // Rescale init to a ~10-unit box (standard UMAP practice).
+    float max_abs = 1e-9f;
+    for (const float v : p.projected.span()) {
+      max_abs = std::max(max_abs, std::fabs(v));
+    }
+    const float scale = 10.0f / max_abs;
+    const float* pp = p.projected.data();
+    for (std::int64_t i = 0; i < n * dim; ++i) y[static_cast<std::size_t>(i)] = pp[i] * scale;
+  } else {
+    for (float& v : y) v = static_cast<float>(rng.uniform(-10.0, 10.0));
+  }
+
+  // 6. Negative-sampling SGD with per-edge sampling schedules.
+  double max_w = 0.0;
+  for (const auto& e : edges) max_w = std::max(max_w, e.weight);
+  MATSCI_CHECK(max_w > 0.0, "degenerate fuzzy graph");
+  std::vector<double> epochs_per_sample(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    epochs_per_sample[e] = max_w / edges[e].weight;  // sample ∝ weight
+  }
+  std::vector<double> next_sample(epochs_per_sample.begin(),
+                                  epochs_per_sample.end());
+
+  auto attract_grad = [a, b](double d2) {
+    // dψ/d(d²) coefficient for the attractive term.
+    const double pd = std::pow(d2, b - 1.0);
+    return (-2.0 * a * b * pd) / (1.0 + a * pd * d2);
+  };
+  auto repel_grad = [a, b](double d2) {
+    const double pd = std::pow(d2, b);
+    return (2.0 * b) / ((0.001 + d2) * (1.0 + a * pd));
+  };
+
+  for (std::int64_t epoch = 0; epoch < opts.n_epochs; ++epoch) {
+    const double alpha =
+        opts.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(opts.n_epochs));
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (next_sample[e] > static_cast<double>(epoch + 1)) continue;
+      next_sample[e] += epochs_per_sample[e];
+      const std::int64_t i = edges[e].i, j = edges[e].j;
+      float* yi = y.data() + i * dim;
+      float* yj = y.data() + j * dim;
+
+      double d2 = 0.0;
+      for (std::int64_t c = 0; c < dim; ++c) {
+        const double diff = static_cast<double>(yi[c]) - yj[c];
+        d2 += diff * diff;
+      }
+      if (d2 > 1e-12) {
+        const double g = attract_grad(d2);
+        for (std::int64_t c = 0; c < dim; ++c) {
+          const double diff = static_cast<double>(yi[c]) - yj[c];
+          const double step =
+              std::clamp(g * diff, -kClip, kClip) * alpha;
+          yi[c] += static_cast<float>(step);
+          yj[c] -= static_cast<float>(step);
+        }
+      }
+
+      const std::int64_t negs =
+          static_cast<std::int64_t>(opts.negative_sample_rate);
+      for (std::int64_t s = 0; s < negs; ++s) {
+        const std::int64_t r = rng.next_int(n);
+        if (r == i) continue;
+        float* yr = y.data() + r * dim;
+        double rd2 = 0.0;
+        for (std::int64_t c = 0; c < dim; ++c) {
+          const double diff = static_cast<double>(yi[c]) - yr[c];
+          rd2 += diff * diff;
+        }
+        const double g = rd2 > 1e-12 ? repel_grad(rd2) : kClip;
+        for (std::int64_t c = 0; c < dim; ++c) {
+          const double diff = static_cast<double>(yi[c]) - yr[c];
+          const double step = std::clamp(g * diff, -kClip, kClip) * alpha;
+          yi[c] += static_cast<float>(step);
+        }
+      }
+    }
+  }
+
+  UMAPResult result;
+  result.embedding = core::Tensor::from_vector(std::move(y), {n, dim});
+  result.fitted_a = a;
+  result.fitted_b = b;
+  return result;
+}
+
+double knn_preservation(const core::Tensor& high, const core::Tensor& low,
+                        std::int64_t k) {
+  MATSCI_CHECK(high.size(0) == low.size(0),
+               "knn_preservation: row count mismatch");
+  const std::int64_t n = high.size(0);
+  MATSCI_CHECK(k >= 1 && k < n, "bad k for knn_preservation");
+  KDTree th(high), tl(low);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto hi = th.knn_of_point(i, k);
+    const auto lo = tl.knn_of_point(i, k);
+    std::int64_t shared = 0;
+    for (const std::int64_t a : lo.indices) {
+      if (std::find(hi.indices.begin(), hi.indices.end(), a) !=
+          hi.indices.end()) {
+        ++shared;
+      }
+    }
+    total += static_cast<double>(shared) / static_cast<double>(k);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace matsci::embed

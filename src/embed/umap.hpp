@@ -1,0 +1,41 @@
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace matsci::embed {
+
+/// UMAP (McInnes et al. 2018) — the structure-preserving projection the
+/// paper uses for dataset cartography (Fig. 4). Full from-scratch
+/// implementation: exact kNN (kd-tree), smooth-kNN bandwidth calibration,
+/// fuzzy simplicial-set symmetrization, differentiable-curve (a, b) fit
+/// from min_dist, and negative-sampling SGD layout.
+struct UMAPOptions {
+  std::int64_t n_neighbors = 15;   ///< paper Fig. 4 uses 200 at 50k points
+  double min_dist = 0.1;           ///< paper Fig. 4 uses 0.05
+  std::int64_t n_components = 2;
+  std::int64_t n_epochs = 200;
+  double learning_rate = 1.0;
+  double negative_sample_rate = 5.0;
+  std::uint64_t seed = 42;
+  bool pca_init = true;            ///< PCA layout init (else random)
+};
+
+struct UMAPResult {
+  core::Tensor embedding;  ///< [N, n_components]
+  double fitted_a = 0.0;   ///< low-dim curve parameters
+  double fitted_b = 0.0;
+};
+
+UMAPResult umap(const core::Tensor& x, const UMAPOptions& opts = {});
+
+/// Fit the (a, b) parameters of the low-dimensional similarity curve
+/// 1/(1 + a d^{2b}) to the target psi(d) = exp(-(d - min_dist)) for
+/// d > min_dist, 1 otherwise. Exposed for tests.
+std::pair<double, double> fit_ab(double min_dist);
+
+/// Embedding quality proxy: trustworthiness-style fraction of each
+/// point's low-dim kNN that are also high-dim kNN (mean over points).
+double knn_preservation(const core::Tensor& high, const core::Tensor& low,
+                        std::int64_t k);
+
+}  // namespace matsci::embed

@@ -1,0 +1,57 @@
+#include "graph/graph.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::graph {
+
+void Graph::validate() const {
+  MATSCI_CHECK(src.size() == dst.size(),
+               "graph: src/dst length mismatch " << src.size() << " vs "
+                                                 << dst.size());
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    MATSCI_CHECK(src[e] >= 0 && src[e] < num_nodes && dst[e] >= 0 &&
+                     dst[e] < num_nodes,
+                 "graph: edge " << e << " (" << src[e] << " -> " << dst[e]
+                                << ") out of range for " << num_nodes
+                                << " nodes");
+  }
+}
+
+std::vector<std::int64_t> Graph::in_degrees() const {
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(num_nodes), 0);
+  for (const std::int64_t d : dst) ++deg[static_cast<std::size_t>(d)];
+  return deg;
+}
+
+void BatchedGraph::validate() const {
+  MATSCI_CHECK(src.size() == dst.size(), "batched graph: edge array mismatch");
+  MATSCI_CHECK(static_cast<std::int64_t>(node_graph.size()) == num_nodes,
+               "batched graph: node_graph size mismatch");
+  MATSCI_CHECK(static_cast<std::int64_t>(graph_sizes.size()) == num_graphs,
+               "batched graph: graph_sizes size mismatch");
+  for (const std::int64_t g : node_graph) {
+    MATSCI_CHECK(g >= 0 && g < num_graphs, "batched graph: bad segment id " << g);
+  }
+}
+
+BatchedGraph batch_graphs(const std::vector<Graph>& graphs) {
+  BatchedGraph out;
+  out.num_graphs = static_cast<std::int64_t>(graphs.size());
+  std::int64_t node_offset = 0;
+  for (std::int64_t g = 0; g < out.num_graphs; ++g) {
+    const Graph& gr = graphs[static_cast<std::size_t>(g)];
+    for (std::size_t e = 0; e < gr.src.size(); ++e) {
+      out.src.push_back(gr.src[e] + node_offset);
+      out.dst.push_back(gr.dst[e] + node_offset);
+    }
+    for (std::int64_t i = 0; i < gr.num_nodes; ++i) {
+      out.node_graph.push_back(g);
+    }
+    out.graph_sizes.push_back(gr.num_nodes);
+    node_offset += gr.num_nodes;
+  }
+  out.num_nodes = node_offset;
+  return out;
+}
+
+}  // namespace matsci::graph

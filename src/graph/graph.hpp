@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace matsci::graph {
+
+/// Directed edge list for a single molecular/crystal graph. Undirected
+/// chemical bonds are stored as two directed edges (i→j and j→i), the
+/// convention message-passing kernels expect. `src`/`dst` are parallel
+/// arrays; message m_ij flows from src j into dst i via segment reduction
+/// on `dst`.
+struct Graph {
+  std::int64_t num_nodes = 0;
+  std::vector<std::int64_t> src;
+  std::vector<std::int64_t> dst;
+
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(src.size());
+  }
+
+  /// Throws if any endpoint is out of range or arrays disagree.
+  void validate() const;
+
+  /// In-degree per node (number of incoming edges).
+  std::vector<std::int64_t> in_degrees() const;
+};
+
+/// Several graphs packed into one node/edge space (DGL-style batching):
+/// node indices of graph g are offset by the total size of graphs < g,
+/// `node_graph[i]` gives the owning graph (the segment id for pooling).
+struct BatchedGraph {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_graphs = 0;
+  std::vector<std::int64_t> src;
+  std::vector<std::int64_t> dst;
+  std::vector<std::int64_t> node_graph;
+  std::vector<std::int64_t> graph_sizes;
+
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(src.size());
+  }
+  void validate() const;
+};
+
+/// Pack graphs into a batch, offsetting node indices.
+BatchedGraph batch_graphs(const std::vector<Graph>& graphs);
+
+}  // namespace matsci::graph

@@ -1,0 +1,103 @@
+#include "graph/radius_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/macros.hpp"
+
+namespace matsci::graph {
+
+core::Vec3 minimal_image_delta(const core::Vec3& ri, const core::Vec3& rj,
+                               const core::Mat3& lattice,
+                               const core::Mat3& inv_lattice) {
+  // Convert the cartesian displacement to fractional, wrap each component
+  // to [-1/2, 1/2), and convert back. Exact for orthogonal-ish cells and
+  // the standard approximation for modest skews.
+  const core::Vec3 d = rj - ri;
+  core::Vec3 f = core::vecmat(d, inv_lattice);
+  f.x -= std::round(f.x);
+  f.y -= std::round(f.y);
+  f.z -= std::round(f.z);
+  return core::vecmat(f, lattice);
+}
+
+Graph build_radius_graph(const std::vector<core::Vec3>& positions,
+                         const RadiusGraphOptions& opts,
+                         const std::optional<core::Mat3>& lattice) {
+  MATSCI_CHECK(opts.cutoff > 0.0, "radius graph cutoff must be positive");
+  const std::int64_t n = static_cast<std::int64_t>(positions.size());
+  Graph g;
+  g.num_nodes = n;
+  if (n == 0) return g;
+
+  core::Mat3 inv{};
+  if (lattice) inv = core::inverse3(*lattice);
+
+  const double cut2 = opts.cutoff * opts.cutoff;
+  struct Neighbor {
+    std::int64_t j;
+    double d2;
+  };
+  std::vector<Neighbor> nbrs;
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    nbrs.clear();
+    double best_d2 = std::numeric_limits<double>::infinity();
+    std::int64_t best_j = -1;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (i == j && !opts.self_loops) continue;
+      double d2;
+      if (lattice) {
+        d2 = core::sq_norm(minimal_image_delta(
+            positions[static_cast<std::size_t>(i)],
+            positions[static_cast<std::size_t>(j)], *lattice, inv));
+      } else {
+        d2 = core::sq_norm(positions[static_cast<std::size_t>(j)] -
+                           positions[static_cast<std::size_t>(i)]);
+      }
+      if (i != j && d2 < best_d2) {
+        best_d2 = d2;
+        best_j = j;
+      }
+      if (d2 < cut2) {
+        nbrs.push_back({j, d2});
+      }
+    }
+    if (nbrs.empty() && opts.connect_isolated && best_j >= 0) {
+      nbrs.push_back({best_j, best_d2});
+    }
+    if (opts.max_neighbors > 0 &&
+        static_cast<std::int64_t>(nbrs.size()) > opts.max_neighbors) {
+      std::nth_element(nbrs.begin(), nbrs.begin() + opts.max_neighbors - 1,
+                       nbrs.end(),
+                       [](const Neighbor& a, const Neighbor& b) {
+                         return a.d2 < b.d2;
+                       });
+      nbrs.resize(static_cast<std::size_t>(opts.max_neighbors));
+    }
+    for (const Neighbor& nb : nbrs) {
+      // Message from j (src) into i (dst).
+      g.src.push_back(nb.j);
+      g.dst.push_back(i);
+    }
+  }
+  return g;
+}
+
+Graph build_complete_graph(std::int64_t num_nodes, bool self_loops) {
+  MATSCI_CHECK(num_nodes >= 0, "negative node count");
+  Graph g;
+  g.num_nodes = num_nodes;
+  g.src.reserve(static_cast<std::size_t>(num_nodes * num_nodes));
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    for (std::int64_t j = 0; j < num_nodes; ++j) {
+      if (i == j && !self_loops) continue;
+      g.src.push_back(j);
+      g.dst.push_back(i);
+    }
+  }
+  return g;
+}
+
+}  // namespace matsci::graph

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/vec3.hpp"
+#include "graph/graph.hpp"
+
+namespace matsci::graph {
+
+struct RadiusGraphOptions {
+  double cutoff = 5.0;          ///< Å, edge if distance < cutoff
+  std::int64_t max_neighbors = 0;  ///< 0 = unlimited; else keep nearest K
+  bool self_loops = false;
+  /// Guarantee connectivity for isolated nodes by linking each node with
+  /// no neighbor inside the cutoff to its single nearest node.
+  bool connect_isolated = true;
+};
+
+/// Build a directed radius graph over `positions` (both edge directions
+/// emitted). With `lattice` set, distances use the periodic
+/// minimal-image convention in that cell (fractional wrap to [-1/2, 1/2)).
+Graph build_radius_graph(const std::vector<core::Vec3>& positions,
+                         const RadiusGraphOptions& opts,
+                         const std::optional<core::Mat3>& lattice = {});
+
+/// Minimal-image displacement r_j - r_i in the given cell.
+core::Vec3 minimal_image_delta(const core::Vec3& ri, const core::Vec3& rj,
+                               const core::Mat3& lattice,
+                               const core::Mat3& inv_lattice);
+
+/// Fully connected (dense) graph over n points — the point-cloud
+/// representation path (§2.1's alternative to imposed graph structure).
+Graph build_complete_graph(std::int64_t num_nodes, bool self_loops = false);
+
+}  // namespace matsci::graph

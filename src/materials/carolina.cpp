@@ -1,0 +1,51 @@
+#include "materials/carolina.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::materials {
+
+const std::vector<std::int64_t>& CarolinaMaterialsDataset::palette() {
+  // Ternary-oxide/chalcogenide-flavored palette, narrower than MP.
+  static const std::vector<std::int64_t> p = {3,  8,  9,  11, 12, 13, 16,
+                                              17, 19, 20, 22, 25, 26, 29,
+                                              30, 34, 38, 50, 56};
+  return p;
+}
+
+CarolinaMaterialsDataset::CarolinaMaterialsDataset(std::int64_t size,
+                                                   std::uint64_t seed)
+    : size_(size),
+      seed_(seed),
+      // Same oracle family and seed namespace as Materials Project so
+      // formation energies are mutually consistent across datasets (a
+      // prerequisite for multi-dataset pooling to help).
+      oracle_(0x4D617453ull ^ 0x4D50ull) {
+  MATSCI_CHECK(size >= 0, "dataset size must be non-negative");
+  crystal_opts_.palette = palette();
+  crystal_opts_.systems = {LatticeSystem::kCubic};
+  crystal_opts_.min_species = 2;
+  crystal_opts_.max_species = 3;
+  crystal_opts_.min_seed_atoms = 1;
+  crystal_opts_.max_seed_atoms = 3;
+  crystal_opts_.min_cell = 4.0;
+  crystal_opts_.max_cell = 7.5;
+}
+
+Structure CarolinaMaterialsDataset::structure_at(std::int64_t index) const {
+  MATSCI_CHECK(index >= 0 && index < size_,
+               "index " << index << " out of range [0, " << size_ << ")");
+  core::RngEngine rng =
+      core::RngEngine(seed_).fork(static_cast<std::uint64_t>(index) ^
+                                  0xCA401Aull);
+  return random_crystal(rng, crystal_opts_);
+}
+
+data::StructureSample CarolinaMaterialsDataset::get(std::int64_t index) const {
+  const Structure s = structure_at(index);
+  data::StructureSample sample = s.to_sample();
+  sample.scalar_targets["formation_energy"] =
+      static_cast<float>(oracle_.formation_energy(s));
+  return sample;
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace matsci::materials {
+
+/// Per-element reference data used by the structure generators and the
+/// property oracle. Values are tabulated for Z = 1..86 (approximate
+/// Pauling electronegativities, covalent radii in Å, atomic masses in u);
+/// indices outside the table throw.
+struct ElementInfo {
+  const char* symbol;
+  double electronegativity;  ///< Pauling scale (0 where undefined, e.g. noble gases)
+  double covalent_radius;    ///< Å
+  double mass;               ///< u
+};
+
+constexpr std::int64_t kMaxZ = 86;
+
+/// Lookup by atomic number (1-based). Throws for Z outside [1, kMaxZ].
+const ElementInfo& element(std::int64_t z);
+
+/// Atomic number from symbol ("Fe" -> 26). Throws if unknown.
+std::int64_t atomic_number(const std::string& symbol);
+
+}  // namespace matsci::materials

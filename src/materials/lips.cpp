@@ -1,0 +1,63 @@
+#include "materials/lips.hpp"
+
+#include "core/macros.hpp"
+#include "materials/elements.hpp"
+
+namespace matsci::materials {
+
+Structure LiPSDataset::initial_structure() {
+  // A compact Li-P-S cell (12 atoms): Li on a distorted simple-cubic
+  // sublattice, P/S filling interstitial-like positions. Stoichiometry
+  // Li6P2S4 — a stand-in for the Li6.75P3S11 of the real dataset.
+  Structure s;
+  s.lattice = cubic_lattice(6.2);
+  const std::int64_t li = atomic_number("Li");
+  const std::int64_t p = atomic_number("P");
+  const std::int64_t su = atomic_number("S");
+  const struct {
+    double x, y, z;
+    std::int64_t z_at;
+  } sites[] = {
+      {0.05, 0.10, 0.05, li}, {0.55, 0.05, 0.10, li}, {0.05, 0.55, 0.10, li},
+      {0.55, 0.55, 0.05, li}, {0.10, 0.05, 0.55, li}, {0.55, 0.50, 0.55, li},
+      {0.30, 0.30, 0.30, p},  {0.80, 0.80, 0.80, p},
+      {0.30, 0.75, 0.75, su}, {0.75, 0.30, 0.75, su},
+      {0.75, 0.75, 0.30, su}, {0.25, 0.25, 0.80, su},
+  };
+  for (const auto& site : sites) {
+    s.frac.push_back({site.x, site.y, site.z});
+    s.species.push_back(site.z_at);
+  }
+  s.validate();
+  return s;
+}
+
+LiPSDataset::LiPSDataset(std::int64_t size, std::uint64_t seed) {
+  MATSCI_CHECK(size >= 1, "LiPSDataset needs size >= 1");
+  MDOptions opts;
+  opts.timestep = 1.5;
+  opts.temperature = 520.0;  // superionic regime: mobile Li
+  opts.snapshot_every = 2;
+  opts.steps = 2 * size;
+  MDSimulator sim(initial_structure(), opts, seed);
+  frames_ = sim.run();
+  MATSCI_CHECK(static_cast<std::int64_t>(frames_.size()) >= size,
+               "MD produced fewer frames than requested");
+  frames_.resize(static_cast<std::size_t>(size));
+}
+
+const MDSnapshot& LiPSDataset::frame(std::int64_t index) const {
+  MATSCI_CHECK(index >= 0 && index < size(), "frame index out of range");
+  return frames_[static_cast<std::size_t>(index)];
+}
+
+data::StructureSample LiPSDataset::get(std::int64_t index) const {
+  const MDSnapshot& f = frame(index);
+  data::StructureSample sample = f.structure.to_sample();
+  sample.scalar_targets["energy"] = static_cast<float>(
+      f.potential_energy / static_cast<double>(f.structure.num_atoms()));
+  sample.forces = f.forces;
+  return sample;
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "data/sample.hpp"
+#include "materials/md.hpp"
+
+namespace matsci::materials {
+
+/// Simulated LiPS profile: molecular-dynamics snapshots of one fixed
+/// Li-P-S superionic-conductor-like composition (the real dataset is an
+/// MD trajectory of Li6.75P3S11 from Batzner et al. 2022). Because every
+/// sample is the *same* material at different time steps, the dataset
+/// forms the tight isolated cluster used to calibrate Fig. 4.
+/// Targets: potential energy per atom ("energy").
+class LiPSDataset : public data::StructureDataset {
+ public:
+  /// The trajectory is integrated once at construction (deterministic in
+  /// `seed`); `size` caps the number of retained frames.
+  LiPSDataset(std::int64_t size, std::uint64_t seed);
+
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(frames_.size());
+  }
+  data::StructureSample get(std::int64_t index) const override;
+  std::string name() const override { return "LiPS"; }
+
+  const MDSnapshot& frame(std::int64_t index) const;
+
+  /// The fixed Li-P-S starting crystal (exposed for tests).
+  static Structure initial_structure();
+
+ private:
+  std::vector<MDSnapshot> frames_;
+};
+
+}  // namespace matsci::materials

@@ -1,0 +1,56 @@
+#include "materials/materials_project.hpp"
+
+#include "core/macros.hpp"
+#include "materials/elements.hpp"
+
+namespace matsci::materials {
+
+const std::vector<std::int64_t>& MaterialsProjectDataset::palette() {
+  // Broad chemistry: alkali/alkaline-earth, 3d/4d transition metals,
+  // p-block anions — the diversity Fig. 4 credits Materials Project with.
+  static const std::vector<std::int64_t> p = {
+      1,  3,  4,  5,  6,  7,  8,  9,  11, 12, 13, 14, 15, 16, 17,
+      19, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34,
+      35, 38, 39, 40, 41, 42, 47, 50, 51, 52, 53, 56, 74, 78, 79, 82};
+  return p;
+}
+
+MaterialsProjectDataset::MaterialsProjectDataset(std::int64_t size,
+                                                 std::uint64_t seed)
+    // Fixed oracle seed shared by all dataset profiles: formation
+    // energies must be mutually consistent for multi-dataset pooling.
+    : size_(size), seed_(seed), oracle_(0x4D617453ull ^ 0x4D50ull) {
+  MATSCI_CHECK(size >= 0, "dataset size must be non-negative");
+  crystal_opts_.palette = palette();
+  crystal_opts_.systems = {
+      LatticeSystem::kCubic, LatticeSystem::kTetragonal,
+      LatticeSystem::kOrthorhombic, LatticeSystem::kHexagonal,
+      LatticeSystem::kTriclinic};
+  crystal_opts_.min_species = 1;
+  crystal_opts_.max_species = 4;
+  crystal_opts_.min_seed_atoms = 1;
+  crystal_opts_.max_seed_atoms = 4;
+}
+
+Structure MaterialsProjectDataset::structure_at(std::int64_t index) const {
+  MATSCI_CHECK(index >= 0 && index < size_,
+               "index " << index << " out of range [0, " << size_ << ")");
+  core::RngEngine rng =
+      core::RngEngine(seed_).fork(static_cast<std::uint64_t>(index));
+  return random_crystal(rng, crystal_opts_);
+}
+
+data::StructureSample MaterialsProjectDataset::get(std::int64_t index) const {
+  const Structure s = structure_at(index);
+  data::StructureSample sample = s.to_sample();
+  sample.scalar_targets["band_gap"] =
+      static_cast<float>(oracle_.band_gap(s));
+  sample.scalar_targets["efermi"] =
+      static_cast<float>(oracle_.fermi_energy(s));
+  sample.scalar_targets["formation_energy"] =
+      static_cast<float>(oracle_.formation_energy(s));
+  sample.class_targets["stability"] = oracle_.is_stable(s) ? 1 : 0;
+  return sample;
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "data/sample.hpp"
+#include "materials/property_oracle.hpp"
+
+namespace matsci::materials {
+
+/// Simulated Materials Project profile: the broadest dataset — wide
+/// element palette (s/p/d blocks), all five lattice families, and all
+/// four targets the paper's multi-task experiment trains on (band gap,
+/// Fermi energy ζ, formation energy, stability). Structures are
+/// procedurally generated, labels come from the shared PropertyOracle.
+class MaterialsProjectDataset : public data::StructureDataset {
+ public:
+  MaterialsProjectDataset(std::int64_t size, std::uint64_t seed);
+
+  std::int64_t size() const override { return size_; }
+  data::StructureSample get(std::int64_t index) const override;
+  std::string name() const override { return "MaterialsProject"; }
+
+  /// The underlying crystal (pre-labeling) — exposed for tests.
+  Structure structure_at(std::int64_t index) const;
+
+  static const std::vector<std::int64_t>& palette();
+
+ private:
+  std::int64_t size_;
+  std::uint64_t seed_;
+  PropertyOracle oracle_;
+  RandomCrystalOptions crystal_opts_;
+};
+
+}  // namespace matsci::materials

@@ -1,0 +1,167 @@
+#include "materials/md.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "graph/radius_graph.hpp"
+#include "materials/elements.hpp"
+
+namespace matsci::materials {
+
+namespace {
+/// Boltzmann constant in eV/K and the velocity unit bridge:
+/// with x in Å, t in fs, m in u: 1 u·Å²/fs² = 103.642696 eV.
+constexpr double kBoltzmann = 8.617333e-5;
+constexpr double kMassUnit = 103.642696;
+}  // namespace
+
+LJParams lj_parameters(std::int64_t z_i, std::int64_t z_j) {
+  const ElementInfo& a = element(z_i);
+  const ElementInfo& b = element(z_j);
+  LJParams p;
+  // Contact at the covalent-radius sum; σ = r_min / 2^(1/6).
+  const double r_min = a.covalent_radius + b.covalent_radius;
+  p.sigma = r_min / std::pow(2.0, 1.0 / 6.0);
+  // Electronegativity contrast deepens the well (ionic-ish binding).
+  p.epsilon =
+      0.15 * (1.0 + 0.5 * std::fabs(a.electronegativity -
+                                    b.electronegativity));
+  return p;
+}
+
+double MDSimulator::energy_and_forces(const Structure& s, double cutoff,
+                                      std::vector<core::Vec3>& forces) {
+  const std::int64_t n = s.num_atoms();
+  forces.assign(static_cast<std::size_t>(n), core::Vec3{});
+  const auto cart = s.cartesian();
+  const core::Mat3 inv = core::inverse3(s.lattice);
+  const double cut2 = cutoff * cutoff;
+  double energy = 0.0;
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const core::Vec3 d = graph::minimal_image_delta(
+          cart[static_cast<std::size_t>(i)],
+          cart[static_cast<std::size_t>(j)], s.lattice, inv);
+      const double r2 = core::sq_norm(d);
+      if (r2 > cut2 || r2 < 1e-12) continue;
+      const LJParams p = lj_parameters(s.species[static_cast<std::size_t>(i)],
+                                       s.species[static_cast<std::size_t>(j)]);
+      const double sr2 = p.sigma * p.sigma / r2;
+      const double sr6 = sr2 * sr2 * sr2;
+      const double sr12 = sr6 * sr6;
+      energy += 4.0 * p.epsilon * (sr12 - sr6);
+      // f = -dU/dr · r̂; magnitude 24ε(2·sr12 - sr6)/r², along d (j - i).
+      const double fmag = 24.0 * p.epsilon * (2.0 * sr12 - sr6) / r2;
+      const core::Vec3 fij = d * fmag;  // force on j, reaction on i
+      forces[static_cast<std::size_t>(j)] += fij;
+      forces[static_cast<std::size_t>(i)] -= fij;
+    }
+  }
+  return energy;
+}
+
+MDSimulator::MDSimulator(Structure initial, MDOptions opts, std::uint64_t seed)
+    : structure_(std::move(initial)), opts_(opts), seed_(seed) {
+  structure_.validate();
+  MATSCI_CHECK(opts.timestep > 0.0 && opts.steps >= 0 &&
+                   opts.snapshot_every >= 1,
+               "invalid MD options");
+}
+
+std::vector<MDSnapshot> MDSimulator::run() {
+  const std::int64_t n = structure_.num_atoms();
+  core::RngEngine rng(seed_);
+
+  // Maxwell-Boltzmann velocities (Å/fs).
+  std::vector<core::Vec3> vel(static_cast<std::size_t>(n));
+  std::vector<double> mass(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    mass[static_cast<std::size_t>(i)] =
+        element(structure_.species[static_cast<std::size_t>(i)]).mass;
+    const double sig = std::sqrt(kBoltzmann * opts_.temperature /
+                                 (mass[static_cast<std::size_t>(i)] *
+                                  kMassUnit));
+    vel[static_cast<std::size_t>(i)] = {rng.normal(0.0, sig),
+                                        rng.normal(0.0, sig),
+                                        rng.normal(0.0, sig)};
+  }
+  // Remove center-of-mass drift.
+  core::Vec3 p_total{};
+  double m_total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    p_total += vel[static_cast<std::size_t>(i)] *
+               mass[static_cast<std::size_t>(i)];
+    m_total += mass[static_cast<std::size_t>(i)];
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    vel[static_cast<std::size_t>(i)] -= p_total * (1.0 / m_total);
+  }
+
+  auto cart = structure_.cartesian();
+  std::vector<core::Vec3> forces;
+  double pot = energy_and_forces(structure_, opts_.cutoff, forces);
+  const core::Mat3 inv_lat = core::inverse3(structure_.lattice);
+  const double dt = opts_.timestep;
+
+  auto kinetic = [&]() {
+    double ke = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      ke += 0.5 * mass[static_cast<std::size_t>(i)] * kMassUnit *
+            core::sq_norm(vel[static_cast<std::size_t>(i)]);
+    }
+    return ke;
+  };
+
+  std::vector<MDSnapshot> traj;
+  for (std::int64_t step = 0; step < opts_.steps; ++step) {
+    // Velocity Verlet: half-kick, drift, recompute forces, half-kick.
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double inv_m =
+          1.0 / (mass[static_cast<std::size_t>(i)] * kMassUnit);
+      vel[static_cast<std::size_t>(i)] +=
+          forces[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
+      cart[static_cast<std::size_t>(i)] +=
+          vel[static_cast<std::size_t>(i)] * dt;
+    }
+    // Write positions back as wrapped fractional coordinates.
+    for (std::int64_t i = 0; i < n; ++i) {
+      structure_.frac[static_cast<std::size_t>(i)] =
+          core::vecmat(cart[static_cast<std::size_t>(i)], inv_lat);
+    }
+    structure_.wrap();
+    cart = structure_.cartesian();
+
+    pot = energy_and_forces(structure_, opts_.cutoff, forces);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double inv_m =
+          1.0 / (mass[static_cast<std::size_t>(i)] * kMassUnit);
+      vel[static_cast<std::size_t>(i)] +=
+          forces[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
+    }
+
+    if (opts_.thermostat_every > 0 &&
+        (step + 1) % opts_.thermostat_every == 0) {
+      // Berendsen-style rescale to the target temperature.
+      const double ke = kinetic();
+      const double t_now =
+          2.0 * ke / (3.0 * static_cast<double>(n) * kBoltzmann);
+      if (t_now > 1e-9) {
+        const double scale = std::sqrt(opts_.temperature / t_now);
+        for (core::Vec3& v : vel) v = v * scale;
+      }
+    }
+
+    if ((step + 1) % opts_.snapshot_every == 0) {
+      MDSnapshot snap;
+      snap.structure = structure_;
+      snap.potential_energy = pot;
+      snap.kinetic_energy = kinetic();
+      snap.forces = forces;
+      traj.push_back(std::move(snap));
+    }
+  }
+  return traj;
+}
+
+}  // namespace matsci::materials

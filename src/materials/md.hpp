@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hpp"
+#include "materials/structure.hpp"
+
+namespace matsci::materials {
+
+/// Lennard-Jones parameters per species pair, derived from covalent radii
+/// (σ from the contact distance, ε scaled by electronegativity affinity).
+struct LJParams {
+  double sigma;    ///< Å
+  double epsilon;  ///< eV
+};
+
+LJParams lj_parameters(std::int64_t z_i, std::int64_t z_j);
+
+struct MDOptions {
+  double timestep = 1.0;        ///< fs
+  double temperature = 300.0;   ///< K, initial Maxwell-Boltzmann draw
+  double cutoff = 6.0;          ///< Å for pair interactions
+  std::int64_t steps = 200;
+  std::int64_t snapshot_every = 10;
+  /// Berendsen-style velocity rescale interval (0 = NVE).
+  std::int64_t thermostat_every = 20;
+};
+
+/// One frame of a trajectory: positions plus energy/force labels — the
+/// LiPS-style "time-dependent dynamics with energy/force labels" the
+/// paper lists among its supported datasets.
+struct MDSnapshot {
+  Structure structure;
+  double potential_energy = 0.0;          ///< eV
+  double kinetic_energy = 0.0;            ///< eV
+  std::vector<core::Vec3> forces;         ///< eV/Å per atom
+};
+
+/// Velocity-Verlet integrator with periodic minimal-image LJ forces.
+/// Deterministic given (structure, options, seed).
+class MDSimulator {
+ public:
+  MDSimulator(Structure initial, MDOptions opts, std::uint64_t seed);
+
+  /// Run the trajectory and return the collected snapshots.
+  std::vector<MDSnapshot> run();
+
+  /// Potential energy and forces of a configuration (exposed for tests:
+  /// force should equal -dE/dx within finite-difference tolerance).
+  static double energy_and_forces(const Structure& s, double cutoff,
+                                  std::vector<core::Vec3>& forces);
+
+ private:
+  Structure structure_;
+  MDOptions opts_;
+  std::uint64_t seed_;
+};
+
+}  // namespace matsci::materials

@@ -1,0 +1,137 @@
+#include "materials/ocp.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "materials/elements.hpp"
+
+namespace matsci::materials {
+
+namespace {
+
+/// Small adsorbates: species + offsets (Å) relative to the anchor site.
+struct Adsorbate {
+  const char* name;
+  std::vector<std::pair<std::int64_t, core::Vec3>> atoms;
+};
+
+const std::vector<Adsorbate>& adsorbate_catalog() {
+  static const std::vector<Adsorbate> cat = {
+      {"H", {{1, {0.0, 0.0, 0.0}}}},
+      {"O", {{8, {0.0, 0.0, 0.0}}}},
+      {"N", {{7, {0.0, 0.0, 0.0}}}},
+      {"OH", {{8, {0.0, 0.0, 0.0}}, {1, {0.0, 0.6, 0.75}}}},
+      {"CO", {{6, {0.0, 0.0, 0.0}}, {8, {0.0, 0.0, 1.15}}}},
+      {"NH", {{7, {0.0, 0.0, 0.0}}, {1, {0.0, 0.65, 0.7}}}},
+      {"H2O",
+       {{8, {0.0, 0.0, 0.0}},
+        {1, {0.76, 0.0, 0.59}},
+        {1, {-0.76, 0.0, 0.59}}}},
+  };
+  return cat;
+}
+
+}  // namespace
+
+const std::vector<std::int64_t>& OCPDataset::slab_palette(OCPFlavor flavor) {
+  // OC20: transition-metal catalysts; OC22 adds oxide formers.
+  static const std::vector<std::int64_t> oc20 = {13, 22, 23, 24, 25, 26, 27,
+                                                 28, 29, 30, 42, 45, 46, 47,
+                                                 74, 78, 79};
+  static const std::vector<std::int64_t> oc22 = {22, 23, 24, 25, 26, 27, 28,
+                                                 29, 40, 42, 74, 78};
+  return flavor == OCPFlavor::kOC20 ? oc20 : oc22;
+}
+
+OCPDataset::OCPDataset(std::int64_t size, std::uint64_t seed, OCPFlavor flavor)
+    : size_(size),
+      seed_(seed),
+      flavor_(flavor),
+      oracle_(0x4D617453ull ^ 0x4D50ull) {
+  MATSCI_CHECK(size >= 0, "dataset size must be non-negative");
+}
+
+Structure OCPDataset::structure_at(
+    std::int64_t index, std::vector<std::int64_t>& adsorbate_indices) const {
+  MATSCI_CHECK(index >= 0 && index < size_,
+               "index " << index << " out of range [0, " << size_ << ")");
+  core::RngEngine rng = core::RngEngine(seed_).fork(
+      static_cast<std::uint64_t>(index) ^
+      (flavor_ == OCPFlavor::kOC20 ? 0x0C20ull : 0x0C22ull));
+
+  const auto& palette = slab_palette(flavor_);
+  const std::int64_t metal =
+      palette[static_cast<std::size_t>(rng.next_int(
+          static_cast<std::int64_t>(palette.size())))];
+  const double r_metal = element(metal).covalent_radius;
+  const double a = 2.0 * r_metal * std::sqrt(2.0);  // fcc lattice constant
+
+  // 2x2 in-plane cell, 3 atomic layers, ~12 Å vacuum above.
+  const std::int64_t nx = 2, ny = 2, layers = 3;
+  const double layer_gap = a / 2.0;
+  const double slab_height = layer_gap * static_cast<double>(layers - 1);
+  const double cell_z = slab_height + 12.0;
+
+  Structure s;
+  s.lattice = orthorhombic_lattice(a * nx / std::sqrt(2.0) * std::sqrt(2.0),
+                                   a * ny / std::sqrt(2.0) * std::sqrt(2.0),
+                                   cell_z);
+  const double lx = s.lattice[0].x, ly = s.lattice[1].y;
+
+  const std::int64_t oxygen = 8;
+  for (std::int64_t l = 0; l < layers; ++l) {
+    // fcc(100) stacking: alternate layers shift by half a site.
+    const double shift = (l % 2 == 0) ? 0.0 : 0.5;
+    for (std::int64_t i = 0; i < nx; ++i) {
+      for (std::int64_t j = 0; j < ny; ++j) {
+        const double fx = (static_cast<double>(i) + shift + 0.25) /
+                          static_cast<double>(nx);
+        const double fy = (static_cast<double>(j) + shift + 0.25) /
+                          static_cast<double>(ny);
+        const double fz =
+            (1.0 + layer_gap * static_cast<double>(l)) / cell_z;
+        s.frac.push_back({fx - std::floor(fx), fy - std::floor(fy), fz});
+        // OC22: surface layer partially oxidized.
+        const bool oxide_site = flavor_ == OCPFlavor::kOC22 &&
+                                l == layers - 1 && rng.bernoulli(0.5);
+        s.species.push_back(oxide_site ? oxygen : metal);
+      }
+    }
+  }
+
+  // Place the adsorbate above a random surface atom.
+  const auto& ads_cat = adsorbate_catalog();
+  const Adsorbate& ads = ads_cat[static_cast<std::size_t>(rng.next_int(
+      static_cast<std::int64_t>(ads_cat.size())))];
+  const std::int64_t anchor =
+      (layers - 1) * nx * ny + rng.next_int(nx * ny);
+  const core::Vec3 anchor_cart =
+      core::vecmat(s.frac[static_cast<std::size_t>(anchor)], s.lattice);
+  const double height =
+      r_metal + 0.9 + rng.uniform(-0.15, 0.35);  // relaxed-ish standoff
+
+  adsorbate_indices.clear();
+  for (const auto& [z_at, offset] : ads.atoms) {
+    core::Vec3 pos = anchor_cart + offset;
+    pos.z += height;
+    pos.x += rng.uniform(-0.2, 0.2);
+    pos.y += rng.uniform(-0.2, 0.2);
+    adsorbate_indices.push_back(s.num_atoms());
+    s.frac.push_back({pos.x / lx, pos.y / ly, pos.z / cell_z});
+    s.species.push_back(z_at);
+  }
+  s.wrap();
+  s.validate();
+  return s;
+}
+
+data::StructureSample OCPDataset::get(std::int64_t index) const {
+  std::vector<std::int64_t> adsorbate;
+  const Structure s = structure_at(index, adsorbate);
+  data::StructureSample sample = s.to_sample();
+  sample.scalar_targets["adsorption_energy"] =
+      static_cast<float>(oracle_.adsorption_energy(s, adsorbate));
+  return sample;
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "data/sample.hpp"
+#include "materials/property_oracle.hpp"
+
+namespace matsci::materials {
+
+/// Which Open Catalyst release a sample mimics. OC20 = metallic catalyst
+/// slabs; OC22 = oxide electrocatalysts (oxygen mixed into the slab).
+/// The two flavours overlap heavily in structure space — the second
+/// qualitative observation of the paper's Fig. 4.
+enum class OCPFlavor { kOC20, kOC22 };
+
+/// Simulated Open Catalyst profile: an fcc(100)-like catalyst slab with
+/// a small molecular adsorbate (H, O, OH, CO, N ...) placed above a
+/// randomly chosen surface site. Periodic in-plane, vacuum along z.
+/// Target: "adsorption_energy" (eV) from the shared PropertyOracle.
+class OCPDataset : public data::StructureDataset {
+ public:
+  OCPDataset(std::int64_t size, std::uint64_t seed,
+             OCPFlavor flavor = OCPFlavor::kOC20);
+
+  std::int64_t size() const override { return size_; }
+  data::StructureSample get(std::int64_t index) const override;
+  std::string name() const override {
+    return flavor_ == OCPFlavor::kOC20 ? "OC20" : "OC22";
+  }
+
+  /// Slab + adsorbate; `adsorbate_indices` receives the atom indices of
+  /// the adsorbate within the returned structure.
+  Structure structure_at(std::int64_t index,
+                         std::vector<std::int64_t>& adsorbate_indices) const;
+
+  static const std::vector<std::int64_t>& slab_palette(OCPFlavor flavor);
+
+ private:
+  std::int64_t size_;
+  std::uint64_t seed_;
+  OCPFlavor flavor_;
+  PropertyOracle oracle_;
+};
+
+}  // namespace matsci::materials

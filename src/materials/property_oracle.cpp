@@ -1,0 +1,183 @@
+#include "materials/property_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "graph/radius_graph.hpp"
+#include "materials/elements.hpp"
+
+namespace matsci::materials {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+StructureFeatures compute_features(const Structure& s) {
+  s.validate();
+  StructureFeatures f;
+  f.num_atoms = s.num_atoms();
+  if (f.num_atoms == 0) return f;
+
+  // Composition statistics.
+  double sum_en = 0.0, sum_r = 0.0, sum_m = 0.0, sum_vol = 0.0;
+  std::map<std::int64_t, std::int64_t> counts;
+  for (const std::int64_t z : s.species) {
+    const ElementInfo& e = element(z);
+    sum_en += e.electronegativity;
+    sum_r += e.covalent_radius;
+    sum_m += e.mass;
+    sum_vol += 4.0 / 3.0 * M_PI * std::pow(e.covalent_radius, 3);
+    ++counts[z];
+  }
+  const double n = static_cast<double>(f.num_atoms);
+  f.mean_electronegativity = sum_en / n;
+  f.mean_covalent_radius = sum_r / n;
+  f.mean_mass = sum_m / n;
+  double var_en = 0.0;
+  for (const std::int64_t z : s.species) {
+    const double d = element(z).electronegativity - f.mean_electronegativity;
+    var_en += d * d;
+  }
+  f.std_electronegativity = std::sqrt(var_en / n);
+  for (const auto& [z, c] : counts) {
+    const double p = static_cast<double>(c) / n;
+    f.composition_entropy -= p * std::log(p);
+  }
+
+  // Geometry.
+  const double v = s.volume();
+  f.number_density = n / v;
+  f.packing_fraction = std::min(sum_vol / v, 1.0);
+
+  const core::Mat3 inv = core::inverse3(s.lattice);
+  const auto cart = s.cartesian();
+  double sum_nn = 0.0;
+  std::int64_t coord_total = 0;
+  for (std::int64_t i = 0; i < f.num_atoms; ++i) {
+    double nn = 1e9;
+    for (std::int64_t j = 0; j < f.num_atoms; ++j) {
+      if (i == j) continue;
+      const double d = core::norm(graph::minimal_image_delta(
+          cart[static_cast<std::size_t>(i)],
+          cart[static_cast<std::size_t>(j)], s.lattice, inv));
+      nn = std::min(nn, d);
+      const double bond =
+          1.25 * (element(s.species[static_cast<std::size_t>(i)]).covalent_radius +
+                  element(s.species[static_cast<std::size_t>(j)]).covalent_radius);
+      if (d < bond) ++coord_total;
+    }
+    // Periodic images of the atom itself also coordinate it in small cells.
+    const double self_image = std::min(
+        {core::norm(s.lattice[0]), core::norm(s.lattice[1]),
+         core::norm(s.lattice[2])});
+    if (f.num_atoms == 1) nn = self_image;
+    sum_nn += nn;
+  }
+  f.mean_nn_distance = sum_nn / n;
+  f.mean_coordination = static_cast<double>(coord_total) / n;
+  return f;
+}
+
+PropertyOracle::PropertyOracle(std::uint64_t seed, double noise_scale)
+    : seed_(seed), noise_scale_(noise_scale) {
+  MATSCI_CHECK(noise_scale >= 0.0, "noise_scale must be non-negative");
+}
+
+double PropertyOracle::structure_noise(const Structure& s,
+                                       std::uint64_t salt) const {
+  // Deterministic per-structure pseudo-noise: hash quantized coordinates
+  // and species so identical structures always receive identical labels.
+  std::uint64_t h = seed_ ^ (salt * 0x9E3779B97F4A7C15ull);
+  auto mix_in = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  for (std::size_t i = 0; i < s.frac.size(); ++i) {
+    mix_in(static_cast<std::uint64_t>(s.species[i]));
+    mix_in(static_cast<std::uint64_t>(
+        std::llround(s.frac[i].x * 1e6) & 0xFFFFFFFF));
+    mix_in(static_cast<std::uint64_t>(
+        std::llround(s.frac[i].y * 1e6) & 0xFFFFFFFF));
+    mix_in(static_cast<std::uint64_t>(
+        std::llround(s.frac[i].z * 1e6) & 0xFFFFFFFF));
+  }
+  core::RngEngine rng(h);
+  return rng.normal();
+}
+
+double PropertyOracle::band_gap(const Structure& s) const {
+  const StructureFeatures f = compute_features(s);
+  // Ionicity opens the gap; dense metallic packing closes it.
+  const double ionicity =
+      sigmoid(3.0 * (f.std_electronegativity - 0.45) +
+              1.2 * (f.mean_electronegativity - 2.0));
+  const double openness = std::max(0.0, 1.1 - f.packing_fraction);
+  double gap = 5.0 * ionicity * openness;
+  gap += noise_scale_ * structure_noise(s, 1);
+  return std::max(0.0, gap);
+}
+
+double PropertyOracle::fermi_energy(const Structure& s) const {
+  const StructureFeatures f = compute_features(s);
+  double zeta = 1.6 * f.mean_electronegativity + 7.0 * f.packing_fraction -
+                1.2 * f.composition_entropy - 2.0;
+  zeta += noise_scale_ * structure_noise(s, 2);
+  return zeta;
+}
+
+double PropertyOracle::formation_energy(const Structure& s) const {
+  const StructureFeatures f = compute_features(s);
+  // Ionic bonding and good coordination stabilize; stretched
+  // nearest-neighbor distances destabilize.
+  const double bond_strain =
+      std::pow(f.mean_nn_distance / (2.0 * f.mean_covalent_radius) - 1.0, 2);
+  double ef = -2.2 * f.std_electronegativity -
+              0.9 * sigmoid(0.5 * (f.mean_coordination - 4.0)) +
+              1.5 * bond_strain - 0.4 * f.composition_entropy + 0.3;
+  ef += noise_scale_ * structure_noise(s, 3);
+  return std::clamp(ef, -4.0, 2.0);
+}
+
+bool PropertyOracle::is_stable(const Structure& s) const {
+  const StructureFeatures f = compute_features(s);
+  // Hull-margin proxy: entropy (configurational) loosens the threshold.
+  const double threshold = -0.6 - 0.25 * f.composition_entropy;
+  return formation_energy(s) < threshold;
+}
+
+double PropertyOracle::adsorption_energy(
+    const Structure& s, std::span<const std::int64_t> adsorbate) const {
+  MATSCI_CHECK(!adsorbate.empty(), "adsorption_energy: empty adsorbate");
+  const auto cart = s.cartesian();
+  const core::Mat3 inv = core::inverse3(s.lattice);
+
+  // Binding strength model: each adsorbate atom interacts with nearby
+  // surface atoms through an electronegativity-difference Morse-like term.
+  double energy = 0.0;
+  for (const std::int64_t ai : adsorbate) {
+    MATSCI_CHECK(ai >= 0 && ai < s.num_atoms(),
+                 "adsorbate index " << ai << " out of range");
+    const ElementInfo& ea = element(s.species[static_cast<std::size_t>(ai)]);
+    for (std::int64_t j = 0; j < s.num_atoms(); ++j) {
+      if (std::find(adsorbate.begin(), adsorbate.end(), j) !=
+          adsorbate.end()) {
+        continue;
+      }
+      const double d = core::norm(graph::minimal_image_delta(
+          cart[static_cast<std::size_t>(ai)],
+          cart[static_cast<std::size_t>(j)], s.lattice, inv));
+      if (d > 6.0) continue;
+      const ElementInfo& es = element(s.species[static_cast<std::size_t>(j)]);
+      const double r0 = ea.covalent_radius + es.covalent_radius;
+      const double x = std::exp(-(d - r0) / 0.8);
+      const double depth =
+          0.25 * (1.0 + std::fabs(ea.electronegativity -
+                                  es.electronegativity));
+      energy += depth * (x * x - 2.0 * x);
+    }
+  }
+  energy += noise_scale_ * structure_noise(s, 4);
+  return energy;
+}
+
+}  // namespace matsci::materials

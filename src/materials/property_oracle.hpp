@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "materials/structure.hpp"
+
+namespace matsci::materials {
+
+/// Scalar descriptors of a structure — composition statistics and
+/// geometry moments. These are the latent variables the property oracle
+/// maps to labels; they are all recoverable from (Z, positions), so a
+/// geometric GNN can in principle learn the oracle exactly.
+struct StructureFeatures {
+  double mean_electronegativity = 0.0;
+  double std_electronegativity = 0.0;   ///< "ionicity" proxy
+  double mean_covalent_radius = 0.0;
+  double mean_mass = 0.0;
+  double number_density = 0.0;          ///< atoms / Å³
+  double packing_fraction = 0.0;        ///< Σ(4/3 π r³) / V
+  double mean_nn_distance = 0.0;        ///< Å
+  double composition_entropy = 0.0;     ///< Shannon entropy of species
+  double mean_coordination = 0.0;       ///< neighbors within 1.25·(rᵢ+rⱼ)
+  std::int64_t num_atoms = 0;
+};
+
+StructureFeatures compute_features(const Structure& s);
+
+/// Deterministic surrogate of a DFT labeling pipeline. Substitutes for
+/// the real Materials Project / Carolina labels (see DESIGN.md §2):
+/// smooth nonlinear maps from structure descriptors to the four targets
+/// the paper trains on, plus a small per-structure pseudo-noise drawn
+/// from a hash of the structure so labels are reproducible.
+class PropertyOracle {
+ public:
+  explicit PropertyOracle(std::uint64_t seed, double noise_scale = 0.05);
+
+  /// Semiconductor band gap, eV ∈ [0, ~5]. Ionic, loosely packed
+  /// structures gap; metallic compositions give 0.
+  double band_gap(const Structure& s) const;
+
+  /// Fermi level ζ, eV ∈ roughly [-2, 8].
+  double fermi_energy(const Structure& s) const;
+
+  /// Formation energy, eV/atom ∈ roughly [-4, 2]; more negative for
+  /// ionic, well-coordinated crystals.
+  double formation_energy(const Structure& s) const;
+
+  /// Thermodynamic-stability label (hull-margin style: E_form below a
+  /// composition-dependent threshold).
+  bool is_stable(const Structure& s) const;
+
+  /// Adsorption-energy-like target for OCP-style slab+adsorbate samples;
+  /// `adsorbate` indexes the adsorbate atoms inside `s`.
+  double adsorption_energy(const Structure& s,
+                           std::span<const std::int64_t> adsorbate) const;
+
+ private:
+  double structure_noise(const Structure& s, std::uint64_t salt) const;
+
+  std::uint64_t seed_;
+  double noise_scale_;
+};
+
+}  // namespace matsci::materials

@@ -1,0 +1,250 @@
+#include "materials/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/macros.hpp"
+#include "graph/radius_graph.hpp"
+
+namespace matsci::materials {
+
+double Structure::volume() const { return std::fabs(core::det3(lattice)); }
+
+std::vector<core::Vec3> Structure::cartesian() const {
+  std::vector<core::Vec3> cart;
+  cart.reserve(frac.size());
+  for (const core::Vec3& f : frac) {
+    cart.push_back(core::vecmat(f, lattice));
+  }
+  return cart;
+}
+
+double Structure::distance(std::int64_t i, std::int64_t j) const {
+  MATSCI_CHECK(i >= 0 && i < num_atoms() && j >= 0 && j < num_atoms(),
+               "distance(" << i << ", " << j << ") out of range");
+  const core::Mat3 inv = core::inverse3(lattice);
+  const auto cart = cartesian();
+  return core::norm(graph::minimal_image_delta(
+      cart[static_cast<std::size_t>(i)], cart[static_cast<std::size_t>(j)],
+      lattice, inv));
+}
+
+double Structure::nearest_neighbor_distance(std::int64_t i) const {
+  double best = std::numeric_limits<double>::infinity();
+  const core::Mat3 inv = core::inverse3(lattice);
+  const auto cart = cartesian();
+  for (std::int64_t j = 0; j < num_atoms(); ++j) {
+    if (j == i) continue;
+    const double d = core::norm(graph::minimal_image_delta(
+        cart[static_cast<std::size_t>(i)], cart[static_cast<std::size_t>(j)],
+        lattice, inv));
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+double Structure::min_interatomic_distance() const {
+  double best = std::numeric_limits<double>::infinity();
+  const core::Mat3 inv = core::inverse3(lattice);
+  const auto cart = cartesian();
+  for (std::int64_t i = 0; i < num_atoms(); ++i) {
+    for (std::int64_t j = i + 1; j < num_atoms(); ++j) {
+      const double d = core::norm(graph::minimal_image_delta(
+          cart[static_cast<std::size_t>(i)], cart[static_cast<std::size_t>(j)],
+          lattice, inv));
+      best = std::min(best, d);
+    }
+  }
+  return best;
+}
+
+Structure Structure::supercell(std::int64_t nx, std::int64_t ny,
+                               std::int64_t nz) const {
+  MATSCI_CHECK(nx >= 1 && ny >= 1 && nz >= 1,
+               "supercell multipliers must be >= 1");
+  Structure out;
+  out.lattice[0] = lattice[0] * static_cast<double>(nx);
+  out.lattice[1] = lattice[1] * static_cast<double>(ny);
+  out.lattice[2] = lattice[2] * static_cast<double>(nz);
+  for (std::int64_t ix = 0; ix < nx; ++ix) {
+    for (std::int64_t iy = 0; iy < ny; ++iy) {
+      for (std::int64_t iz = 0; iz < nz; ++iz) {
+        for (std::size_t a = 0; a < frac.size(); ++a) {
+          out.frac.push_back(
+              {(frac[a].x + static_cast<double>(ix)) / static_cast<double>(nx),
+               (frac[a].y + static_cast<double>(iy)) / static_cast<double>(ny),
+               (frac[a].z + static_cast<double>(iz)) /
+                   static_cast<double>(nz)});
+          out.species.push_back(species[a]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Structure::wrap() {
+  for (core::Vec3& f : frac) {
+    f.x -= std::floor(f.x);
+    f.y -= std::floor(f.y);
+    f.z -= std::floor(f.z);
+  }
+}
+
+data::StructureSample Structure::to_sample() const {
+  data::StructureSample s;
+  s.species = species;
+  s.positions = cartesian();
+  s.lattice = lattice;
+  return s;
+}
+
+void Structure::validate() const {
+  MATSCI_CHECK(frac.size() == species.size(),
+               "structure: " << frac.size() << " positions vs "
+                             << species.size() << " species");
+  MATSCI_CHECK(volume() > 1e-9, "structure: degenerate lattice");
+}
+
+core::Mat3 cubic_lattice(double a) { return orthorhombic_lattice(a, a, a); }
+
+core::Mat3 tetragonal_lattice(double a, double c) {
+  return orthorhombic_lattice(a, a, c);
+}
+
+core::Mat3 orthorhombic_lattice(double a, double b, double c) {
+  MATSCI_CHECK(a > 0 && b > 0 && c > 0, "lattice lengths must be positive");
+  return core::mat3_rows({a, 0.0, 0.0}, {0.0, b, 0.0}, {0.0, 0.0, c});
+}
+
+core::Mat3 hexagonal_lattice(double a, double c) {
+  MATSCI_CHECK(a > 0 && c > 0, "lattice lengths must be positive");
+  return core::mat3_rows({a, 0.0, 0.0},
+                         {-0.5 * a, 0.5 * std::sqrt(3.0) * a, 0.0},
+                         {0.0, 0.0, c});
+}
+
+core::Mat3 triclinic_lattice(double a, double b, double c, double alpha,
+                             double beta, double gamma) {
+  MATSCI_CHECK(a > 0 && b > 0 && c > 0, "lattice lengths must be positive");
+  // Standard crystallographic construction: a along x, b in the xy plane.
+  const double bx = b * std::cos(gamma);
+  const double by = b * std::sin(gamma);
+  const double cx = c * std::cos(beta);
+  const double cy =
+      c * (std::cos(alpha) - std::cos(beta) * std::cos(gamma)) /
+      std::sin(gamma);
+  const double cz2 = c * c - cx * cx - cy * cy;
+  MATSCI_CHECK(cz2 > 1e-9, "triclinic angles are geometrically inconsistent");
+  return core::mat3_rows({a, 0.0, 0.0}, {bx, by, 0.0},
+                         {cx, cy, std::sqrt(cz2)});
+}
+
+namespace {
+
+core::Mat3 random_lattice(core::RngEngine& rng, LatticeSystem system,
+                          double lo, double hi) {
+  switch (system) {
+    case LatticeSystem::kCubic:
+      return cubic_lattice(rng.uniform(lo, hi));
+    case LatticeSystem::kTetragonal:
+      return tetragonal_lattice(rng.uniform(lo, hi), rng.uniform(lo, hi));
+    case LatticeSystem::kOrthorhombic:
+      return orthorhombic_lattice(rng.uniform(lo, hi), rng.uniform(lo, hi),
+                                  rng.uniform(lo, hi));
+    case LatticeSystem::kHexagonal:
+      return hexagonal_lattice(rng.uniform(lo, hi), rng.uniform(lo, hi));
+    case LatticeSystem::kTriclinic: {
+      // Angles kept within 75–105° so cells stay well-conditioned.
+      const double d2r = M_PI / 180.0;
+      return triclinic_lattice(
+          rng.uniform(lo, hi), rng.uniform(lo, hi), rng.uniform(lo, hi),
+          rng.uniform(75.0, 105.0) * d2r, rng.uniform(75.0, 105.0) * d2r,
+          rng.uniform(75.0, 105.0) * d2r);
+    }
+  }
+  MATSCI_CHECK(false, "unknown lattice system");
+  return core::identity3();  // unreachable
+}
+
+/// Wyckoff-like fractional motifs: images of a seed position under a
+/// small symmetric orbit.
+std::vector<core::Vec3> motif_images(const core::Vec3& f, int motif) {
+  switch (motif) {
+    case 0:  // general position, orbit of 1
+      return {f};
+    case 1:  // inversion pair about the cell center
+      return {f, {1.0 - f.x, 1.0 - f.y, 1.0 - f.z}};
+    case 2:  // body-center translation pair
+      return {f, {f.x + 0.5, f.y + 0.5, f.z + 0.5}};
+    case 3:  // C-face pair
+      return {f, {f.x + 0.5, f.y + 0.5, f.z}};
+    default:  // fourfold: inversion + body center
+      return {f,
+              {1.0 - f.x, 1.0 - f.y, 1.0 - f.z},
+              {f.x + 0.5, f.y + 0.5, f.z + 0.5},
+              {0.5 - f.x, 0.5 - f.y, 0.5 - f.z}};
+  }
+}
+
+}  // namespace
+
+Structure random_crystal(core::RngEngine& rng,
+                         const RandomCrystalOptions& opts) {
+  MATSCI_CHECK(!opts.palette.empty(), "random_crystal: empty element palette");
+  MATSCI_CHECK(!opts.systems.empty(), "random_crystal: no lattice systems");
+  MATSCI_CHECK(opts.min_species >= 1 &&
+                   opts.max_species >= opts.min_species,
+               "random_crystal: bad species range");
+
+  for (std::int64_t attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    Structure s;
+    s.lattice = random_lattice(
+        rng,
+        opts.systems[static_cast<std::size_t>(
+            rng.next_int(static_cast<std::int64_t>(opts.systems.size())))],
+        opts.min_cell, opts.max_cell);
+
+    // Composition: distinct species drawn from the palette.
+    const std::int64_t ns = std::min<std::int64_t>(
+        opts.min_species +
+            rng.next_int(opts.max_species - opts.min_species + 1),
+        static_cast<std::int64_t>(opts.palette.size()));
+    const auto picks = rng.sample_without_replacement(
+        static_cast<std::int64_t>(opts.palette.size()), ns);
+    std::vector<std::int64_t> comp;
+    for (const std::int64_t p : picks) {
+      comp.push_back(opts.palette[static_cast<std::size_t>(p)]);
+    }
+
+    const std::int64_t seeds =
+        opts.min_seed_atoms +
+        rng.next_int(opts.max_seed_atoms - opts.min_seed_atoms + 1);
+    for (std::int64_t k = 0; k < seeds; ++k) {
+      const core::Vec3 f = {rng.uniform(), rng.uniform(), rng.uniform()};
+      const std::int64_t z =
+          comp[static_cast<std::size_t>(rng.next_int(ns))];
+      const int motif =
+          opts.symmetric_motifs ? static_cast<int>(rng.next_int(5)) : 0;
+      for (const core::Vec3& image : motif_images(f, motif)) {
+        s.frac.push_back(image);
+        s.species.push_back(z);
+      }
+    }
+    s.wrap();
+
+    if (s.num_atoms() >= 1 &&
+        (s.num_atoms() < 2 ||
+         s.min_interatomic_distance() >= opts.min_distance)) {
+      s.validate();
+      return s;
+    }
+  }
+  MATSCI_CHECK(false, "random_crystal: could not satisfy min_distance="
+                          << opts.min_distance << " after "
+                          << opts.max_attempts << " attempts");
+  return {};  // unreachable
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hpp"
+#include "core/vec3.hpp"
+#include "data/sample.hpp"
+
+namespace matsci::materials {
+
+/// A periodic crystal: row-vector lattice + fractional coordinates +
+/// atomic numbers. This is the substrate type behind every simulated
+/// dataset profile (Materials Project / Carolina / LiPS / OCP).
+struct Structure {
+  core::Mat3 lattice = core::identity3();
+  std::vector<core::Vec3> frac;         ///< fractional, wrapped to [0, 1)
+  std::vector<std::int64_t> species;    ///< atomic numbers
+
+  std::int64_t num_atoms() const {
+    return static_cast<std::int64_t>(frac.size());
+  }
+  double volume() const;
+  std::vector<core::Vec3> cartesian() const;
+
+  /// Minimal-image cartesian distance between atoms i and j.
+  double distance(std::int64_t i, std::int64_t j) const;
+
+  /// Nearest-neighbor distance of atom i (minimal image; inf if alone).
+  double nearest_neighbor_distance(std::int64_t i) const;
+
+  /// Smallest interatomic distance in the cell (inf for < 2 atoms).
+  double min_interatomic_distance() const;
+
+  /// Replicate (nx, ny, nz) times into a supercell.
+  Structure supercell(std::int64_t nx, std::int64_t ny, std::int64_t nz) const;
+
+  /// Wrap all fractional coordinates into [0, 1).
+  void wrap();
+
+  /// Convert to the pipeline's exchange format (lattice carried along;
+  /// targets left empty for the caller to fill).
+  data::StructureSample to_sample() const;
+
+  void validate() const;
+};
+
+/// Lattice constructors (lengths in Å, angles in radians).
+core::Mat3 cubic_lattice(double a);
+core::Mat3 tetragonal_lattice(double a, double c);
+core::Mat3 orthorhombic_lattice(double a, double b, double c);
+core::Mat3 hexagonal_lattice(double a, double c);
+core::Mat3 triclinic_lattice(double a, double b, double c, double alpha,
+                             double beta, double gamma);
+
+/// Crystal families used by the random generator (biases per dataset).
+enum class LatticeSystem {
+  kCubic,
+  kTetragonal,
+  kOrthorhombic,
+  kHexagonal,
+  kTriclinic,
+};
+
+struct RandomCrystalOptions {
+  std::vector<std::int64_t> palette;          ///< allowed atomic numbers
+  std::vector<LatticeSystem> systems;         ///< allowed lattice families
+  std::int64_t min_species = 1;
+  std::int64_t max_species = 3;
+  std::int64_t min_seed_atoms = 1;
+  std::int64_t max_seed_atoms = 4;
+  double min_cell = 3.5;                      ///< Å
+  double max_cell = 9.0;
+  double min_distance = 1.6;                  ///< Å hard-sphere rejection
+  /// Replicate seed atoms with a random symmetric motif (inversion /
+  /// face-center / body-center translations), mimicking Wyckoff orbits.
+  bool symmetric_motifs = true;
+  std::int64_t max_attempts = 64;
+};
+
+/// Generate a random — but physically plausible — crystal: random lattice
+/// within the allowed families, random composition from the palette,
+/// symmetric atom motifs, and hard-sphere distance rejection.
+Structure random_crystal(core::RngEngine& rng,
+                         const RandomCrystalOptions& opts);
+
+}  // namespace matsci::materials

@@ -1,0 +1,172 @@
+#include "materials/xyz.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/macros.hpp"
+#include "materials/elements.hpp"
+
+namespace matsci::materials {
+
+namespace {
+
+/// Split a comment line into key=value tokens, honoring double quotes.
+std::vector<std::pair<std::string, std::string>> parse_kv(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size()) break;
+    const std::size_t eq = line.find('=', i);
+    if (eq == std::string::npos) break;
+    std::string key = line.substr(i, eq - i);
+    std::string value;
+    i = eq + 1;
+    if (i < line.size() && line[i] == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      MATSCI_CHECK(close != std::string::npos,
+                   "xyz: unterminated quote in comment line");
+      value = line.substr(i + 1, close - i - 1);
+      i = close + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      value = line.substr(i, end - i);
+      i = end;
+    }
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_xyz(std::ostream& os, const data::StructureSample& sample) {
+  MATSCI_CHECK(sample.species.size() == sample.positions.size(),
+               "xyz: species/positions mismatch");
+  os << sample.num_atoms() << "\n";
+  os << std::setprecision(10);
+  if (sample.lattice) {
+    const core::Mat3& m = *sample.lattice;
+    os << "Lattice=\"";
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        os << m[r][c] << (r == 2 && c == 2 ? "" : " ");
+      }
+    }
+    os << "\" ";
+  }
+  os << "Properties=species:S:1:pos:R:3";
+  for (const auto& [key, value] : sample.scalar_targets) {
+    os << " " << key << "=" << value;
+  }
+  for (const auto& [key, value] : sample.class_targets) {
+    os << " " << key << "=" << value;
+  }
+  os << "\n";
+  for (std::size_t a = 0; a < sample.positions.size(); ++a) {
+    const std::int64_t z = sample.species[a];
+    // Synthetic species id 0 is written as the placeholder "X".
+    os << (z >= 1 && z <= kMaxZ ? element(z).symbol : "X") << " "
+       << sample.positions[a].x << " " << sample.positions[a].y << " "
+       << sample.positions[a].z << "\n";
+  }
+  MATSCI_CHECK(static_cast<bool>(os), "xyz: stream write failed");
+}
+
+void write_xyz_file(const std::string& path,
+                    const std::vector<data::StructureSample>& samples) {
+  std::ofstream os(path);
+  MATSCI_CHECK(os.is_open(), "xyz: cannot open '" << path << "' for write");
+  for (const data::StructureSample& s : samples) {
+    write_xyz(os, s);
+  }
+}
+
+bool read_xyz(std::istream& is, data::StructureSample& sample) {
+  std::string count_line;
+  // Skip blank separator lines between frames.
+  do {
+    if (!std::getline(is, count_line)) return false;
+  } while (count_line.find_first_not_of(" \t\r") == std::string::npos);
+
+  std::int64_t count = 0;
+  try {
+    count = std::stoll(count_line);
+  } catch (const std::exception&) {
+    MATSCI_CHECK(false, "xyz: bad atom-count line '" << count_line << "'");
+  }
+  MATSCI_CHECK(count >= 0, "xyz: negative atom count");
+
+  std::string comment;
+  MATSCI_CHECK(static_cast<bool>(std::getline(is, comment)),
+               "xyz: truncated frame (missing comment line)");
+
+  sample = data::StructureSample{};
+  for (const auto& [key, value] : parse_kv(comment)) {
+    if (key == "Lattice") {
+      std::istringstream ls(value);
+      core::Mat3 m;
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+          MATSCI_CHECK(static_cast<bool>(ls >> m[r][c]),
+                       "xyz: malformed Lattice value");
+        }
+      }
+      sample.lattice = m;
+    } else if (key != "Properties") {
+      // Heuristic: integer-looking values are class targets.
+      try {
+        std::size_t pos = 0;
+        const float f = std::stof(value, &pos);
+        if (pos == value.size()) {
+          if (value.find('.') == std::string::npos &&
+              value.find('e') == std::string::npos) {
+            sample.class_targets[key] = std::stoll(value);
+          } else {
+            sample.scalar_targets[key] = f;
+          }
+        }
+      } catch (const std::exception&) {
+        // Non-numeric metadata is ignored (free-form comments).
+      }
+    }
+  }
+
+  for (std::int64_t a = 0; a < count; ++a) {
+    std::string line;
+    MATSCI_CHECK(static_cast<bool>(std::getline(is, line)),
+                 "xyz: truncated frame (expected " << count << " atoms)");
+    std::istringstream ls(line);
+    std::string symbol;
+    core::Vec3 pos;
+    MATSCI_CHECK(static_cast<bool>(ls >> symbol >> pos.x >> pos.y >> pos.z),
+                 "xyz: malformed atom line '" << line << "'");
+    sample.species.push_back(symbol == "X" ? 0 : atomic_number(symbol));
+    sample.positions.push_back(pos);
+  }
+  return true;
+}
+
+std::vector<data::StructureSample> read_xyz_file(const std::string& path) {
+  std::ifstream is(path);
+  MATSCI_CHECK(is.is_open(), "xyz: cannot open '" << path << "'");
+  std::vector<data::StructureSample> samples;
+  data::StructureSample sample;
+  while (read_xyz(is, sample)) {
+    samples.push_back(std::move(sample));
+    sample = data::StructureSample{};
+  }
+  return samples;
+}
+
+void write_structure_xyz(std::ostream& os, const Structure& s) {
+  write_xyz(os, s.to_sample());
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "materials/structure.hpp"
+
+namespace matsci::materials {
+
+/// Extended-XYZ interchange (the de-facto format of ASE & friends):
+///   line 1: atom count
+///   line 2: key=value metadata; Lattice="ax ay az bx by bz cx cy cz"
+///           when periodic, plus Properties=species:S:1:pos:R:3
+///   lines 3+: symbol x y z
+/// Scalar targets are carried as extra key=value pairs on line 2, so a
+/// written sample round-trips with labels intact.
+void write_xyz(std::ostream& os, const data::StructureSample& sample);
+void write_xyz_file(const std::string& path,
+                    const std::vector<data::StructureSample>& samples);
+
+/// Read one frame (throws on malformed input, returns false cleanly on
+/// EOF before the frame starts).
+bool read_xyz(std::istream& is, data::StructureSample& sample);
+std::vector<data::StructureSample> read_xyz_file(const std::string& path);
+
+/// Convenience: periodic Structure -> XYZ via its sample form.
+void write_structure_xyz(std::ostream& os, const Structure& s);
+
+}  // namespace matsci::materials

@@ -1,0 +1,84 @@
+#include "models/attention.hpp"
+
+#include "core/graph_ops.hpp"
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::models {
+
+PointCloudAttentionLayer::PointCloudAttentionLayer(
+    const PointCloudAttentionConfig& cfg, core::RngEngine& rng) {
+  const std::int64_t h = cfg.hidden_dim;
+  const std::int64_t edge_in = 2 * h + cfg.num_rbf;
+  score_mlp_ = register_module(
+      "score_mlp",
+      std::make_shared<nn::MLP>(std::vector<std::int64_t>{edge_in, h, 1},
+                                nn::Act::kSiLU, rng));
+  value_mlp_ = register_module(
+      "value_mlp",
+      std::make_shared<nn::MLP>(
+          std::vector<std::int64_t>{h + cfg.num_rbf, h, h}, nn::Act::kSiLU,
+          rng));
+  out_mlp_ = register_module(
+      "out_mlp", std::make_shared<nn::MLP>(std::vector<std::int64_t>{h, h},
+                                           nn::Act::kSiLU, rng));
+  norm_ = register_module("norm", std::make_shared<nn::RMSNorm>(h));
+}
+
+core::Tensor PointCloudAttentionLayer::forward(
+    const core::Tensor& h, const core::Tensor& rbf,
+    const graph::BatchedGraph& g) const {
+  core::Tensor h_i = core::gather_rows(h, g.dst);
+  core::Tensor h_j = core::gather_rows(h, g.src);
+
+  core::Tensor logits =
+      score_mlp_->forward(core::concat_cols({h_i, h_j, rbf}));
+  core::Tensor alpha =
+      core::segment_softmax(logits, g.dst, g.num_nodes);  // [E, 1]
+
+  core::Tensor values = value_mlp_->forward(core::concat_cols({h_j, rbf}));
+  core::Tensor mixed = core::segment_sum(core::mul(values, alpha), g.dst,
+                                         g.num_nodes);
+  core::Tensor update = out_mlp_->forward(mixed);
+  return norm_->forward(core::add(h, update));
+}
+
+PointCloudAttentionEncoder::PointCloudAttentionEncoder(
+    PointCloudAttentionConfig cfg, core::RngEngine& rng)
+    : cfg_(cfg) {
+  MATSCI_CHECK(cfg.num_layers >= 1, "attention encoder needs >= 1 layer");
+  rbf_centers_ = core::linspace_centers(
+      0.0f, static_cast<float>(cfg.rbf_cutoff), cfg.num_rbf);
+  species_embedding_ = register_module(
+      "species_embedding",
+      std::make_shared<nn::Embedding>(cfg.max_species, cfg.hidden_dim, rng));
+  for (std::int64_t l = 0; l < cfg.num_layers; ++l) {
+    layers_.push_back(register_module(
+        "layer" + std::to_string(l),
+        std::make_shared<PointCloudAttentionLayer>(cfg, rng)));
+  }
+}
+
+core::Tensor PointCloudAttentionEncoder::encode(
+    const data::Batch& batch) const {
+  MATSCI_CHECK(static_cast<std::int64_t>(batch.species.size()) ==
+                   batch.topology.num_nodes,
+               "batch species/topology mismatch");
+  core::Tensor x_i = core::gather_rows(batch.coords, batch.topology.dst);
+  core::Tensor x_j = core::gather_rows(batch.coords, batch.topology.src);
+  core::Tensor dist = core::sqrt(core::add_scalar(
+      core::row_sq_norm(core::sub(x_i, x_j)), 1e-12f));
+  core::Tensor rbf = core::gaussian_rbf(
+      dist, rbf_centers_, static_cast<float>(cfg_.rbf_gamma));
+
+  core::Tensor h = species_embedding_->forward(batch.species);
+  for (const auto& layer : layers_) {
+    h = layer->forward(h, rbf, batch.topology);
+  }
+  // Mean pooling: attention features are normalized, so a size-invariant
+  // readout is the natural pairing (sum would re-introduce raw counts).
+  return core::segment_mean(h, batch.topology.node_graph,
+                            batch.topology.num_graphs);
+}
+
+}  // namespace matsci::models

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/encoder.hpp"
+#include "nn/embedding.hpp"
+#include "nn/mlp.hpp"
+
+namespace matsci::models {
+
+struct EGNNConfig {
+  std::int64_t hidden_dim = 256;   ///< node/message width (paper App. A)
+  std::int64_t pos_hidden = 64;    ///< positional-update MLP width
+  std::int64_t num_layers = 3;     ///< three-hop receptive field
+  std::int64_t max_species = 87;   ///< embedding-table rows (Z + synthetic 0)
+  nn::Act activation = nn::Act::kSiLU;
+  bool update_coords = true;       ///< Eq. 2 coordinate refinement
+  bool residual = true;            ///< residual node updates across layers
+};
+
+/// One Equivariant Graph Convolutional Layer (Satorras et al. 2022,
+/// Eqs. 1–2 as quoted in the paper's Appendix A):
+///   m_ij   = φ_e(h_i, h_j, ‖x_i − x_j‖²)
+///   x_i'   = x_i + C Σ_j (x_i − x_j) φ_x(m_ij)
+///   h_i'   = h_i + φ_h(h_i, Σ_j m_ij)
+/// All message function inputs are invariant (squared distances), and the
+/// coordinate update is equivariant, so graph-level sum readouts are
+/// E(3)-invariant.
+class EGCL : public nn::Module {
+ public:
+  EGCL(const EGNNConfig& cfg, core::RngEngine& rng);
+
+  struct NodeState {
+    core::Tensor h;  ///< [N, hidden]
+    core::Tensor x;  ///< [N, 3]
+  };
+
+  NodeState forward(const NodeState& in, const graph::BatchedGraph& g) const;
+
+ private:
+  EGNNConfig cfg_;
+  std::shared_ptr<nn::MLP> edge_mlp_;   ///< φ_e
+  std::shared_ptr<nn::MLP> coord_mlp_;  ///< φ_x
+  std::shared_ptr<nn::MLP> node_mlp_;   ///< φ_h
+};
+
+/// Full encoder: species embedding table → stacked EGCLs → size-extensive
+/// (sum) readout per graph.
+class EGNN : public Encoder {
+ public:
+  EGNN(EGNNConfig cfg, core::RngEngine& rng);
+
+  core::Tensor encode(const data::Batch& batch) const override;
+  std::int64_t embedding_dim() const override { return cfg_.hidden_dim; }
+
+  /// Per-node embeddings before pooling (for analysis / tests).
+  core::Tensor node_embeddings(const data::Batch& batch) const;
+
+  const EGNNConfig& config() const { return cfg_; }
+
+ private:
+  EGNNConfig cfg_;
+  std::shared_ptr<nn::Embedding> species_embedding_;
+  std::vector<std::shared_ptr<EGCL>> layers_;
+};
+
+}  // namespace matsci::models

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "data/batch.hpp"
+#include "nn/module.hpp"
+
+namespace matsci::models {
+
+/// Encoder interface: maps a collated batch to one embedding row per
+/// graph. Tasks hold an encoder plus output heads (Fig. 1 of the paper);
+/// in multi-task training a single encoder instance is shared across
+/// every task head.
+class Encoder : public nn::Module {
+ public:
+  /// Graph-level embeddings [num_graphs, embedding_dim()].
+  virtual core::Tensor encode(const data::Batch& batch) const = 0;
+  virtual std::int64_t embedding_dim() const = 0;
+};
+
+}  // namespace matsci::models

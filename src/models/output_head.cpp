@@ -1,0 +1,35 @@
+#include "models/output_head.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::models {
+
+OutputHead::OutputHead(std::int64_t in_dim, OutputHeadConfig cfg,
+                       core::RngEngine& rng)
+    : cfg_(cfg) {
+  MATSCI_CHECK(cfg.num_blocks >= 0 && cfg.out_dim >= 1 && cfg.hidden_dim >= 1,
+               "bad OutputHeadConfig");
+  if (in_dim != cfg.hidden_dim) {
+    input_proj_ = register_module(
+        "input_proj", std::make_shared<nn::Linear>(in_dim, cfg.hidden_dim, rng));
+  }
+  for (std::int64_t b = 0; b < cfg.num_blocks; ++b) {
+    blocks_.push_back(register_module(
+        "block" + std::to_string(b),
+        std::make_shared<nn::ResidualMLPBlock>(cfg.hidden_dim, cfg.activation,
+                                               cfg.dropout, rng)));
+  }
+  readout_ = register_module(
+      "readout", std::make_shared<nn::Linear>(cfg.hidden_dim, cfg.out_dim, rng));
+}
+
+core::Tensor OutputHead::forward(const core::Tensor& embedding) const {
+  core::Tensor h =
+      input_proj_ ? input_proj_->forward(embedding) : embedding;
+  for (const auto& block : blocks_) {
+    h = block->forward(h);
+  }
+  return readout_->forward(h);
+}
+
+}  // namespace matsci::models

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace matsci::models {
+
+struct OutputHeadConfig {
+  std::int64_t hidden_dim = 256;  ///< width inside the head (paper App. A)
+  std::int64_t num_blocks = 3;    ///< 3 single-task, 6 multi-task (paper)
+  std::int64_t out_dim = 1;       ///< 1 for regression, C for classification
+  nn::Act activation = nn::Act::kSELU;
+  float dropout = 0.2f;
+};
+
+/// Per-target prediction head (paper Appendix A): a projection into the
+/// head width, a stack of residual MLP blocks
+/// (Linear → SELU → RMSNorm → Dropout, residually added), and a final
+/// linear readout. "Expressive enough to map onto targets, constrained
+/// enough not to ignore the embedding."
+class OutputHead : public nn::Module {
+ public:
+  OutputHead(std::int64_t in_dim, OutputHeadConfig cfg, core::RngEngine& rng);
+
+  core::Tensor forward(const core::Tensor& embedding) const;
+
+  const OutputHeadConfig& config() const { return cfg_; }
+
+ private:
+  OutputHeadConfig cfg_;
+  std::shared_ptr<nn::Linear> input_proj_;  ///< null when in_dim == hidden
+  std::vector<std::shared_ptr<nn::ResidualMLPBlock>> blocks_;
+  std::shared_ptr<nn::Linear> readout_;
+};
+
+}  // namespace matsci::models

@@ -1,0 +1,79 @@
+#include "models/schnet.hpp"
+
+#include <cmath>
+
+#include "core/graph_ops.hpp"
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::models {
+
+namespace {
+/// Shifted softplus (SchNet's activation): ln(0.5 eˣ + 0.5).
+core::Tensor ssp(const core::Tensor& x) {
+  return core::add_scalar(core::softplus(x),
+                          -static_cast<float>(std::log(2.0)));
+}
+}  // namespace
+
+SchNetInteraction::SchNetInteraction(const SchNetConfig& cfg,
+                                     core::RngEngine& rng) {
+  const std::int64_t h = cfg.hidden_dim;
+  filter1_ = register_module("filter1",
+                             std::make_shared<nn::Linear>(cfg.num_rbf, h, rng));
+  filter2_ = register_module("filter2", std::make_shared<nn::Linear>(h, h, rng));
+  in_proj_ = register_module("in_proj",
+                             std::make_shared<nn::Linear>(h, h, rng, false));
+  out1_ = register_module("out1", std::make_shared<nn::Linear>(h, h, rng));
+  out2_ = register_module("out2", std::make_shared<nn::Linear>(h, h, rng));
+}
+
+core::Tensor SchNetInteraction::forward(const core::Tensor& h,
+                                        const core::Tensor& rbf,
+                                        const graph::BatchedGraph& g) const {
+  // Continuous filter from the distance expansion.
+  core::Tensor w = ssp(filter1_->forward(rbf));
+  w = ssp(filter2_->forward(w));                       // [E, H]
+  core::Tensor x_j = core::gather_rows(in_proj_->forward(h), g.src);
+  core::Tensor messages = core::mul(x_j, w);           // gated neighbors
+  core::Tensor agg = core::segment_sum(messages, g.dst, g.num_nodes);
+  core::Tensor update = out2_->forward(ssp(out1_->forward(agg)));
+  return core::add(h, update);                         // residual
+}
+
+SchNet::SchNet(SchNetConfig cfg, core::RngEngine& rng) : cfg_(cfg) {
+  MATSCI_CHECK(cfg.num_interactions >= 1, "SchNet needs >= 1 interaction");
+  rbf_centers_ = core::linspace_centers(
+      0.0f, static_cast<float>(cfg.rbf_cutoff), cfg.num_rbf);
+  species_embedding_ = register_module(
+      "species_embedding",
+      std::make_shared<nn::Embedding>(cfg.max_species, cfg.hidden_dim, rng));
+  for (std::int64_t l = 0; l < cfg.num_interactions; ++l) {
+    interactions_.push_back(
+        register_module("interaction" + std::to_string(l),
+                        std::make_shared<SchNetInteraction>(cfg, rng)));
+  }
+}
+
+core::Tensor SchNet::encode(const data::Batch& batch) const {
+  MATSCI_CHECK(static_cast<std::int64_t>(batch.species.size()) ==
+                   batch.topology.num_nodes,
+               "batch species/topology mismatch");
+  // Edge distances (invariant inputs; computed once, shared by blocks).
+  core::Tensor x_i = core::gather_rows(batch.coords, batch.topology.dst);
+  core::Tensor x_j = core::gather_rows(batch.coords, batch.topology.src);
+  core::Tensor dist =
+      core::sqrt(core::add_scalar(
+          core::row_sq_norm(core::sub(x_i, x_j)), 1e-12f));
+  core::Tensor rbf = core::gaussian_rbf(
+      dist, rbf_centers_, static_cast<float>(cfg_.rbf_gamma));
+
+  core::Tensor h = species_embedding_->forward(batch.species);
+  for (const auto& block : interactions_) {
+    h = block->forward(h, rbf, batch.topology);
+  }
+  return core::segment_sum(h, batch.topology.node_graph,
+                           batch.topology.num_graphs);
+}
+
+}  // namespace matsci::models

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/encoder.hpp"
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+
+namespace matsci::models {
+
+struct SchNetConfig {
+  std::int64_t hidden_dim = 64;
+  std::int64_t num_interactions = 3;
+  std::int64_t num_rbf = 32;       ///< Gaussian basis size
+  double rbf_cutoff = 6.0;         ///< Å, last RBF center
+  double rbf_gamma = 10.0;         ///< basis width (1/Å²)
+  std::int64_t max_species = 87;
+};
+
+/// SchNet-style continuous-filter convolution (Schütt et al. 2017) —
+/// the invariant-GNN baseline the paper cites alongside E(n)-GNN. Each
+/// interaction block computes a distance-conditioned filter from a
+/// Gaussian RBF expansion, gates the neighbor features with it, segment-
+/// sums into the receiver, and applies an atom-wise residual update with
+/// shifted-softplus activations. Readout: size-extensive sum pooling.
+class SchNetInteraction : public nn::Module {
+ public:
+  SchNetInteraction(const SchNetConfig& cfg, core::RngEngine& rng);
+
+  core::Tensor forward(const core::Tensor& h, const core::Tensor& rbf,
+                       const graph::BatchedGraph& g) const;
+
+ private:
+  std::shared_ptr<nn::Linear> filter1_, filter2_;  ///< RBF -> filter
+  std::shared_ptr<nn::Linear> in_proj_;            ///< pre-convolution
+  std::shared_ptr<nn::Linear> out1_, out2_;        ///< atom-wise update
+};
+
+class SchNet : public Encoder {
+ public:
+  SchNet(SchNetConfig cfg, core::RngEngine& rng);
+
+  core::Tensor encode(const data::Batch& batch) const override;
+  std::int64_t embedding_dim() const override { return cfg_.hidden_dim; }
+  const SchNetConfig& config() const { return cfg_; }
+
+ private:
+  SchNetConfig cfg_;
+  std::vector<float> rbf_centers_;
+  std::shared_ptr<nn::Embedding> species_embedding_;
+  std::vector<std::shared_ptr<SchNetInteraction>> interactions_;
+};
+
+}  // namespace matsci::models

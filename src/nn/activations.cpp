@@ -1,0 +1,50 @@
+#include "nn/activations.hpp"
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::nn {
+
+core::Tensor apply_activation(Act act, const core::Tensor& x) {
+  switch (act) {
+    case Act::kIdentity: return x;
+    case Act::kReLU: return core::relu(x);
+    case Act::kSiLU: return core::silu(x);
+    case Act::kSELU: return core::selu(x);
+    case Act::kGELU: return core::gelu(x);
+    case Act::kTanh: return core::tanh(x);
+    case Act::kSigmoid: return core::sigmoid(x);
+    case Act::kSoftplus: return core::softplus(x);
+  }
+  MATSCI_CHECK(false, "unknown activation");
+  return x;  // unreachable
+}
+
+Act parse_activation(const std::string& name) {
+  if (name == "identity" || name == "none") return Act::kIdentity;
+  if (name == "relu") return Act::kReLU;
+  if (name == "silu" || name == "swish") return Act::kSiLU;
+  if (name == "selu") return Act::kSELU;
+  if (name == "gelu") return Act::kGELU;
+  if (name == "tanh") return Act::kTanh;
+  if (name == "sigmoid") return Act::kSigmoid;
+  if (name == "softplus") return Act::kSoftplus;
+  MATSCI_CHECK(false, "unknown activation name '" << name << "'");
+  return Act::kIdentity;  // unreachable
+}
+
+std::string activation_name(Act act) {
+  switch (act) {
+    case Act::kIdentity: return "identity";
+    case Act::kReLU: return "relu";
+    case Act::kSiLU: return "silu";
+    case Act::kSELU: return "selu";
+    case Act::kGELU: return "gelu";
+    case Act::kTanh: return "tanh";
+    case Act::kSigmoid: return "sigmoid";
+    case Act::kSoftplus: return "softplus";
+  }
+  return "unknown";
+}
+
+}  // namespace matsci::nn

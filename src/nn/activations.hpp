@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace matsci::nn {
+
+/// Activation kinds supported across the toolkit. The paper uses SiLU
+/// globally in the encoder and SELU inside output heads.
+enum class Act { kIdentity, kReLU, kSiLU, kSELU, kGELU, kTanh, kSigmoid, kSoftplus };
+
+/// Apply an activation functionally (differentiable).
+core::Tensor apply_activation(Act act, const core::Tensor& x);
+
+/// Parse "silu", "selu", "relu", ... (case-sensitive lowercase).
+Act parse_activation(const std::string& name);
+std::string activation_name(Act act);
+
+/// Module wrapper for composing activations inside Sequential-like stacks.
+class Activation : public Module {
+ public:
+  explicit Activation(Act act) : act_(act) {}
+  core::Tensor forward(const core::Tensor& x) const {
+    return apply_activation(act_, x);
+  }
+  Act kind() const { return act_; }
+
+ private:
+  Act act_;
+};
+
+}  // namespace matsci::nn

@@ -1,0 +1,17 @@
+#include "nn/dropout.hpp"
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::nn {
+
+Dropout::Dropout(float p, core::RngEngine& rng)
+    : p_(p), rng_(rng.fork(0x9D0Full)) {
+  MATSCI_CHECK(p >= 0.0f && p < 1.0f, "Dropout p=" << p);
+}
+
+core::Tensor Dropout::forward(const core::Tensor& x) const {
+  return core::dropout(x, p_, is_training(), rng_);
+}
+
+}  // namespace matsci::nn

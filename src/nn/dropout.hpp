@@ -1,0 +1,21 @@
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace matsci::nn {
+
+/// Inverted dropout module. Holds its own forked RNG stream so that a
+/// fixed construction seed gives reproducible masks; the mask sequence
+/// advances only in training mode.
+class Dropout : public Module {
+ public:
+  Dropout(float p, core::RngEngine& rng);
+  core::Tensor forward(const core::Tensor& x) const;
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  mutable core::RngEngine rng_;
+};
+
+}  // namespace matsci::nn

@@ -1,0 +1,23 @@
+#include "nn/embedding.hpp"
+
+#include "core/graph_ops.hpp"
+#include "core/macros.hpp"
+#include "nn/init.hpp"
+
+namespace matsci::nn {
+
+Embedding::Embedding(std::int64_t num_embeddings, std::int64_t dim,
+                     core::RngEngine& rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  MATSCI_CHECK(num_embeddings > 0 && dim > 0,
+               "Embedding(" << num_embeddings << ", " << dim << ")");
+  core::Tensor t = core::Tensor::empty({num_embeddings, dim});
+  init::normal(t, 0.0f, 1.0f, rng);
+  table_ = register_parameter("weight", std::move(t));
+}
+
+core::Tensor Embedding::forward(const std::vector<std::int64_t>& ids) const {
+  return core::gather_rows(table_, ids);
+}
+
+}  // namespace matsci::nn

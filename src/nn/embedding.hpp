@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace matsci::nn {
+
+/// Learnable lookup table [num_embeddings, dim]. In the toolkit this maps
+/// atomic numbers Z to initial node features (the paper's "atom
+/// embeddings from learnable embedding tables").
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t num_embeddings, std::int64_t dim,
+            core::RngEngine& rng);
+
+  /// Gather rows for integer ids (each in [0, num_embeddings)).
+  core::Tensor forward(const std::vector<std::int64_t>& ids) const;
+
+  std::int64_t num_embeddings() const { return num_embeddings_; }
+  std::int64_t dim() const { return dim_; }
+  core::Tensor table() const { return table_; }
+
+ private:
+  std::int64_t num_embeddings_;
+  std::int64_t dim_;
+  core::Tensor table_;
+};
+
+}  // namespace matsci::nn

@@ -1,0 +1,42 @@
+#include "nn/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::nn::init {
+
+void kaiming_uniform(core::Tensor& t, std::int64_t fan_in,
+                     core::RngEngine& rng) {
+  MATSCI_CHECK(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  for (float& v : t.span()) {
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void xavier_uniform(core::Tensor& t, std::int64_t fan_in, std::int64_t fan_out,
+                    core::RngEngine& rng) {
+  MATSCI_CHECK(fan_in > 0 && fan_out > 0,
+               "xavier_uniform: fans must be positive");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : t.span()) {
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void normal(core::Tensor& t, float mean, float stddev, core::RngEngine& rng) {
+  for (float& v : t.span()) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+}
+
+void zeros(core::Tensor& t) { constant(t, 0.0f); }
+
+void constant(core::Tensor& t, float value) {
+  std::fill(t.span().begin(), t.span().end(), value);
+}
+
+}  // namespace matsci::nn::init

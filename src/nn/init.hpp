@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/random.hpp"
+#include "core/tensor.hpp"
+
+/// Parameter initialization schemes (fan-based, reproducible via explicit
+/// RngEngine). These write in place into existing tensors.
+namespace matsci::nn::init {
+
+/// U(-1/sqrt(fan_in), 1/sqrt(fan_in)) — the PyTorch nn.Linear default.
+void kaiming_uniform(core::Tensor& t, std::int64_t fan_in,
+                     core::RngEngine& rng);
+
+/// Glorot/Xavier uniform with gain 1.
+void xavier_uniform(core::Tensor& t, std::int64_t fan_in, std::int64_t fan_out,
+                    core::RngEngine& rng);
+
+/// N(mean, stddev²).
+void normal(core::Tensor& t, float mean, float stddev, core::RngEngine& rng);
+
+void zeros(core::Tensor& t);
+void constant(core::Tensor& t, float value);
+
+}  // namespace matsci::nn::init

@@ -1,0 +1,36 @@
+#include "nn/linear.hpp"
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "nn/init.hpp"
+
+namespace matsci::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               core::RngEngine& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  MATSCI_CHECK(in_features > 0 && out_features > 0,
+               "Linear(" << in_features << ", " << out_features << ")");
+  core::Tensor w = core::Tensor::empty({in_features, out_features});
+  init::kaiming_uniform(w, in_features, rng);
+  weight_ = register_parameter("weight", std::move(w));
+  if (bias) {
+    core::Tensor b = core::Tensor::empty({out_features});
+    init::kaiming_uniform(b, in_features, rng);
+    bias_ = register_parameter("bias", std::move(b));
+  }
+}
+
+core::Tensor Linear::forward(const core::Tensor& x) const {
+  MATSCI_CHECK(x.defined() && x.dim() == 2 && x.size(1) == in_features_,
+               "Linear(" << in_features_ << " -> " << out_features_
+                         << ") got input "
+                         << core::shape_to_string(x.shape()));
+  core::Tensor y = core::matmul(x, weight_);
+  if (bias_.defined()) {
+    y = core::add(y, bias_);
+  }
+  return y;
+}
+
+}  // namespace matsci::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace matsci::nn {
+
+/// Affine map y = x W + b with W stored [in_features, out_features]
+/// (row-major, so forward needs no transpose).
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features,
+         core::RngEngine& rng, bool bias = true);
+
+  core::Tensor forward(const core::Tensor& x) const;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  core::Tensor weight() const { return weight_; }
+  core::Tensor bias() const { return bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  core::Tensor weight_;
+  core::Tensor bias_;  // undefined when bias = false
+};
+
+}  // namespace matsci::nn

@@ -1,0 +1,76 @@
+#include "nn/module.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::nn {
+
+core::Tensor Module::register_parameter(std::string name, core::Tensor tensor) {
+  MATSCI_CHECK(tensor.defined(), "register_parameter('" << name
+                                                        << "'): undefined tensor");
+  for (const auto& [existing, _] : params_) {
+    MATSCI_CHECK(existing != name,
+                 "duplicate parameter name '" << name << "'");
+  }
+  tensor.set_requires_grad(true);
+  params_.emplace_back(std::move(name), tensor);
+  return params_.back().second;
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, core::Tensor>>& out)
+    const {
+  for (const auto& [name, t] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+std::vector<core::Tensor> Module::parameters() const {
+  std::vector<std::pair<std::string, core::Tensor>> named;
+  collect("", named);
+  std::vector<core::Tensor> out;
+  out.reserve(named.size());
+  for (auto& [_, t] : named) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, core::Tensor>> Module::named_parameters()
+    const {
+  std::vector<std::pair<std::string, core::Tensor>> out;
+  collect("", out);
+  return out;
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t total = 0;
+  for (const core::Tensor& t : parameters()) total += t.numel();
+  return total;
+}
+
+void Module::train(bool mode) {
+  training_ = mode;
+  for (auto& [_, child] : children_) child->train(mode);
+}
+
+void Module::zero_grad() {
+  for (core::Tensor t : parameters()) t.zero_grad();
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  auto dst = named_parameters();
+  auto src = other.named_parameters();
+  MATSCI_CHECK(dst.size() == src.size(),
+               "copy_parameters_from: parameter count mismatch "
+                   << dst.size() << " vs " << src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    MATSCI_CHECK(dst[i].first == src[i].first,
+                 "copy_parameters_from: name mismatch at index "
+                     << i << ": '" << dst[i].first << "' vs '" << src[i].first
+                     << "'");
+    dst[i].second.copy_(src[i].second);
+  }
+}
+
+}  // namespace matsci::nn

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace matsci::nn {
+
+/// Base class for neural network modules (the PyTorch `nn.Module`
+/// analogue). A module owns named parameters and named child modules;
+/// `parameters()` walks the tree in registration order, which is the
+/// canonical ordering used by optimizers, DDP gradient buckets, and
+/// checkpoint serialization.
+///
+/// Modules are non-copyable; replicate with `copy_parameters_from` onto a
+/// freshly constructed instance (used by the thread-DDP trainer).
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its descendants, registration order.
+  std::vector<core::Tensor> parameters() const;
+
+  /// Dotted-path named parameters, e.g. "encoder.layers.0.weight".
+  std::vector<std::pair<std::string, core::Tensor>> named_parameters() const;
+
+  /// Total scalar parameter count.
+  std::int64_t num_parameters() const;
+
+  /// Set training / eval mode on the whole subtree.
+  void train(bool mode = true);
+  bool is_training() const { return training_; }
+
+  /// Zero all parameter gradients in the subtree.
+  void zero_grad();
+
+  /// Copy parameter *values* from a structurally identical module.
+  void copy_parameters_from(const Module& other);
+
+ protected:
+  Module() = default;
+
+  /// Register a leaf parameter; enables requires_grad and returns it.
+  core::Tensor register_parameter(std::string name, core::Tensor tensor);
+
+  /// Register a child module; returns the same pointer for member init.
+  template <typename M>
+  std::shared_ptr<M> register_module(std::string name, std::shared_ptr<M> m) {
+    children_.emplace_back(std::move(name),
+                           std::static_pointer_cast<Module>(m));
+    return m;
+  }
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, core::Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, core::Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace matsci::nn

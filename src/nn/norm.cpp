@@ -1,0 +1,39 @@
+#include "nn/norm.hpp"
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::nn {
+
+RMSNorm::RMSNorm(std::int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  MATSCI_CHECK(dim > 0, "RMSNorm dim must be positive");
+  weight_ = register_parameter("weight", core::Tensor::ones({dim}));
+}
+
+core::Tensor RMSNorm::forward(const core::Tensor& x) const {
+  MATSCI_CHECK(x.defined() && x.dim() == 2 && x.size(1) == dim_,
+               "RMSNorm(" << dim_ << ") got "
+                          << core::shape_to_string(x.shape()));
+  core::Tensor ms = core::mean_dim(core::square(x), 1, /*keepdim=*/true);
+  core::Tensor inv = core::rsqrt(core::add_scalar(ms, eps_));
+  return core::mul(core::mul(x, inv), weight_);
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  MATSCI_CHECK(dim > 0, "LayerNorm dim must be positive");
+  weight_ = register_parameter("weight", core::Tensor::ones({dim}));
+  bias_ = register_parameter("bias", core::Tensor::zeros({dim}));
+}
+
+core::Tensor LayerNorm::forward(const core::Tensor& x) const {
+  MATSCI_CHECK(x.defined() && x.dim() == 2 && x.size(1) == dim_,
+               "LayerNorm(" << dim_ << ") got "
+                            << core::shape_to_string(x.shape()));
+  core::Tensor mu = core::mean_dim(x, 1, /*keepdim=*/true);
+  core::Tensor centered = core::sub(x, mu);
+  core::Tensor var = core::mean_dim(core::square(centered), 1, true);
+  core::Tensor inv = core::rsqrt(core::add_scalar(var, eps_));
+  return core::add(core::mul(core::mul(centered, inv), weight_), bias_);
+}
+
+}  // namespace matsci::nn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace matsci::nn {
+
+/// Root-mean-square LayerNorm (Zhang & Sennrich 2019):
+///   y = x / sqrt(mean(x², dim=1) + eps) * weight
+/// The paper prefers RMSNorm over BatchNorm in output heads because
+/// multi-task/multi-dataset batches are irregular.
+class RMSNorm : public Module {
+ public:
+  explicit RMSNorm(std::int64_t dim, float eps = 1e-6f);
+  core::Tensor forward(const core::Tensor& x) const;
+  std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  core::Tensor weight_;
+};
+
+/// Standard LayerNorm over the feature dimension of an [N, D] tensor.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+  core::Tensor forward(const core::Tensor& x) const;
+  std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  core::Tensor weight_;
+  core::Tensor bias_;
+};
+
+}  // namespace matsci::nn

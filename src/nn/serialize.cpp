@@ -1,0 +1,141 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+
+#include "core/macros.hpp"
+
+namespace matsci::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  MATSCI_CHECK(static_cast<bool>(is), "checkpoint stream truncated");
+  return v;
+}
+
+}  // namespace
+
+StateDict state_dict(const Module& m) {
+  StateDict sd;
+  for (const auto& [name, t] : m.named_parameters()) {
+    sd[name] = t.detach();
+  }
+  return sd;
+}
+
+void write_state_dict(const StateDict& sd, std::ostream& os) {
+  os.write(kMagic, 4);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(sd.size()));
+  for (const auto& [name, t] : sd) {
+    write_pod(os, static_cast<std::uint64_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const auto& shape = t.shape();
+    write_pod(os, static_cast<std::uint32_t>(shape.size()));
+    for (const std::int64_t d : shape) write_pod(os, d);
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  MATSCI_CHECK(static_cast<bool>(os), "failed writing checkpoint stream");
+}
+
+void save_state_dict(const StateDict& sd, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  MATSCI_CHECK(os.is_open(), "cannot open checkpoint for write: " << path);
+  write_state_dict(sd, os);
+}
+
+StateDict read_state_dict(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, 4);
+  MATSCI_CHECK(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+               "not a MatSci checkpoint (bad magic)");
+  const auto version = read_pod<std::uint32_t>(is);
+  MATSCI_CHECK(version == kVersion,
+               "unsupported checkpoint version " << version);
+  const auto count = read_pod<std::uint64_t>(is);
+  StateDict sd;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint64_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const auto rank = read_pod<std::uint32_t>(is);
+    core::Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    const std::int64_t numel = core::shape_numel(shape);
+    std::vector<float> data(static_cast<std::size_t>(numel));
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    MATSCI_CHECK(static_cast<bool>(is),
+                 "checkpoint truncated while reading '" << name << "'");
+    sd[name] = core::Tensor::from_vector(std::move(data), std::move(shape));
+  }
+  return sd;
+}
+
+StateDict load_state_dict_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MATSCI_CHECK(is.is_open(), "cannot open checkpoint: " << path);
+  return read_state_dict(is);
+}
+
+LoadReport load_into_module(Module& m, const StateDict& sd, bool strict,
+                            const std::string& prefix) {
+  // Re-key the dict if a prefix filter is requested.
+  StateDict filtered;
+  const StateDict* src = &sd;
+  if (!prefix.empty()) {
+    const std::string dotted = prefix + ".";
+    for (const auto& [name, t] : sd) {
+      if (name.rfind(dotted, 0) == 0) {
+        filtered[name.substr(dotted.size())] = t;
+      }
+    }
+    src = &filtered;
+  }
+
+  LoadReport report;
+  auto params = m.named_parameters();
+  std::size_t matched_keys = 0;
+  for (auto& [name, t] : params) {
+    auto it = src->find(name);
+    if (it == src->end()) {
+      MATSCI_CHECK(!strict, "checkpoint missing parameter '" << name << "'");
+      ++report.missing;
+      continue;
+    }
+    const core::Tensor& loaded = it->second;
+    if (!core::same_shape(loaded.shape(), t.shape())) {
+      MATSCI_CHECK(!strict, "shape mismatch for '"
+                                << name << "': checkpoint "
+                                << core::shape_to_string(loaded.shape())
+                                << " vs module "
+                                << core::shape_to_string(t.shape()));
+      ++report.skipped;
+      continue;
+    }
+    t.copy_(loaded);
+    ++report.loaded;
+    ++matched_keys;
+  }
+  const std::int64_t extra =
+      static_cast<std::int64_t>(src->size()) -
+      static_cast<std::int64_t>(matched_keys);
+  MATSCI_CHECK(!strict || extra == 0,
+               "checkpoint has " << extra << " parameters with no match");
+  report.skipped += extra;
+  return report;
+}
+
+}  // namespace matsci::nn

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/tensor.hpp"
+#include "nn/module.hpp"
+
+namespace matsci::nn {
+
+/// A name → tensor snapshot, the unit of checkpointing. Tensors in the
+/// dict are deep copies detached from any module.
+using StateDict = std::map<std::string, core::Tensor>;
+
+/// Snapshot all parameters of a module (values copied).
+StateDict state_dict(const Module& m);
+
+/// Write a state dict in the toolkit's binary checkpoint format
+/// ("MSCK" magic, versioned, little-endian fp32 payloads).
+void save_state_dict(const StateDict& sd, const std::string& path);
+void write_state_dict(const StateDict& sd, std::ostream& os);
+
+/// Read a checkpoint file back into a state dict.
+StateDict load_state_dict_file(const std::string& path);
+StateDict read_state_dict(std::istream& is);
+
+struct LoadReport {
+  std::int64_t loaded = 0;    ///< parameters copied
+  std::int64_t missing = 0;   ///< module params absent from the dict
+  std::int64_t skipped = 0;   ///< dict entries with no matching module param
+};
+
+/// Copy values from `sd` into matching parameters of `m` by name.
+/// With strict = true, any missing/extra/shape-mismatched entry throws;
+/// otherwise mismatches are skipped and tallied (used to fine-tune an
+/// encoder while heads start fresh). `prefix` filters + strips a dotted
+/// prefix from dict keys before matching, e.g. "encoder".
+LoadReport load_into_module(Module& m, const StateDict& sd, bool strict = true,
+                            const std::string& prefix = "");
+
+}  // namespace matsci::nn

@@ -1,0 +1,90 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::optim {
+
+Adam::Adam(std::vector<core::Tensor> params, AdamOptions opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  MATSCI_CHECK(opts.beta1 >= 0.0 && opts.beta1 < 1.0, "beta1=" << opts.beta1);
+  MATSCI_CHECK(opts.beta2 >= 0.0 && opts.beta2 < 1.0, "beta2=" << opts.beta2);
+  MATSCI_CHECK(opts.eps > 0.0, "eps must be positive");
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double b1 = opts_.beta1;
+  const double b2 = opts_.beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(step_count_));
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    core::Tensor& p = params_[pi];
+    if (!p.has_grad()) continue;
+    auto impl = p.impl();
+    const std::size_t n = impl->data.size();
+    if (m_[pi].empty()) {
+      m_[pi].assign(n, 0.0f);
+      v_[pi].assign(n, 0.0f);
+    }
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const float wd = static_cast<float>(opts_.weight_decay);
+    const float eta = static_cast<float>(lr_);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      float g = impl->grad[i];
+      if (wd != 0.0f && !opts_.decoupled_weight_decay) {
+        g += wd * impl->data[i];
+      }
+      m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
+      v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      double update = mhat / (std::sqrt(vhat) + opts_.eps);
+      if (wd != 0.0f && opts_.decoupled_weight_decay) {
+        update += wd * impl->data[i];
+      }
+      impl->data[i] -= static_cast<float>(eta * update);
+    }
+  }
+}
+
+OptimizerState Adam::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    state["m." + std::to_string(pi)] = m_[pi];
+    state["v." + std::to_string(pi)] = v_[pi];
+  }
+  return state;
+}
+
+void Adam::import_state(const OptimizerState& state) {
+  Optimizer::import_state(state);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    const auto m = state.find("m." + std::to_string(pi));
+    const auto v = state.find("v." + std::to_string(pi));
+    MATSCI_CHECK(m != state.end() && v != state.end(),
+                 "Adam state missing moments for parameter " << pi);
+    const std::size_t n = params_[pi].impl()->data.size();
+    MATSCI_CHECK(m->second.empty() || m->second.size() == n,
+                 "Adam state size mismatch for parameter " << pi);
+    m_[pi] = m->second;
+    v_[pi] = v->second;
+  }
+}
+
+Adam make_adamw(std::vector<core::Tensor> params, double lr,
+                double weight_decay) {
+  AdamOptions opts;
+  opts.lr = lr;
+  opts.weight_decay = weight_decay;
+  opts.decoupled_weight_decay = true;
+  return Adam(std::move(params), opts);
+}
+
+}  // namespace matsci::optim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace matsci::optim {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+  /// false: classic Adam (L2 added to the gradient);
+  /// true: AdamW (Loshchilov & Hutter) — decay applied directly to weights.
+  bool decoupled_weight_decay = false;
+};
+
+/// Adam / AdamW. The paper trains everything with AdamW at default
+/// momenta (β1=0.9, β2=0.999); `exp_avg_sq` is exposed so the Molybog-
+/// style instability probe can measure how much of the update is running
+/// at the ε-floor (the divergence mechanism discussed in §5.2).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<core::Tensor> params, AdamOptions opts);
+  void step() override;
+
+  const AdamOptions& options() const { return opts_; }
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
+  /// Per-parameter second-moment buffers (empty until first step()).
+  const std::vector<std::vector<float>>& exp_avg_sq() const { return v_; }
+  const std::vector<std::vector<float>>& exp_avg() const { return m_; }
+
+ private:
+  AdamOptions opts_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Convenience factory for AdamW (decoupled weight decay).
+Adam make_adamw(std::vector<core::Tensor> params, double lr,
+                double weight_decay = 1e-2);
+
+}  // namespace matsci::optim

@@ -1,0 +1,66 @@
+#include "optim/diagnostics.hpp"
+
+#include <cmath>
+
+namespace matsci::optim {
+
+AdamInstabilityProbe::AdamInstabilityProbe(const Adam& opt) : opt_(&opt) {}
+
+AdamStepStats AdamInstabilityProbe::observe() {
+  AdamStepStats stats;
+  stats.step = opt_->step_count() + 1;
+
+  // Flatten current gradients.
+  std::vector<float> grads;
+  for (const core::Tensor& p : opt_->params()) {
+    if (!p.has_grad()) continue;
+    const auto& g = p.impl()->grad;
+    grads.insert(grads.end(), g.begin(), g.end());
+  }
+
+  double sq = 0.0;
+  for (const float v : grads) sq += static_cast<double>(v) * v;
+  stats.grad_norm = std::sqrt(sq);
+
+  if (prev_grads_.size() == grads.size() && !grads.empty()) {
+    double dot = 0.0, prev_sq = 0.0;
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      dot += static_cast<double>(grads[i]) * prev_grads_[i];
+      prev_sq += static_cast<double>(prev_grads_[i]) * prev_grads_[i];
+    }
+    const double denom = std::sqrt(sq) * std::sqrt(prev_sq);
+    stats.grad_autocorrelation = denom > 0.0 ? dot / denom : 0.0;
+  }
+  prev_grads_ = grads;
+
+  // Inspect second moments: how much of the model is at the ε floor, and
+  // how large the next update would be.
+  const auto& opts = opt_->options();
+  const double bc1 =
+      1.0 - std::pow(opts.beta1, static_cast<double>(stats.step));
+  const double bc2 =
+      1.0 - std::pow(opts.beta2, static_cast<double>(stats.step));
+  std::int64_t floor_count = 0, total = 0;
+  double max_update = 0.0;
+  const auto& ms = opt_->exp_avg();
+  const auto& vs = opt_->exp_avg_sq();
+  for (std::size_t pi = 0; pi < vs.size(); ++pi) {
+    for (std::size_t i = 0; i < vs[pi].size(); ++i) {
+      const double vhat = vs[pi][i] / bc2;
+      const double mhat = ms[pi][i] / bc1;
+      if (std::sqrt(vhat) < opts.eps) ++floor_count;
+      const double u =
+          std::fabs(opt_->lr() * mhat / (std::sqrt(vhat) + opts.eps));
+      if (u > max_update) max_update = u;
+      ++total;
+    }
+  }
+  stats.frac_at_eps_floor =
+      total > 0 ? static_cast<double>(floor_count) / total : 0.0;
+  stats.max_update_magnitude = max_update;
+
+  history_.push_back(stats);
+  return stats;
+}
+
+}  // namespace matsci::optim

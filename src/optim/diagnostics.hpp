@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "optim/adam.hpp"
+
+namespace matsci::optim {
+
+/// Per-step probe of the quantities Molybog et al. (2023) tie to Adam
+/// divergence in large-batch training. The paper (§5.2) attributes the
+/// validation-loss spikes at 256–512 DDP ranks to this mechanism:
+/// gradient components decaying to the order of ε break the Markovian
+/// (time-uncorrelated) update assumption, and a sudden large gradient
+/// then produces an outsized, correlated update across layers.
+struct AdamStepStats {
+  std::int64_t step = 0;
+  double grad_norm = 0.0;
+  /// Cosine similarity between this step's and the previous step's
+  /// gradient (flattened). Near zero = Markovian; persistent high values
+  /// signal the time-correlation that precedes divergence.
+  double grad_autocorrelation = 0.0;
+  /// Fraction of second-moment entries with sqrt(v̂) below ε — updates in
+  /// this regime are dominated by the ε floor (the instability precursor).
+  double frac_at_eps_floor = 0.0;
+  /// Max |update| ratio lr·m̂/(sqrt(v̂)+ε) over all coordinates.
+  double max_update_magnitude = 0.0;
+};
+
+/// Observes an Adam optimizer across steps. Call `observe()` after each
+/// backward pass and *before* opt.step() consumes the gradients.
+class AdamInstabilityProbe {
+ public:
+  explicit AdamInstabilityProbe(const Adam& opt);
+
+  AdamStepStats observe();
+  const std::vector<AdamStepStats>& history() const { return history_; }
+
+ private:
+  const Adam* opt_;
+  std::vector<float> prev_grads_;
+  std::vector<AdamStepStats> history_;
+};
+
+}  // namespace matsci::optim

@@ -1,0 +1,87 @@
+#include "optim/lr_scheduler.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::optim {
+
+void LRScheduler::epoch_step() {
+  ++epoch_;
+  opt_->set_lr(lr_for_epoch(epoch_));
+}
+
+void LRScheduler::apply() { opt_->set_lr(lr_for_epoch(epoch_)); }
+
+double LRScheduler::current_lr() const { return opt_->lr(); }
+
+LinearWarmup::LinearWarmup(Optimizer& opt, double peak_lr,
+                           std::int64_t warmup_epochs)
+    : LRScheduler(opt), peak_lr_(peak_lr), warmup_epochs_(warmup_epochs) {
+  MATSCI_CHECK(warmup_epochs >= 1, "warmup_epochs must be >= 1");
+  apply();
+}
+
+double LinearWarmup::lr_for_epoch(std::int64_t epoch) const {
+  if (epoch >= warmup_epochs_) return peak_lr_;
+  // Epoch 0 trains at the first ramp value, not zero.
+  return peak_lr_ * static_cast<double>(epoch + 1) /
+         static_cast<double>(warmup_epochs_);
+}
+
+ExponentialDecay::ExponentialDecay(Optimizer& opt, double base_lr,
+                                   double gamma)
+    : LRScheduler(opt), base_lr_(base_lr), gamma_(gamma) {
+  MATSCI_CHECK(gamma > 0.0 && gamma <= 1.0, "gamma=" << gamma);
+  apply();
+}
+
+double ExponentialDecay::lr_for_epoch(std::int64_t epoch) const {
+  return base_lr_ * std::pow(gamma_, static_cast<double>(epoch));
+}
+
+WarmupExponential::WarmupExponential(Optimizer& opt, double peak_lr,
+                                     std::int64_t warmup_epochs, double gamma)
+    : LRScheduler(opt),
+      peak_lr_(peak_lr),
+      warmup_epochs_(warmup_epochs),
+      gamma_(gamma) {
+  MATSCI_CHECK(warmup_epochs >= 1, "warmup_epochs must be >= 1");
+  MATSCI_CHECK(gamma > 0.0 && gamma <= 1.0, "gamma=" << gamma);
+  apply();
+}
+
+double WarmupExponential::lr_for_epoch(std::int64_t epoch) const {
+  if (epoch < warmup_epochs_) {
+    return peak_lr_ * static_cast<double>(epoch + 1) /
+           static_cast<double>(warmup_epochs_);
+  }
+  return peak_lr_ *
+         std::pow(gamma_, static_cast<double>(epoch - warmup_epochs_ + 1));
+}
+
+CosineAnnealing::CosineAnnealing(Optimizer& opt, double base_lr,
+                                 std::int64_t total_epochs, double min_lr)
+    : LRScheduler(opt),
+      base_lr_(base_lr),
+      total_epochs_(total_epochs),
+      min_lr_(min_lr) {
+  MATSCI_CHECK(total_epochs >= 1, "total_epochs must be >= 1");
+  MATSCI_CHECK(min_lr >= 0.0 && min_lr <= base_lr, "min_lr out of range");
+  apply();
+}
+
+double CosineAnnealing::lr_for_epoch(std::int64_t epoch) const {
+  if (epoch >= total_epochs_) return min_lr_;
+  const double progress =
+      static_cast<double>(epoch) / static_cast<double>(total_epochs_);
+  return min_lr_ +
+         0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(M_PI * progress));
+}
+
+double scale_lr_for_world_size(double base_lr, std::int64_t world_size) {
+  MATSCI_CHECK(world_size >= 1, "world_size must be >= 1");
+  return base_lr * static_cast<double>(world_size);
+}
+
+}  // namespace matsci::optim

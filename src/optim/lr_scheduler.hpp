@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "optim/optimizer.hpp"
+
+namespace matsci::optim {
+
+/// Learning-rate schedulers with the paper's semantics: the schedule is
+/// advanced once per *epoch* (`epoch_step()`), matching §4.2 — an
+/// eight-epoch linear warmup to the nominal rate followed by exponential
+/// decay with γ = 0.8.
+class LRScheduler {
+ public:
+  explicit LRScheduler(Optimizer& opt) : opt_(&opt) {}
+  virtual ~LRScheduler() = default;
+
+  /// Advance one epoch and write the new lr into the optimizer.
+  void epoch_step();
+  /// Apply the schedule value for the current epoch without advancing
+  /// (used at epoch 0 so warmup starts from the ramp, not base lr).
+  void apply();
+  std::int64_t epoch() const { return epoch_; }
+  double current_lr() const;
+
+ protected:
+  virtual double lr_for_epoch(std::int64_t epoch) const = 0;
+  Optimizer* opt_;
+  std::int64_t epoch_ = 0;
+};
+
+/// Linear ramp from ~0 to `peak_lr` over `warmup_epochs`, constant after.
+class LinearWarmup : public LRScheduler {
+ public:
+  LinearWarmup(Optimizer& opt, double peak_lr, std::int64_t warmup_epochs);
+
+ protected:
+  double lr_for_epoch(std::int64_t epoch) const override;
+
+ private:
+  double peak_lr_;
+  std::int64_t warmup_epochs_;
+};
+
+/// lr = base_lr * gamma^epoch.
+class ExponentialDecay : public LRScheduler {
+ public:
+  ExponentialDecay(Optimizer& opt, double base_lr, double gamma);
+
+ protected:
+  double lr_for_epoch(std::int64_t epoch) const override;
+
+ private:
+  double base_lr_;
+  double gamma_;
+};
+
+/// The paper's composite: linear warmup to `peak_lr` for `warmup_epochs`,
+/// then exponential decay with `gamma` starting from the peak.
+class WarmupExponential : public LRScheduler {
+ public:
+  WarmupExponential(Optimizer& opt, double peak_lr, std::int64_t warmup_epochs,
+                    double gamma);
+
+ protected:
+  double lr_for_epoch(std::int64_t epoch) const override;
+
+ private:
+  double peak_lr_;
+  std::int64_t warmup_epochs_;
+  double gamma_;
+};
+
+/// Half-cosine anneal from base_lr down to min_lr over total_epochs
+/// (constant at min_lr afterwards).
+class CosineAnnealing : public LRScheduler {
+ public:
+  CosineAnnealing(Optimizer& opt, double base_lr, std::int64_t total_epochs,
+                  double min_lr = 0.0);
+
+ protected:
+  double lr_for_epoch(std::int64_t epoch) const override;
+
+ private:
+  double base_lr_;
+  std::int64_t total_epochs_;
+  double min_lr_;
+};
+
+/// Goyal et al. linear-scaling rule used for DDP training (§4.2):
+/// the effective peak lr is base_lr × world_size.
+double scale_lr_for_world_size(double base_lr, std::int64_t world_size);
+
+}  // namespace matsci::optim

@@ -1,0 +1,63 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::optim {
+
+Optimizer::Optimizer(std::vector<core::Tensor> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  MATSCI_CHECK(!params_.empty(), "optimizer needs at least one parameter");
+  MATSCI_CHECK(lr > 0.0, "learning rate must be positive, got " << lr);
+  for (const core::Tensor& p : params_) {
+    MATSCI_CHECK(p.defined(), "optimizer given an undefined parameter");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (core::Tensor& p : params_) p.zero_grad();
+}
+
+double Optimizer::grad_norm() const {
+  double sq = 0.0;
+  for (const core::Tensor& p : params_) {
+    if (!p.has_grad()) continue;
+    const auto& g = p.impl()->grad;
+    for (const float v : g) sq += static_cast<double>(v) * v;
+  }
+  return std::sqrt(sq);
+}
+
+OptimizerState Optimizer::export_state() const {
+  OptimizerState state;
+  state["step"] = {static_cast<float>(step_count_)};
+  state["lr"] = {static_cast<float>(lr_)};
+  return state;
+}
+
+void Optimizer::import_state(const OptimizerState& state) {
+  auto step = state.find("step");
+  MATSCI_CHECK(step != state.end() && step->second.size() == 1,
+               "optimizer state missing 'step'");
+  step_count_ = static_cast<std::int64_t>(step->second[0]);
+  auto lr = state.find("lr");
+  MATSCI_CHECK(lr != state.end() && lr->second.size() == 1,
+               "optimizer state missing 'lr'");
+  lr_ = static_cast<double>(lr->second[0]);
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  MATSCI_CHECK(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+  const double norm = grad_norm();
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (core::Tensor& p : params_) {
+      if (!p.has_grad()) continue;
+      for (float& v : p.impl()->grad) v *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace matsci::optim

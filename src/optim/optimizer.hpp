@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace matsci::optim {
+
+/// Serializable optimizer state: named float buffers (moment estimates,
+/// momentum) plus scalar entries like the step counter. The layout is
+/// optimizer-specific; `import_state` validates shape agreement.
+using OptimizerState = std::map<std::string, std::vector<float>>;
+
+/// Base class for gradient-descent optimizers over a fixed parameter list.
+/// Parameters are shared tensor payloads — the same objects registered in
+/// the module tree — so `step()` updates the live model in place.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<core::Tensor> params, double lr);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Apply one update from the current gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+  const std::vector<core::Tensor>& params() const { return params_; }
+  std::int64_t step_count() const { return step_count_; }
+
+  /// Global L2 gradient-norm clipping. Returns the pre-clip norm.
+  /// No-op (but still returns the norm) when norm <= max_norm.
+  double clip_grad_norm(double max_norm);
+
+  /// Global L2 norm of all gradients (0 for absent grads).
+  double grad_norm() const;
+
+  /// Snapshot internal state for exact training resume. The base
+  /// implementation exports the step counter and learning rate;
+  /// stateful optimizers extend it with their buffers.
+  virtual OptimizerState export_state() const;
+  /// Restore a snapshot produced by the same optimizer configuration.
+  virtual void import_state(const OptimizerState& state);
+
+ protected:
+  std::vector<core::Tensor> params_;
+  double lr_;
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace matsci::optim

@@ -1,0 +1,62 @@
+#include "optim/sgd.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::optim {
+
+SGD::SGD(std::vector<core::Tensor> params, SGDOptions opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  MATSCI_CHECK(opts.momentum >= 0.0 && opts.momentum < 1.0,
+               "SGD momentum=" << opts.momentum);
+  MATSCI_CHECK(!opts.nesterov || opts.momentum > 0.0,
+               "Nesterov requires momentum > 0");
+  momentum_buf_.resize(params_.size());
+}
+
+OptimizerState SGD::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    state["momentum." + std::to_string(pi)] = momentum_buf_[pi];
+  }
+  return state;
+}
+
+void SGD::import_state(const OptimizerState& state) {
+  Optimizer::import_state(state);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    const auto it = state.find("momentum." + std::to_string(pi));
+    MATSCI_CHECK(it != state.end(),
+                 "SGD state missing momentum for parameter " << pi);
+    const std::size_t n = params_[pi].impl()->data.size();
+    MATSCI_CHECK(it->second.empty() || it->second.size() == n,
+                 "SGD state size mismatch for parameter " << pi);
+    momentum_buf_[pi] = it->second;
+  }
+}
+
+void SGD::step() {
+  ++step_count_;
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    core::Tensor& p = params_[pi];
+    if (!p.has_grad()) continue;
+    auto impl = p.impl();
+    const std::size_t n = impl->data.size();
+    const float mu = static_cast<float>(opts_.momentum);
+    const float wd = static_cast<float>(opts_.weight_decay);
+    const float eta = static_cast<float>(lr_);
+
+    std::vector<float>& buf = momentum_buf_[pi];
+    if (mu > 0.0f && buf.empty()) buf.assign(n, 0.0f);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      float g = impl->grad[i] + wd * impl->data[i];
+      if (mu > 0.0f) {
+        buf[i] = mu * buf[i] + g;
+        g = opts_.nesterov ? g + mu * buf[i] : buf[i];
+      }
+      impl->data[i] -= eta * g;
+    }
+  }
+}
+
+}  // namespace matsci::optim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace matsci::optim {
+
+struct SGDOptions {
+  double lr = 1e-2;
+  double momentum = 0.0;
+  double weight_decay = 0.0;  ///< classic L2 (added to gradient)
+  bool nesterov = false;
+};
+
+/// Stochastic gradient descent with optional (Nesterov) momentum.
+/// Serves as the stable baseline in the Adam-instability ablation.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<core::Tensor> params, SGDOptions opts);
+  void step() override;
+  const SGDOptions& options() const { return opts_; }
+  OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
+
+ private:
+  SGDOptions opts_;
+  std::vector<std::vector<float>> momentum_buf_;
+};
+
+}  // namespace matsci::optim

@@ -1,0 +1,170 @@
+#include "sym/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "sym/symop.hpp"
+
+namespace matsci::sym {
+
+namespace {
+
+std::vector<core::Vec3> center(const std::vector<core::Vec3>& points) {
+  core::Vec3 c{};
+  for (const core::Vec3& p : points) c += p;
+  c = c * (1.0 / static_cast<double>(points.size()));
+  std::vector<core::Vec3> out;
+  out.reserve(points.size());
+  for (const core::Vec3& p : points) out.push_back(p - c);
+  return out;
+}
+
+/// Principal axes of the inertia-like tensor (eigenvectors by Jacobi
+/// rotations — 3x3, so a handful of sweeps suffices).
+core::Mat3 principal_axes(const std::vector<core::Vec3>& pts) {
+  double m[3][3] = {};
+  for (const core::Vec3& p : pts) {
+    const double v[3] = {p.x, p.y, p.z};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) m[i][j] += v[i] * v[j];
+    }
+  }
+  // Jacobi eigenvalue iteration.
+  double vmat[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) off += m[i][j] * m[i][j];
+    }
+    if (off < 1e-18) break;
+    for (int p = 0; p < 3; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        if (std::fabs(m[p][q]) < 1e-15) continue;
+        const double theta = 0.5 * std::atan2(2.0 * m[p][q], m[q][q] - m[p][p]);
+        const double c = std::cos(theta), s = std::sin(theta);
+        for (int k = 0; k < 3; ++k) {
+          const double mkp = m[k][p], mkq = m[k][q];
+          m[k][p] = c * mkp - s * mkq;
+          m[k][q] = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double mpk = m[p][k], mqk = m[q][k];
+          m[p][k] = c * mpk - s * mqk;
+          m[q][k] = s * mpk + c * mqk;
+          const double vkp = vmat[k][p], vkq = vmat[k][q];
+          vmat[k][p] = c * vkp - s * vkq;
+          vmat[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Columns of vmat are eigenvectors; sort by eigenvalue descending so
+  // the dominant axis maps to z (the catalog's principal axis).
+  double eig[3] = {m[0][0], m[1][1], m[2][2]};
+  int order[3] = {0, 1, 2};
+  std::sort(order, order + 3, [&](int a, int b) { return eig[a] < eig[b]; });
+  // Rows of the returned frame are the new basis: z = largest eigenvalue.
+  core::Mat3 frame;
+  for (int row = 0; row < 3; ++row) {
+    const int col = order[row];  // ascending -> z gets the largest
+    frame[2 - row] = {vmat[0][col], vmat[1][col], vmat[2][col]};
+  }
+  return frame;
+}
+
+std::vector<core::Vec3> apply_frame(const std::vector<core::Vec3>& pts,
+                                    const core::Mat3& frame) {
+  std::vector<core::Vec3> out;
+  out.reserve(pts.size());
+  for (const core::Vec3& p : pts) out.push_back(core::matvec(frame, p));
+  return out;
+}
+
+/// Rotate about z so the point with the largest in-plane radius lies on
+/// the +x axis — fixes the azimuthal freedom left by principal-axis
+/// alignment (secondary C2 axes / mirror planes pass through points).
+std::vector<core::Vec3> align_azimuth(const std::vector<core::Vec3>& pts) {
+  double best_r2 = 0.0;
+  double angle = 0.0;
+  for (const core::Vec3& p : pts) {
+    const double r2 = p.x * p.x + p.y * p.y;
+    if (r2 > best_r2) {
+      best_r2 = r2;
+      angle = std::atan2(p.y, p.x);
+    }
+  }
+  if (best_r2 < 1e-12) return pts;  // collinear with z
+  return apply_frame(pts, rotation({0.0, 0.0, 1.0}, -angle));
+}
+
+}  // namespace
+
+bool is_invariant_under(const std::vector<core::Vec3>& pts,
+                        const core::Mat3& op, double tolerance) {
+  for (const core::Vec3& p : pts) {
+    const core::Vec3 image = core::matvec(op, p);
+    bool matched = false;
+    for (const core::Vec3& q : pts) {
+      if (core::norm(image - q) <= tolerance) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+DetectionResult detect_point_group(const std::vector<core::Vec3>& points,
+                                   const DetectionOptions& opts) {
+  MATSCI_CHECK(!points.empty(), "detect_point_group: empty cloud");
+  MATSCI_CHECK(opts.tolerance > 0.0, "tolerance must be positive");
+
+  const std::vector<core::Vec3> centered = center(points);
+  std::vector<std::vector<core::Vec3>> frames;
+  frames.push_back(centered);
+  if (opts.align_frame) {
+    // Principal-axis frame plus axis permutations that keep handedness —
+    // degenerate spectra (cubic groups) can put the C4 axis anywhere.
+    const core::Mat3 pa = principal_axes(centered);
+    const std::vector<core::Vec3> aligned = apply_frame(centered, pa);
+    const core::Mat3 swap_xz = core::mat3_rows({0, 0, 1}, {0, 1, 0},
+                                               {-1, 0, 0});
+    const core::Mat3 swap_yz = core::mat3_rows({1, 0, 0}, {0, 0, 1},
+                                               {0, -1, 0});
+    for (const auto& candidate :
+         {aligned, apply_frame(aligned, swap_xz),
+          apply_frame(aligned, swap_yz)}) {
+      frames.push_back(candidate);
+      frames.push_back(align_azimuth(candidate));
+    }
+  }
+
+  DetectionResult best;
+  const auto& catalog = point_group_catalog();
+  for (std::size_t gi = 0; gi < catalog.size(); ++gi) {
+    const PointGroup& g = catalog[gi];
+    if (g.order() <= best.matched_operations) continue;  // cannot improve
+    for (const auto& frame_pts : frames) {
+      bool all = true;
+      for (const core::Mat3& op : g.ops) {
+        if (!is_invariant_under(frame_pts, op, opts.tolerance)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        best.label = static_cast<std::int64_t>(gi);
+        best.name = g.name;
+        best.matched_operations = g.order();
+        break;
+      }
+    }
+  }
+  MATSCI_CHECK(best.label >= 0,
+               "detection failed even for C1 — internal error");
+  return best;
+}
+
+}  // namespace matsci::sym

@@ -1,0 +1,106 @@
+#include "sym/symop.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::sym {
+
+core::Mat3 rotation(const core::Vec3& axis, double angle) {
+  const double n = core::norm(axis);
+  MATSCI_CHECK(n > 1e-12, "rotation axis must be nonzero");
+  const core::Vec3 u = axis * (1.0 / n);
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double omc = 1.0 - c;
+  core::Mat3 m;
+  m[0] = {c + u[0] * u[0] * omc, u[0] * u[1] * omc - u[2] * s,
+          u[0] * u[2] * omc + u[1] * s};
+  m[1] = {u[1] * u[0] * omc + u[2] * s, c + u[1] * u[1] * omc,
+          u[1] * u[2] * omc - u[0] * s};
+  m[2] = {u[2] * u[0] * omc - u[1] * s, u[2] * u[1] * omc + u[0] * s,
+          c + u[2] * u[2] * omc};
+  return m;
+}
+
+core::Mat3 rotation_z(std::int64_t n) {
+  MATSCI_CHECK(n >= 1, "C_n requires n >= 1");
+  return rotation({0.0, 0.0, 1.0}, 2.0 * M_PI / static_cast<double>(n));
+}
+
+core::Mat3 reflection(const core::Vec3& normal) {
+  const double n = core::norm(normal);
+  MATSCI_CHECK(n > 1e-12, "reflection normal must be nonzero");
+  const core::Vec3 u = normal * (1.0 / n);
+  core::Mat3 m = core::identity3();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      m[i][j] -= 2.0 * u[i] * u[j];
+    }
+  }
+  return m;
+}
+
+core::Mat3 improper_rotation_z(std::int64_t n) {
+  // S_n = σ_h · C_n (commuting for the z axis).
+  return core::matmul3(reflection({0.0, 0.0, 1.0}), rotation_z(n));
+}
+
+core::Mat3 inversion() {
+  return core::mat3_rows({-1.0, 0.0, 0.0}, {0.0, -1.0, 0.0},
+                         {0.0, 0.0, -1.0});
+}
+
+core::Mat3 identity_op() { return core::identity3(); }
+
+bool ops_equal(const core::Mat3& a, const core::Mat3& b, double tol) {
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (std::fabs(a[i][j] - b[i][j]) >= tol) return false;
+    }
+  }
+  return true;
+}
+
+bool is_orthogonal(const core::Mat3& m, double tol) {
+  return ops_equal(core::matmul3(core::transpose3(m), m), core::identity3(),
+                   tol);
+}
+
+std::vector<core::Mat3> close_group(const std::vector<core::Mat3>& generators,
+                                    std::size_t max_order) {
+  for (const core::Mat3& g : generators) {
+    MATSCI_CHECK(is_orthogonal(g, 1e-6), "group generator is not orthogonal");
+  }
+  std::vector<core::Mat3> ops = {core::identity3()};
+  auto contains = [&ops](const core::Mat3& m) {
+    for (const core::Mat3& o : ops) {
+      if (ops_equal(o, m, 1e-6)) return true;
+    }
+    return false;
+  };
+  for (const core::Mat3& g : generators) {
+    if (!contains(g)) ops.push_back(g);
+  }
+  // Fixed-point iteration: multiply all pairs until no new element appears.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    const std::size_t n = ops.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const core::Mat3 p = core::matmul3(ops[i], ops[j]);
+        if (!contains(p)) {
+          ops.push_back(p);
+          grew = true;
+          MATSCI_CHECK(ops.size() <= max_order,
+                       "group closure exceeded max_order=" << max_order
+                                                           << " elements");
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace matsci::sym

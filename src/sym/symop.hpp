@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "core/vec3.hpp"
+
+namespace matsci::sym {
+
+/// Orthogonal 3x3 symmetry operations (proper/improper rotations,
+/// reflections, inversion) and a closure algorithm for finite groups.
+/// These are the algebraic backbone of the paper's synthetic pretraining
+/// pipeline (§3.1): point clouds are built by replicating seed particles
+/// under every operation of a randomly chosen point group.
+
+/// Proper rotation by `angle` (radians) about unit `axis`
+/// (Rodrigues formula).
+core::Mat3 rotation(const core::Vec3& axis, double angle);
+
+/// Rotation about z by 2π/n (the C_n generator).
+core::Mat3 rotation_z(std::int64_t n);
+
+/// Reflection through the plane with unit normal `normal`.
+core::Mat3 reflection(const core::Vec3& normal);
+
+/// Improper rotation S_n about z: rotation by 2π/n followed by σ_h.
+core::Mat3 improper_rotation_z(std::int64_t n);
+
+/// Point inversion -I.
+core::Mat3 inversion();
+
+/// Identity.
+core::Mat3 identity_op();
+
+/// True when |a - b| < tol elementwise.
+bool ops_equal(const core::Mat3& a, const core::Mat3& b, double tol = 1e-8);
+
+/// True when m is orthogonal within tol (mᵀm = I).
+bool is_orthogonal(const core::Mat3& m, double tol = 1e-8);
+
+/// Generate the finite group closed under multiplication of `generators`
+/// (the identity is always included). Throws if the closure exceeds
+/// `max_order` — a guard against non-closing (irrational-angle) inputs.
+std::vector<core::Mat3> close_group(const std::vector<core::Mat3>& generators,
+                                    std::size_t max_order = 192);
+
+}  // namespace matsci::sym

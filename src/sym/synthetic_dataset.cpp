@@ -1,0 +1,105 @@
+#include "sym/synthetic_dataset.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "sym/symop.hpp"
+
+namespace matsci::sym {
+
+namespace {
+
+/// Uniform random unit vector.
+core::Vec3 random_unit(core::RngEngine& rng) {
+  // Marsaglia: uniform on the sphere via normalized Gaussians.
+  core::Vec3 v;
+  double n = 0.0;
+  do {
+    v = {rng.normal(), rng.normal(), rng.normal()};
+    n = core::norm(v);
+  } while (n < 1e-9);
+  return v * (1.0 / n);
+}
+
+}  // namespace
+
+SyntheticPointGroupDataset::SyntheticPointGroupDataset(
+    std::int64_t size, std::uint64_t seed, SyntheticPointGroupOptions opts)
+    : size_(size), seed_(seed), opts_(opts) {
+  MATSCI_CHECK(size >= 0, "dataset size must be non-negative");
+  MATSCI_CHECK(opts.min_seed_points >= 1 &&
+                   opts.max_seed_points >= opts.min_seed_points,
+               "invalid seed point range");
+  MATSCI_CHECK(opts.min_radius > 0.0 && opts.max_radius > opts.min_radius,
+               "invalid radial shell");
+}
+
+std::int64_t SyntheticPointGroupDataset::num_classes() const {
+  return num_point_groups();
+}
+
+data::StructureSample SyntheticPointGroupDataset::generate(
+    const PointGroup& group, std::int64_t label, core::RngEngine& rng,
+    const SyntheticPointGroupOptions& opts) {
+  data::StructureSample sample;
+  sample.class_targets["point_group"] = label;
+
+  const std::int64_t order = static_cast<std::int64_t>(group.ops.size());
+  // Keep the replicated cloud under the cap: fewer seeds for big groups.
+  std::int64_t max_seeds_for_group =
+      std::max<std::int64_t>(1, opts.max_points / std::max<std::int64_t>(order, 1));
+  const std::int64_t lo = std::min(opts.min_seed_points, max_seeds_for_group);
+  const std::int64_t hi = std::min(opts.max_seed_points, max_seeds_for_group);
+  const std::int64_t num_seeds = lo + rng.next_int(hi - lo + 1);
+
+  std::vector<core::Vec3> points;
+  points.reserve(static_cast<std::size_t>(num_seeds * order));
+  for (std::int64_t s = 0; s < num_seeds; ++s) {
+    const double r = rng.uniform(opts.min_radius, opts.max_radius);
+    const core::Vec3 seed = random_unit(rng) * r;
+    for (const core::Mat3& op : group.ops) {
+      const core::Vec3 image = core::matvec(op, seed);
+      bool duplicate = false;
+      // Merge images that coincide (seed sat on a symmetry element).
+      for (const core::Vec3& p : points) {
+        if (core::norm(p - image) < opts.merge_tolerance) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) points.push_back(image);
+    }
+  }
+
+  core::Mat3 frame = core::identity3();
+  if (opts.random_orientation) {
+    frame = rotation(random_unit(rng), rng.uniform(0.0, 2.0 * M_PI));
+  }
+  sample.positions.reserve(points.size());
+  for (const core::Vec3& p : points) {
+    core::Vec3 q = core::matvec(frame, p);
+    q += core::Vec3{rng.normal(0.0, opts.jitter_sigma),
+                    rng.normal(0.0, opts.jitter_sigma),
+                    rng.normal(0.0, opts.jitter_sigma)};
+    sample.positions.push_back(q);
+  }
+  // Synthetic particles carry no chemistry: single species id 0.
+  sample.species.assign(sample.positions.size(), 0);
+  return sample;
+}
+
+data::StructureSample SyntheticPointGroupDataset::get(
+    std::int64_t index) const {
+  MATSCI_CHECK(index >= 0 && index < size_,
+               "index " << index << " out of range [0, " << size_ << ")");
+  core::RngEngine rng =
+      core::RngEngine(seed_).fork(static_cast<std::uint64_t>(index));
+  // Uniform over classes — the designed advantage over real materials
+  // datasets, which are selection-biased toward particular symmetries.
+  const auto& catalog = point_group_catalog();
+  const std::int64_t label =
+      rng.next_int(static_cast<std::int64_t>(catalog.size()));
+  return generate(catalog[static_cast<std::size_t>(label)], label, rng, opts_);
+}
+
+}  // namespace matsci::sym

@@ -1,0 +1,81 @@
+#include "tasks/classification.hpp"
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::tasks {
+
+ClassificationTask::ClassificationTask(
+    std::shared_ptr<models::Encoder> encoder, std::string target_key,
+    std::int64_t num_classes, models::OutputHeadConfig head_cfg,
+    core::RngEngine& rng, bool binary)
+    : target_key_(std::move(target_key)),
+      num_classes_(num_classes),
+      binary_(binary) {
+  MATSCI_CHECK(encoder != nullptr, "classification task needs an encoder");
+  MATSCI_CHECK(num_classes >= 2, "need at least two classes");
+  MATSCI_CHECK(!binary || num_classes == 2,
+               "binary mode requires num_classes == 2");
+  head_cfg.out_dim = binary ? 1 : num_classes;
+  encoder_ = register_module("encoder", std::move(encoder));
+  head_ = register_module(
+      "head", std::make_shared<models::OutputHead>(encoder_->embedding_dim(),
+                                                   head_cfg, rng));
+}
+
+TaskOutput ClassificationTask::step(const data::Batch& batch) const {
+  auto it = batch.class_targets.find(target_key_);
+  MATSCI_CHECK(it != batch.class_targets.end(),
+               "batch has no class target '" << target_key_ << "'");
+  const std::vector<std::int64_t>& labels = it->second;
+
+  core::Tensor emb = encoder_->encode(batch);
+  core::Tensor logits = head_->forward(emb);
+  const std::int64_t g = logits.size(0);
+
+  TaskOutput out;
+  std::int64_t correct = 0;
+  if (binary_) {
+    std::vector<float> targets(static_cast<std::size_t>(g));
+    for (std::int64_t i = 0; i < g; ++i) {
+      const std::int64_t y = labels[static_cast<std::size_t>(i)];
+      MATSCI_CHECK(y == 0 || y == 1, "binary label " << y);
+      targets[static_cast<std::size_t>(i)] = static_cast<float>(y);
+      if ((logits.at(i, 0) > 0.0f) == (y == 1)) ++correct;
+    }
+    out.loss = core::bce_with_logits(
+        logits, core::Tensor::from_vector(std::move(targets), {g, 1}));
+    out.metrics["bce"] = out.loss.item();
+  } else {
+    out.loss = core::cross_entropy(logits, labels);
+    const auto pred = core::argmax_rows(logits);
+    for (std::int64_t i = 0; i < g; ++i) {
+      if (pred[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+    out.metrics["ce"] = out.loss.item();
+  }
+  out.metrics["loss"] = out.loss.item();
+  out.metrics["accuracy"] =
+      static_cast<double>(correct) / static_cast<double>(g);
+  out.count = g;
+  return out;
+}
+
+std::vector<std::int64_t> ClassificationTask::predict(
+    const data::Batch& batch) const {
+  core::NoGradGuard no_grad;
+  core::Tensor logits = head_->forward(encoder_->encode(batch));
+  if (binary_) {
+    std::vector<std::int64_t> pred(static_cast<std::size_t>(logits.size(0)));
+    for (std::int64_t i = 0; i < logits.size(0); ++i) {
+      pred[static_cast<std::size_t>(i)] = logits.at(i, 0) > 0.0f ? 1 : 0;
+    }
+    return pred;
+  }
+  return core::argmax_rows(logits);
+}
+
+}  // namespace matsci::tasks

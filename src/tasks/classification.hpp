@@ -1,0 +1,41 @@
+#pragma once
+
+#include "models/output_head.hpp"
+#include "tasks/task.hpp"
+
+namespace matsci::tasks {
+
+/// Multi-class classification over graph embeddings. Used for the
+/// symmetry-group pretraining objective (32 classes) and — in its binary
+/// form — the Materials Project stability label.
+///
+/// With num_classes == 2 and `binary = true` the head emits a single
+/// logit trained with binary cross-entropy, matching the paper's
+/// "stability corresponds to the binary cross-entropy error".
+class ClassificationTask : public Task {
+ public:
+  ClassificationTask(std::shared_ptr<models::Encoder> encoder,
+                     std::string target_key, std::int64_t num_classes,
+                     models::OutputHeadConfig head_cfg, core::RngEngine& rng,
+                     bool binary = false);
+
+  TaskOutput step(const data::Batch& batch) const override;
+  std::shared_ptr<models::Encoder> encoder() const override {
+    return encoder_;
+  }
+
+  /// Predicted class per graph (argmax / thresholded logit).
+  std::vector<std::int64_t> predict(const data::Batch& batch) const;
+
+  std::int64_t num_classes() const { return num_classes_; }
+  const std::string& target_key() const { return target_key_; }
+
+ private:
+  std::shared_ptr<models::Encoder> encoder_;
+  std::string target_key_;
+  std::int64_t num_classes_;
+  bool binary_;
+  std::shared_ptr<models::OutputHead> head_;
+};
+
+}  // namespace matsci::tasks

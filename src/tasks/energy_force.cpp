@@ -1,0 +1,107 @@
+#include "tasks/energy_force.hpp"
+
+#include <cmath>
+
+#include "core/graph_ops.hpp"
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::tasks {
+
+EnergyForceTask::EnergyForceTask(std::shared_ptr<models::Encoder> encoder,
+                                 std::string energy_key,
+                                 models::OutputHeadConfig head_cfg,
+                                 core::RngEngine& rng,
+                                 data::TargetStats stats)
+    : energy_key_(std::move(energy_key)), stats_(stats) {
+  MATSCI_CHECK(encoder != nullptr, "energy/force task needs an encoder");
+  MATSCI_CHECK(stats.stddev > 0.0f, "target stddev must be positive");
+  head_cfg.out_dim = 1;
+  encoder_ = register_module("encoder", std::move(encoder));
+  head_ = register_module(
+      "head", std::make_shared<models::OutputHead>(encoder_->embedding_dim(),
+                                                   head_cfg, rng));
+}
+
+core::Tensor EnergyForceTask::predict_forces(const data::Batch& batch) const {
+  // Force evaluation runs its own tape (also from inside NoGradGuard
+  // scopes) and must not disturb any gradients accumulated by training:
+  // snapshot parameter grads, run the coordinate backward, restore.
+  core::GradModeGuard grad_on(true);
+  const auto params = parameters();
+  std::vector<std::vector<float>> saved;
+  saved.reserve(params.size());
+  for (const core::Tensor& p : params) {
+    saved.push_back(p.impl()->grad);
+  }
+
+  data::Batch differentiable = batch;
+  core::Tensor coords = batch.coords.clone();
+  coords.set_requires_grad(true);
+  differentiable.coords = coords;
+
+  // Physical total energy: the "energy" label is per-atom, so the graph
+  // total is (ŷ·σ + μ)·n_atoms; its coordinate gradient is σ·∂(ŷ·n)/∂x.
+  core::Tensor energy_norm =
+      head_->forward(encoder_->encode(differentiable));  // [G, 1]
+  core::Tensor atom_counts = core::segment_counts(
+      batch.topology.node_graph, batch.topology.num_graphs);  // [G, 1]
+  core::sum(core::mul(energy_norm, atom_counts)).backward();
+
+  MATSCI_CHECK(coords.has_grad(),
+               "no coordinate gradient — encoder does not consume coords?");
+  core::Tensor forces =
+      core::mul_scalar(coords.grad(), -stats_.stddev);  // F = −∂E/∂x
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].impl()->grad = std::move(saved[i]);
+  }
+  return forces;
+}
+
+core::Tensor EnergyForceTask::predict_energy(const data::Batch& batch) const {
+  core::NoGradGuard no_grad;
+  core::Tensor pred = head_->forward(encoder_->encode(batch));
+  return core::add_scalar(core::mul_scalar(pred, stats_.stddev), stats_.mean);
+}
+
+TaskOutput EnergyForceTask::step(const data::Batch& batch) const {
+  auto it = batch.scalar_targets.find(energy_key_);
+  MATSCI_CHECK(it != batch.scalar_targets.end(),
+               "batch has no scalar target '" << energy_key_ << "'");
+  const core::Tensor& target_raw = it->second;
+
+  core::Tensor pred = head_->forward(encoder_->encode(batch));
+  core::Tensor target_norm = core::mul_scalar(
+      core::add_scalar(target_raw, -stats_.mean), 1.0f / stats_.stddev);
+
+  TaskOutput out;
+  out.loss = core::mse_loss(pred, target_norm);
+  out.count = pred.size(0);
+  out.metrics["loss"] = out.loss.item();
+
+  double mae = 0.0;
+  for (std::int64_t g = 0; g < pred.size(0); ++g) {
+    const double denorm =
+        static_cast<double>(pred.at(g, 0)) * stats_.stddev + stats_.mean;
+    mae += std::fabs(denorm - target_raw.at(g, 0));
+  }
+  out.metrics["energy_mae"] = mae / static_cast<double>(pred.size(0));
+
+  // Force error: evaluation-mode only (the backward below builds its own
+  // tape; during training it would waste a full extra backward per step).
+  if (!is_training() && batch.forces.defined()) {
+    const core::Tensor forces = predict_forces(batch);
+    double fmae = 0.0;
+    const std::int64_t n = forces.size(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t c = 0; c < 3; ++c) {
+        fmae += std::fabs(forces.at(i, c) - batch.forces.at(i, c));
+      }
+    }
+    out.metrics["force_mae"] = fmae / static_cast<double>(3 * n);
+  }
+  return out;
+}
+
+}  // namespace matsci::tasks

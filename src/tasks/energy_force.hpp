@@ -1,0 +1,47 @@
+#pragma once
+
+#include "data/transforms.hpp"
+#include "models/output_head.hpp"
+#include "tasks/task.hpp"
+
+namespace matsci::tasks {
+
+/// Learned interatomic potential over trajectory data (the LiPS-style
+/// "time-dependent dynamics with energy/force labels" workload, §3.1):
+/// the head regresses per-structure energy; predicted forces are the
+/// negative gradient of the summed energy with respect to atomic
+/// coordinates, obtained by running the autograd tape back to the
+/// coordinate input.
+///
+/// Training optimizes the energy loss only (force-matching would need
+/// gradients *of* gradients — second-order autodiff — which the tape
+/// does not implement; documented in DESIGN.md). Force MAE against the
+/// labels is reported as an evaluation metric whenever the batch carries
+/// forces and the module is in eval mode.
+class EnergyForceTask : public Task {
+ public:
+  EnergyForceTask(std::shared_ptr<models::Encoder> encoder,
+                  std::string energy_key, models::OutputHeadConfig head_cfg,
+                  core::RngEngine& rng, data::TargetStats stats = {});
+
+  TaskOutput step(const data::Batch& batch) const override;
+  std::shared_ptr<models::Encoder> encoder() const override {
+    return encoder_;
+  }
+
+  /// Predicted forces [num_nodes, 3] in physical units (eV/Å):
+  /// F = −∂E_total/∂x via autograd. Leaves no gradients behind on the
+  /// module parameters.
+  core::Tensor predict_forces(const data::Batch& batch) const;
+
+  /// Denormalized energy predictions [G, 1].
+  core::Tensor predict_energy(const data::Batch& batch) const;
+
+ private:
+  std::shared_ptr<models::Encoder> encoder_;
+  std::string energy_key_;
+  std::shared_ptr<models::OutputHead> head_;
+  data::TargetStats stats_;
+};
+
+}  // namespace matsci::tasks

@@ -1,0 +1,115 @@
+#include "tasks/metrics.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::tasks {
+
+namespace {
+void check_lengths(std::size_t a, std::size_t b, const char* name) {
+  MATSCI_CHECK(a == b, name << ": length mismatch " << a << " vs " << b);
+  MATSCI_CHECK(a > 0, name << ": empty input");
+}
+}  // namespace
+
+double mean_absolute_error(std::span<const float> pred,
+                           std::span<const float> target) {
+  check_lengths(pred.size(), target.size(), "mean_absolute_error");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    acc += std::fabs(static_cast<double>(pred[i]) - target[i]);
+  }
+  return acc / static_cast<double>(pred.size());
+}
+
+double root_mean_squared_error(std::span<const float> pred,
+                               std::span<const float> target) {
+  check_lengths(pred.size(), target.size(), "root_mean_squared_error");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+double r2_score(std::span<const float> pred, std::span<const float> target) {
+  check_lengths(pred.size(), target.size(), "r2_score");
+  double mean = 0.0;
+  for (const float t : target) mean += t;
+  mean /= static_cast<double>(target.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = static_cast<double>(target[i]) - pred[i];
+    const double d = static_cast<double>(target[i]) - mean;
+    ss_res += r * r;
+    ss_tot += d * d;
+  }
+  MATSCI_CHECK(ss_tot > 1e-12, "r2_score: constant target");
+  return 1.0 - ss_res / ss_tot;
+}
+
+double pearson_correlation(std::span<const float> pred,
+                           std::span<const float> target) {
+  check_lengths(pred.size(), target.size(), "pearson_correlation");
+  const double n = static_cast<double>(pred.size());
+  double mp = 0.0, mt = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    mp += pred[i];
+    mt += target[i];
+  }
+  mp /= n;
+  mt /= n;
+  double cov = 0.0, vp = 0.0, vt = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double dp = pred[i] - mp;
+    const double dt = target[i] - mt;
+    cov += dp * dt;
+    vp += dp * dp;
+    vt += dt * dt;
+  }
+  MATSCI_CHECK(vp > 1e-12 && vt > 1e-12,
+               "pearson_correlation: constant input");
+  return cov / std::sqrt(vp * vt);
+}
+
+double ConfusionCounts::accuracy() const {
+  MATSCI_CHECK(total() > 0, "confusion counts are empty");
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(total());
+}
+
+double ConfusionCounts::precision() const {
+  const std::int64_t denom = true_positive + false_positive;
+  return denom > 0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double ConfusionCounts::recall() const {
+  const std::int64_t denom = true_positive + false_negative;
+  return denom > 0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double ConfusionCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ConfusionCounts confusion_counts(std::span<const std::int64_t> pred,
+                                 std::span<const std::int64_t> target) {
+  check_lengths(pred.size(), target.size(), "confusion_counts");
+  ConfusionCounts c;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    MATSCI_CHECK((pred[i] == 0 || pred[i] == 1) &&
+                     (target[i] == 0 || target[i] == 1),
+                 "confusion_counts expects {0,1} labels");
+    if (pred[i] == 1 && target[i] == 1) ++c.true_positive;
+    if (pred[i] == 0 && target[i] == 0) ++c.true_negative;
+    if (pred[i] == 1 && target[i] == 0) ++c.false_positive;
+    if (pred[i] == 0 && target[i] == 1) ++c.false_negative;
+  }
+  return c;
+}
+
+}  // namespace matsci::tasks

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace matsci::tasks {
+
+/// Standalone evaluation metrics over prediction/target arrays —
+/// the quantities MatBench-style leaderboards report alongside MAE.
+/// All functions validate matching lengths and throw on empty input.
+
+double mean_absolute_error(std::span<const float> pred,
+                           std::span<const float> target);
+double root_mean_squared_error(std::span<const float> pred,
+                               std::span<const float> target);
+/// Coefficient of determination; 1 = perfect, 0 = predicting the mean,
+/// negative = worse than the mean.
+double r2_score(std::span<const float> pred, std::span<const float> target);
+/// Pearson correlation coefficient.
+double pearson_correlation(std::span<const float> pred,
+                           std::span<const float> target);
+
+/// Binary classification counts from {0,1} labels.
+struct ConfusionCounts {
+  std::int64_t true_positive = 0;
+  std::int64_t true_negative = 0;
+  std::int64_t false_positive = 0;
+  std::int64_t false_negative = 0;
+
+  std::int64_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;  ///< 0 when undefined (no positive predictions)
+  double recall() const;     ///< 0 when undefined (no positive labels)
+  double f1() const;         ///< harmonic mean; 0 when undefined
+};
+
+ConfusionCounts confusion_counts(std::span<const std::int64_t> pred,
+                                 std::span<const std::int64_t> target);
+
+}  // namespace matsci::tasks

@@ -1,0 +1,142 @@
+#include "tasks/multitask.hpp"
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+
+namespace matsci::tasks {
+
+MultiTaskModule::MultiTaskModule(std::shared_ptr<models::Encoder> encoder,
+                                 models::OutputHeadConfig head_cfg,
+                                 std::uint64_t seed)
+    : head_cfg_(head_cfg), rng_(seed) {
+  MATSCI_CHECK(encoder != nullptr, "multitask module needs an encoder");
+  encoder_ = register_module("encoder", std::move(encoder));
+}
+
+void MultiTaskModule::add_spec(std::int64_t dataset_id, Kind kind,
+                               const std::string& target_key,
+                               data::TargetStats stats, std::int64_t out_dim,
+                               const std::string& label) {
+  for (const Spec& s : specs_) {
+    MATSCI_CHECK(s.label != label, "duplicate task label '" << label << "'");
+  }
+  models::OutputHeadConfig cfg = head_cfg_;
+  cfg.out_dim = out_dim;
+  Spec spec;
+  spec.dataset_id = dataset_id;
+  spec.kind = kind;
+  spec.target_key = target_key;
+  spec.label = label;
+  spec.stats = stats;
+  spec.head = register_module(
+      "head_" + label,
+      std::make_shared<models::OutputHead>(encoder_->embedding_dim(), cfg,
+                                           rng_));
+  specs_.push_back(std::move(spec));
+}
+
+void MultiTaskModule::add_regression(std::int64_t dataset_id,
+                                     const std::string& target_key,
+                                     data::TargetStats stats,
+                                     const std::string& label) {
+  MATSCI_CHECK(stats.stddev > 0.0f, "target stddev must be positive");
+  add_spec(dataset_id, Kind::kRegression, target_key, stats, 1, label);
+}
+
+void MultiTaskModule::add_binary_classification(std::int64_t dataset_id,
+                                                const std::string& target_key,
+                                                const std::string& label) {
+  add_spec(dataset_id, Kind::kBinary, target_key, {}, 1, label);
+}
+
+void MultiTaskModule::add_classification(std::int64_t dataset_id,
+                                         const std::string& target_key,
+                                         std::int64_t num_classes,
+                                         const std::string& label) {
+  MATSCI_CHECK(num_classes >= 2, "need at least two classes");
+  add_spec(dataset_id, Kind::kMulticlass, target_key, {}, num_classes, label);
+}
+
+TaskOutput MultiTaskModule::step(const data::Batch& batch) const {
+  // Encode once; every matching head consumes the same embedding, which
+  // is precisely how the encoder pools gradients across targets.
+  core::Tensor emb;
+  TaskOutput out;
+  out.count = batch.num_graphs();
+  const std::int64_t g = batch.num_graphs();
+
+  for (const Spec& spec : specs_) {
+    if (spec.dataset_id != batch.dataset_id) continue;
+    if (!emb.defined()) {
+      emb = encoder_->encode(batch);
+    }
+    core::Tensor pred = spec.head->forward(emb);
+    core::Tensor task_loss;
+    switch (spec.kind) {
+      case Kind::kRegression: {
+        auto it = batch.scalar_targets.find(spec.target_key);
+        MATSCI_CHECK(it != batch.scalar_targets.end(),
+                     "batch lacks scalar target '" << spec.target_key << "'");
+        core::Tensor target_norm = core::mul_scalar(
+            core::add_scalar(it->second, -spec.stats.mean),
+            1.0f / spec.stats.stddev);
+        task_loss = core::mse_loss(pred, target_norm);
+        double mae = 0.0;
+        for (std::int64_t i = 0; i < g; ++i) {
+          const double denorm =
+              static_cast<double>(pred.at(i, 0)) * spec.stats.stddev +
+              spec.stats.mean;
+          mae += std::fabs(denorm - it->second.at(i, 0));
+        }
+        out.metrics[spec.label + "/mae"] = mae / static_cast<double>(g);
+        break;
+      }
+      case Kind::kBinary: {
+        auto it = batch.class_targets.find(spec.target_key);
+        MATSCI_CHECK(it != batch.class_targets.end(),
+                     "batch lacks class target '" << spec.target_key << "'");
+        std::vector<float> targets(static_cast<std::size_t>(g));
+        std::int64_t correct = 0;
+        for (std::int64_t i = 0; i < g; ++i) {
+          const std::int64_t y = it->second[static_cast<std::size_t>(i)];
+          targets[static_cast<std::size_t>(i)] = static_cast<float>(y);
+          if ((pred.at(i, 0) > 0.0f) == (y == 1)) ++correct;
+        }
+        task_loss = core::bce_with_logits(
+            pred, core::Tensor::from_vector(std::move(targets), {g, 1}));
+        out.metrics[spec.label + "/bce"] = task_loss.item();
+        out.metrics[spec.label + "/accuracy"] =
+            static_cast<double>(correct) / static_cast<double>(g);
+        break;
+      }
+      case Kind::kMulticlass: {
+        auto it = batch.class_targets.find(spec.target_key);
+        MATSCI_CHECK(it != batch.class_targets.end(),
+                     "batch lacks class target '" << spec.target_key << "'");
+        task_loss = core::cross_entropy(pred, it->second);
+        const auto hard = core::argmax_rows(pred);
+        std::int64_t correct = 0;
+        for (std::int64_t i = 0; i < g; ++i) {
+          if (hard[static_cast<std::size_t>(i)] ==
+              it->second[static_cast<std::size_t>(i)]) {
+            ++correct;
+          }
+        }
+        out.metrics[spec.label + "/ce"] = task_loss.item();
+        out.metrics[spec.label + "/accuracy"] =
+            static_cast<double>(correct) / static_cast<double>(g);
+        break;
+      }
+    }
+    out.loss = out.loss.defined() ? core::add(out.loss, task_loss)
+                                  : task_loss;
+  }
+  MATSCI_CHECK(out.loss.defined(),
+               "no task head registered for dataset id " << batch.dataset_id);
+  out.metrics["loss"] = out.loss.item();
+  return out;
+}
+
+}  // namespace matsci::tasks

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "data/transforms.hpp"
+#include "models/output_head.hpp"
+#include "tasks/task.hpp"
+
+namespace matsci::tasks {
+
+/// Multi-task, multi-dataset learner (paper §3.2 and Table 1): one joint
+/// encoder shared across every registered target, one output head per
+/// (dataset, target). A batch — always single-dataset — is routed to all
+/// heads registered for its dataset id; their losses are summed, so the
+/// encoder receives gradients from every target type while each head
+/// only ever sees its own dataset.
+class MultiTaskModule : public Task {
+ public:
+  MultiTaskModule(std::shared_ptr<models::Encoder> encoder,
+                  models::OutputHeadConfig head_cfg, std::uint64_t seed);
+
+  /// Register a scalar-regression target; `label` prefixes metric names
+  /// (e.g. "mp/band_gap" → metric "mp/band_gap/mae").
+  void add_regression(std::int64_t dataset_id, const std::string& target_key,
+                      data::TargetStats stats, const std::string& label);
+
+  /// Register a binary (BCE) classification target.
+  void add_binary_classification(std::int64_t dataset_id,
+                                 const std::string& target_key,
+                                 const std::string& label);
+
+  /// Register a multi-class (CE) classification target.
+  void add_classification(std::int64_t dataset_id,
+                          const std::string& target_key,
+                          std::int64_t num_classes, const std::string& label);
+
+  TaskOutput step(const data::Batch& batch) const override;
+  std::shared_ptr<models::Encoder> encoder() const override {
+    return encoder_;
+  }
+
+  std::int64_t num_heads() const {
+    return static_cast<std::int64_t>(specs_.size());
+  }
+
+ private:
+  enum class Kind { kRegression, kBinary, kMulticlass };
+  struct Spec {
+    std::int64_t dataset_id;
+    Kind kind;
+    std::string target_key;
+    std::string label;
+    data::TargetStats stats;
+    std::shared_ptr<models::OutputHead> head;
+  };
+
+  void add_spec(std::int64_t dataset_id, Kind kind,
+                const std::string& target_key, data::TargetStats stats,
+                std::int64_t out_dim, const std::string& label);
+
+  std::shared_ptr<models::Encoder> encoder_;
+  models::OutputHeadConfig head_cfg_;
+  core::RngEngine rng_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace matsci::tasks

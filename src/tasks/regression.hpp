@@ -1,0 +1,43 @@
+#pragma once
+
+#include "data/transforms.hpp"
+#include "models/output_head.hpp"
+#include "tasks/task.hpp"
+
+namespace matsci::tasks {
+
+enum class RegressionLoss { kMSE, kL1, kHuber };
+
+/// Single-target scalar regression (e.g. Materials Project band gap,
+/// Fig. 5). The target is z-normalized with `stats` before the loss;
+/// the reported "mae" metric is denormalized back to physical units so
+/// it is comparable to the paper's eV numbers.
+class ScalarRegressionTask : public Task {
+ public:
+  ScalarRegressionTask(std::shared_ptr<models::Encoder> encoder,
+                       std::string target_key,
+                       models::OutputHeadConfig head_cfg,
+                       core::RngEngine& rng,
+                       data::TargetStats stats = {},
+                       RegressionLoss loss = RegressionLoss::kMSE);
+
+  TaskOutput step(const data::Batch& batch) const override;
+  std::shared_ptr<models::Encoder> encoder() const override {
+    return encoder_;
+  }
+
+  /// Denormalized predictions for a batch (inference helper).
+  core::Tensor predict(const data::Batch& batch) const;
+
+  const std::string& target_key() const { return target_key_; }
+  const data::TargetStats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<models::Encoder> encoder_;
+  std::string target_key_;
+  std::shared_ptr<models::OutputHead> head_;
+  data::TargetStats stats_;
+  RegressionLoss loss_;
+};
+
+}  // namespace matsci::tasks

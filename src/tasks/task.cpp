@@ -1,0 +1,38 @@
+#include "tasks/task.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::tasks {
+
+void MetricAccumulator::add(const TaskOutput& out) {
+  const double w = static_cast<double>(out.count);
+  for (const auto& [key, value] : out.metrics) {
+    auto& [sum, weight] = sums_[key];
+    sum += value * w;
+    weight += w;
+  }
+}
+
+double MetricAccumulator::mean(const std::string& key) const {
+  auto it = sums_.find(key);
+  MATSCI_CHECK(it != sums_.end() && it->second.second > 0.0,
+               "metric '" << key << "' was never recorded");
+  return it->second.first / it->second.second;
+}
+
+bool MetricAccumulator::has(const std::string& key) const {
+  auto it = sums_.find(key);
+  return it != sums_.end() && it->second.second > 0.0;
+}
+
+std::map<std::string, double> MetricAccumulator::means() const {
+  std::map<std::string, double> out;
+  for (const auto& [key, sw] : sums_) {
+    if (sw.second > 0.0) out[key] = sw.first / sw.second;
+  }
+  return out;
+}
+
+void MetricAccumulator::reset() { sums_.clear(); }
+
+}  // namespace matsci::tasks

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/batch.hpp"
+#include "models/encoder.hpp"
+
+namespace matsci::tasks {
+
+/// Result of one task step: the differentiable loss plus scalar metrics
+/// (already detached) for logging. `count` is the number of graphs the
+/// metrics average over, so epoch aggregation can weight correctly.
+struct TaskOutput {
+  core::Tensor loss;  ///< scalar, connected to the autograd tape
+  std::map<std::string, double> metrics;
+  std::int64_t count = 0;
+};
+
+/// A learning objective bound to an encoder (paper §3.2): the encoder
+/// ingests a graph/point-cloud batch and emits embeddings; one or more
+/// output heads map embeddings to targets. Tasks are nn::Modules so the
+/// optimizer sees encoder + head parameters through one tree.
+class Task : public nn::Module {
+ public:
+  /// Forward + loss on one batch. Training/eval behaviour (dropout)
+  /// follows the module train/eval mode.
+  virtual TaskOutput step(const data::Batch& batch) const = 0;
+
+  /// The shared encoder (used for checkpoint surgery in fine-tuning).
+  virtual std::shared_ptr<models::Encoder> encoder() const = 0;
+};
+
+/// Accumulates TaskOutputs into per-metric weighted means.
+class MetricAccumulator {
+ public:
+  void add(const TaskOutput& out);
+  /// Weighted mean of a metric (throws if never observed).
+  double mean(const std::string& key) const;
+  bool has(const std::string& key) const;
+  std::map<std::string, double> means() const;
+  void reset();
+
+ private:
+  std::map<std::string, std::pair<double, double>> sums_;  // sum, weight
+};
+
+}  // namespace matsci::tasks

@@ -1,0 +1,55 @@
+#include "train/checkpoint.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::train {
+
+namespace {
+constexpr const char* kOptimPrefix = "__optim__/";
+constexpr const char* kEpochKey = "__meta__/epoch";
+}  // namespace
+
+void save_training_checkpoint(const std::string& path,
+                              const nn::Module& model,
+                              const optim::Optimizer& opt,
+                              std::int64_t epoch) {
+  nn::StateDict combined = nn::state_dict(model);
+  for (const auto& [key, values] : opt.export_state()) {
+    // Optimizer buffers may be empty before the first step; store a
+    // zero-length marker row so import can distinguish "unset" cleanly.
+    combined[std::string(kOptimPrefix) + key] = core::Tensor::from_vector(
+        values, {static_cast<std::int64_t>(values.size())});
+  }
+  combined[kEpochKey] = core::Tensor::scalar(static_cast<float>(epoch));
+  nn::save_state_dict(combined, path);
+}
+
+TrainingCheckpoint load_training_checkpoint(const std::string& path) {
+  const nn::StateDict combined = nn::load_state_dict_file(path);
+  TrainingCheckpoint ckpt;
+  const std::string optim_prefix = kOptimPrefix;
+  for (const auto& [key, tensor] : combined) {
+    if (key == kEpochKey) {
+      ckpt.epoch = static_cast<std::int64_t>(tensor.item());
+    } else if (key.rfind(optim_prefix, 0) == 0) {
+      const float* p = tensor.data();
+      ckpt.optimizer[key.substr(optim_prefix.size())] =
+          std::vector<float>(p, p + tensor.numel());
+    } else {
+      ckpt.model[key] = tensor;
+    }
+  }
+  MATSCI_CHECK(combined.count(kEpochKey),
+               "not a training checkpoint (no epoch record): " << path);
+  return ckpt;
+}
+
+std::int64_t resume_training(const std::string& path, nn::Module& model,
+                             optim::Optimizer& opt) {
+  const TrainingCheckpoint ckpt = load_training_checkpoint(path);
+  nn::load_into_module(model, ckpt.model, /*strict=*/true);
+  opt.import_state(ckpt.optimizer);
+  return ckpt.epoch;
+}
+
+}  // namespace matsci::train

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/serialize.hpp"
+#include "optim/optimizer.hpp"
+
+namespace matsci::train {
+
+/// A full training snapshot: model parameters, optimizer buffers, and
+/// loop position — enough to resume training bit-exactly (the Lightning
+/// "resume_from_checkpoint" workflow). Stored in the same binary
+/// container as plain model checkpoints; optimizer entries live under a
+/// reserved "__optim__/" prefix and loop metadata under "__meta__/".
+struct TrainingCheckpoint {
+  nn::StateDict model;
+  optim::OptimizerState optimizer;
+  std::int64_t epoch = 0;
+};
+
+void save_training_checkpoint(const std::string& path, const nn::Module& model,
+                              const optim::Optimizer& opt,
+                              std::int64_t epoch);
+
+TrainingCheckpoint load_training_checkpoint(const std::string& path);
+
+/// Restore model + optimizer in place; returns the stored epoch.
+std::int64_t resume_training(const std::string& path, nn::Module& model,
+                             optim::Optimizer& opt);
+
+}  // namespace matsci::train

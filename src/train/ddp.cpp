@@ -1,0 +1,131 @@
+#include "train/ddp.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "core/macros.hpp"
+
+namespace matsci::train {
+
+std::vector<float> flatten_grads(const std::vector<core::Tensor>& params) {
+  std::vector<float> flat;
+  for (core::Tensor p : params) {
+    auto g = p.grad_span();  // materializes zeros when absent
+    flat.insert(flat.end(), g.begin(), g.end());
+  }
+  return flat;
+}
+
+void unflatten_grads(const std::vector<float>& flat,
+                     std::vector<core::Tensor>& params) {
+  std::size_t off = 0;
+  for (core::Tensor& p : params) {
+    auto g = p.grad_span();
+    MATSCI_CHECK(off + g.size() <= flat.size(),
+                 "unflatten_grads: buffer too small");
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + g.size()),
+              g.begin());
+    off += g.size();
+  }
+  MATSCI_CHECK(off == flat.size(), "unflatten_grads: buffer size mismatch");
+}
+
+DDPResult DDPTrainer::fit(const Factory& factory, const DDPOptions& opts) {
+  MATSCI_CHECK(opts.world_size >= 1, "world_size must be >= 1");
+  MATSCI_CHECK(opts.max_epochs >= 1, "max_epochs must be >= 1");
+
+  DDPResult result;
+  std::mutex result_mu;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  comm::run_ranks(opts.world_size, [&](comm::Communicator& comm) {
+    const std::int64_t rank = comm.rank();
+    RankContext ctx = factory(rank, comm.world_size());
+    MATSCI_CHECK(ctx.task && ctx.optimizer && ctx.train_loader,
+                 "rank factory must provide task, optimizer, train loader");
+
+    // Synchronize initial parameters: rank 0 is the source of truth.
+    auto params = ctx.task->parameters();
+    for (core::Tensor& p : params) {
+      comm.broadcast(p.span(), /*root=*/0);
+    }
+
+    double local_samples = 0.0;
+    std::int64_t local_steps = 0;
+
+    for (std::int64_t epoch = 0; epoch < opts.max_epochs; ++epoch) {
+      ctx.task->train(true);
+      ctx.train_loader->set_epoch(epoch);
+
+      // Lockstep batch count: every rank runs the minimum shard length.
+      const double nb_min = -comm.allreduce_scalar_max(
+          -static_cast<double>(ctx.train_loader->num_batches()));
+      const std::int64_t num_batches = static_cast<std::int64_t>(nb_min);
+
+      tasks::MetricAccumulator train_acc;
+      for (std::int64_t b = 0; b < num_batches; ++b) {
+        data::Batch batch = ctx.train_loader->batch(b);
+        ctx.optimizer->zero_grad();
+        tasks::TaskOutput out = ctx.task->step(batch);
+        out.loss.backward();
+        train_acc.add(out);
+        local_samples += static_cast<double>(batch.num_graphs());
+
+        // The defining DDP collective: average gradients across ranks.
+        std::vector<float> flat = flatten_grads(params);
+        comm.allreduce_mean(flat);
+        unflatten_grads(flat, params);
+
+        if (opts.grad_clip > 0.0) {
+          ctx.optimizer->clip_grad_norm(opts.grad_clip);
+        }
+        ctx.optimizer->step();
+        ++local_steps;
+      }
+
+      // Mean training loss across ranks for the epoch record.
+      const double loss_mean =
+          comm.allreduce_scalar_sum(
+              train_acc.has("loss") ? train_acc.mean("loss") : 0.0) /
+          static_cast<double>(comm.world_size());
+
+      if (rank == 0) {
+        EpochStats stats;
+        stats.epoch = epoch;
+        stats.lr = ctx.optimizer->lr();
+        stats.train = train_acc.means();
+        stats.train["loss"] = loss_mean;
+        if (ctx.val_loader) {
+          stats.val = Trainer::evaluate(*ctx.task, *ctx.val_loader);
+        }
+        if (opts.verbose) {
+          std::printf("[ddp %lld ranks] epoch %3lld  train_loss %.5f\n",
+                      static_cast<long long>(comm.world_size()),
+                      static_cast<long long>(epoch), loss_mean);
+        }
+        std::lock_guard<std::mutex> lock(result_mu);
+        result.epochs.push_back(std::move(stats));
+      }
+      if (ctx.scheduler) {
+        ctx.scheduler->epoch_step();
+      }
+      comm.barrier();
+    }
+
+    const double all_samples = comm.allreduce_scalar_sum(local_samples);
+    if (rank == 0) {
+      std::lock_guard<std::mutex> lock(result_mu);
+      result.total_samples = all_samples;
+      result.total_steps = local_steps;
+    }
+  });
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace matsci::train

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "comm/communicator.hpp"
+#include "train/trainer.hpp"
+
+namespace matsci::train {
+
+/// Everything one DDP rank needs. Built by a user factory per rank;
+/// parameters are broadcast from rank 0 before training, so factories
+/// need not produce bit-identical initializations.
+struct RankContext {
+  std::unique_ptr<tasks::Task> task;
+  std::unique_ptr<optim::Optimizer> optimizer;
+  std::unique_ptr<optim::LRScheduler> scheduler;  ///< optional
+  std::unique_ptr<data::DataLoader> train_loader;
+  std::unique_ptr<data::DataLoader> val_loader;  ///< used on rank 0 only
+};
+
+struct DDPOptions {
+  std::int64_t world_size = 2;
+  std::int64_t max_epochs = 1;
+  double grad_clip = 0.0;
+  bool verbose = false;
+};
+
+struct DDPResult {
+  std::vector<EpochStats> epochs;  ///< rank-0 validation, mean train loss
+  std::int64_t total_steps = 0;
+  double total_samples = 0.0;  ///< across all ranks
+  double wall_seconds = 0.0;
+  double samples_per_second() const {
+    return wall_seconds > 0.0 ? total_samples / wall_seconds : 0.0;
+  }
+};
+
+/// Thread-backed synchronous data-parallel trainer (paper §4.2): each
+/// rank owns a model replica and a disjoint data shard; gradients are
+/// averaged with an allreduce every step, so all replicas stay identical.
+/// Functionally equivalent to torch DDP over MPI ranks.
+class DDPTrainer {
+ public:
+  using Factory =
+      std::function<RankContext(std::int64_t rank, std::int64_t world_size)>;
+
+  DDPResult fit(const Factory& factory, const DDPOptions& opts);
+};
+
+/// Flatten all parameter gradients into one contiguous buffer (the DDP
+/// "bucket"), and scatter it back. Exposed for tests.
+std::vector<float> flatten_grads(const std::vector<core::Tensor>& params);
+void unflatten_grads(const std::vector<float>& flat,
+                     std::vector<core::Tensor>& params);
+
+}  // namespace matsci::train

@@ -1,0 +1,100 @@
+#include "train/logging.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "core/macros.hpp"
+
+namespace matsci::train {
+
+void MetricsLogger::log(std::int64_t step, const std::string& key,
+                        double value) {
+  if (!records_.empty() && records_.back().step == step) {
+    records_.back().values[key] = value;
+    return;
+  }
+  records_.push_back({step, {{key, value}}});
+}
+
+void MetricsLogger::log(std::int64_t step,
+                        const std::map<std::string, double>& values) {
+  for (const auto& [key, value] : values) {
+    log(step, key, value);
+  }
+}
+
+std::vector<std::pair<std::int64_t, double>> MetricsLogger::series(
+    const std::string& key) const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  for (const Record& r : records_) {
+    auto it = r.values.find(key);
+    if (it != r.values.end()) {
+      out.emplace_back(r.step, it->second);
+    }
+  }
+  return out;
+}
+
+double MetricsLogger::last(const std::string& key) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    auto v = it->values.find(key);
+    if (v != it->values.end()) return v->second;
+  }
+  MATSCI_CHECK(false, "no records for metric '" << key << "'");
+  return 0.0;  // unreachable
+}
+
+void MetricsLogger::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  MATSCI_CHECK(os.is_open(), "cannot open '" << path << "' for writing");
+  std::set<std::string> keys;
+  for (const Record& r : records_) {
+    for (const auto& [k, _] : r.values) keys.insert(k);
+  }
+  os << "step";
+  for (const std::string& k : keys) os << "," << k;
+  os << "\n";
+  for (const Record& r : records_) {
+    os << r.step;
+    for (const std::string& k : keys) {
+      os << ",";
+      auto it = r.values.find(k);
+      if (it != r.values.end()) os << it->second;
+    }
+    os << "\n";
+  }
+}
+
+std::string MetricsLogger::format_table(const std::vector<std::string>& keys,
+                                        const std::string& step_label) const {
+  std::ostringstream os;
+  os << std::setw(10) << step_label;
+  for (const std::string& k : keys) os << std::setw(18) << k;
+  os << "\n";
+  for (const Record& r : records_) {
+    bool any = false;
+    for (const std::string& k : keys) {
+      if (r.values.count(k)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    os << std::setw(10) << r.step;
+    for (const std::string& k : keys) {
+      auto it = r.values.find(k);
+      if (it != r.values.end()) {
+        os << std::setw(18) << std::fixed << std::setprecision(5)
+           << it->second;
+      } else {
+        os << std::setw(18) << "-";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace matsci::train

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace matsci::train {
+
+/// Step/epoch-keyed metric recorder with CSV export — the toolkit's
+/// stand-in for a Lightning logger. Each record is (step, {key: value});
+/// keys may vary between records (sparse columns are written empty).
+class MetricsLogger {
+ public:
+  void log(std::int64_t step, const std::string& key, double value);
+  void log(std::int64_t step, const std::map<std::string, double>& values);
+
+  std::size_t num_records() const { return records_.size(); }
+
+  /// All (step, value) points for one key, in insertion order.
+  std::vector<std::pair<std::int64_t, double>> series(
+      const std::string& key) const;
+
+  /// Last logged value for a key (throws if absent).
+  double last(const std::string& key) const;
+
+  /// Write all records as CSV (sorted united header).
+  void write_csv(const std::string& path) const;
+
+  /// Render a fixed-width text table of selected keys, one row per step
+  /// that has at least one of them — used by benches to print the same
+  /// series the paper plots.
+  std::string format_table(const std::vector<std::string>& keys,
+                           const std::string& step_label = "step") const;
+
+ private:
+  struct Record {
+    std::int64_t step;
+    std::map<std::string, double> values;
+  };
+  std::vector<Record> records_;
+};
+
+}  // namespace matsci::train

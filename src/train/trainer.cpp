@@ -1,0 +1,143 @@
+#include "train/trainer.hpp"
+
+#include <chrono>
+#include <limits>
+#include <cstdio>
+
+#include "core/macros.hpp"
+
+namespace matsci::train {
+
+Trainer::Trainer(TrainerOptions opts) : opts_(opts) {
+  MATSCI_CHECK(opts.max_epochs >= 1, "max_epochs must be >= 1");
+  MATSCI_CHECK(opts.accumulate_batches >= 1,
+               "accumulate_batches must be >= 1");
+}
+
+std::map<std::string, double> Trainer::evaluate(const tasks::Task& task,
+                                                data::DataLoader& loader,
+                                                std::int64_t max_batches) {
+  core::NoGradGuard no_grad;
+  const bool was_training = task.is_training();
+  const_cast<tasks::Task&>(task).train(false);
+
+  tasks::MetricAccumulator acc;
+  const std::int64_t n = loader.num_batches();
+  const std::int64_t limit =
+      max_batches > 0 ? std::min(max_batches, n) : n;
+  for (std::int64_t b = 0; b < limit; ++b) {
+    acc.add(task.step(loader.batch(b)));
+  }
+  const_cast<tasks::Task&>(task).train(was_training);
+  return acc.means();
+}
+
+FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
+                       data::DataLoader* val_loader, optim::Optimizer& opt,
+                       optim::LRScheduler* scheduler,
+                       const EpochCallback& on_epoch) {
+  MATSCI_CHECK(opts_.early_stopping_patience == 0 || val_loader != nullptr,
+               "early stopping requires a validation loader");
+  FitResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  double best_metric = std::numeric_limits<double>::infinity();
+  std::int64_t epochs_without_improvement = 0;
+
+  for (std::int64_t epoch = 0; epoch < opts_.max_epochs; ++epoch) {
+    task.train(true);
+    train_loader.set_epoch(epoch);
+    tasks::MetricAccumulator train_acc;
+
+    const std::int64_t num_batches = train_loader.num_batches();
+    std::int64_t accumulated = 0;
+    opt.zero_grad();
+
+    for (std::int64_t b = 0; b < num_batches; ++b) {
+      data::Batch batch = train_loader.batch(b);
+      tasks::TaskOutput out = task.step(batch);
+      out.loss.backward();
+      train_acc.add(out);
+      result.total_samples += static_cast<double>(batch.num_graphs());
+      ++accumulated;
+
+      const bool flush =
+          accumulated == opts_.accumulate_batches || b + 1 == num_batches;
+      if (!flush) continue;
+
+      if (accumulated > 1) {
+        // Average, matching synchronous-DDP gradient semantics.
+        const float inv = 1.0f / static_cast<float>(accumulated);
+        for (core::Tensor p : opt.params()) {  // cheap handle copy
+          if (!p.has_grad()) continue;
+          for (float& g : p.grad_span()) g *= inv;
+        }
+      }
+      if (opts_.grad_clip > 0.0) {
+        opt.clip_grad_norm(opts_.grad_clip);
+      }
+      opt.step();
+      opt.zero_grad();
+      accumulated = 0;
+      ++result.total_steps;
+
+      if (opts_.validate_every_steps > 0 && val_loader != nullptr &&
+          result.total_steps % opts_.validate_every_steps == 0) {
+        result.step_validation.emplace_back(
+            result.total_steps,
+            evaluate(task, *val_loader, opts_.step_val_max_batches));
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.lr = opt.lr();
+    stats.train = train_acc.means();
+    if (val_loader != nullptr) {
+      stats.val = evaluate(task, *val_loader);
+    }
+    if (scheduler != nullptr) {
+      scheduler->epoch_step();
+    }
+    if (opts_.verbose) {
+      std::printf("epoch %3lld  lr %.3e  train_loss %.5f",
+                  static_cast<long long>(epoch), stats.lr,
+                  stats.train.count("loss") ? stats.train.at("loss") : 0.0);
+      if (stats.val.count("loss")) {
+        std::printf("  val_loss %.5f", stats.val.at("loss"));
+      }
+      std::printf("\n");
+    }
+    if (on_epoch) on_epoch(stats);
+    result.epochs.push_back(std::move(stats));
+
+    if (opts_.early_stopping_patience > 0) {
+      const std::map<std::string, double>& val_metrics =
+          result.epochs.back().val;
+      auto it = val_metrics.find(opts_.early_stopping_metric);
+      MATSCI_CHECK(it != val_metrics.end(),
+                   "early stopping metric '" << opts_.early_stopping_metric
+                                             << "' not in validation metrics");
+      if (it->second < best_metric) {
+        best_metric = it->second;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >=
+                 opts_.early_stopping_patience) {
+        if (opts_.verbose) {
+          std::printf("early stopping at epoch %lld (no %s improvement "
+                      "for %lld epochs)\n",
+                      static_cast<long long>(epoch),
+                      opts_.early_stopping_metric.c_str(),
+                      static_cast<long long>(opts_.early_stopping_patience));
+        }
+        break;
+      }
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace matsci::train

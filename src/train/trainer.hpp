@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "data/dataloader.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "optim/optimizer.hpp"
+#include "tasks/task.hpp"
+#include "train/logging.hpp"
+
+namespace matsci::train {
+
+struct TrainerOptions {
+  std::int64_t max_epochs = 10;
+  double grad_clip = 0.0;  ///< global-norm clip; 0 disables
+  /// Run a (possibly truncated) validation pass every N optimizer steps
+  /// and record it in the step-validation series (Figs. 3/5/7 need
+  /// step-resolution curves). 0 disables.
+  std::int64_t validate_every_steps = 0;
+  std::int64_t step_val_max_batches = 4;  ///< truncation for step validation
+  /// Gradient accumulation: average gradients over this many consecutive
+  /// batches before each optimizer step — the sequential-equivalent of
+  /// B_eff = N·B synchronous DDP, used to emulate large worker counts.
+  std::int64_t accumulate_batches = 1;
+  /// Early stopping: end training when `early_stopping_metric` (a key in
+  /// the validation metrics) has not improved for this many consecutive
+  /// epochs. 0 disables. Requires a validation loader.
+  std::int64_t early_stopping_patience = 0;
+  std::string early_stopping_metric = "loss";
+  bool verbose = false;  ///< print one line per epoch
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double lr = 0.0;
+  std::map<std::string, double> train;  ///< epoch-mean training metrics
+  std::map<std::string, double> val;    ///< full validation metrics
+};
+
+struct FitResult {
+  std::vector<EpochStats> epochs;
+  /// (optimizer step, metric map) from periodic step validation.
+  std::vector<std::pair<std::int64_t, std::map<std::string, double>>>
+      step_validation;
+  std::int64_t total_steps = 0;
+  double total_samples = 0.0;
+  double wall_seconds = 0.0;
+  double samples_per_second() const {
+    return wall_seconds > 0.0 ? total_samples / wall_seconds : 0.0;
+  }
+};
+
+/// Single-process training loop (the Lightning-Trainer analogue):
+/// epoch loop -> batch loop -> backward -> (clip) -> optimizer step,
+/// epoch-end scheduler step and validation. Deterministic given task,
+/// loaders, and optimizer state.
+class Trainer {
+ public:
+  explicit Trainer(TrainerOptions opts = {});
+
+  using EpochCallback = std::function<void(const EpochStats&)>;
+
+  FitResult fit(tasks::Task& task, data::DataLoader& train_loader,
+                data::DataLoader* val_loader, optim::Optimizer& opt,
+                optim::LRScheduler* scheduler = nullptr,
+                const EpochCallback& on_epoch = {});
+
+  /// Full evaluation pass (eval mode, no grads); returns metric means.
+  static std::map<std::string, double> evaluate(
+      const tasks::Task& task, data::DataLoader& loader,
+      std::int64_t max_batches = 0);
+
+  const TrainerOptions& options() const { return opts_; }
+
+ private:
+  TrainerOptions opts_;
+};
+
+}  // namespace matsci::train

@@ -1,0 +1,100 @@
+#include "tune/search.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/macros.hpp"
+
+namespace matsci::tune {
+
+std::vector<ParamSet> cartesian_grid(
+    const std::map<std::string, std::vector<double>>& axes) {
+  MATSCI_CHECK(!axes.empty(), "cartesian_grid: no axes");
+  std::vector<ParamSet> grid = {{}};
+  for (const auto& [name, values] : axes) {
+    MATSCI_CHECK(!values.empty(), "cartesian_grid: axis '" << name
+                                                           << "' is empty");
+    std::vector<ParamSet> expanded;
+    expanded.reserve(grid.size() * values.size());
+    for (const ParamSet& base : grid) {
+      for (const double v : values) {
+        ParamSet p = base;
+        p[name] = v;
+        expanded.push_back(std::move(p));
+      }
+    }
+    grid = std::move(expanded);
+  }
+  return grid;
+}
+
+std::vector<TrialResult> grid_search(const std::vector<ParamSet>& grid,
+                                     const Objective& objective) {
+  MATSCI_CHECK(!grid.empty(), "grid_search: empty grid");
+  MATSCI_CHECK(static_cast<bool>(objective), "grid_search: null objective");
+  std::vector<TrialResult> results;
+  results.reserve(grid.size());
+  for (const ParamSet& params : grid) {
+    results.push_back({params, objective(params)});
+  }
+  return results;
+}
+
+std::vector<TrialResult> random_search(
+    const std::map<std::string, ParamRange>& space, std::int64_t num_trials,
+    std::uint64_t seed, const Objective& objective) {
+  MATSCI_CHECK(!space.empty(), "random_search: empty space");
+  MATSCI_CHECK(num_trials >= 1, "random_search: need >= 1 trial");
+  MATSCI_CHECK(static_cast<bool>(objective), "random_search: null objective");
+  for (const auto& [name, range] : space) {
+    MATSCI_CHECK(range.hi > range.lo,
+                 "random_search: bad range for '" << name << "'");
+    MATSCI_CHECK(!range.log_scale || range.lo > 0.0,
+                 "random_search: log-scale range must be positive for '"
+                     << name << "'");
+  }
+  core::RngEngine rng(seed);
+  std::vector<TrialResult> results;
+  results.reserve(static_cast<std::size_t>(num_trials));
+  for (std::int64_t t = 0; t < num_trials; ++t) {
+    ParamSet params;
+    for (const auto& [name, range] : space) {
+      if (range.log_scale) {
+        params[name] = std::exp(
+            rng.uniform(std::log(range.lo), std::log(range.hi)));
+      } else {
+        params[name] = rng.uniform(range.lo, range.hi);
+      }
+    }
+    results.push_back({params, objective(params)});
+  }
+  return results;
+}
+
+const TrialResult& best_trial(const std::vector<TrialResult>& results) {
+  MATSCI_CHECK(!results.empty(), "best_trial: no results");
+  const TrialResult* best = &results.front();
+  for (const TrialResult& r : results) {
+    if (r.objective < best->objective) best = &r;
+  }
+  return *best;
+}
+
+std::string format_results(const std::vector<TrialResult>& results) {
+  MATSCI_CHECK(!results.empty(), "format_results: no results");
+  std::ostringstream os;
+  for (const auto& [name, _] : results.front().params) {
+    os << std::setw(14) << name;
+  }
+  os << std::setw(14) << "objective" << "\n";
+  for (const TrialResult& r : results) {
+    for (const auto& [_, value] : r.params) {
+      os << std::setw(14) << std::setprecision(5) << value;
+    }
+    os << std::setw(14) << std::setprecision(5) << r.objective << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace matsci::tune

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/random.hpp"
+
+namespace matsci::tune {
+
+/// One hyperparameter assignment, by name.
+using ParamSet = std::map<std::string, double>;
+
+/// Objective: lower is better (e.g. validation MAE). Called once per
+/// configuration; expected to be deterministic for reproducible sweeps.
+using Objective = std::function<double(const ParamSet&)>;
+
+struct TrialResult {
+  ParamSet params;
+  double objective = 0.0;
+};
+
+/// Cartesian product of per-parameter value lists, in lexicographic
+/// order of the (sorted) parameter names.
+std::vector<ParamSet> cartesian_grid(
+    const std::map<std::string, std::vector<double>>& axes);
+
+/// Evaluate every configuration; results in input order.
+std::vector<TrialResult> grid_search(const std::vector<ParamSet>& grid,
+                                     const Objective& objective);
+
+/// Uniform random sampling within per-parameter [lo, hi] ranges.
+/// `log_scale` parameters are sampled log-uniformly (learning rates).
+struct ParamRange {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+};
+
+std::vector<TrialResult> random_search(
+    const std::map<std::string, ParamRange>& space, std::int64_t num_trials,
+    std::uint64_t seed, const Objective& objective);
+
+/// Best (lowest-objective) trial; throws on empty input.
+const TrialResult& best_trial(const std::vector<TrialResult>& results);
+
+/// Fixed-width table of a sweep's results for bench/report output.
+std::string format_results(const std::vector<TrialResult>& results);
+
+}  // namespace matsci::tune

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/macros.hpp"
+#include "data/collate.hpp"
+#include "data/dataloader.hpp"
+#include "data/transforms.hpp"
+#include "materials/lips.hpp"
+#include "materials/materials_project.hpp"
+#include "sym/synthetic_dataset.hpp"
+#include "test_util.hpp"
+
+namespace matsci::data {
+namespace {
+
+StructureSample make_sample(std::int64_t atoms, float gap,
+                            std::int64_t stable, std::int64_t dataset_id) {
+  StructureSample s;
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(6);
+    s.positions.push_back({static_cast<double>(i) * 1.5, 0.0, 0.0});
+  }
+  s.scalar_targets["band_gap"] = gap;
+  s.class_targets["stability"] = stable;
+  s.dataset_id = dataset_id;
+  return s;
+}
+
+TEST(Collate, BatchesTopologyAndTargets) {
+  CollateOptions opts;
+  opts.radius.cutoff = 2.0;
+  Batch b = collate({make_sample(2, 1.0f, 0, 3), make_sample(3, 2.0f, 1, 3)},
+                    opts);
+  EXPECT_EQ(b.num_graphs(), 2);
+  EXPECT_EQ(b.num_nodes(), 5);
+  EXPECT_EQ(b.dataset_id, 3);
+  EXPECT_EQ(b.coords.shape(), (core::Shape{5, 3}));
+  EXPECT_EQ(b.species.size(), 5u);
+  ASSERT_TRUE(b.scalar_targets.count("band_gap"));
+  EXPECT_EQ(b.scalar_targets.at("band_gap").shape(), (core::Shape{2, 1}));
+  EXPECT_FLOAT_EQ(b.scalar_targets.at("band_gap").at(1, 0), 2.0f);
+  ASSERT_TRUE(b.class_targets.count("stability"));
+  EXPECT_EQ(b.class_targets.at("stability")[1], 1);
+  // Second graph's nodes have segment id 1.
+  EXPECT_EQ(b.topology.node_graph[2], 1);
+}
+
+TEST(Collate, RejectsMixedDatasetsAndMissingTargets) {
+  CollateOptions opts;
+  EXPECT_THROW(
+      collate({make_sample(2, 1.0f, 0, 0), make_sample(2, 1.0f, 0, 1)}, opts),
+      matsci::Error);
+  StructureSample incomplete = make_sample(2, 1.0f, 0, 0);
+  incomplete.scalar_targets.clear();
+  EXPECT_THROW(collate({make_sample(2, 1.0f, 0, 0), incomplete}, opts),
+               matsci::Error);
+  EXPECT_THROW(collate({}, opts), matsci::Error);
+}
+
+TEST(Collate, PointCloudRepresentationIsComplete) {
+  CollateOptions opts;
+  opts.representation = Representation::kPointCloud;
+  Batch b = collate({make_sample(4, 0.0f, 0, 0)}, opts);
+  EXPECT_EQ(b.topology.num_edges(), 12);  // 4*3 directed
+}
+
+TEST(Transforms, CoordinateJitterMovesAtoms) {
+  StructureSample s = make_sample(5, 0.0f, 0, 0);
+  const auto before = s.positions;
+  core::RngEngine rng(1);
+  CoordinateJitter(0.1).apply(s, rng);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    moved += core::norm(s.positions[i] - before[i]);
+  }
+  EXPECT_GT(moved, 1e-4);
+  EXPECT_THROW(CoordinateJitter(-1.0), matsci::Error);
+}
+
+TEST(Transforms, RandomRotationPreservesDistances) {
+  StructureSample s = make_sample(4, 0.0f, 0, 0);
+  const double d01 = core::norm(s.positions[0] - s.positions[1]);
+  core::RngEngine rng(2);
+  RandomRotation().apply(s, rng);
+  EXPECT_NEAR(core::norm(s.positions[0] - s.positions[1]), d01, 1e-9);
+  // Periodic samples untouched.
+  StructureSample periodic = make_sample(2, 0.0f, 0, 0);
+  periodic.lattice = core::identity3();
+  const auto before = periodic.positions;
+  RandomRotation().apply(periodic, rng);
+  EXPECT_NEAR(core::norm(periodic.positions[0] - before[0]), 0.0, 1e-12);
+}
+
+TEST(Transforms, CenterPositionsZerosCentroid) {
+  StructureSample s = make_sample(3, 0.0f, 0, 0);
+  core::RngEngine rng(3);
+  CenterPositions().apply(s, rng);
+  core::Vec3 c{};
+  for (const auto& p : s.positions) c += p;
+  EXPECT_NEAR(core::norm(c), 0.0, 1e-9);
+}
+
+TEST(Transforms, SupercellReplicatesPeriodicSamples) {
+  materials::MaterialsProjectDataset ds(4, 13);
+  StructureSample s = ds.get(0);
+  const std::int64_t base_atoms = s.num_atoms();
+  const double base_gap = s.scalar_targets.at("band_gap");
+  const core::Mat3 base_cell = *s.lattice;
+
+  core::RngEngine rng(7);
+  SupercellTransform(2, 1, 3).apply(s, rng);
+  EXPECT_EQ(s.num_atoms(), base_atoms * 6);
+  EXPECT_EQ(s.species.size(), s.positions.size());
+  // Intensive targets unchanged; cell expanded per axis.
+  EXPECT_FLOAT_EQ(s.scalar_targets.at("band_gap"),
+                  static_cast<float>(base_gap));
+  EXPECT_NEAR(core::norm((*s.lattice)[0]), 2.0 * core::norm(base_cell[0]),
+              1e-9);
+  EXPECT_NEAR(core::norm((*s.lattice)[2]), 3.0 * core::norm(base_cell[2]),
+              1e-9);
+  // Replicas preserve local geometry: min interatomic distance in the
+  // supercell is no smaller than in the unit cell.
+  double min_dist = 1e9;
+  for (std::size_t i = 0; i < s.positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.positions.size(); ++j) {
+      min_dist = std::min(min_dist,
+                          core::norm(s.positions[i] - s.positions[j]));
+    }
+  }
+  EXPECT_GT(min_dist, 0.5);
+
+  // Identity multipliers and non-periodic samples are no-ops.
+  StructureSample cloud;
+  cloud.species = {0, 0};
+  cloud.positions = {{0, 0, 0}, {1, 1, 1}};
+  SupercellTransform(2, 2, 2).apply(cloud, rng);
+  EXPECT_EQ(cloud.num_atoms(), 2);
+  EXPECT_THROW(SupercellTransform(0, 1, 1), matsci::Error);
+}
+
+TEST(Transforms, SupercellTilesForces) {
+  materials::LiPSDataset lips(2, 3);
+  StructureSample s = lips.get(0);
+  const std::size_t base = s.forces.size();
+  ASSERT_GT(base, 0u);
+  core::RngEngine rng(9);
+  SupercellTransform(1, 2, 1).apply(s, rng);
+  ASSERT_EQ(s.forces.size(), 2 * base);
+  EXPECT_NEAR(core::norm(s.forces[base] - s.forces[0]), 0.0, 1e-12);
+}
+
+TEST(Transforms, NormalizeTargetAffine) {
+  StructureSample s = make_sample(2, 5.0f, 0, 0);
+  core::RngEngine rng(4);
+  NormalizeTarget norm("band_gap", 3.0f, 2.0f);
+  norm.apply(s, rng);
+  EXPECT_FLOAT_EQ(s.scalar_targets.at("band_gap"), 1.0f);
+  EXPECT_FLOAT_EQ(norm.denormalize(1.0f), 5.0f);
+  EXPECT_THROW(NormalizeTarget("x", 0.0f, 0.0f), matsci::Error);
+}
+
+TEST(Transforms, ChainAppliesInOrder) {
+  TransformChain chain;
+  chain.add(std::make_shared<NormalizeTarget>("band_gap", 1.0f, 1.0f));
+  chain.add(std::make_shared<NormalizeTarget>("band_gap", 1.0f, 2.0f));
+  StructureSample s = make_sample(2, 4.0f, 0, 0);
+  core::RngEngine rng(5);
+  chain.apply(s, rng);
+  // (4-1)/1 = 3, then (3-1)/2 = 1.
+  EXPECT_FLOAT_EQ(s.scalar_targets.at("band_gap"), 1.0f);
+  EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(Transforms, ComputeTargetStats) {
+  materials::MaterialsProjectDataset ds(64, 3);
+  const TargetStats stats = compute_target_stats(ds, "band_gap", 64);
+  EXPECT_GT(stats.stddev, 0.1f);
+  EXPECT_GT(stats.mean, 0.0f);
+  EXPECT_THROW(compute_target_stats(ds, "nope", 8), matsci::Error);
+}
+
+TEST(Split, DisjointAndExhaustive) {
+  materials::MaterialsProjectDataset ds(50, 5);
+  auto [train, val] = train_val_split(ds, 0.2, 9);
+  EXPECT_EQ(train.size() + val.size(), 50);
+  EXPECT_EQ(val.size(), 10);
+  // Same split for same seed.
+  auto [train2, val2] = train_val_split(ds, 0.2, 9);
+  for (std::int64_t i = 0; i < val.size(); ++i) {
+    EXPECT_EQ(val.get(i).scalar_targets.at("band_gap"),
+              val2.get(i).scalar_targets.at("band_gap"));
+  }
+  EXPECT_THROW(train_val_split(ds, 0.0, 1), matsci::Error);
+  EXPECT_THROW(train_val_split(ds, 1.0, 1), matsci::Error);
+}
+
+TEST(DataLoader, BatchCountsAndSizes) {
+  sym::SyntheticPointGroupDataset ds(25, 1);
+  DataLoaderOptions opts;
+  opts.batch_size = 8;
+  opts.shuffle = false;
+  DataLoader loader(ds, opts);
+  EXPECT_EQ(loader.num_batches(), 4);  // 8+8+8+1
+  EXPECT_EQ(loader.batch(3).num_graphs(), 1);
+  opts.drop_last = true;
+  DataLoader dropper(ds, opts);
+  EXPECT_EQ(dropper.num_batches(), 3);
+  EXPECT_THROW(loader.batch(4), matsci::Error);
+}
+
+TEST(DataLoader, ShuffleDeterministicPerEpoch) {
+  sym::SyntheticPointGroupDataset ds(30, 2);
+  DataLoaderOptions opts;
+  opts.batch_size = 30;
+  opts.seed = 77;
+  DataLoader a(ds, opts), b(ds, opts);
+  a.set_epoch(1);
+  b.set_epoch(1);
+  const Batch ba = a.batch(0), bb = b.batch(0);
+  ASSERT_EQ(ba.num_nodes(), bb.num_nodes());
+  for (std::int64_t i = 0; i < ba.num_nodes(); ++i) {
+    EXPECT_FLOAT_EQ(ba.coords.at(i, 0), bb.coords.at(i, 0));
+  }
+  // Different epochs give different order.
+  a.set_epoch(2);
+  const Batch b2 = a.batch(0);
+  bool differs = b2.num_nodes() != ba.num_nodes();
+  if (!differs) {
+    for (std::int64_t i = 0; i < ba.num_nodes() && !differs; ++i) {
+      differs = b2.coords.at(i, 0) != ba.coords.at(i, 0);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DataLoader, DdpShardsAreDisjointAndExhaustive) {
+  materials::MaterialsProjectDataset ds(40, 6);
+  // Tag samples by their band gap to identify them across shards.
+  std::set<float> all_gaps;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    all_gaps.insert(ds.get(i).scalar_targets.at("band_gap"));
+  }
+  std::set<float> seen;
+  const std::int64_t world = 4;
+  for (std::int64_t rank = 0; rank < world; ++rank) {
+    DataLoaderOptions opts;
+    opts.batch_size = 4;
+    opts.seed = 5;
+    opts.rank = rank;
+    opts.world_size = world;
+    DataLoader loader(ds, opts);
+    EXPECT_EQ(loader.samples_per_shard(), 10);
+    for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+      const Batch batch = loader.batch(b);
+      const core::Tensor& gaps = batch.scalar_targets.at("band_gap");
+      for (std::int64_t g = 0; g < gaps.size(0); ++g) {
+        const bool inserted = seen.insert(gaps.at(g, 0)).second;
+        EXPECT_TRUE(inserted) << "duplicate sample across shards";
+      }
+    }
+  }
+  EXPECT_EQ(seen, all_gaps);
+}
+
+TEST(DataLoader, TransformsAppliedDeterministically) {
+  materials::MaterialsProjectDataset ds(10, 8);
+  auto chain = std::make_shared<TransformChain>();
+  chain->add(std::make_shared<CoordinateJitter>(0.05));
+  DataLoaderOptions opts;
+  opts.batch_size = 10;
+  opts.shuffle = false;
+  opts.transforms = chain;
+  DataLoader a(ds, opts), b(ds, opts);
+  const Batch ba = a.batch(0), bb = b.batch(0);
+  for (std::int64_t i = 0; i < ba.num_nodes(); ++i) {
+    EXPECT_FLOAT_EQ(ba.coords.at(i, 0), bb.coords.at(i, 0));
+  }
+  // And the jitter did something relative to the raw dataset.
+  DataLoaderOptions raw = opts;
+  raw.transforms = nullptr;
+  DataLoader c(ds, raw);
+  EXPECT_GT(matsci::testing::max_abs_diff(ba.coords, c.batch(0).coords), 0.0);
+}
+
+TEST(DataLoader, ValidatesOptions) {
+  materials::MaterialsProjectDataset ds(10, 9);
+  DataLoaderOptions opts;
+  opts.batch_size = 0;
+  EXPECT_THROW(DataLoader(ds, opts), matsci::Error);
+  opts.batch_size = 4;
+  opts.rank = 3;
+  opts.world_size = 2;
+  EXPECT_THROW(DataLoader(ds, opts), matsci::Error);
+}
+
+TEST(Subset, MapsIndices) {
+  materials::MaterialsProjectDataset ds(10, 10);
+  SubsetDataset sub(ds, {7, 2});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.get(0).scalar_targets.at("band_gap"),
+            ds.get(7).scalar_targets.at("band_gap"));
+  EXPECT_THROW(SubsetDataset(ds, {11}), matsci::Error);
+  EXPECT_THROW(sub.get(2), matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci::data

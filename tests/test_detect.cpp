@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/macros.hpp"
+#include "sym/detect.hpp"
+#include "sym/symop.hpp"
+#include "sym/synthetic_dataset.hpp"
+
+namespace matsci::sym {
+namespace {
+
+SyntheticPointGroupOptions clean_options() {
+  SyntheticPointGroupOptions opts;
+  opts.jitter_sigma = 0.0;
+  opts.random_orientation = false;
+  return opts;
+}
+
+TEST(Detect, InvarianceHelper) {
+  // A square in the xy-plane: invariant under C4(z), not under C3(z).
+  const std::vector<core::Vec3> square = {
+      {1, 0, 0}, {0, 1, 0}, {-1, 0, 0}, {0, -1, 0}};
+  EXPECT_TRUE(is_invariant_under(square, rotation_z(4), 1e-9));
+  EXPECT_TRUE(is_invariant_under(square, rotation_z(2), 1e-9));
+  EXPECT_FALSE(is_invariant_under(square, rotation_z(3), 1e-3));
+  EXPECT_TRUE(is_invariant_under(square, inversion(), 1e-9));
+}
+
+TEST(Detect, SquareIsD4h) {
+  const std::vector<core::Vec3> square = {
+      {1, 0, 0}, {0, 1, 0}, {-1, 0, 0}, {0, -1, 0}};
+  const DetectionResult det =
+      detect_point_group(square, {.tolerance = 1e-6, .align_frame = false});
+  EXPECT_EQ(det.name, "D4h");
+  EXPECT_EQ(det.matched_operations, 16u);
+}
+
+TEST(Detect, OctahedronIsOh) {
+  const std::vector<core::Vec3> octa = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                                        {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+  const DetectionResult det =
+      detect_point_group(octa, {.tolerance = 1e-6, .align_frame = false});
+  EXPECT_EQ(det.name, "Oh");
+  EXPECT_EQ(det.matched_operations, 48u);
+}
+
+TEST(Detect, AsymmetricCloudIsC1) {
+  const std::vector<core::Vec3> blob = {
+      {0.3, 1.7, -0.4}, {-1.2, 0.5, 0.9}, {2.1, -0.8, 0.2}, {0.0, 0.6, 1.8}};
+  const DetectionResult det =
+      detect_point_group(blob, {.tolerance = 1e-6, .align_frame = false});
+  EXPECT_EQ(det.name, "C1");
+}
+
+TEST(Detect, FindsAtLeastGeneratingGroupOnCleanClouds) {
+  // Clean, axis-aligned synthetic clouds: the detector must recover a
+  // group at least as large as the generator (accidental placements can
+  // create genuine supergroups).
+  core::RngEngine rng(3);
+  const auto& catalog = point_group_catalog();
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::int64_t label = rng.next_int(num_point_groups());
+    const auto sample = SyntheticPointGroupDataset::generate(
+        catalog[static_cast<std::size_t>(label)], label, rng,
+        clean_options());
+    const DetectionResult det = detect_point_group(
+        sample.positions, {.tolerance = 1e-5, .align_frame = false});
+    EXPECT_GE(det.matched_operations,
+              catalog[static_cast<std::size_t>(label)].order())
+        << "generated " << catalog[static_cast<std::size_t>(label)].name
+        << ", detected " << det.name;
+  }
+}
+
+TEST(Detect, ExactOnMostCleanClouds) {
+  core::RngEngine rng(7);
+  const auto& catalog = point_group_catalog();
+  int correct = 0;
+  const int trials = 48;
+  for (int t = 0; t < trials; ++t) {
+    const std::int64_t label = rng.next_int(num_point_groups());
+    const auto sample = SyntheticPointGroupDataset::generate(
+        catalog[static_cast<std::size_t>(label)], label, rng,
+        clean_options());
+    const DetectionResult det = detect_point_group(
+        sample.positions, {.tolerance = 1e-5, .align_frame = false});
+    if (det.label == label) ++correct;
+  }
+  // A handful of accidental-supergroup cases are expected; the vast
+  // majority must match exactly.
+  EXPECT_GE(correct, trials * 8 / 10);
+}
+
+TEST(Detect, ToleranceAbsorbsSmallJitter) {
+  core::RngEngine rng(11);
+  const PointGroup& d4h = point_group_by_name("D4h");
+  SyntheticPointGroupOptions opts = clean_options();
+  opts.jitter_sigma = 0.01;
+  const auto sample =
+      SyntheticPointGroupDataset::generate(d4h, 0, rng, opts);
+  // Tight tolerance misses, loose tolerance recovers the group.
+  const DetectionResult tight = detect_point_group(
+      sample.positions, {.tolerance = 1e-6, .align_frame = false});
+  const DetectionResult loose = detect_point_group(
+      sample.positions, {.tolerance = 0.08, .align_frame = false});
+  EXPECT_LT(tight.matched_operations, d4h.order());
+  EXPECT_GE(loose.matched_operations, d4h.order());
+}
+
+TEST(Detect, FrameAlignmentRecoversRotatedClouds) {
+  // A rotated square: without alignment the z-axis ops fail; with
+  // principal-axis alignment the detector recovers a D4h-compatible
+  // answer.
+  const core::Mat3 rot = rotation({0.4, 1.0, -0.3}, 0.9);
+  std::vector<core::Vec3> square = {
+      {1, 0, 0}, {0, 1, 0}, {-1, 0, 0}, {0, -1, 0}};
+  for (core::Vec3& p : square) p = core::matvec(rot, p);
+  const DetectionResult unaligned =
+      detect_point_group(square, {.tolerance = 1e-4, .align_frame = false});
+  const DetectionResult aligned =
+      detect_point_group(square, {.tolerance = 1e-4, .align_frame = true});
+  EXPECT_LT(unaligned.matched_operations, 16u);
+  EXPECT_EQ(aligned.name, "D4h");
+}
+
+TEST(Detect, Validation) {
+  EXPECT_THROW(detect_point_group({}, {}), matsci::Error);
+  EXPECT_THROW(detect_point_group({core::Vec3{0, 0, 0}},
+                                  {.tolerance = -1.0, .align_frame = false}),
+               matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci::sym

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "core/random.hpp"
+#include "embed/cluster_metrics.hpp"
+#include "embed/kdtree.hpp"
+#include "embed/pca.hpp"
+#include "embed/umap.hpp"
+
+namespace matsci::embed {
+namespace {
+
+using core::RngEngine;
+using core::Tensor;
+
+/// Brute-force reference kNN.
+std::vector<std::int64_t> brute_knn(const Tensor& pts, std::int64_t query,
+                                    std::int64_t k) {
+  const std::int64_t n = pts.size(0), d = pts.size(1);
+  std::vector<std::pair<double, std::int64_t>> dist;
+  for (std::int64_t j = 0; j < n; ++j) {
+    if (j == query) continue;
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const double diff =
+          static_cast<double>(pts.at(query, c)) - pts.at(j, c);
+      acc += diff * diff;
+    }
+    dist.emplace_back(acc, j);
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<std::int64_t> out;
+  for (std::int64_t i = 0; i < k; ++i) out.push_back(dist[static_cast<std::size_t>(i)].second);
+  return out;
+}
+
+struct KnnCase {
+  std::int64_t n, d, k;
+};
+
+class KdTreeVsBruteTest : public ::testing::TestWithParam<KnnCase> {};
+
+TEST_P(KdTreeVsBruteTest, MatchesBruteForce) {
+  const auto [n, d, k] = GetParam();
+  RngEngine rng(static_cast<std::uint64_t>(n * 1000 + d * 10 + k));
+  Tensor pts = Tensor::randn({n, d}, rng);
+  KDTree tree(pts);
+  for (const std::int64_t q : {std::int64_t{0}, n / 2, n - 1}) {
+    const KnnResult res = tree.knn_of_point(q, k);
+    const auto ref = brute_knn(pts, q, k);
+    ASSERT_EQ(res.indices.size(), static_cast<std::size_t>(k));
+    // Distances sorted ascending and sets equal (ties are measure-zero).
+    for (std::size_t i = 1; i < res.distances.size(); ++i) {
+      EXPECT_LE(res.distances[i - 1], res.distances[i]);
+    }
+    std::vector<std::int64_t> got = res.indices;
+    std::vector<std::int64_t> want = ref;
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KdTreeVsBruteTest,
+    ::testing::Values(KnnCase{20, 2, 3}, KnnCase{50, 3, 5},
+                      KnnCase{100, 8, 10}, KnnCase{64, 16, 7},
+                      KnnCase{128, 4, 1}, KnnCase{33, 5, 32}));
+
+TEST(KdTree, Validation) {
+  RngEngine rng(1);
+  Tensor pts = Tensor::randn({10, 3}, rng);
+  KDTree tree(pts);
+  EXPECT_EQ(tree.size(), 10);
+  EXPECT_EQ(tree.dim(), 3);
+  std::vector<float> q = {0.0f, 0.0f};
+  EXPECT_THROW(tree.knn(q, 2), matsci::Error);  // wrong dim
+  std::vector<float> q3 = {0.0f, 0.0f, 0.0f};
+  EXPECT_THROW(tree.knn(q3, 11), matsci::Error);  // k too large
+  EXPECT_THROW(tree.knn_of_point(10, 2), matsci::Error);
+  EXPECT_NO_THROW(tree.knn(q3, 10));  // without exclusion all 10 available
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along (1, 1, 0)/√2 with small isotropic noise.
+  RngEngine rng(2);
+  std::vector<float> data;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.normal(0.0, 5.0);
+    data.push_back(static_cast<float>(t / std::sqrt(2.0) + rng.normal(0, 0.1)));
+    data.push_back(static_cast<float>(t / std::sqrt(2.0) + rng.normal(0, 0.1)));
+    data.push_back(static_cast<float>(rng.normal(0, 0.1)));
+  }
+  Tensor x = Tensor::from_vector(std::move(data), {200, 3});
+  const PCAResult result = pca(x, 2);
+  // First component parallel to (1,1,0)/√2.
+  const double c0 = result.components.at(0, 0);
+  const double c1 = result.components.at(0, 1);
+  const double c2 = result.components.at(0, 2);
+  EXPECT_NEAR(std::fabs(c0), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::fabs(c1), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(c2, 0.0, 0.05);
+  // Eigenvalues descending.
+  EXPECT_GT(result.explained_variance[0], result.explained_variance[1]);
+  // Components orthonormal.
+  double dot = 0.0, norm0 = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    dot += result.components.at(0, c) * result.components.at(1, c);
+    norm0 += result.components.at(0, c) * result.components.at(0, c);
+  }
+  EXPECT_NEAR(dot, 0.0, 1e-3);
+  EXPECT_NEAR(norm0, 1.0, 1e-3);
+  EXPECT_EQ(result.projected.shape(), (core::Shape{200, 2}));
+}
+
+TEST(Pca, Validation) {
+  RngEngine rng(3);
+  Tensor x = Tensor::randn({10, 3}, rng);
+  EXPECT_THROW(pca(x, 4), matsci::Error);
+  EXPECT_THROW(pca(x, 0), matsci::Error);
+  EXPECT_THROW(pca(Tensor::randn({1, 3}, rng), 1), matsci::Error);
+}
+
+TEST(Umap, FitAbMatchesReferenceForDefaultMinDist) {
+  // Reference values from umap-learn's find_ab_params (spread = 1):
+  // min_dist 0.1 -> a ≈ 1.577, b ≈ 0.895; min_dist 0.01 -> a ≈ 1.93.
+  const auto [a, b] = fit_ab(0.1);
+  EXPECT_NEAR(a, 1.577, 0.1);
+  EXPECT_NEAR(b, 0.895, 0.05);
+  // Smaller min_dist -> sharper curve -> larger a.
+  const auto [a2, b2] = fit_ab(0.01);
+  EXPECT_NEAR(a2, 1.93, 0.15);
+  EXPECT_GT(a2, a);
+  (void)b2;
+}
+
+Tensor two_cluster_data(std::int64_t per_cluster, std::int64_t dim,
+                        double separation, std::uint64_t seed) {
+  RngEngine rng(seed);
+  std::vector<float> data;
+  for (std::int64_t i = 0; i < 2 * per_cluster; ++i) {
+    const double offset = i < per_cluster ? 0.0 : separation;
+    for (std::int64_t c = 0; c < dim; ++c) {
+      data.push_back(
+          static_cast<float>(rng.normal(c == 0 ? offset : 0.0, 1.0)));
+    }
+  }
+  return Tensor::from_vector(std::move(data), {2 * per_cluster, dim});
+}
+
+TEST(Umap, SeparatedClustersStaySeparated) {
+  const std::int64_t per = 40;
+  Tensor x = two_cluster_data(per, 8, 25.0, 5);
+  UMAPOptions opts;
+  opts.n_neighbors = 10;
+  opts.n_epochs = 100;
+  opts.seed = 7;
+  const UMAPResult result = umap(x, opts);
+  EXPECT_EQ(result.embedding.shape(), (core::Shape{2 * per, 2}));
+
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(2 * per), 0);
+  for (std::int64_t i = per; i < 2 * per; ++i) {
+    labels[static_cast<std::size_t>(i)] = 1;
+  }
+  const auto stats = cluster_stats(result.embedding, labels);
+  ASSERT_EQ(stats.size(), 2u);
+  const auto dist = centroid_distances(stats);
+  // Clusters separated by more than their combined spreads.
+  EXPECT_GT(dist[0][1], stats[0].mean_radius + stats[1].mean_radius);
+  // And silhouette is strongly positive.
+  EXPECT_GT(silhouette_score(result.embedding, labels), 0.4);
+}
+
+TEST(Umap, DeterministicInSeed) {
+  Tensor x = two_cluster_data(20, 6, 10.0, 9);
+  UMAPOptions opts;
+  opts.n_neighbors = 8;
+  opts.n_epochs = 40;
+  opts.seed = 11;
+  const UMAPResult a = umap(x, opts);
+  const UMAPResult b = umap(x, opts);
+  for (std::int64_t i = 0; i < a.embedding.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.embedding.at(i), b.embedding.at(i));
+  }
+}
+
+TEST(Umap, PreservesLocalNeighborhoods) {
+  Tensor x = two_cluster_data(30, 10, 20.0, 13);
+  UMAPOptions opts;
+  opts.n_neighbors = 10;
+  opts.n_epochs = 120;
+  const UMAPResult result = umap(x, opts);
+  // At minimum, low-dim neighbors should overlap high-dim neighbors far
+  // better than chance (10/59 ≈ 0.17 at random).
+  EXPECT_GT(knn_preservation(x, result.embedding, 10), 0.4);
+}
+
+TEST(Umap, Validation) {
+  RngEngine rng(15);
+  EXPECT_THROW(umap(Tensor::randn({3, 4}, rng)), matsci::Error);
+  Tensor ok = Tensor::randn({10, 4}, rng);
+  UMAPOptions opts;
+  opts.n_neighbors = 1;
+  EXPECT_THROW(umap(ok, opts), matsci::Error);
+}
+
+TEST(ClusterMetrics, StatsAndIsolation) {
+  // Three tight clusters at (0,0), (10,0), (10.5, 0): the last two nearly
+  // merge; the first is isolated.
+  std::vector<float> data;
+  std::vector<std::int64_t> labels;
+  RngEngine rng(17);
+  const std::vector<std::pair<double, std::int64_t>> centers = {
+      {0.0, 0}, {10.0, 1}, {10.5, 2}};
+  for (const auto& [cx, label] : centers) {
+    for (int i = 0; i < 20; ++i) {
+      data.push_back(static_cast<float>(cx + rng.normal(0, 0.1)));
+      data.push_back(static_cast<float>(rng.normal(0, 0.1)));
+      labels.push_back(label);
+    }
+  }
+  Tensor pts = Tensor::from_vector(std::move(data), {60, 2});
+  const auto stats = cluster_stats(pts, labels);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].count, 20);
+  EXPECT_NEAR(stats[0].centroid[0], 0.0, 0.1);
+  EXPECT_NEAR(stats[1].centroid[0], 10.0, 0.1);
+  EXPECT_LT(stats[0].mean_radius, 0.5);
+
+  // Label 0 is far from both others; labels 1 and 2 almost touch.
+  EXPECT_GT(isolation_score(stats, 0), 5.0);
+  EXPECT_LT(isolation_score(stats, 1), 5.0);
+
+  // Overlap: cluster 1's neighbors include cluster 2 points but not 0's.
+  EXPECT_GT(neighbor_overlap(pts, labels, 1, 2, 25), 0.5);
+  EXPECT_EQ(neighbor_overlap(pts, labels, 0, 1, 5), 0.0);
+}
+
+TEST(ClusterMetrics, SilhouetteOrdersConfigurations) {
+  Tensor tight = two_cluster_data(20, 4, 30.0, 19);
+  Tensor loose = two_cluster_data(20, 4, 2.0, 19);
+  std::vector<std::int64_t> labels(40, 0);
+  for (int i = 20; i < 40; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  EXPECT_GT(silhouette_score(tight, labels), silhouette_score(loose, labels));
+}
+
+TEST(ClusterMetrics, Validation) {
+  RngEngine rng(21);
+  Tensor pts = Tensor::randn({10, 2}, rng);
+  std::vector<std::int64_t> labels(10, 0);
+  EXPECT_THROW(silhouette_score(pts, labels), matsci::Error);  // one cluster
+  labels.resize(5);
+  EXPECT_THROW(cluster_stats(pts, labels), matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci::embed

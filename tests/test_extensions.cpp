@@ -1,0 +1,377 @@
+// Tests for the extension modules: SchNet and point-cloud attention
+// encoders, the energy/force task (autograd forces vs the MD ground
+// truth), cosine annealing, and early stopping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/graph_ops.hpp"
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "data/collate.hpp"
+#include "data/dataloader.hpp"
+#include "materials/lips.hpp"
+#include "materials/materials_project.hpp"
+#include "models/attention.hpp"
+#include "models/egnn.hpp"
+#include "models/schnet.hpp"
+#include "optim/adam.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "optim/sgd.hpp"
+#include "sym/symop.hpp"
+#include "tasks/energy_force.hpp"
+#include "tasks/regression.hpp"
+#include "test_util.hpp"
+#include "train/trainer.hpp"
+
+namespace matsci {
+namespace {
+
+using core::RngEngine;
+using core::Tensor;
+
+data::Batch point_cloud_batch(std::int64_t atoms, std::uint64_t seed) {
+  RngEngine rng(seed);
+  data::StructureSample s;
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    s.species.push_back(1 + rng.next_int(8));
+    s.positions.push_back(
+        {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)});
+  }
+  s.scalar_targets["y"] = 0.0f;
+  data::CollateOptions opts;
+  opts.representation = data::Representation::kPointCloud;
+  return data::collate({s}, opts);
+}
+
+template <typename EncoderT>
+void expect_e3_invariant(const EncoderT& encoder, data::Batch batch,
+                         double tol) {
+  Tensor before = encoder.encode(batch);
+  for (const auto& op : {sym::rotation({0.2, 0.9, -0.4}, 0.8),
+                         sym::reflection({0.5, -1.0, 0.25})}) {
+    data::Batch moved = batch;
+    moved.coords = batch.coords.clone();
+    for (std::int64_t i = 0; i < batch.coords.size(0); ++i) {
+      const core::Vec3 p = {batch.coords.at(i, 0), batch.coords.at(i, 1),
+                            batch.coords.at(i, 2)};
+      const core::Vec3 q =
+          core::matvec(op, p) + core::Vec3{1.3, -0.7, 0.2};  // + translation
+      moved.coords.set(i, 0, static_cast<float>(q.x));
+      moved.coords.set(i, 1, static_cast<float>(q.y));
+      moved.coords.set(i, 2, static_cast<float>(q.z));
+    }
+    Tensor after = encoder.encode(moved);
+    EXPECT_LT(matsci::testing::max_abs_diff(before, after), tol);
+  }
+}
+
+TEST(SchNet, OutputShapeAndInvariance) {
+  RngEngine rng(1);
+  models::SchNetConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.num_interactions = 2;
+  cfg.num_rbf = 8;
+  models::SchNet encoder(cfg, rng);
+  data::Batch batch = point_cloud_batch(6, 2);
+  Tensor emb = encoder.encode(batch);
+  EXPECT_EQ(emb.shape(), (core::Shape{1, 16}));
+  expect_e3_invariant(encoder, batch, 1e-3);
+}
+
+TEST(SchNet, GradientsReachAllParameters) {
+  RngEngine rng(3);
+  models::SchNetConfig cfg;
+  cfg.hidden_dim = 12;
+  cfg.num_interactions = 2;
+  cfg.num_rbf = 6;
+  models::SchNet encoder(cfg, rng);
+  core::sum(core::square(encoder.encode(point_cloud_batch(5, 4)))).backward();
+  for (const auto& [name, p] : encoder.named_parameters()) {
+    bool nonzero = false;
+    core::Tensor t = p;
+    for (const float g : t.grad_span()) {
+      if (g != 0.0f) nonzero = true;
+    }
+    EXPECT_TRUE(nonzero) << "no gradient reached " << name;
+  }
+}
+
+TEST(SchNet, LearnsBandGap) {
+  materials::MaterialsProjectDataset ds(128, 21);
+  auto [train_ds, val_ds] = data::train_val_split(ds, 0.25, 1);
+  data::DataLoaderOptions lo;
+  lo.batch_size = 16;
+  lo.collate.radius.cutoff = 4.5;
+  data::DataLoader train_loader(train_ds, lo), val_loader(val_ds, lo);
+  RngEngine rng(5);
+  models::SchNetConfig cfg;
+  cfg.hidden_dim = 24;
+  cfg.num_interactions = 2;
+  cfg.num_rbf = 16;
+  auto encoder = std::make_shared<models::SchNet>(cfg, rng);
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 24;
+  hcfg.num_blocks = 1;
+  tasks::ScalarRegressionTask task(
+      encoder, "band_gap", hcfg, rng,
+      data::compute_target_stats(train_ds, "band_gap"));
+  optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3);
+  train::TrainerOptions topts;
+  topts.max_epochs = 5;
+  const auto result =
+      train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+  EXPECT_LT(result.epochs.back().train.at("loss"),
+            0.7 * result.epochs.front().train.at("loss"));
+}
+
+TEST(PointCloudAttention, OutputShapeAndInvariance) {
+  RngEngine rng(7);
+  models::PointCloudAttentionConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.num_rbf = 8;
+  models::PointCloudAttentionEncoder encoder(cfg, rng);
+  data::Batch batch = point_cloud_batch(6, 8);
+  Tensor emb = encoder.encode(batch);
+  EXPECT_EQ(emb.shape(), (core::Shape{1, 16}));
+  expect_e3_invariant(encoder, batch, 1e-3);
+}
+
+TEST(PointCloudAttention, AttentionWeightsNormalizePerReceiver) {
+  // Direct check of the primitive: segment_softmax output sums to 1 over
+  // each receiver's incoming edges.
+  RngEngine rng(9);
+  Tensor logits = Tensor::randn({7, 1}, rng, 0.0f, 3.0f);
+  const std::vector<std::int64_t> seg = {0, 1, 0, 2, 1, 0, 2};
+  Tensor alpha = core::segment_softmax(logits, seg, 3);
+  std::vector<double> sums(3, 0.0);
+  for (std::int64_t r = 0; r < 7; ++r) {
+    const float v = alpha.at(r, 0);
+    EXPECT_GT(v, 0.0f);
+    sums[static_cast<std::size_t>(seg[static_cast<std::size_t>(r)])] += v;
+  }
+  for (const double s : sums) EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+TEST(PointCloudAttention, GradientsReachAllParameters) {
+  RngEngine rng(11);
+  models::PointCloudAttentionConfig cfg;
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 2;
+  cfg.num_rbf = 6;
+  models::PointCloudAttentionEncoder encoder(cfg, rng);
+  core::sum(core::square(encoder.encode(point_cloud_batch(5, 12))))
+      .backward();
+  for (const auto& [name, p] : encoder.named_parameters()) {
+    bool nonzero = false;
+    core::Tensor t = p;
+    for (const float g : t.grad_span()) {
+      if (g != 0.0f) nonzero = true;
+    }
+    EXPECT_TRUE(nonzero) << "no gradient reached " << name;
+  }
+}
+
+TEST(GaussianRbf, ValuesAndCenters) {
+  Tensor d = Tensor::from_vector({1.0f}, {1, 1});
+  const auto centers = core::linspace_centers(0.0f, 2.0f, 3);  // 0, 1, 2
+  Tensor rbf = core::gaussian_rbf(d, centers, 1.0f);
+  EXPECT_EQ(rbf.shape(), (core::Shape{1, 3}));
+  EXPECT_NEAR(rbf.at(0, 1), 1.0, 1e-6);               // at the center
+  EXPECT_NEAR(rbf.at(0, 0), std::exp(-1.0), 1e-6);    // 1 Å away
+  EXPECT_NEAR(rbf.at(0, 2), std::exp(-1.0), 1e-6);
+  EXPECT_THROW(core::gaussian_rbf(d, {}, 1.0f), matsci::Error);
+  EXPECT_THROW(core::linspace_centers(2.0f, 0.0f, 3), matsci::Error);
+}
+
+class EnergyForceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lips_ = std::make_unique<materials::LiPSDataset>(24, 3);
+    RngEngine rng(13);
+    models::EGNNConfig ecfg;
+    ecfg.hidden_dim = 24;
+    ecfg.pos_hidden = 8;
+    ecfg.num_layers = 2;
+    auto encoder = std::make_shared<models::EGNN>(ecfg, rng);
+    models::OutputHeadConfig hcfg;
+    hcfg.hidden_dim = 24;
+    hcfg.num_blocks = 1;
+    hcfg.dropout = 0.0f;
+    task_ = std::make_unique<tasks::EnergyForceTask>(
+        encoder, "energy", hcfg, rng,
+        data::compute_target_stats(*lips_, "energy"));
+  }
+
+  data::Batch make_batch(std::int64_t count) {
+    std::vector<data::StructureSample> samples;
+    for (std::int64_t i = 0; i < count; ++i) samples.push_back(lips_->get(i));
+    data::CollateOptions copts;
+    copts.radius.cutoff = 4.5;
+    return data::collate(samples, copts);
+  }
+
+  std::unique_ptr<materials::LiPSDataset> lips_;
+  std::unique_ptr<tasks::EnergyForceTask> task_;
+};
+
+TEST_F(EnergyForceFixture, CollateCarriesForces) {
+  const data::Batch batch = make_batch(2);
+  ASSERT_TRUE(batch.forces.defined());
+  EXPECT_EQ(batch.forces.shape(), (core::Shape{batch.num_nodes(), 3}));
+}
+
+TEST_F(EnergyForceFixture, TrainingStepHasEnergyLossOnly) {
+  task_->train(true);
+  const tasks::TaskOutput out = task_->step(make_batch(4));
+  EXPECT_TRUE(std::isfinite(out.loss.item()));
+  EXPECT_TRUE(out.metrics.count("energy_mae"));
+  EXPECT_FALSE(out.metrics.count("force_mae"));  // eval-mode only
+}
+
+TEST_F(EnergyForceFixture, EvalStepReportsForceMae) {
+  task_->train(false);
+  core::NoGradGuard no_grad;  // as Trainer::evaluate would run it
+  const tasks::TaskOutput out = task_->step(make_batch(4));
+  ASSERT_TRUE(out.metrics.count("force_mae"));
+  EXPECT_TRUE(std::isfinite(out.metrics.at("force_mae")));
+  EXPECT_GT(out.metrics.at("force_mae"), 0.0);
+}
+
+TEST_F(EnergyForceFixture, PredictForcesMatchesFiniteDifference) {
+  // The autograd force must equal -dE/dx of the *model*, checked by
+  // central differences on one coordinate.
+  const data::Batch batch = make_batch(1);
+  const core::Tensor forces = task_->predict_forces(batch);
+  ASSERT_EQ(forces.shape(), (core::Shape{batch.num_nodes(), 3}));
+
+  const double h = 1e-2;
+  auto model_total_energy = [&](const data::Batch& b) {
+    core::Tensor e = task_->predict_energy(b);
+    double total = 0.0;
+    // Per-atom energy times atom count (single graph here).
+    total = e.at(0, 0) * static_cast<double>(b.num_nodes());
+    return total;
+  };
+  data::Batch plus = batch;
+  plus.coords = batch.coords.clone();
+  plus.coords.set(2, 1, batch.coords.at(2, 1) + static_cast<float>(h));
+  data::Batch minus = batch;
+  minus.coords = batch.coords.clone();
+  minus.coords.set(2, 1, batch.coords.at(2, 1) - static_cast<float>(h));
+  const double numeric =
+      -(model_total_energy(plus) - model_total_energy(minus)) / (2.0 * h);
+  EXPECT_NEAR(forces.at(2, 1), numeric,
+              5e-2 * std::max(1.0, std::fabs(numeric)));
+}
+
+TEST_F(EnergyForceFixture, PredictForcesPreservesParamGrads) {
+  // Accumulate a training gradient, then ensure force evaluation does
+  // not corrupt it.
+  task_->train(true);
+  const data::Batch batch = make_batch(2);
+  const tasks::TaskOutput out = task_->step(batch);
+  out.loss.backward();
+  const auto params = task_->parameters();
+  std::vector<float> before;
+  for (const core::Tensor& p : params) {
+    auto g = p.impl()->grad;
+    before.insert(before.end(), g.begin(), g.end());
+  }
+  (void)task_->predict_forces(batch);
+  std::vector<float> after;
+  for (const core::Tensor& p : params) {
+    auto g = p.impl()->grad;
+    after.insert(after.end(), g.begin(), g.end());
+  }
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]) << "grad corrupted at " << i;
+  }
+}
+
+TEST_F(EnergyForceFixture, EnergyTrainingReducesLoss) {
+  data::DataLoaderOptions lo;
+  lo.batch_size = 8;
+  lo.collate.radius.cutoff = 4.5;
+  data::DataLoader loader(*lips_, lo);
+  optim::Adam opt = optim::make_adamw(task_->parameters(), 3e-3);
+  train::TrainerOptions topts;
+  topts.max_epochs = 6;
+  const auto result = train::Trainer(topts).fit(*task_, loader, nullptr, opt);
+  EXPECT_LT(result.epochs.back().train.at("loss"),
+            0.5 * result.epochs.front().train.at("loss"));
+}
+
+TEST(CosineAnnealing, ShapeAndEndpoints) {
+  Tensor x = Tensor::ones({1}).set_requires_grad(true);
+  optim::SGD opt({x}, {.lr = 1.0});
+  optim::CosineAnnealing sched(opt, 1.0, /*total_epochs=*/10, /*min_lr=*/0.1);
+  EXPECT_NEAR(opt.lr(), 1.0, 1e-12);  // cos(0) = 1
+  std::vector<double> lrs = {opt.lr()};
+  for (int e = 0; e < 12; ++e) {
+    sched.epoch_step();
+    lrs.push_back(opt.lr());
+  }
+  // Monotone decreasing until total_epochs, then floored at min_lr.
+  for (int e = 1; e <= 10; ++e) EXPECT_LT(lrs[e], lrs[e - 1]);
+  EXPECT_NEAR(lrs[10], 0.1, 1e-9);
+  EXPECT_NEAR(lrs[12], 0.1, 1e-9);
+  // Halfway point: mean of base and min.
+  EXPECT_NEAR(lrs[5], 0.55, 1e-9);
+  EXPECT_THROW(optim::CosineAnnealing(opt, 1.0, 0), matsci::Error);
+  EXPECT_THROW(optim::CosineAnnealing(opt, 1.0, 5, 2.0), matsci::Error);
+}
+
+TEST(EarlyStopping, StopsWhenMetricStalls) {
+  materials::MaterialsProjectDataset ds(64, 31);
+  auto [train_ds, val_ds] = data::train_val_split(ds, 0.25, 2);
+  data::DataLoaderOptions lo;
+  lo.batch_size = 16;
+  lo.collate.radius.cutoff = 4.0;
+  data::DataLoader train_loader(train_ds, lo), val_loader(val_ds, lo);
+  RngEngine rng(17);
+  models::EGNNConfig ecfg;
+  ecfg.hidden_dim = 8;
+  ecfg.pos_hidden = 4;
+  ecfg.num_layers = 1;
+  auto encoder = std::make_shared<models::EGNN>(ecfg, rng);
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 8;
+  hcfg.num_blocks = 0;
+  tasks::ScalarRegressionTask task(encoder, "band_gap", hcfg, rng);
+  // Zero-ish learning rate: validation cannot improve -> stop at patience.
+  optim::SGD opt(task.parameters(), {.lr = 1e-12});
+  train::TrainerOptions topts;
+  topts.max_epochs = 50;
+  topts.early_stopping_patience = 3;
+  const auto result =
+      train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+  EXPECT_LE(result.epochs.size(), 5u);  // 1 best + 3 patience (+ slack)
+}
+
+TEST(EarlyStopping, RequiresValidationLoader) {
+  materials::MaterialsProjectDataset ds(16, 32);
+  data::DataLoaderOptions lo;
+  lo.batch_size = 8;
+  data::DataLoader loader(ds, lo);
+  RngEngine rng(18);
+  models::EGNNConfig ecfg;
+  ecfg.hidden_dim = 8;
+  ecfg.pos_hidden = 4;
+  ecfg.num_layers = 1;
+  auto encoder = std::make_shared<models::EGNN>(ecfg, rng);
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 8;
+  hcfg.num_blocks = 0;
+  tasks::ScalarRegressionTask task(encoder, "band_gap", hcfg, rng);
+  optim::SGD opt(task.parameters(), {.lr = 1e-3});
+  train::TrainerOptions topts;
+  topts.early_stopping_patience = 2;
+  EXPECT_THROW(train::Trainer(topts).fit(task, loader, nullptr, opt),
+               matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci

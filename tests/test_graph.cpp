@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/macros.hpp"
+#include "core/random.hpp"
+#include "graph/graph.hpp"
+#include "graph/radius_graph.hpp"
+
+namespace matsci::graph {
+namespace {
+
+using core::Mat3;
+using core::Vec3;
+
+TEST(Graph, ValidateCatchesBadEdges) {
+  Graph g;
+  g.num_nodes = 3;
+  g.src = {0, 1};
+  g.dst = {1, 2};
+  EXPECT_NO_THROW(g.validate());
+  g.dst.push_back(5);
+  g.src.push_back(0);
+  EXPECT_THROW(g.validate(), matsci::Error);
+  g.src.pop_back();
+  EXPECT_THROW(g.validate(), matsci::Error);
+}
+
+TEST(Graph, InDegrees) {
+  Graph g;
+  g.num_nodes = 3;
+  g.src = {0, 1, 2, 0};
+  g.dst = {1, 2, 1, 2};
+  const auto deg = g.in_degrees();
+  EXPECT_EQ(deg[0], 0);
+  EXPECT_EQ(deg[1], 2);
+  EXPECT_EQ(deg[2], 2);
+}
+
+TEST(Graph, BatchGraphsOffsetsIndices) {
+  Graph a;
+  a.num_nodes = 2;
+  a.src = {0, 1};
+  a.dst = {1, 0};
+  Graph b;
+  b.num_nodes = 3;
+  b.src = {0, 2};
+  b.dst = {2, 0};
+  BatchedGraph batch = batch_graphs({a, b});
+  batch.validate();
+  EXPECT_EQ(batch.num_nodes, 5);
+  EXPECT_EQ(batch.num_graphs, 2);
+  EXPECT_EQ(batch.num_edges(), 4);
+  // b's edges offset by 2.
+  EXPECT_EQ(batch.src[2], 2);
+  EXPECT_EQ(batch.dst[2], 4);
+  EXPECT_EQ(batch.node_graph[0], 0);
+  EXPECT_EQ(batch.node_graph[2], 1);
+  EXPECT_EQ(batch.graph_sizes[1], 3);
+}
+
+TEST(Graph, BatchEmptyList) {
+  BatchedGraph batch = batch_graphs({});
+  EXPECT_EQ(batch.num_nodes, 0);
+  EXPECT_EQ(batch.num_graphs, 0);
+}
+
+TEST(RadiusGraph, BasicCutoffSemantics) {
+  // Three collinear points spaced 1 apart: cutoff 1.5 links neighbors only.
+  std::vector<Vec3> pts = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  RadiusGraphOptions opts;
+  opts.cutoff = 1.5;
+  Graph g = build_radius_graph(pts, opts);
+  g.validate();
+  std::set<std::pair<std::int64_t, std::int64_t>> edges;
+  for (std::size_t e = 0; e < g.src.size(); ++e) {
+    edges.insert({g.src[e], g.dst[e]});
+  }
+  EXPECT_TRUE(edges.count({0, 1}));
+  EXPECT_TRUE(edges.count({1, 0}));
+  EXPECT_TRUE(edges.count({1, 2}));
+  EXPECT_TRUE(edges.count({2, 1}));
+  EXPECT_FALSE(edges.count({0, 2}));
+  EXPECT_FALSE(edges.count({2, 0}));
+  EXPECT_FALSE(edges.count({0, 0}));
+}
+
+TEST(RadiusGraph, ConnectIsolatedFallback) {
+  std::vector<Vec3> pts = {{0, 0, 0}, {10, 0, 0}};
+  RadiusGraphOptions opts;
+  opts.cutoff = 1.0;
+  opts.connect_isolated = true;
+  Graph g = build_radius_graph(pts, opts);
+  EXPECT_EQ(g.num_edges(), 2);  // each links to its nearest
+
+  opts.connect_isolated = false;
+  Graph g2 = build_radius_graph(pts, opts);
+  EXPECT_EQ(g2.num_edges(), 0);
+}
+
+TEST(RadiusGraph, MaxNeighborsKeepsNearest) {
+  std::vector<Vec3> pts = {
+      {0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}, {4, 0, 0}};
+  RadiusGraphOptions opts;
+  opts.cutoff = 10.0;
+  opts.max_neighbors = 2;
+  Graph g = build_radius_graph(pts, opts);
+  // Node 0's kept neighbors must be nodes 1 and 2 (nearest two).
+  std::set<std::int64_t> nbrs0;
+  for (std::size_t e = 0; e < g.src.size(); ++e) {
+    if (g.dst[e] == 0) nbrs0.insert(g.src[e]);
+  }
+  EXPECT_EQ(nbrs0, (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(RadiusGraph, PeriodicMinimalImage) {
+  // Two atoms near opposite faces of a 10 Å cube: PBC distance is 1 Å.
+  Mat3 cell = core::mat3_rows({10, 0, 0}, {0, 10, 0}, {0, 0, 10});
+  std::vector<Vec3> pts = {{0.5, 5, 5}, {9.5, 5, 5}};
+  RadiusGraphOptions opts;
+  opts.cutoff = 2.0;
+  opts.connect_isolated = false;
+  Graph no_pbc = build_radius_graph(pts, opts);
+  EXPECT_EQ(no_pbc.num_edges(), 0);
+  Graph with_pbc = build_radius_graph(pts, opts, cell);
+  EXPECT_EQ(with_pbc.num_edges(), 2);
+}
+
+TEST(RadiusGraph, MinimalImageDeltaValues) {
+  Mat3 cell = core::mat3_rows({10, 0, 0}, {0, 10, 0}, {0, 0, 10});
+  Mat3 inv = core::inverse3(cell);
+  Vec3 d = minimal_image_delta({0.5, 0, 0}, {9.5, 0, 0}, cell, inv);
+  EXPECT_NEAR(d.x, -1.0, 1e-9);
+  EXPECT_NEAR(d.y, 0.0, 1e-9);
+  // Within half the cell, minimal image equals the plain difference.
+  Vec3 d2 = minimal_image_delta({2, 3, 4}, {5, 3, 4}, cell, inv);
+  EXPECT_NEAR(d2.x, 3.0, 1e-9);
+}
+
+TEST(RadiusGraph, EmptyAndSinglePoint) {
+  RadiusGraphOptions opts;
+  Graph g0 = build_radius_graph({}, opts);
+  EXPECT_EQ(g0.num_nodes, 0);
+  EXPECT_EQ(g0.num_edges(), 0);
+  Graph g1 = build_radius_graph({Vec3{0, 0, 0}}, opts);
+  EXPECT_EQ(g1.num_nodes, 1);
+  EXPECT_EQ(g1.num_edges(), 0);
+}
+
+TEST(RadiusGraph, RejectsBadCutoff) {
+  RadiusGraphOptions opts;
+  opts.cutoff = 0.0;
+  EXPECT_THROW(build_radius_graph({Vec3{0, 0, 0}}, opts), matsci::Error);
+}
+
+TEST(CompleteGraph, EdgeCountAndSelfLoops) {
+  Graph g = build_complete_graph(4);
+  EXPECT_EQ(g.num_edges(), 12);  // n(n-1)
+  for (std::size_t e = 0; e < g.src.size(); ++e) {
+    EXPECT_NE(g.src[e], g.dst[e]);
+  }
+  Graph gl = build_complete_graph(4, /*self_loops=*/true);
+  EXPECT_EQ(gl.num_edges(), 16);
+  EXPECT_EQ(build_complete_graph(0).num_edges(), 0);
+  EXPECT_EQ(build_complete_graph(1).num_edges(), 0);
+}
+
+class RadiusGraphSymmetryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadiusGraphSymmetryTest, EdgesComeInPairs) {
+  // Property: the radius graph (without max_neighbors) is symmetric —
+  // (i, j) present iff (j, i) present.
+  core::RngEngine rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.uniform(0, 6), rng.uniform(0, 6), rng.uniform(0, 6)});
+  }
+  RadiusGraphOptions opts;
+  opts.cutoff = 2.5;
+  opts.connect_isolated = false;
+  Graph g = build_radius_graph(pts, opts);
+  std::set<std::pair<std::int64_t, std::int64_t>> edges;
+  for (std::size_t e = 0; e < g.src.size(); ++e) {
+    edges.insert({g.src[e], g.dst[e]});
+  }
+  for (const auto& [s, d] : edges) {
+    EXPECT_TRUE(edges.count({d, s}))
+        << "edge (" << s << ", " << d << ") lacks its reverse";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadiusGraphSymmetryTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace matsci::graph

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/macros.hpp"
+#include "data/dataloader.hpp"
+#include "materials/carolina.hpp"
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "nn/serialize.hpp"
+#include "optim/adam.hpp"
+#include "sym/synthetic_dataset.hpp"
+#include "tasks/classification.hpp"
+#include "tasks/multitask.hpp"
+#include "tasks/regression.hpp"
+#include "test_util.hpp"
+#include "train/trainer.hpp"
+
+namespace matsci {
+namespace {
+
+using core::RngEngine;
+
+models::EGNNConfig tiny_encoder_config() {
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = 24;
+  cfg.pos_hidden = 8;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+models::OutputHeadConfig tiny_head_config() {
+  models::OutputHeadConfig cfg;
+  cfg.hidden_dim = 24;
+  cfg.num_blocks = 1;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+/// The full pretrain → checkpoint → fine-tune pipeline of the paper, at
+/// miniature scale: symmetry pretraining, encoder surgery into a property
+/// regression task, and a check that the weights actually transferred.
+TEST(Integration, PretrainCheckpointFinetuneFlow) {
+  // 1. Pretrain a symmetry classifier for a couple of epochs.
+  sym::SyntheticPointGroupDataset pretrain_ds(160, 5);
+  data::DataLoaderOptions lo;
+  lo.batch_size = 16;
+  lo.seed = 1;
+  lo.collate.representation = data::Representation::kPointCloud;
+  data::DataLoader pretrain_loader(pretrain_ds, lo);
+
+  RngEngine rng(7);
+  auto encoder =
+      std::make_shared<models::EGNN>(tiny_encoder_config(), rng);
+  tasks::ClassificationTask pretrain_task(encoder, "point_group", 32,
+                                          tiny_head_config(), rng);
+  optim::Adam pre_opt = optim::make_adamw(pretrain_task.parameters(), 2e-3);
+  train::TrainerOptions topts;
+  topts.max_epochs = 3;
+  const auto pre_result =
+      train::Trainer(topts).fit(pretrain_task, pretrain_loader, nullptr,
+                                pre_opt);
+  EXPECT_LT(pre_result.epochs.back().train.at("loss"),
+            pre_result.epochs.front().train.at("loss"));
+
+  // 2. Checkpoint the whole task; the encoder lives under "encoder.".
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "matsci_pretrain_test.msck")
+          .string();
+  nn::save_state_dict(nn::state_dict(pretrain_task), ckpt);
+
+  // 3. Build a fine-tuning task with a fresh head, load the encoder only.
+  RngEngine rng2(99);
+  auto ft_encoder =
+      std::make_shared<models::EGNN>(tiny_encoder_config(), rng2);
+  tasks::ScalarRegressionTask ft_task(ft_encoder, "band_gap",
+                                      tiny_head_config(), rng2,
+                                      data::TargetStats{1.4f, 1.1f});
+  const nn::StateDict sd = nn::load_state_dict_file(ckpt);
+  const nn::LoadReport report = nn::load_into_module(
+      *ft_encoder, sd, /*strict=*/false, /*prefix=*/"encoder");
+  EXPECT_EQ(report.loaded,
+            static_cast<std::int64_t>(ft_encoder->parameters().size()));
+  EXPECT_EQ(report.missing, 0);
+
+  // Encoder weights must now equal the pretrained ones.
+  const auto pre_named = encoder->named_parameters();
+  const auto ft_named = ft_encoder->named_parameters();
+  for (std::size_t i = 0; i < pre_named.size(); ++i) {
+    EXPECT_LT(matsci::testing::max_abs_diff(pre_named[i].second,
+                                            ft_named[i].second),
+              1e-9);
+  }
+
+  // 4. Fine-tune briefly (η/10 per the paper) — must run and stay finite.
+  materials::MaterialsProjectDataset mp(64, 9);
+  data::DataLoaderOptions flo;
+  flo.batch_size = 16;
+  flo.collate.radius.cutoff = 4.0;
+  data::DataLoader ft_loader(mp, flo);
+  optim::Adam ft_opt = optim::make_adamw(ft_task.parameters(), 2e-4);
+  train::TrainerOptions ft_topts;
+  ft_topts.max_epochs = 2;
+  const auto ft_result =
+      train::Trainer(ft_topts).fit(ft_task, ft_loader, nullptr, ft_opt);
+  EXPECT_TRUE(std::isfinite(ft_result.epochs.back().train.at("loss")));
+  std::remove(ckpt.c_str());
+}
+
+/// Miniature Table-1 setting: multi-task multi-dataset joint training
+/// with a shared encoder over Materials Project + Carolina.
+TEST(Integration, MultiTaskMultiDatasetTrainingRuns) {
+  constexpr std::int64_t kMP = 0, kCMD = 1;
+  materials::MaterialsProjectDataset mp_base(48, 11);
+  materials::CarolinaMaterialsDataset cmd_base(48, 12);
+
+  // Wrap with dataset ids.
+  class Tagged : public data::StructureDataset {
+   public:
+    Tagged(const data::StructureDataset& inner, std::int64_t id)
+        : inner_(&inner), id_(id) {}
+    std::int64_t size() const override { return inner_->size(); }
+    data::StructureSample get(std::int64_t i) const override {
+      auto s = inner_->get(i);
+      s.dataset_id = id_;
+      return s;
+    }
+    std::string name() const override { return inner_->name(); }
+
+   private:
+    const data::StructureDataset* inner_;
+    std::int64_t id_;
+  };
+  Tagged mp(mp_base, kMP), cmd(cmd_base, kCMD);
+
+  RngEngine rng(21);
+  auto encoder =
+      std::make_shared<models::EGNN>(tiny_encoder_config(), rng);
+  tasks::MultiTaskModule mt(encoder, tiny_head_config(), 33);
+  mt.add_regression(kMP, "band_gap",
+                    data::compute_target_stats(mp, "band_gap"), "mp/gap");
+  mt.add_regression(kMP, "efermi",
+                    data::compute_target_stats(mp, "efermi"), "mp/zeta");
+  mt.add_regression(kMP, "formation_energy",
+                    data::compute_target_stats(mp, "formation_energy"),
+                    "mp/eform");
+  mt.add_binary_classification(kMP, "stability", "mp/stability");
+  mt.add_regression(kCMD, "formation_energy",
+                    data::compute_target_stats(cmd, "formation_energy"),
+                    "cmd/eform");
+
+  data::DataLoaderOptions lo;
+  lo.batch_size = 12;
+  lo.collate.radius.cutoff = 4.0;
+  data::DataLoader mp_loader(mp, lo), cmd_loader(cmd, lo);
+
+  optim::Adam opt = optim::make_adamw(mt.parameters(), 2e-3);
+  // Round-robin across datasets, two epochs.
+  tasks::MetricAccumulator first_epoch, last_epoch;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    mp_loader.set_epoch(epoch);
+    cmd_loader.set_epoch(epoch);
+    auto& acc = epoch == 0 ? first_epoch : last_epoch;
+    const std::int64_t steps =
+        std::max(mp_loader.num_batches(), cmd_loader.num_batches());
+    for (std::int64_t b = 0; b < steps; ++b) {
+      for (data::DataLoader* loader : {&mp_loader, &cmd_loader}) {
+        if (b >= loader->num_batches()) continue;
+        opt.zero_grad();
+        const tasks::TaskOutput out = mt.step(loader->batch(b));
+        out.loss.backward();
+        opt.step();
+        acc.add(out);
+      }
+    }
+  }
+  // Joint loss decreased and every metric was exercised.
+  EXPECT_LT(last_epoch.mean("loss"), first_epoch.mean("loss"));
+  for (const char* key : {"mp/gap/mae", "mp/zeta/mae", "mp/eform/mae",
+                          "mp/stability/bce", "cmd/eform/mae"}) {
+    EXPECT_TRUE(last_epoch.has(key)) << key;
+  }
+}
+
+/// Symmetry pretraining improves above chance quickly — the pretraining
+/// objective is actually learnable by the encoder.
+TEST(Integration, SymmetryPretrainingBeatsChance) {
+  sym::SyntheticPointGroupOptions sopts;
+  sopts.max_points = 20;  // keeps the complete graphs small (test budget)
+  sym::SyntheticPointGroupDataset ds(320, 41, sopts);
+  auto [train_ds, val_ds] = data::train_val_split(ds, 0.2, 2);
+  data::DataLoaderOptions lo;
+  lo.batch_size = 32;
+  lo.collate.representation = data::Representation::kPointCloud;
+  data::DataLoader train_loader(train_ds, lo), val_loader(val_ds, lo);
+
+  RngEngine rng(55);
+  models::EGNNConfig ecfg;
+  ecfg.hidden_dim = 32;
+  ecfg.pos_hidden = 16;
+  ecfg.num_layers = 3;
+  auto encoder = std::make_shared<models::EGNN>(ecfg, rng);
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 32;
+  hcfg.num_blocks = 2;
+  hcfg.dropout = 0.0f;
+  tasks::ClassificationTask task(encoder, "point_group", 32, hcfg, rng);
+  optim::Adam opt = optim::make_adamw(task.parameters(), 3e-3);
+  train::TrainerOptions topts;
+  topts.max_epochs = 6;
+  const auto result =
+      train::Trainer(topts).fit(task, train_loader, &val_loader, opt);
+  // Chance accuracy is 1/32 ≈ 3.1%; require clearly above.
+  EXPECT_GT(result.epochs.back().val.at("accuracy"), 0.08);
+  // And CE below the uniform-prediction value log(32) ≈ 3.47.
+  EXPECT_LT(result.epochs.back().val.at("ce"), 3.3);
+}
+
+}  // namespace
+}  // namespace matsci

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "materials/elements.hpp"
+#include "materials/lips.hpp"
+#include "materials/md.hpp"
+
+namespace matsci::materials {
+namespace {
+
+Structure two_atom_cell(double separation) {
+  Structure s;
+  s.lattice = cubic_lattice(20.0);
+  s.frac = {{0.5, 0.5, 0.5}, {0.5 + separation / 20.0, 0.5, 0.5}};
+  s.species = {18, 18};  // Ar-Ar
+  return s;
+}
+
+TEST(LJ, ParametersPhysical) {
+  const LJParams p = lj_parameters(18, 18);
+  EXPECT_GT(p.sigma, 0.0);
+  EXPECT_GT(p.epsilon, 0.0);
+  // Minimum at r = 2^{1/6} σ = sum of covalent radii.
+  EXPECT_NEAR(p.sigma * std::pow(2.0, 1.0 / 6.0),
+              2.0 * element(18).covalent_radius, 1e-9);
+  // Electronegativity contrast deepens the well.
+  EXPECT_GT(lj_parameters(3, 9).epsilon, lj_parameters(3, 3).epsilon);
+}
+
+TEST(MD, EnergyMinimumAtContactDistance) {
+  const double r0 = 2.0 * element(18).covalent_radius;
+  std::vector<core::Vec3> f;
+  const double e_min = MDSimulator::energy_and_forces(two_atom_cell(r0), 8.0, f);
+  const double e_closer =
+      MDSimulator::energy_and_forces(two_atom_cell(r0 * 0.8), 8.0, f);
+  const double e_farther =
+      MDSimulator::energy_and_forces(two_atom_cell(r0 * 1.5), 8.0, f);
+  EXPECT_LT(e_min, e_closer);
+  EXPECT_LT(e_min, e_farther);
+  EXPECT_LT(e_min, 0.0);
+}
+
+TEST(MD, ForceIsNegativeEnergyGradient) {
+  // Central finite difference on atom 1's x coordinate.
+  const double r = 2.4;
+  const double h = 1e-5;
+  std::vector<core::Vec3> forces;
+  Structure s = two_atom_cell(r);
+  MDSimulator::energy_and_forces(s, 8.0, forces);
+
+  Structure sp = two_atom_cell(r + h);
+  Structure sm = two_atom_cell(r - h);
+  std::vector<core::Vec3> tmp;
+  const double ep = MDSimulator::energy_and_forces(sp, 8.0, tmp);
+  const double em = MDSimulator::energy_and_forces(sm, 8.0, tmp);
+  const double numeric = -(ep - em) / (2.0 * h);
+  EXPECT_NEAR(forces[1].x, numeric, 1e-4 * std::max(1.0, std::fabs(numeric)));
+  // Newton's third law.
+  EXPECT_NEAR(forces[0].x, -forces[1].x, 1e-12);
+  EXPECT_NEAR(forces[0].y, 0.0, 1e-12);
+}
+
+TEST(MD, ForcesSumToZero) {
+  // Momentum conservation: total LJ force vanishes in PBC.
+  LiPSDataset lips(4, 1);
+  const MDSnapshot& snap = lips.frame(2);
+  core::Vec3 total{};
+  for (const core::Vec3& f : snap.forces) total += f;
+  EXPECT_NEAR(core::norm(total), 0.0, 1e-9);
+}
+
+TEST(MD, NveEnergyApproximatelyConserved) {
+  MDOptions opts;
+  opts.timestep = 0.5;
+  opts.temperature = 100.0;
+  opts.steps = 100;
+  opts.snapshot_every = 10;
+  opts.thermostat_every = 0;  // NVE
+  MDSimulator sim(LiPSDataset::initial_structure(), opts, 7);
+  const auto traj = sim.run();
+  ASSERT_EQ(traj.size(), 10u);
+  const double e0 = traj.front().potential_energy + traj.front().kinetic_energy;
+  const double e1 = traj.back().potential_energy + traj.back().kinetic_energy;
+  // Velocity Verlet drift should be small relative to the kinetic scale.
+  EXPECT_NEAR(e1, e0, 0.15 * std::max(1.0, std::fabs(e0)));
+}
+
+TEST(MD, ThermostatHoldsTemperature) {
+  MDOptions opts;
+  opts.timestep = 1.0;
+  opts.temperature = 400.0;
+  opts.steps = 200;
+  opts.snapshot_every = 200;
+  opts.thermostat_every = 10;
+  MDSimulator sim(LiPSDataset::initial_structure(), opts, 11);
+  const auto traj = sim.run();
+  ASSERT_EQ(traj.size(), 1u);
+  const double n = static_cast<double>(traj[0].structure.num_atoms());
+  const double t_final =
+      2.0 * traj[0].kinetic_energy / (3.0 * n * 8.617333e-5);
+  EXPECT_GT(t_final, 100.0);
+  EXPECT_LT(t_final, 1200.0);
+}
+
+TEST(MD, DeterministicInSeed) {
+  MDOptions opts;
+  opts.steps = 40;
+  opts.snapshot_every = 40;
+  MDSimulator a(LiPSDataset::initial_structure(), opts, 5);
+  MDSimulator b(LiPSDataset::initial_structure(), opts, 5);
+  const auto ta = a.run();
+  const auto tb = b.run();
+  ASSERT_EQ(ta.size(), tb.size());
+  EXPECT_DOUBLE_EQ(ta[0].potential_energy, tb[0].potential_energy);
+}
+
+TEST(MD, RejectsBadOptions) {
+  MDOptions opts;
+  opts.timestep = -1.0;
+  EXPECT_THROW(MDSimulator(LiPSDataset::initial_structure(), opts, 1),
+               matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci::materials

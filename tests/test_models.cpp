@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "data/collate.hpp"
+#include "models/egnn.hpp"
+#include "models/output_head.hpp"
+#include "sym/symop.hpp"
+#include "test_util.hpp"
+
+namespace matsci::models {
+namespace {
+
+using core::RngEngine;
+using core::Tensor;
+
+/// A small random point-cloud batch (complete-graph topology).
+data::Batch make_batch(std::int64_t atoms, std::uint64_t seed,
+                       std::int64_t num_graphs = 1) {
+  RngEngine rng(seed);
+  std::vector<data::StructureSample> samples;
+  for (std::int64_t g = 0; g < num_graphs; ++g) {
+    data::StructureSample s;
+    for (std::int64_t i = 0; i < atoms; ++i) {
+      s.species.push_back(1 + rng.next_int(8));
+      s.positions.push_back(
+          {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)});
+    }
+    s.scalar_targets["y"] = 0.0f;
+    samples.push_back(std::move(s));
+  }
+  data::CollateOptions opts;
+  opts.representation = data::Representation::kPointCloud;
+  return data::collate(samples, opts);
+}
+
+EGNNConfig tiny_config() {
+  EGNNConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.pos_hidden = 8;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+TEST(EGNN, OutputShape) {
+  RngEngine rng(1);
+  EGNN enc(tiny_config(), rng);
+  data::Batch batch = make_batch(5, 2, /*num_graphs=*/3);
+  Tensor emb = enc.encode(batch);
+  EXPECT_EQ(emb.shape(), (core::Shape{3, 16}));
+  EXPECT_EQ(enc.embedding_dim(), 16);
+  Tensor nodes = enc.node_embeddings(batch);
+  EXPECT_EQ(nodes.shape(), (core::Shape{15, 16}));
+}
+
+TEST(EGNN, TranslationInvariance) {
+  RngEngine rng(3);
+  EGNN enc(tiny_config(), rng);
+  data::Batch batch = make_batch(6, 4);
+  Tensor before = enc.encode(batch);
+  // Shift every coordinate by a constant vector.
+  for (std::int64_t i = 0; i < batch.coords.size(0); ++i) {
+    batch.coords.set(i, 0, batch.coords.at(i, 0) + 3.7f);
+    batch.coords.set(i, 1, batch.coords.at(i, 1) - 1.2f);
+    batch.coords.set(i, 2, batch.coords.at(i, 2) + 0.4f);
+  }
+  Tensor after = enc.encode(batch);
+  EXPECT_LT(matsci::testing::max_abs_diff(before, after), 1e-3);
+}
+
+TEST(EGNN, RotationAndReflectionInvariance) {
+  RngEngine rng(5);
+  EGNN enc(tiny_config(), rng);
+  data::Batch batch = make_batch(6, 6);
+  Tensor before = enc.encode(batch);
+
+  for (const auto& op : {sym::rotation({0.3, -0.5, 0.8}, 1.1),
+                         sym::reflection({1.0, 0.5, -0.25}),
+                         sym::inversion()}) {
+    data::Batch transformed = batch;
+    transformed.coords = batch.coords.clone();
+    for (std::int64_t i = 0; i < batch.coords.size(0); ++i) {
+      const core::Vec3 p = {batch.coords.at(i, 0), batch.coords.at(i, 1),
+                            batch.coords.at(i, 2)};
+      const core::Vec3 q = core::matvec(op, p);
+      transformed.coords.set(i, 0, static_cast<float>(q.x));
+      transformed.coords.set(i, 1, static_cast<float>(q.y));
+      transformed.coords.set(i, 2, static_cast<float>(q.z));
+    }
+    Tensor after = enc.encode(transformed);
+    EXPECT_LT(matsci::testing::max_abs_diff(before, after), 1e-3);
+  }
+}
+
+TEST(EGNN, PermutationInvarianceOfReadout) {
+  RngEngine rng(7);
+  EGNN enc(tiny_config(), rng);
+  data::Batch batch = make_batch(5, 8);
+  Tensor before = enc.encode(batch);
+
+  // Reverse the atom order within the single graph.
+  data::Batch permuted = batch;
+  const std::int64_t n = batch.coords.size(0);
+  permuted.coords = Tensor::empty({n, 3});
+  permuted.species.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t j = n - 1 - i;
+    for (std::int64_t c = 0; c < 3; ++c) {
+      permuted.coords.set(j, c, batch.coords.at(i, c));
+    }
+    permuted.species[static_cast<std::size_t>(j)] =
+        batch.species[static_cast<std::size_t>(i)];
+  }
+  Tensor after = enc.encode(permuted);
+  EXPECT_LT(matsci::testing::max_abs_diff(before, after), 2e-3);
+}
+
+TEST(EGNN, SizeExtensiveReadout) {
+  // Two identical disconnected copies -> double the graph embedding of one
+  // (sum pooling; complete graph per sample keeps copies independent).
+  RngEngine rng(9);
+  EGNN enc(tiny_config(), rng);
+  data::Batch single = make_batch(4, 10, 1);
+
+  std::vector<data::StructureSample> both;
+  data::StructureSample s;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    s.species.push_back(single.species[static_cast<std::size_t>(i)]);
+    s.positions.push_back({single.coords.at(i, 0), single.coords.at(i, 1),
+                           single.coords.at(i, 2)});
+  }
+  s.scalar_targets["y"] = 0.0f;
+  both.push_back(s);
+  both.push_back(s);
+  data::CollateOptions copts;
+  copts.representation = data::Representation::kPointCloud;
+  data::Batch pair = data::collate(both, copts);
+
+  Tensor e1 = enc.encode(single);
+  Tensor e2 = enc.encode(pair);
+  for (std::int64_t j = 0; j < 16; ++j) {
+    EXPECT_NEAR(e2.at(0, j), e1.at(0, j), 1e-3);
+    EXPECT_NEAR(e2.at(1, j), e1.at(0, j), 1e-3);
+  }
+}
+
+TEST(EGNN, GradientsReachAllParameters) {
+  RngEngine rng(11);
+  EGNN enc(tiny_config(), rng);
+  data::Batch batch = make_batch(5, 12);
+  core::sum(core::square(enc.encode(batch))).backward();
+  for (const auto& [name, p] : enc.named_parameters()) {
+    bool nonzero = false;
+    core::Tensor t = p;
+    for (const float g : t.grad_span()) {
+      if (g != 0.0f) nonzero = true;
+    }
+    EXPECT_TRUE(nonzero) << "no gradient reached " << name;
+  }
+}
+
+TEST(EGNN, SpeciesOutOfTableRejected) {
+  RngEngine rng(13);
+  EGNNConfig cfg = tiny_config();
+  cfg.max_species = 4;
+  EGNN enc(cfg, rng);
+  data::Batch batch = make_batch(4, 14);
+  batch.species[0] = 9;
+  EXPECT_THROW(enc.encode(batch), matsci::Error);
+}
+
+TEST(EGNN, CoordUpdateToggle) {
+  RngEngine rng(15);
+  EGNNConfig with = tiny_config();
+  EGNNConfig without = tiny_config();
+  without.update_coords = false;
+  EGNN a(with, rng);
+  EGNN b(without, rng);
+  // Different behaviours are expected; both must run and give finite output.
+  data::Batch batch = make_batch(5, 16);
+  const Tensor ea = a.encode(batch);
+  const Tensor eb = b.encode(batch);
+  for (const float v : ea.span()) EXPECT_TRUE(std::isfinite(v));
+  for (const float v : eb.span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EGNN, ParameterCountMatchesArchitecture) {
+  RngEngine rng(17);
+  EGNNConfig cfg = tiny_config();
+  EGNN enc(cfg, rng);
+  const std::int64_t h = cfg.hidden_dim, ph = cfg.pos_hidden;
+  const std::int64_t embedding = cfg.max_species * h;
+  const std::int64_t edge = (2 * h + 1) * h + h + h * h + h;
+  const std::int64_t coord = h * ph + ph + ph * 1 + 1;
+  const std::int64_t node = (2 * h) * h + h + h * h + h;
+  // The last layer carries no coordinate MLP (its x update is unread).
+  EXPECT_EQ(enc.num_parameters(),
+            embedding + cfg.num_layers * (edge + node) +
+                (cfg.num_layers - 1) * coord);
+}
+
+TEST(OutputHead, ShapesAndProjection) {
+  RngEngine rng(19);
+  OutputHeadConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.num_blocks = 2;
+  cfg.out_dim = 3;
+  OutputHead head(/*in_dim=*/16, cfg, rng);
+  Tensor emb = Tensor::randn({5, 16}, rng);
+  Tensor out = head.forward(emb);
+  EXPECT_EQ(out.shape(), (core::Shape{5, 3}));
+
+  // Matching width skips the projection layer.
+  OutputHead direct(/*in_dim=*/8, cfg, rng);
+  bool has_proj = false;
+  for (const auto& [name, _] : direct.named_parameters()) {
+    if (name.find("input_proj") != std::string::npos) has_proj = true;
+  }
+  EXPECT_FALSE(has_proj);
+}
+
+TEST(OutputHead, DropoutOnlyInTraining) {
+  RngEngine rng(21);
+  OutputHeadConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.num_blocks = 3;
+  cfg.dropout = 0.5f;
+  OutputHead head(8, cfg, rng);
+  Tensor emb = Tensor::randn({4, 8}, rng);
+  head.train(false);
+  Tensor a = head.forward(emb);
+  Tensor b = head.forward(emb);
+  EXPECT_LT(matsci::testing::max_abs_diff(a, b), 1e-7);
+  head.train(true);
+  Tensor c = head.forward(emb);
+  Tensor d = head.forward(emb);
+  EXPECT_GT(matsci::testing::max_abs_diff(c, d), 1e-6);
+}
+
+TEST(OutputHead, ZeroBlocksIsLinearReadout) {
+  RngEngine rng(23);
+  OutputHeadConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.num_blocks = 0;
+  OutputHead head(8, cfg, rng);
+  EXPECT_EQ(head.parameters().size(), 2u);  // readout weight + bias
+}
+
+}  // namespace
+}  // namespace matsci::models

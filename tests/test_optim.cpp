@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "optim/adam.hpp"
+#include "optim/diagnostics.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "optim/sgd.hpp"
+
+namespace matsci::optim {
+namespace {
+
+using core::Tensor;
+
+/// Minimize f(x) = ||x - target||² and return the final distance.
+template <typename MakeOpt>
+double run_quadratic(MakeOpt make_opt, int steps) {
+  Tensor x = Tensor::from_vector({5.0f, -3.0f, 8.0f}, {3});
+  x.set_requires_grad(true);
+  Tensor target = Tensor::from_vector({1.0f, 2.0f, -1.0f}, {3});
+  auto opt = make_opt(std::vector<Tensor>{x});
+  for (int i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    core::sum(core::square(core::sub(x, target))).backward();
+    opt.step();
+  }
+  double dist = 0.0;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    dist += std::pow(x.at(i) - target.at(i), 2);
+  }
+  return std::sqrt(dist);
+}
+
+TEST(SGD, ConvergesOnQuadratic) {
+  const double d = run_quadratic(
+      [](std::vector<Tensor> p) {
+        return SGD(std::move(p), {.lr = 0.1});
+      },
+      200);
+  EXPECT_LT(d, 1e-3);
+}
+
+TEST(SGD, MomentumAccelerates) {
+  const double plain = run_quadratic(
+      [](std::vector<Tensor> p) { return SGD(std::move(p), {.lr = 0.02}); },
+      40);
+  const double momentum = run_quadratic(
+      [](std::vector<Tensor> p) {
+        return SGD(std::move(p), {.lr = 0.02, .momentum = 0.9});
+      },
+      40);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(SGD, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::from_vector({10.0f}, {1});
+  x.set_requires_grad(true);
+  SGD opt({x}, {.lr = 0.1, .weight_decay = 1.0});
+  for (int i = 0; i < 50; ++i) {
+    opt.zero_grad();
+    // Zero task gradient: decay alone should shrink x.
+    core::mul_scalar(core::sum(x), 0.0f).backward();
+    opt.step();
+  }
+  EXPECT_LT(std::fabs(x.at(0)), 1.0f);
+}
+
+TEST(SGD, OptionValidation) {
+  Tensor x = Tensor::ones({1}).set_requires_grad(true);
+  EXPECT_THROW(SGD({x}, {.lr = 0.1, .momentum = 1.5}), matsci::Error);
+  EXPECT_THROW(SGD({x}, {.lr = 0.1, .nesterov = true}), matsci::Error);
+  EXPECT_THROW(SGD({x}, {.lr = -0.1}), matsci::Error);
+  EXPECT_THROW(SGD({}, {.lr = 0.1}), matsci::Error);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  const double d = run_quadratic(
+      [](std::vector<Tensor> p) {
+        return Adam(std::move(p), {.lr = 0.3});
+      },
+      300);
+  EXPECT_LT(d, 1e-2);
+}
+
+TEST(Adam, BiasCorrectionMakesFirstStepLrSized) {
+  // After one step with gradient g, Adam moves by ~lr regardless of |g|.
+  for (const float g0 : {0.01f, 100.0f}) {
+    Tensor x = Tensor::from_vector({0.0f}, {1});
+    x.set_requires_grad(true);
+    Adam opt({x}, {.lr = 0.1});
+    opt.zero_grad();
+    core::mul_scalar(core::sum(x), g0).backward();
+    opt.step();
+    EXPECT_NEAR(std::fabs(x.at(0)), 0.1, 1e-3) << "g0=" << g0;
+  }
+}
+
+TEST(Adam, DecoupledVsCoupledWeightDecayDiffer) {
+  auto run = [](bool decoupled) {
+    Tensor x = Tensor::from_vector({2.0f}, {1});
+    x.set_requires_grad(true);
+    Adam opt({x}, {.lr = 0.05,
+                   .weight_decay = 0.5,
+                   .decoupled_weight_decay = decoupled});
+    for (int i = 0; i < 20; ++i) {
+      opt.zero_grad();
+      core::sum(core::square(x)).backward();
+      opt.step();
+    }
+    return x.at(0);
+  };
+  EXPECT_NE(run(true), run(false));
+}
+
+TEST(Adam, MakeAdamwFactory) {
+  Tensor x = Tensor::ones({2}).set_requires_grad(true);
+  Adam opt = make_adamw({x}, 1e-3, 0.01);
+  EXPECT_TRUE(opt.options().decoupled_weight_decay);
+  EXPECT_DOUBLE_EQ(opt.options().weight_decay, 0.01);
+  EXPECT_DOUBLE_EQ(opt.options().beta1, 0.9);
+  EXPECT_DOUBLE_EQ(opt.options().beta2, 0.999);
+}
+
+TEST(Optimizer, GradNormAndClip) {
+  Tensor x = Tensor::zeros({2}).set_requires_grad(true);
+  SGD opt({x}, {.lr = 0.1});
+  opt.zero_grad();
+  // grad = (3, 4) -> norm 5.
+  Tensor w = core::Tensor::from_vector({3.0f, 4.0f}, {2});
+  core::sum(core::mul(x, w)).backward();
+  EXPECT_NEAR(opt.grad_norm(), 5.0, 1e-6);
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(opt.grad_norm(), 1.0, 1e-5);
+  // Clipping below threshold is a no-op.
+  const double pre2 = opt.clip_grad_norm(10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-5);
+  EXPECT_NEAR(opt.grad_norm(), 1.0, 1e-5);
+}
+
+TEST(Schedulers, LinearWarmupRamp) {
+  Tensor x = Tensor::ones({1}).set_requires_grad(true);
+  SGD opt({x}, {.lr = 1.0});
+  LinearWarmup warmup(opt, /*peak_lr=*/1.0, /*warmup_epochs=*/4);
+  EXPECT_NEAR(opt.lr(), 0.25, 1e-9);  // epoch 0 applies first ramp value
+  warmup.epoch_step();
+  EXPECT_NEAR(opt.lr(), 0.5, 1e-9);
+  warmup.epoch_step();
+  warmup.epoch_step();
+  EXPECT_NEAR(opt.lr(), 1.0, 1e-9);
+  warmup.epoch_step();
+  EXPECT_NEAR(opt.lr(), 1.0, 1e-9);  // constant after warmup
+}
+
+TEST(Schedulers, ExponentialDecayGamma) {
+  Tensor x = Tensor::ones({1}).set_requires_grad(true);
+  SGD opt({x}, {.lr = 1.0});
+  ExponentialDecay decay(opt, 1.0, 0.8);
+  EXPECT_NEAR(opt.lr(), 1.0, 1e-9);
+  decay.epoch_step();
+  EXPECT_NEAR(opt.lr(), 0.8, 1e-9);
+  decay.epoch_step();
+  EXPECT_NEAR(opt.lr(), 0.64, 1e-9);
+}
+
+TEST(Schedulers, WarmupExponentialMatchesPaperSchedule) {
+  // §4.2: warmup ramps linearly to nominal, then exponential decay γ=0.8.
+  Tensor x = Tensor::ones({1}).set_requires_grad(true);
+  SGD opt({x}, {.lr = 1.0});
+  WarmupExponential sched(opt, /*peak=*/2.0, /*warmup=*/8, /*gamma=*/0.8);
+  std::vector<double> lrs = {opt.lr()};
+  for (int e = 0; e < 12; ++e) {
+    sched.epoch_step();
+    lrs.push_back(opt.lr());
+  }
+  // Monotone increasing through warmup.
+  for (int e = 1; e < 8; ++e) EXPECT_GT(lrs[e], lrs[e - 1]);
+  EXPECT_NEAR(lrs[7], 2.0, 1e-9);  // reaches peak at the end of warmup
+  // Decay afterwards at γ = 0.8 per epoch.
+  EXPECT_NEAR(lrs[8] / lrs[7], 0.8, 1e-9);
+  EXPECT_NEAR(lrs[9] / lrs[8], 0.8, 1e-9);
+}
+
+TEST(Schedulers, GoyalLinearScalingRule) {
+  EXPECT_DOUBLE_EQ(scale_lr_for_world_size(1e-5, 512), 512e-5);
+  EXPECT_DOUBLE_EQ(scale_lr_for_world_size(1e-3, 1), 1e-3);
+  EXPECT_THROW(scale_lr_for_world_size(1e-3, 0), matsci::Error);
+}
+
+TEST(Diagnostics, ProbeTracksGradNormAndCorrelation) {
+  Tensor x = Tensor::zeros({4}).set_requires_grad(true);
+  Adam opt({x}, {.lr = 0.01});
+  AdamInstabilityProbe probe(opt);
+
+  // Two steps with identical gradients: autocorrelation -> 1.
+  for (int i = 0; i < 2; ++i) {
+    opt.zero_grad();
+    Tensor w = Tensor::from_vector({1, 1, 1, 1}, {4});
+    core::sum(core::mul(x, w)).backward();
+    probe.observe();
+    opt.step();
+  }
+  ASSERT_EQ(probe.history().size(), 2u);
+  EXPECT_NEAR(probe.history()[0].grad_norm, 2.0, 1e-5);
+  EXPECT_NEAR(probe.history()[1].grad_autocorrelation, 1.0, 1e-5);
+
+  // Opposite gradient: correlation flips negative.
+  opt.zero_grad();
+  Tensor w = Tensor::from_vector({-1, -1, -1, -1}, {4});
+  core::sum(core::mul(x, w)).backward();
+  const auto stats = probe.observe();
+  EXPECT_NEAR(stats.grad_autocorrelation, -1.0, 1e-5);
+}
+
+TEST(Diagnostics, EpsFloorDetectedForVanishingGradients) {
+  Tensor x = Tensor::zeros({4}).set_requires_grad(true);
+  Adam opt({x}, {.lr = 0.01, .eps = 1e-2});  // large eps to hit the floor
+  AdamInstabilityProbe probe(opt);
+  for (int i = 0; i < 3; ++i) {
+    opt.zero_grad();
+    // Tiny gradients: sqrt(v) stays below eps.
+    Tensor w = Tensor::from_vector({1e-5f, 1e-5f, 1e-5f, 1e-5f}, {4});
+    core::sum(core::mul(x, w)).backward();
+    opt.step();
+  }
+  opt.zero_grad();
+  Tensor w = Tensor::from_vector({1e-5f, 1e-5f, 1e-5f, 1e-5f}, {4});
+  core::sum(core::mul(x, w)).backward();
+  const auto stats = probe.observe();
+  EXPECT_GT(stats.frac_at_eps_floor, 0.99);
+}
+
+}  // namespace
+}  // namespace matsci::optim

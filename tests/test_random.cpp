@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/macros.hpp"
+#include "core/random.hpp"
+
+namespace matsci::core {
+namespace {
+
+TEST(Rng, DeterministicInSeed) {
+  RngEngine a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  RngEngine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  RngEngine rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  RngEngine rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sq / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  RngEngine rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+  // Shifted/scaled variant.
+  double s2 = 0.0;
+  for (int i = 0; i < n; ++i) s2 += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(s2 / n, 3.0, 0.02);
+}
+
+TEST(Rng, NextIntUnbiasedAndBounded) {
+  RngEngine rng(17);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t v = rng.next_int(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 7.0, 0.01);
+  }
+  EXPECT_THROW(rng.next_int(0), matsci::Error);
+}
+
+TEST(Rng, BernoulliRate) {
+  RngEngine rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependentAndDeterministic) {
+  RngEngine parent(42);
+  RngEngine c1 = parent.fork(1);
+  RngEngine c2 = parent.fork(2);
+  RngEngine c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  // Streams from different ids should not collide.
+  RngEngine c1b = parent.fork(1);
+  c1b.next_u64();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1b.next_u64() == c2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  RngEngine a(5), b(5);
+  (void)a.fork(99);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  RngEngine rng(23);
+  std::vector<std::int64_t> v(50);
+  for (std::int64_t i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  RngEngine rng(29);
+  const auto s = rng.sample_without_replacement(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  std::set<std::int64_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const std::int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+  EXPECT_EQ(rng.sample_without_replacement(5, 5).size(), 5u);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/macros.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "test_util.hpp"
+
+namespace matsci::nn {
+namespace {
+
+using core::RngEngine;
+using core::Tensor;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, StreamRoundTrip) {
+  RngEngine rng(1);
+  MLP mlp({4, 8, 2}, Act::kSiLU, rng);
+  StateDict sd = state_dict(mlp);
+  ASSERT_EQ(sd.size(), 4u);
+
+  std::stringstream ss;
+  write_state_dict(sd, ss);
+  StateDict loaded = read_state_dict(ss);
+  ASSERT_EQ(loaded.size(), sd.size());
+  for (const auto& [name, t] : sd) {
+    ASSERT_TRUE(loaded.count(name)) << name;
+    EXPECT_EQ(loaded.at(name).shape(), t.shape());
+    EXPECT_LT(matsci::testing::max_abs_diff(loaded.at(name), t), 1e-9);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  RngEngine rng(2);
+  MLP mlp({3, 3}, Act::kReLU, rng);
+  const std::string path = temp_path("matsci_ckpt_test.msck");
+  save_state_dict(state_dict(mlp), path);
+  StateDict loaded = load_state_dict_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOTACKPT";
+  EXPECT_THROW(read_state_dict(ss), matsci::Error);
+}
+
+TEST(Serialize, TruncatedStreamRejected) {
+  RngEngine rng(3);
+  MLP mlp({4, 4}, Act::kSiLU, rng);
+  std::stringstream ss;
+  write_state_dict(state_dict(mlp), ss);
+  std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_state_dict(truncated), matsci::Error);
+}
+
+TEST(Serialize, StrictLoadRestoresExactly) {
+  RngEngine r1(4), r2(5);
+  MLP a({4, 6, 2}, Act::kSELU, r1);
+  MLP b({4, 6, 2}, Act::kSELU, r2);
+  const LoadReport report = load_into_module(b, state_dict(a));
+  EXPECT_EQ(report.loaded, 4);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_EQ(report.skipped, 0);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(matsci::testing::max_abs_diff(pa[i], pb[i]), 1e-9);
+  }
+}
+
+TEST(Serialize, StrictLoadRejectsMissingKeys) {
+  RngEngine rng(6);
+  MLP a({4, 2}, Act::kSiLU, rng);
+  MLP bigger({4, 6, 2}, Act::kSiLU, rng);
+  EXPECT_THROW(load_into_module(bigger, state_dict(a)), matsci::Error);
+  // Extra keys also rejected in strict mode.
+  EXPECT_THROW(load_into_module(a, state_dict(bigger)), matsci::Error);
+}
+
+TEST(Serialize, NonStrictSkipsAndCounts) {
+  RngEngine rng(7);
+  MLP a({4, 2}, Act::kSiLU, rng);
+  MLP bigger({4, 6, 2}, Act::kSiLU, rng);
+  const LoadReport report =
+      load_into_module(bigger, state_dict(a), /*strict=*/false);
+  // layer0.weight shape differs (4x2 vs 4x6): skipped; layer1.* missing.
+  EXPECT_EQ(report.loaded, 0);
+  EXPECT_GT(report.missing + report.skipped, 0);
+}
+
+TEST(Serialize, PrefixFilteredLoad) {
+  // Simulate the fine-tuning flow: a checkpoint of a task whose encoder
+  // lives under the "encoder." prefix, loaded into a bare encoder module.
+  RngEngine rng(8);
+  MLP encoder({4, 4}, Act::kSiLU, rng);
+  StateDict sd;
+  for (const auto& [name, t] : state_dict(encoder)) {
+    sd["encoder." + name] = t;
+  }
+  sd["head.weight"] = core::Tensor::zeros({4, 1});
+
+  RngEngine rng2(9);
+  MLP fresh({4, 4}, Act::kSiLU, rng2);
+  const LoadReport report =
+      load_into_module(fresh, sd, /*strict=*/false, /*prefix=*/"encoder");
+  EXPECT_EQ(report.loaded, 2);
+  EXPECT_LT(matsci::testing::max_abs_diff(fresh.parameters()[0],
+                                          encoder.parameters()[0]),
+            1e-9);
+}
+
+TEST(Serialize, ShapeMismatchStrictThrows) {
+  RngEngine rng(10);
+  MLP a({4, 4}, Act::kSiLU, rng);
+  StateDict sd = state_dict(a);
+  sd["layer0.weight"] = Tensor::zeros({2, 2});
+  MLP b({4, 4}, Act::kSiLU, rng);
+  EXPECT_THROW(load_into_module(b, sd), matsci::Error);
+}
+
+TEST(Serialize, StateDictIsDetachedCopy) {
+  RngEngine rng(11);
+  MLP a({3, 3}, Act::kSiLU, rng);
+  StateDict sd = state_dict(a);
+  const float before = sd.at("layer0.weight").at(0);
+  a.parameters()[0].set(0, before + 42.0f);
+  EXPECT_FLOAT_EQ(sd.at("layer0.weight").at(0), before);
+  EXPECT_FALSE(sd.at("layer0.weight").requires_grad());
+}
+
+}  // namespace
+}  // namespace matsci::nn

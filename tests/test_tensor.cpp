@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "core/tensor.hpp"
+
+namespace matsci::core {
+namespace {
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.numel(), matsci::Error);
+  EXPECT_THROW(t.shape(), matsci::Error);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.dim(), 2);
+  EXPECT_EQ(z.size(0), 2);
+  EXPECT_EQ(z.size(1), 3);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+
+  Tensor o = Tensor::ones({4});
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(o.at(i), 1.0f);
+
+  Tensor f = Tensor::full({2, 2}, 3.5f);
+  EXPECT_EQ(f.at(1, 1), 3.5f);
+}
+
+TEST(Tensor, FromVectorValidatesNumel) {
+  EXPECT_NO_THROW(Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3}));
+  EXPECT_THROW(Tensor::from_vector({1, 2, 3}, {2, 3}), matsci::Error);
+}
+
+TEST(Tensor, ScalarItem) {
+  Tensor s = Tensor::scalar(2.25f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s.item(), 2.25f);
+  Tensor m = Tensor::zeros({2, 2});
+  EXPECT_THROW(m.item(), matsci::Error);
+}
+
+TEST(Tensor, ElementAccessBounds) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 6.0f);
+  EXPECT_THROW(t.at(2, 0), matsci::Error);
+  EXPECT_THROW(t.at(0, 3), matsci::Error);
+  t.set(1, 1, 9.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 9.0f);
+}
+
+TEST(Tensor, CopySharesPayloadCloneDoesNot) {
+  Tensor a = Tensor::zeros({3});
+  Tensor shared = a;  // handle copy
+  Tensor deep = a.clone();
+  a.set(0, 7.0f);
+  EXPECT_FLOAT_EQ(shared.at(0), 7.0f);
+  EXPECT_FLOAT_EQ(deep.at(0), 0.0f);
+}
+
+TEST(Tensor, DetachDropsGradTracking) {
+  Tensor a = Tensor::ones({2}).set_requires_grad(true);
+  Tensor b = mul_scalar(a, 2.0f);
+  EXPECT_TRUE(b.impl()->grad_fn != nullptr);
+  Tensor d = b.detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.impl()->grad_fn, nullptr);
+  EXPECT_FLOAT_EQ(d.at(0), 2.0f);
+}
+
+TEST(Tensor, RequiresGradOnlyOnLeaves) {
+  Tensor a = Tensor::ones({2}).set_requires_grad(true);
+  Tensor b = mul_scalar(a, 2.0f);
+  EXPECT_THROW(b.set_requires_grad(true), matsci::Error);
+}
+
+TEST(Tensor, CopyUnderscoreWritesInPlace) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  a.copy_(b);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 4.0f);
+  Tensor c = Tensor::zeros({3});
+  EXPECT_THROW(c.copy_(b), matsci::Error);
+}
+
+TEST(Tensor, RandnDeterministicInSeed) {
+  RngEngine r1(42), r2(42), r3(43);
+  Tensor a = Tensor::randn({8}, r1);
+  Tensor b = Tensor::randn({8}, r2);
+  Tensor c = Tensor::randn({8}, r3);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+  }
+  bool differs = false;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    if (a.at(i) != c.at(i)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Tensor, NegativeShapeThrows) {
+  EXPECT_THROW(Tensor::zeros({-1, 2}), matsci::Error);
+}
+
+TEST(Tensor, ZeroGradResetsBuffer) {
+  Tensor a = Tensor::ones({3}).set_requires_grad(true);
+  sum(a).backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_FLOAT_EQ(a.grad().at(0), 1.0f);
+  a.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad().at(0), 0.0f);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t = Tensor::zeros({100});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+TEST(NoGradGuard, DisablesTapeRecording) {
+  Tensor a = Tensor::ones({2}).set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_mode_enabled());
+    Tensor b = mul_scalar(a, 3.0f);
+    EXPECT_EQ(b.impl()->grad_fn, nullptr);
+  }
+  EXPECT_TRUE(grad_mode_enabled());
+  Tensor c = mul_scalar(a, 3.0f);
+  EXPECT_NE(c.impl()->grad_fn, nullptr);
+}
+
+TEST(NoGradGuard, Nests) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(grad_mode_enabled());
+  }
+  EXPECT_FALSE(grad_mode_enabled());
+}
+
+TEST(ShapeHelpers, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace matsci::core

@@ -1,0 +1,362 @@
+// Tests for the toolkit utilities: joint multi-dataset loader, training
+// checkpoint/resume, extended-XYZ I/O, standalone metrics, and the
+// hyperparameter search helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "data/joint_loader.hpp"
+#include "data/tagged.hpp"
+#include "materials/carolina.hpp"
+#include "materials/lips.hpp"
+#include "materials/materials_project.hpp"
+#include "materials/xyz.hpp"
+#include "models/egnn.hpp"
+#include "nn/mlp.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+#include "tasks/metrics.hpp"
+#include "test_util.hpp"
+#include "train/checkpoint.hpp"
+#include "tune/search.hpp"
+
+namespace matsci {
+namespace {
+
+using core::RngEngine;
+using core::Tensor;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- JointDataLoader -------------------------------------------------------
+
+class JointLoaderFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mp_ = std::make_shared<data::TaggedDataset>(
+        std::make_shared<materials::MaterialsProjectDataset>(24, 1), 0);
+    cmd_ = std::make_shared<data::TaggedDataset>(
+        std::make_shared<materials::CarolinaMaterialsDataset>(12, 2), 1);
+    data::DataLoaderOptions lo;
+    lo.batch_size = 4;
+    lo.seed = 5;
+    lo.collate.radius.cutoff = 4.0;
+    mp_loader_ = std::make_unique<data::DataLoader>(*mp_, lo);
+    cmd_loader_ = std::make_unique<data::DataLoader>(*cmd_, lo);
+  }
+
+  std::shared_ptr<data::TaggedDataset> mp_, cmd_;
+  std::unique_ptr<data::DataLoader> mp_loader_, cmd_loader_;
+};
+
+TEST_F(JointLoaderFixture, RoundRobinCoversEverythingOnce) {
+  data::JointDataLoader joint({mp_loader_.get(), cmd_loader_.get()},
+                              data::SchedulePolicy::kRoundRobin);
+  EXPECT_EQ(joint.num_batches(),
+            mp_loader_->num_batches() + cmd_loader_->num_batches());
+  // First slots alternate while both have batches (6 vs 3 batches).
+  EXPECT_EQ(joint.loader_index(0), 0);
+  EXPECT_EQ(joint.loader_index(1), 1);
+  EXPECT_EQ(joint.loader_index(2), 0);
+  EXPECT_EQ(joint.loader_index(3), 1);
+  // After the shorter loader is exhausted, only the longer one remains.
+  EXPECT_EQ(joint.loader_index(joint.num_batches() - 1), 0);
+  // Dataset ids route correctly.
+  EXPECT_EQ(joint.batch(0).dataset_id, 0);
+  EXPECT_EQ(joint.batch(1).dataset_id, 1);
+}
+
+TEST_F(JointLoaderFixture, ProportionalShuffleDeterministicPerEpoch) {
+  data::JointDataLoader a({mp_loader_.get(), cmd_loader_.get()},
+                          data::SchedulePolicy::kProportionalShuffle, 9);
+  std::vector<std::int64_t> order_a;
+  for (std::int64_t i = 0; i < a.num_batches(); ++i) {
+    order_a.push_back(a.loader_index(i));
+  }
+  // Same seed, same schedule.
+  data::JointDataLoader b({mp_loader_.get(), cmd_loader_.get()},
+                          data::SchedulePolicy::kProportionalShuffle, 9);
+  for (std::int64_t i = 0; i < b.num_batches(); ++i) {
+    EXPECT_EQ(order_a[static_cast<std::size_t>(i)], b.loader_index(i));
+  }
+  // Different epoch changes the order but not the composition.
+  a.set_epoch(1);
+  std::vector<std::int64_t> order_e1;
+  std::int64_t mp_count = 0;
+  for (std::int64_t i = 0; i < a.num_batches(); ++i) {
+    order_e1.push_back(a.loader_index(i));
+    mp_count += a.loader_index(i) == 0 ? 1 : 0;
+  }
+  EXPECT_NE(order_a, order_e1);
+  EXPECT_EQ(mp_count, mp_loader_->num_batches());
+}
+
+TEST_F(JointLoaderFixture, Validation) {
+  EXPECT_THROW(
+      data::JointDataLoader({}, data::SchedulePolicy::kRoundRobin),
+      matsci::Error);
+  data::JointDataLoader joint({mp_loader_.get()},
+                              data::SchedulePolicy::kRoundRobin);
+  EXPECT_THROW(joint.batch(joint.num_batches()), matsci::Error);
+}
+
+// --- Training checkpoint / resume ------------------------------------------
+
+TEST(TrainingCheckpoint, RoundTripRestoresExactTrajectory) {
+  // Train A for 4 steps, checkpoint after step 2, restore into B and run
+  // the remaining 2 steps: A and B must end bit-identical.
+  auto make_setup = [](std::uint64_t seed) {
+    RngEngine rng(seed);
+    auto mlp = std::make_shared<nn::MLP>(std::vector<std::int64_t>{4, 8, 1},
+                                         nn::Act::kSiLU, rng);
+    return mlp;
+  };
+  RngEngine data_rng(3);
+  Tensor x = Tensor::randn({16, 4}, data_rng);
+  Tensor y = Tensor::randn({16, 1}, data_rng);
+  auto step_once = [&](nn::MLP& mlp, optim::Adam& opt) {
+    opt.zero_grad();
+    core::mse_loss(mlp.forward(x), y).backward();
+    opt.step();
+  };
+
+  const std::string path = temp_path("matsci_train_ckpt.msck");
+  auto a = make_setup(1);
+  optim::Adam opt_a = optim::make_adamw(a->parameters(), 1e-2);
+  step_once(*a, opt_a);
+  step_once(*a, opt_a);
+  train::save_training_checkpoint(path, *a, opt_a, /*epoch=*/2);
+  step_once(*a, opt_a);
+  step_once(*a, opt_a);
+
+  auto b = make_setup(99);  // different init — must be overwritten
+  optim::Adam opt_b = optim::make_adamw(b->parameters(), 123.0);
+  const std::int64_t epoch = train::resume_training(path, *b, opt_b);
+  EXPECT_EQ(epoch, 2);
+  EXPECT_EQ(opt_b.step_count(), 2);
+  // lr round-trips through fp32 storage.
+  EXPECT_NEAR(opt_b.lr(), opt_a.lr(), 1e-8);
+  step_once(*b, opt_b);
+  step_once(*b, opt_b);
+
+  const auto pa = a->parameters();
+  const auto pb = b->parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(matsci::testing::max_abs_diff(pa[i], pb[i]), 1e-7)
+        << "trajectory diverged at parameter " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrainingCheckpoint, SgdMomentumRoundTrip) {
+  RngEngine rng(7);
+  auto mlp = std::make_shared<nn::MLP>(std::vector<std::int64_t>{3, 3},
+                                       nn::Act::kReLU, rng);
+  optim::SGD opt(mlp->parameters(), {.lr = 0.1, .momentum = 0.9});
+  Tensor x = Tensor::randn({4, 3}, rng);
+  opt.zero_grad();
+  core::sum(core::square(mlp->forward(x))).backward();
+  opt.step();
+
+  const optim::OptimizerState state = opt.export_state();
+  EXPECT_TRUE(state.count("momentum.0"));
+  optim::SGD fresh(mlp->parameters(), {.lr = 0.1, .momentum = 0.9});
+  fresh.import_state(state);
+  EXPECT_EQ(fresh.step_count(), 1);
+  EXPECT_EQ(fresh.export_state().at("momentum.0"), state.at("momentum.0"));
+}
+
+TEST(TrainingCheckpoint, RejectsNonTrainingCheckpoint) {
+  RngEngine rng(8);
+  nn::MLP mlp({2, 2}, nn::Act::kSiLU, rng);
+  const std::string path = temp_path("matsci_plain_model.msck");
+  nn::save_state_dict(nn::state_dict(mlp), path);
+  EXPECT_THROW(train::load_training_checkpoint(path), matsci::Error);
+  std::remove(path.c_str());
+}
+
+// --- XYZ I/O ----------------------------------------------------------------
+
+TEST(Xyz, RoundTripPeriodicSampleWithTargets) {
+  materials::MaterialsProjectDataset ds(4, 11);
+  const data::StructureSample original = ds.get(2);
+
+  std::stringstream ss;
+  materials::write_xyz(ss, original);
+  data::StructureSample loaded;
+  ASSERT_TRUE(materials::read_xyz(ss, loaded));
+
+  ASSERT_EQ(loaded.num_atoms(), original.num_atoms());
+  EXPECT_EQ(loaded.species, original.species);
+  for (std::int64_t a = 0; a < original.num_atoms(); ++a) {
+    EXPECT_NEAR(core::norm(loaded.positions[static_cast<std::size_t>(a)] -
+                           original.positions[static_cast<std::size_t>(a)]),
+                0.0, 1e-7);
+  }
+  ASSERT_TRUE(loaded.lattice.has_value());
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR((*loaded.lattice)[r][c], (*original.lattice)[r][c], 1e-7);
+    }
+  }
+  for (const auto& [key, value] : original.scalar_targets) {
+    ASSERT_TRUE(loaded.scalar_targets.count(key)) << key;
+    EXPECT_NEAR(loaded.scalar_targets.at(key), value, 1e-4);
+  }
+  EXPECT_EQ(loaded.class_targets.at("stability"),
+            original.class_targets.at("stability"));
+}
+
+TEST(Xyz, MultiFrameFileRoundTrip) {
+  materials::LiPSDataset lips(3, 5);
+  std::vector<data::StructureSample> frames;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    auto s = lips.get(i);
+    s.forces.clear();  // forces are not part of the XYZ contract here
+    frames.push_back(std::move(s));
+  }
+  const std::string path = temp_path("matsci_traj.xyz");
+  materials::write_xyz_file(path, frames);
+  const auto loaded = materials::read_xyz_file(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(loaded[f].species, frames[f].species);
+    EXPECT_NEAR(loaded[f].scalar_targets.at("energy"),
+                frames[f].scalar_targets.at("energy"), 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Xyz, SyntheticSpeciesZeroUsesPlaceholder) {
+  data::StructureSample s;
+  s.species = {0, 1};
+  s.positions = {{0, 0, 0}, {1, 0, 0}};
+  std::stringstream ss;
+  materials::write_xyz(ss, s);
+  EXPECT_NE(ss.str().find("X 0"), std::string::npos);
+  data::StructureSample loaded;
+  ASSERT_TRUE(materials::read_xyz(ss, loaded));
+  EXPECT_EQ(loaded.species, (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(Xyz, MalformedInputThrows) {
+  std::stringstream bad1("not_a_number\ncomment\n");
+  data::StructureSample s;
+  EXPECT_THROW(materials::read_xyz(bad1, s), matsci::Error);
+  std::stringstream bad2("2\ncomment\nH 0 0 0\n");  // missing second atom
+  EXPECT_THROW(materials::read_xyz(bad2, s), matsci::Error);
+  std::stringstream empty("");
+  EXPECT_FALSE(materials::read_xyz(empty, s));
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, RegressionValues) {
+  const std::vector<float> pred = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> target = {1.5f, 2.0f, 2.5f, 5.0f};
+  EXPECT_NEAR(tasks::mean_absolute_error(pred, target),
+              (0.5 + 0.0 + 0.5 + 1.0) / 4.0, 1e-9);
+  EXPECT_NEAR(tasks::root_mean_squared_error(pred, target),
+              std::sqrt((0.25 + 0.0 + 0.25 + 1.0) / 4.0), 1e-7);
+  // Perfect prediction: R² = 1, Pearson = 1.
+  EXPECT_NEAR(tasks::r2_score(target, target), 1.0, 1e-9);
+  EXPECT_NEAR(tasks::pearson_correlation(target, target), 1.0, 1e-9);
+  // Predicting the mean: R² = 0.
+  const float mean = (1.5f + 2.0f + 2.5f + 5.0f) / 4.0f;
+  const std::vector<float> mean_pred(4, mean);
+  EXPECT_NEAR(tasks::r2_score(mean_pred, target), 0.0, 1e-6);
+  EXPECT_THROW(tasks::mean_absolute_error({}, {}), matsci::Error);
+}
+
+TEST(Metrics, ConfusionAndF1) {
+  const std::vector<std::int64_t> pred = {1, 1, 0, 0, 1, 0};
+  const std::vector<std::int64_t> target = {1, 0, 0, 1, 1, 0};
+  const tasks::ConfusionCounts c = tasks::confusion_counts(pred, target);
+  EXPECT_EQ(c.true_positive, 2);
+  EXPECT_EQ(c.false_positive, 1);
+  EXPECT_EQ(c.false_negative, 1);
+  EXPECT_EQ(c.true_negative, 2);
+  EXPECT_NEAR(c.accuracy(), 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(c.precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(c.recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(c.f1(), 2.0 / 3.0, 1e-9);
+  const std::vector<std::int64_t> bad_pred = {2};
+  const std::vector<std::int64_t> bad_target = {1};
+  EXPECT_THROW(tasks::confusion_counts(bad_pred, bad_target), matsci::Error);
+  // Degenerate cases return 0, not NaN.
+  const std::vector<std::int64_t> zeros = {0, 0};
+  const tasks::ConfusionCounts none = tasks::confusion_counts(zeros, zeros);
+  EXPECT_EQ(none.precision(), 0.0);
+  EXPECT_EQ(none.f1(), 0.0);
+}
+
+// --- tune -------------------------------------------------------------------
+
+TEST(Tune, CartesianGridEnumeratesAll) {
+  const auto grid = tune::cartesian_grid(
+      {{"lr", {1e-3, 1e-2}}, {"batch", {8, 16, 32}}});
+  EXPECT_EQ(grid.size(), 6u);
+  // Each combination appears exactly once.
+  std::set<std::pair<double, double>> seen;
+  for (const auto& p : grid) {
+    seen.insert({p.at("lr"), p.at("batch")});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Tune, GridSearchFindsKnownMinimum) {
+  // Objective: (lr - 0.01)² + (batch - 16)² / 1000.
+  const auto grid = tune::cartesian_grid(
+      {{"lr", {0.001, 0.01, 0.1}}, {"batch", {8, 16, 32}}});
+  const auto results = tune::grid_search(grid, [](const tune::ParamSet& p) {
+    const double dl = p.at("lr") - 0.01;
+    const double db = p.at("batch") - 16.0;
+    return dl * dl + db * db / 1000.0;
+  });
+  const auto& best = tune::best_trial(results);
+  EXPECT_DOUBLE_EQ(best.params.at("lr"), 0.01);
+  EXPECT_DOUBLE_EQ(best.params.at("batch"), 16.0);
+  EXPECT_FALSE(tune::format_results(results).empty());
+}
+
+TEST(Tune, RandomSearchRespectsRangesAndLogScale) {
+  const auto results = tune::random_search(
+      {{"lr", {1e-5, 1e-1, /*log_scale=*/true}},
+       {"dropout", {0.0, 0.5, false}}},
+      64, /*seed=*/3, [](const tune::ParamSet& p) { return p.at("lr"); });
+  ASSERT_EQ(results.size(), 64u);
+  int small_lr = 0;
+  for (const auto& r : results) {
+    EXPECT_GE(r.params.at("lr"), 1e-5);
+    EXPECT_LE(r.params.at("lr"), 1e-1);
+    EXPECT_GE(r.params.at("dropout"), 0.0);
+    EXPECT_LE(r.params.at("dropout"), 0.5);
+    if (r.params.at("lr") < 1e-3) ++small_lr;
+  }
+  // Log-uniform: half the draws land below the geometric midpoint 1e-3.
+  EXPECT_GT(small_lr, 16);
+  EXPECT_LT(small_lr, 48);
+  // Determinism.
+  const auto again = tune::random_search(
+      {{"lr", {1e-5, 1e-1, true}}, {"dropout", {0.0, 0.5, false}}}, 64, 3,
+      [](const tune::ParamSet& p) { return p.at("lr"); });
+  EXPECT_DOUBLE_EQ(results[10].params.at("lr"), again[10].params.at("lr"));
+}
+
+TEST(Tune, Validation) {
+  EXPECT_THROW(tune::cartesian_grid({}), matsci::Error);
+  EXPECT_THROW(tune::cartesian_grid({{"a", {}}}), matsci::Error);
+  EXPECT_THROW(tune::best_trial({}), matsci::Error);
+  EXPECT_THROW(tune::random_search({{"lr", {-1.0, 1.0, true}}}, 4, 1,
+                                   [](const tune::ParamSet&) { return 0.0; }),
+               matsci::Error);
+}
+
+}  // namespace
+}  // namespace matsci
