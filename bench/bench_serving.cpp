@@ -1,0 +1,150 @@
+// Serving bench — latency vs micro-batch size. Drives the BatchScheduler
+// with a closed-loop multi-client load at max_batch_size in {1, 8, 32}
+// and emits one JSON line per configuration with throughput (structs/s)
+// and p50/p95/p99 latency. Batch size 1 disables coalescing, so the gap
+// to 8/32 is the micro-batching gain: one fused forward over G graphs
+// amortizes per-op dispatch and allocation overhead that G separate
+// forwards pay in full.
+//
+// The client count must be able to fill the largest micro-batch — a
+// closed-loop generator never has more requests in flight than clients,
+// so undersized fleets leave big batches waiting out the flush window.
+//
+// Usage: bench_serving [clients] [requests_per_client]
+//   defaults: 32 clients x 40 requests per configuration.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "serve/serve.hpp"
+#include "tasks/regression.hpp"
+
+namespace {
+
+using namespace matsci;
+
+struct BenchResult {
+  std::int64_t max_batch_size = 0;
+  double throughput = 0.0;
+  serve::LatencySummary latency;
+  double mean_batch = 0.0;
+};
+
+std::shared_ptr<serve::InferenceSession> make_session() {
+  models::EGNNConfig ecfg;
+  ecfg.hidden_dim = 32;
+  ecfg.pos_hidden = 16;
+  ecfg.num_layers = 3;
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 32;
+  hcfg.num_blocks = 2;
+  hcfg.dropout = 0.0f;
+  core::RngEngine rng(7);
+  auto encoder = std::make_shared<models::EGNN>(ecfg, rng);
+  auto task = std::make_shared<tasks::ScalarRegressionTask>(
+      encoder, "band_gap", hcfg, rng, data::TargetStats{2.0f, 1.5f});
+  serve::InferenceSessionOptions sopts;
+  sopts.collate.radius.cutoff = 4.5;
+  return std::make_shared<serve::InferenceSession>(task, sopts);
+}
+
+BenchResult run_config(const std::shared_ptr<serve::InferenceSession>& session,
+                       const std::vector<data::StructureSample>& pool,
+                       std::int64_t max_batch_size, int clients,
+                       int per_client) {
+  serve::SchedulerOptions opts;
+  opts.max_batch_size = max_batch_size;
+  opts.max_wait_us = max_batch_size == 1 ? 0 : 1000;
+  // Fixed worker count across configurations so the only variable is
+  // how aggressively requests coalesce.
+  opts.num_workers = 2;
+  serve::BatchScheduler scheduler(session, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(
+            (c * per_client + i) % pool.size());
+        scheduler.submit(pool[idx], "band_gap").get();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  scheduler.shutdown();
+
+  BenchResult r;
+  r.max_batch_size = max_batch_size;
+  r.throughput = static_cast<double>(clients) * per_client / wall_s;
+  r.latency = scheduler.stats().latency_summary();
+  r.mean_batch = scheduler.stats().mean_batch_size();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int per_client = argc > 2 ? std::atoi(argv[2]) : 40;
+  if (clients < 1 || per_client < 1) {
+    std::fprintf(stderr,
+                 "usage: bench_serving [clients >= 1] [requests_per_client "
+                 ">= 1]\n");
+    return 2;
+  }
+
+  auto session = make_session();
+  materials::MaterialsProjectDataset dataset(64, 17);
+  std::vector<data::StructureSample> pool;
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    pool.push_back(dataset.get(i));
+  }
+  // Warm-up pass so first-touch allocation noise stays out of config 1.
+  session->predict({pool[0], pool[1]}, "band_gap");
+
+  std::printf("serving bench: %d closed-loop clients x %d requests per "
+              "configuration, 2 workers\n\n",
+              clients, per_client);
+  std::printf("%6s %14s %12s %10s %10s %10s\n", "batch", "structs/s",
+              "mean_batch", "p50_ms", "p95_ms", "p99_ms");
+
+  std::vector<BenchResult> results;
+  for (const std::int64_t b : {1, 8, 32}) {
+    results.push_back(run_config(session, pool, b, clients, per_client));
+    const BenchResult& r = results.back();
+    std::printf("%6lld %14.0f %12.2f %10.2f %10.2f %10.2f\n",
+                static_cast<long long>(r.max_batch_size), r.throughput,
+                r.mean_batch, r.latency.p50_us / 1000.0,
+                r.latency.p95_us / 1000.0, r.latency.p99_us / 1000.0);
+  }
+
+  // One JSON line per configuration (log-scraping friendly).
+  std::printf("\n");
+  for (const BenchResult& r : results) {
+    std::printf("{\"bench\":\"serving\",\"max_batch_size\":%lld,"
+                "\"clients\":%d,\"requests\":%d,"
+                "\"throughput_structs_per_s\":%.1f,\"mean_batch_size\":%.2f,"
+                "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}\n",
+                static_cast<long long>(r.max_batch_size), clients,
+                clients * per_client, r.throughput, r.mean_batch,
+                r.latency.p50_us, r.latency.p95_us, r.latency.p99_us);
+  }
+
+  std::printf("\nmicro-batching throughput gain over batch size 1: ");
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    std::printf("%sbatch %lld: %.2fx", i > 1 ? ", " : "",
+                static_cast<long long>(results[i].max_batch_size),
+                results[i].throughput / results.front().throughput);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -10,6 +10,10 @@
 namespace matsci::core {
 
 namespace {
+// Per-thread, not global: concurrent inference sessions toggle this via
+// NoGradGuard without racing each other or a training thread. Every new
+// thread starts in grad mode; forward-only workers must install their own
+// guard (the serve subsystem does this inside InferenceSession::predict).
 thread_local bool g_grad_mode = true;
 }  // namespace
 

@@ -112,6 +112,16 @@ std::string shape_to_string(const Shape& shape);
 bool same_shape(const Shape& a, const Shape& b);
 
 /// RAII guard disabling gradient tracking on this thread (inference mode).
+///
+/// Thread-safety contract: the grad-mode flag is `thread_local`, so a
+/// guard only ever affects the thread that constructed it. Concurrent
+/// inference workers each installing their own NoGradGuard cannot
+/// re-enable (or disable) taping in a sibling thread, and a training
+/// thread's tape keeps recording regardless of how many serving threads
+/// run grad-free next to it. New threads start with grad mode ENABLED —
+/// a worker pool that intends to run forward-only must install its own
+/// guard per thread (see serve::InferenceSession, which guards every
+/// predict call instead of relying on ambient state).
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -138,6 +148,7 @@ class GradModeGuard {
 };
 
 /// True when ops should record autograd metadata on this thread.
+/// Per-thread state (see NoGradGuard); defaults to true on every thread.
 bool grad_mode_enabled();
 
 }  // namespace matsci::core

@@ -12,6 +12,13 @@ namespace matsci::models {
 class Encoder : public nn::Module {
  public:
   /// Graph-level embeddings [num_graphs, embedding_dim()].
+  ///
+  /// Concurrency contract (relied on by src/serve): encode() only reads
+  /// parameters and allocates fresh intermediates, so concurrent calls
+  /// from multiple threads are safe as long as (a) no thread mutates
+  /// parameters at the same time and (b) callers that want forward-only
+  /// execution install their own per-thread core::NoGradGuard — grad
+  /// mode is thread-local and defaults to on.
   virtual core::Tensor encode(const data::Batch& batch) const = 0;
   virtual std::int64_t embedding_dim() const = 0;
 };

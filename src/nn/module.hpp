@@ -33,8 +33,13 @@ class Module {
   /// Total scalar parameter count.
   std::int64_t num_parameters() const;
 
-  /// Set training / eval mode on the whole subtree.
+  /// Set training / eval mode on the whole subtree: recurses into every
+  /// registered child, so a Dropout nested arbitrarily deep (e.g. inside
+  /// an output head's residual blocks) sees the flag flip.
   void train(bool mode = true);
+  /// Eval mode for the whole subtree — stochastic layers (Dropout) become
+  /// deterministic no-ops. Equivalent to train(false).
+  void eval() { train(false); }
   bool is_training() const { return training_; }
 
   /// Zero all parameter gradients in the subtree.

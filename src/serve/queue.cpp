@@ -1,0 +1,91 @@
+#include "serve/queue.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::serve {
+
+std::future<PredictResult> RequestQueue::push(PredictRequest request) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<PredictResult> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MATSCI_CHECK(!shutdown_, "RequestQueue: push after shutdown");
+    pending_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void RequestQueue::extract_matching_locked(
+    const std::pair<std::string, std::int64_t>& key,
+    std::int64_t max_batch_size, std::vector<PendingRequest>& batch) {
+  for (auto it = pending_.begin();
+       it != pending_.end() &&
+       static_cast<std::int64_t>(batch.size()) < max_batch_size;) {
+    if (it->request.target == key.first &&
+        it->request.structure.dataset_id == key.second) {
+      batch.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<PendingRequest> RequestQueue::pop_batch(
+    std::int64_t max_batch_size, std::int64_t max_wait_us) {
+  MATSCI_CHECK(max_batch_size > 0,
+               "pop_batch: max_batch_size=" << max_batch_size);
+  MATSCI_CHECK(max_wait_us >= 0, "pop_batch: max_wait_us=" << max_wait_us);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+  if (pending_.empty()) {
+    return {};  // shut down and drained
+  }
+
+  // The oldest request anchors both the batch key and the flush deadline.
+  const std::pair<std::string, std::int64_t> key = {
+      pending_.front().request.target,
+      pending_.front().request.structure.dataset_id};
+  const auto deadline =
+      pending_.front().enqueued + std::chrono::microseconds(max_wait_us);
+
+  std::vector<PendingRequest> batch;
+  batch.reserve(static_cast<std::size_t>(max_batch_size));
+  for (;;) {
+    extract_matching_locked(key, max_batch_size, batch);
+    if (static_cast<std::int64_t>(batch.size()) >= max_batch_size ||
+        shutdown_) {
+      break;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Deadline hit: take whatever matching requests raced in last.
+      extract_matching_locked(key, max_batch_size, batch);
+      break;
+    }
+  }
+  return batch;
+}
+
+void RequestQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace matsci::serve

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+#include "tasks/task.hpp"
+
+namespace matsci::serve {
+
+/// One client prediction request: a single structure plus the target
+/// (head) it wants evaluated, e.g. "band_gap".
+struct PredictRequest {
+  data::StructureSample structure;
+  std::string target;
+};
+
+/// What the client's future resolves to.
+struct PredictResult {
+  tasks::Prediction prediction;
+  std::int64_t batch_size = 0;  ///< micro-batch the request was served in
+  double latency_us = 0.0;      ///< enqueue -> fulfillment
+};
+
+/// A queued request plus its fulfillment channel and arrival time.
+struct PendingRequest {
+  PredictRequest request;
+  std::promise<PredictResult> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+/// Thread-safe micro-batching queue. Producers push requests and get
+/// futures; consumer workers pop *coalesced* micro-batches.
+///
+/// Flush policy (pop_batch): the head request fixes the batch key
+/// (target, dataset_id) — collate requires a homogeneous batch — then
+/// the batch leaves as soon as it holds `max_batch_size` matching
+/// requests OR the head request has waited `max_wait_us` since enqueue,
+/// whichever comes first. Requests with a different key are left queued
+/// for another pop.
+///
+/// Shutdown semantics: push() throws after shutdown(); pop_batch keeps
+/// returning queued work until the queue is drained (in-flight requests
+/// are served, never dropped) and only then returns an empty batch,
+/// which is the worker's exit signal.
+class RequestQueue {
+ public:
+  /// Enqueue one request; the returned future resolves when a worker
+  /// serves the micro-batch containing it (or breaks with an exception
+  /// if the forward pass throws). Throws matsci::Error after shutdown.
+  std::future<PredictResult> push(PredictRequest request);
+
+  /// Block for the next micro-batch (see class comment for the flush
+  /// policy). Empty result == shut down and drained.
+  std::vector<PendingRequest> pop_batch(std::int64_t max_batch_size,
+                                        std::int64_t max_wait_us);
+
+  /// Stop accepting new requests and wake every waiting worker.
+  void shutdown();
+
+  bool is_shutdown() const;
+  std::size_t size() const;
+
+ private:
+  /// Move every queued request matching `key` into `batch`, up to
+  /// `max_batch_size` total. Caller holds the lock.
+  void extract_matching_locked(const std::pair<std::string, std::int64_t>& key,
+                               std::int64_t max_batch_size,
+                               std::vector<PendingRequest>& batch);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> pending_;
+  bool shutdown_ = false;
+};
+
+}  // namespace matsci::serve

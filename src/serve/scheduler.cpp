@@ -1,0 +1,95 @@
+#include "serve/scheduler.hpp"
+
+#include <exception>
+
+#include "core/macros.hpp"
+#include "data/collate.hpp"
+
+namespace matsci::serve {
+
+BatchScheduler::BatchScheduler(std::shared_ptr<InferenceSession> session,
+                               SchedulerOptions opts)
+    : session_(std::move(session)), opts_(opts) {
+  MATSCI_CHECK(session_ != nullptr, "BatchScheduler needs a session");
+  MATSCI_CHECK(opts_.max_batch_size > 0,
+               "max_batch_size=" << opts_.max_batch_size);
+  MATSCI_CHECK(opts_.max_wait_us >= 0, "max_wait_us=" << opts_.max_wait_us);
+  std::int64_t n = opts_.num_workers;
+  if (n <= 0) {
+    n = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() { shutdown(); }
+
+std::future<PredictResult> BatchScheduler::submit(
+    data::StructureSample structure, std::string target) {
+  PredictRequest request;
+  request.structure = std::move(structure);
+  request.target = std::move(target);
+  return queue_.push(std::move(request));
+}
+
+void BatchScheduler::shutdown() {
+  queue_.shutdown();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void BatchScheduler::worker_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch =
+        queue_.pop_batch(opts_.max_batch_size, opts_.max_wait_us);
+    if (batch.empty()) {
+      return;  // shut down and drained
+    }
+    serve_batch(batch);
+  }
+}
+
+void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
+  std::vector<data::StructureSample> samples;
+  samples.reserve(batch.size());
+  for (const PendingRequest& p : batch) {
+    samples.push_back(p.request.structure);
+  }
+
+  std::vector<tasks::Prediction> predictions;
+  try {
+    predictions = session_->predict(samples, batch.front().request.target);
+    MATSCI_CHECK(predictions.size() == batch.size(),
+                 "session returned " << predictions.size()
+                                     << " predictions for " << batch.size()
+                                     << " requests");
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (PendingRequest& p : batch) {
+      p.promise.set_exception(error);
+    }
+    return;
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<double> latencies_us;
+  latencies_us.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PredictResult result;
+    result.prediction = std::move(predictions[i]);
+    result.batch_size = static_cast<std::int64_t>(batch.size());
+    result.latency_us =
+        std::chrono::duration<double, std::micro>(now - batch[i].enqueued)
+            .count();
+    latencies_us.push_back(result.latency_us);
+    batch[i].promise.set_value(std::move(result));
+  }
+  stats_.record_batch(static_cast<std::int64_t>(batch.size()), latencies_us);
+}
+
+}  // namespace matsci::serve

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/session.hpp"
+#include "serve/stats.hpp"
+
+namespace matsci::serve {
+
+struct SchedulerOptions {
+  /// Flush a micro-batch once it holds this many requests...
+  std::int64_t max_batch_size = 32;
+  /// ...or once its oldest request has waited this long, whichever first.
+  std::int64_t max_wait_us = 2000;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::int64_t num_workers = 0;
+};
+
+/// The serving engine: a worker pool that drains the RequestQueue in
+/// micro-batches, runs them through a shared InferenceSession, and fans
+/// each result back out to the client's future. Clients block only on
+/// their own future; workers never block on clients.
+///
+/// Lifecycle: workers start in the constructor; shutdown() (or the
+/// destructor) stops intake, drains every queued request, and joins the
+/// pool — no request that got a future is ever dropped. If a forward
+/// pass throws, every request in that micro-batch receives the exception
+/// through its future and the worker keeps serving.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(std::shared_ptr<InferenceSession> session,
+                          SchedulerOptions opts = {});
+  ~BatchScheduler();
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueue one structure for prediction of `target`.
+  std::future<PredictResult> submit(data::StructureSample structure,
+                                    std::string target);
+
+  /// Stop accepting requests, serve everything still queued, join the
+  /// workers. Idempotent.
+  void shutdown();
+
+  const ServerStats& stats() const { return stats_; }
+  std::int64_t num_workers() const {
+    return static_cast<std::int64_t>(workers_.size());
+  }
+  const SchedulerOptions& options() const { return opts_; }
+
+ private:
+  void worker_loop();
+  void serve_batch(std::vector<PendingRequest>& batch);
+
+  std::shared_ptr<InferenceSession> session_;
+  SchedulerOptions opts_;
+  RequestQueue queue_;
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace matsci::serve

@@ -1,0 +1,13 @@
+#pragma once
+
+/// Umbrella header for the inference-serving subsystem: checkpoint ->
+/// InferenceSession (eval-mode, grad-free forward) -> BatchScheduler
+/// (thread-safe RequestQueue, dynamic micro-batching, worker pool) ->
+/// per-request futures, with a ServerStats counter block. See the
+/// "Serving" sections of README.md / DESIGN.md for the flush policy and
+/// the tensor-core thread-safety contract this stack relies on.
+
+#include "serve/queue.hpp"      // IWYU pragma: export
+#include "serve/scheduler.hpp"  // IWYU pragma: export
+#include "serve/session.hpp"    // IWYU pragma: export
+#include "serve/stats.hpp"      // IWYU pragma: export

@@ -1,0 +1,36 @@
+#include "serve/session.hpp"
+
+#include "core/macros.hpp"
+#include "train/checkpoint.hpp"
+
+namespace matsci::serve {
+
+InferenceSession::InferenceSession(std::shared_ptr<tasks::Task> task,
+                                   InferenceSessionOptions opts)
+    : task_(std::move(task)), opts_(std::move(opts)) {
+  MATSCI_CHECK(task_ != nullptr, "InferenceSession needs a task");
+  task_->eval();
+}
+
+nn::LoadReport InferenceSession::load_checkpoint(const std::string& path,
+                                                 bool strict) {
+  const nn::StateDict sd = train::load_model_state(path);
+  return nn::load_into_module(*task_, sd, strict);
+}
+
+std::vector<tasks::Prediction> InferenceSession::predict(
+    const std::vector<data::StructureSample>& samples,
+    const std::string& target) const {
+  return predict_batch(data::collate(samples, opts_.collate), target);
+}
+
+std::vector<tasks::Prediction> InferenceSession::predict_batch(
+    const data::Batch& batch, const std::string& target) const {
+  // Per-thread guard: worker threads start with grad mode on, and a tape
+  // built here would both leak memory and race sibling forwards through
+  // shared parameter grad_fn slots.
+  core::NoGradGuard no_grad;
+  return task_->predict_batch(batch, target);
+}
+
+}  // namespace matsci::serve

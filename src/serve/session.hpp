@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/collate.hpp"
+#include "nn/serialize.hpp"
+#include "tasks/task.hpp"
+
+namespace matsci::serve {
+
+struct InferenceSessionOptions {
+  /// How request structures become message-passing topology — the same
+  /// collate path training uses, so serving sees identical graphs.
+  data::CollateOptions collate;
+};
+
+/// A loaded model held ready for forward-only prediction. Construction
+/// puts the whole module tree in eval() mode (Dropout becomes a
+/// deterministic no-op); every predict call runs under a per-thread
+/// NoGradGuard, so no autograd tape is built no matter which worker
+/// thread calls in.
+///
+/// Thread-safety: predict/predict_batch only read parameters, therefore
+/// any number of threads may call them concurrently. load_checkpoint
+/// writes parameters and must not race a predict — load before the
+/// scheduler starts (or tear the scheduler down first).
+class InferenceSession {
+ public:
+  explicit InferenceSession(std::shared_ptr<tasks::Task> task,
+                            InferenceSessionOptions opts = {});
+
+  /// Load model weights from a checkpoint file — either a plain state
+  /// dict or a full training checkpoint (optimizer/meta entries are
+  /// stripped via train::load_model_state).
+  nn::LoadReport load_checkpoint(const std::string& path, bool strict = true);
+
+  /// Collate `samples` through the session's collate options and predict
+  /// `target` for each. Single-sample calls and micro-batched calls are
+  /// bit-identical per structure (per-graph compute is independent).
+  std::vector<tasks::Prediction> predict(
+      const std::vector<data::StructureSample>& samples,
+      const std::string& target) const;
+
+  /// Predict on an already-collated batch.
+  std::vector<tasks::Prediction> predict_batch(
+      const data::Batch& batch, const std::string& target) const;
+
+  const data::CollateOptions& collate_options() const {
+    return opts_.collate;
+  }
+  const std::shared_ptr<tasks::Task>& task() const { return task_; }
+
+ private:
+  std::shared_ptr<tasks::Task> task_;
+  InferenceSessionOptions opts_;
+};
+
+}  // namespace matsci::serve

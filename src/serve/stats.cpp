@@ -1,0 +1,121 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/macros.hpp"
+
+namespace matsci::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted copy; q in [0, 1].
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+void ServerStats::record_batch(
+    std::int64_t batch_size, const std::vector<double>& request_latencies_us) {
+  MATSCI_CHECK(batch_size > 0, "record_batch: batch_size=" << batch_size);
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  requests_ += batch_size;
+  ++histogram_[batch_size];
+  latencies_us_.insert(latencies_us_.end(), request_latencies_us.begin(),
+                       request_latencies_us.end());
+  if (!any_) {
+    first_ = now;
+    any_ = true;
+  }
+  last_ = now;
+}
+
+std::int64_t ServerStats::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+std::int64_t ServerStats::batches_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+double ServerStats::mean_batch_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_ == 0 ? 0.0
+                       : static_cast<double>(requests_) /
+                             static_cast<double>(batches_);
+}
+
+std::map<std::int64_t, std::int64_t> ServerStats::batch_size_histogram()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+LatencySummary ServerStats::summary_locked() const {
+  LatencySummary s;
+  if (latencies_us_.empty()) return s;
+  s.p50_us = percentile(latencies_us_, 0.50);
+  s.p95_us = percentile(latencies_us_, 0.95);
+  s.p99_us = percentile(latencies_us_, 0.99);
+  double sum = 0.0;
+  for (const double v : latencies_us_) {
+    sum += v;
+    s.max_us = std::max(s.max_us, v);
+  }
+  s.mean_us = sum / static_cast<double>(latencies_us_.size());
+  return s;
+}
+
+LatencySummary ServerStats::latency_summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summary_locked();
+}
+
+double ServerStats::throughput_locked() const {
+  if (!any_) return 0.0;
+  const double seconds =
+      std::chrono::duration<double>(last_ - first_).count();
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(requests_) / seconds;
+}
+
+double ServerStats::throughput_per_s() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return throughput_locked();
+}
+
+std::string ServerStats::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const LatencySummary s = summary_locked();
+  std::ostringstream os;
+  os << "{\"requests\":" << requests_ << ",\"batches\":" << batches_
+     << ",\"mean_batch_size\":"
+     << (batches_ == 0 ? 0.0
+                       : static_cast<double>(requests_) /
+                             static_cast<double>(batches_))
+     << ",\"throughput_structs_per_s\":" << throughput_locked()
+     << ",\"p50_us\":" << s.p50_us << ",\"p95_us\":" << s.p95_us
+     << ",\"p99_us\":" << s.p99_us << ",\"mean_us\":" << s.mean_us
+     << ",\"max_us\":" << s.max_us << "}";
+  return os.str();
+}
+
+void ServerStats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_us_.clear();
+  histogram_.clear();
+  requests_ = 0;
+  batches_ = 0;
+  any_ = false;
+}
+
+}  // namespace matsci::serve

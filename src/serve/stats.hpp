@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace matsci::serve {
+
+/// Latency percentiles over everything recorded so far, microseconds.
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Thread-safe counter block shared by every scheduler worker: requests
+/// served, executed micro-batches, a batch-size histogram, per-request
+/// latency samples, and the serving wall-clock window (first to last
+/// recorded batch) from which throughput is derived.
+class ServerStats {
+ public:
+  /// Record one executed micro-batch and the enqueue-to-reply latency of
+  /// each request it carried.
+  void record_batch(std::int64_t batch_size,
+                    const std::vector<double>& request_latencies_us);
+
+  std::int64_t requests_served() const;
+  std::int64_t batches_executed() const;
+  /// Mean number of structures per executed micro-batch.
+  double mean_batch_size() const;
+  /// batch size -> number of micro-batches executed at that size.
+  std::map<std::int64_t, std::int64_t> batch_size_histogram() const;
+  LatencySummary latency_summary() const;
+  /// Structures served per second over the observed serving window;
+  /// 0 until at least two batches with measurable separation landed.
+  double throughput_per_s() const;
+
+  /// One-line JSON rendering (bench output / log scraping).
+  std::string to_json() const;
+
+  void reset();
+
+ private:
+  LatencySummary summary_locked() const;
+  double throughput_locked() const;
+
+  mutable std::mutex mu_;
+  std::vector<double> latencies_us_;
+  std::map<std::int64_t, std::int64_t> histogram_;
+  std::int64_t requests_ = 0;
+  std::int64_t batches_ = 0;
+  bool any_ = false;
+  std::chrono::steady_clock::time_point first_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace matsci::serve

@@ -78,4 +78,33 @@ std::vector<std::int64_t> ClassificationTask::predict(
   return core::argmax_rows(logits);
 }
 
+std::vector<Prediction> ClassificationTask::predict_batch(
+    const data::Batch& batch, const std::string& target_key) const {
+  MATSCI_CHECK(target_key == target_key_,
+               "classification task serves '" << target_key_ << "', not '"
+                                              << target_key << "'");
+  core::NoGradGuard no_grad;
+  core::Tensor logits = head_->forward(encoder_->encode(batch));
+  const std::int64_t g = logits.size(0), c = logits.size(1);
+  std::vector<Prediction> out(static_cast<std::size_t>(g));
+  for (std::int64_t i = 0; i < g; ++i) {
+    Prediction& p = out[static_cast<std::size_t>(i)];
+    p.scores.resize(static_cast<std::size_t>(c));
+    for (std::int64_t j = 0; j < c; ++j) {
+      p.scores[static_cast<std::size_t>(j)] = logits.at(i, j);
+    }
+    if (binary_) {
+      p.label = logits.at(i, 0) > 0.0f ? 1 : 0;
+      p.value = logits.at(i, 0);
+    } else {
+      p.label = 0;
+      for (std::int64_t j = 1; j < c; ++j) {
+        if (logits.at(i, j) > logits.at(i, p.label)) p.label = j;
+      }
+      p.value = logits.at(i, p.label);
+    }
+  }
+  return out;
+}
+
 }  // namespace matsci::tasks

@@ -27,6 +27,11 @@ class ClassificationTask : public Task {
   /// Predicted class per graph (argmax / thresholded logit).
   std::vector<std::int64_t> predict(const data::Batch& batch) const;
 
+  /// Serving hook: `label` is the predicted class, `scores` the raw
+  /// logits, `value` the winning logit.
+  std::vector<Prediction> predict_batch(
+      const data::Batch& batch, const std::string& target_key) const override;
+
   std::int64_t num_classes() const { return num_classes_; }
   const std::string& target_key() const { return target_key_; }
 

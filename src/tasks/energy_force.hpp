@@ -37,6 +37,10 @@ class EnergyForceTask : public Task {
   /// Denormalized energy predictions [G, 1].
   core::Tensor predict_energy(const data::Batch& batch) const;
 
+  /// Serving hook for the energy target (denormalized eV values).
+  std::vector<Prediction> predict_batch(
+      const data::Batch& batch, const std::string& target_key) const override;
+
  private:
   std::shared_ptr<models::Encoder> encoder_;
   std::string energy_key_;

@@ -139,4 +139,59 @@ TaskOutput MultiTaskModule::step(const data::Batch& batch) const {
   return out;
 }
 
+std::vector<Prediction> MultiTaskModule::predict_batch(
+    const data::Batch& batch, const std::string& target_key) const {
+  // Head selection: label match wins over raw-target-key match so that
+  // two datasets sharing a target name stay unambiguous.
+  const Spec* selected = nullptr;
+  for (const Spec& spec : specs_) {
+    if (spec.dataset_id == batch.dataset_id && spec.label == target_key) {
+      selected = &spec;
+      break;
+    }
+  }
+  if (selected == nullptr) {
+    for (const Spec& spec : specs_) {
+      if (spec.dataset_id == batch.dataset_id &&
+          spec.target_key == target_key) {
+        selected = &spec;
+        break;
+      }
+    }
+  }
+  MATSCI_CHECK(selected != nullptr, "no head for target '"
+                                        << target_key << "' on dataset id "
+                                        << batch.dataset_id);
+
+  core::NoGradGuard no_grad;
+  core::Tensor pred = selected->head->forward(encoder_->encode(batch));
+  const std::int64_t g = pred.size(0), c = pred.size(1);
+  std::vector<Prediction> out(static_cast<std::size_t>(g));
+  for (std::int64_t i = 0; i < g; ++i) {
+    Prediction& p = out[static_cast<std::size_t>(i)];
+    p.scores.resize(static_cast<std::size_t>(c));
+    for (std::int64_t j = 0; j < c; ++j) {
+      p.scores[static_cast<std::size_t>(j)] = pred.at(i, j);
+    }
+    switch (selected->kind) {
+      case Kind::kRegression:
+        p.value = pred.at(i, 0) * selected->stats.stddev +
+                  selected->stats.mean;
+        break;
+      case Kind::kBinary:
+        p.label = pred.at(i, 0) > 0.0f ? 1 : 0;
+        p.value = pred.at(i, 0);
+        break;
+      case Kind::kMulticlass:
+        p.label = 0;
+        for (std::int64_t j = 1; j < c; ++j) {
+          if (pred.at(i, j) > pred.at(i, p.label)) p.label = j;
+        }
+        p.value = pred.at(i, p.label);
+        break;
+    }
+  }
+  return out;
+}
+
 }  // namespace matsci::tasks

@@ -39,6 +39,13 @@ class MultiTaskModule : public Task {
     return encoder_;
   }
 
+  /// Serving hook with per-request head selection: `target_key` names a
+  /// registered head by label ("mp/band_gap") or, as a fallback, by raw
+  /// target key — in both cases restricted to heads registered for the
+  /// batch's dataset id. Regression heads report denormalized values.
+  std::vector<Prediction> predict_batch(
+      const data::Batch& batch, const std::string& target_key) const override;
+
   std::int64_t num_heads() const {
     return static_cast<std::int64_t>(specs_.size());
   }

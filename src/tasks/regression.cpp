@@ -68,4 +68,20 @@ core::Tensor ScalarRegressionTask::predict(const data::Batch& batch) const {
   return core::add_scalar(core::mul_scalar(pred, stats_.stddev), stats_.mean);
 }
 
+std::vector<Prediction> ScalarRegressionTask::predict_batch(
+    const data::Batch& batch, const std::string& target_key) const {
+  MATSCI_CHECK(target_key == target_key_,
+               "regression task serves '" << target_key_ << "', not '"
+                                          << target_key << "'");
+  core::NoGradGuard no_grad;
+  core::Tensor norm = head_->forward(encoder_->encode(batch));
+  std::vector<Prediction> out(static_cast<std::size_t>(norm.size(0)));
+  for (std::int64_t i = 0; i < norm.size(0); ++i) {
+    Prediction& p = out[static_cast<std::size_t>(i)];
+    p.scores = {norm.at(i, 0)};
+    p.value = norm.at(i, 0) * stats_.stddev + stats_.mean;
+  }
+  return out;
+}
+
 }  // namespace matsci::tasks

@@ -29,6 +29,11 @@ class ScalarRegressionTask : public Task {
   /// Denormalized predictions for a batch (inference helper).
   core::Tensor predict(const data::Batch& batch) const;
 
+  /// Serving hook: `target_key` must be this task's target; `value` is
+  /// the denormalized prediction, `scores` the normalized head output.
+  std::vector<Prediction> predict_batch(
+      const data::Batch& batch, const std::string& target_key) const override;
+
   const std::string& target_key() const { return target_key_; }
   const data::TargetStats& stats() const { return stats_; }
 

@@ -4,6 +4,14 @@
 
 namespace matsci::tasks {
 
+std::vector<Prediction> Task::predict_batch(
+    const data::Batch& batch, const std::string& target_key) const {
+  (void)batch;
+  MATSCI_CHECK(false, "task does not serve predictions for target '"
+                          << target_key << "'");
+  return {};  // unreachable
+}
+
 void MetricAccumulator::add(const TaskOutput& out) {
   const double w = static_cast<double>(out.count);
   for (const auto& [key, value] : out.metrics) {

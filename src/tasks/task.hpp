@@ -18,6 +18,16 @@ struct TaskOutput {
   std::int64_t count = 0;
 };
 
+/// One per-graph inference answer, the unit the serving subsystem fans
+/// back out to clients. Regression predictions carry the denormalized
+/// physical value; classification predictions carry the argmax label and
+/// the raw head outputs.
+struct Prediction {
+  float value = 0.0f;        ///< scalar prediction / winning-class score
+  std::int64_t label = -1;   ///< argmax class; -1 for regression
+  std::vector<float> scores; ///< raw head outputs (logits, norm. scalar)
+};
+
 /// A learning objective bound to an encoder (paper §3.2): the encoder
 /// ingests a graph/point-cloud batch and emits embeddings; one or more
 /// output heads map embeddings to targets. Tasks are nn::Modules so the
@@ -30,6 +40,15 @@ class Task : public nn::Module {
 
   /// The shared encoder (used for checkpoint surgery in fine-tuning).
   virtual std::shared_ptr<models::Encoder> encoder() const = 0;
+
+  /// Forward-only predictions for `target_key`, one per graph in the
+  /// batch — the head-selection hook the serving subsystem routes
+  /// requests through. Runs under NoGradGuard (no tape is built) and is
+  /// safe to call concurrently from multiple threads as long as nobody
+  /// mutates parameters at the same time. The base implementation
+  /// rejects unknown targets; tasks override it for the targets they own.
+  virtual std::vector<Prediction> predict_batch(
+      const data::Batch& batch, const std::string& target_key) const;
 };
 
 /// Accumulates TaskOutputs into per-metric weighted means.

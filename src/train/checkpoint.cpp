@@ -44,6 +44,18 @@ TrainingCheckpoint load_training_checkpoint(const std::string& path) {
   return ckpt;
 }
 
+nn::StateDict load_model_state(const std::string& path) {
+  nn::StateDict combined = nn::load_state_dict_file(path);
+  nn::StateDict model;
+  for (auto& [key, tensor] : combined) {
+    if (key.rfind(kOptimPrefix, 0) == 0 || key.rfind("__meta__/", 0) == 0) {
+      continue;
+    }
+    model[key] = tensor;
+  }
+  return model;
+}
+
 std::int64_t resume_training(const std::string& path, nn::Module& model,
                              optim::Optimizer& opt) {
   const TrainingCheckpoint ckpt = load_training_checkpoint(path);

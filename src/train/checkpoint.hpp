@@ -25,6 +25,13 @@ void save_training_checkpoint(const std::string& path, const nn::Module& model,
 
 TrainingCheckpoint load_training_checkpoint(const std::string& path);
 
+/// Model-only view of any checkpoint file: accepts both plain state
+/// dicts (e.g. a pretrained encoder) and full training checkpoints, in
+/// which case the reserved "__optim__/" and "__meta__/" entries are
+/// stripped. This is the path the serving subsystem loads through — a
+/// server never needs optimizer buffers.
+nn::StateDict load_model_state(const std::string& path);
+
 /// Restore model + optimizer in place; returns the stored epoch.
 std::int64_t resume_training(const std::string& path, nn::Module& model,
                              optim::Optimizer& opt);

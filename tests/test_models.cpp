@@ -239,6 +239,36 @@ TEST(OutputHead, DropoutOnlyInTraining) {
   EXPECT_GT(matsci::testing::max_abs_diff(c, d), 1e-6);
 }
 
+TEST(OutputHead, EvalRecursesIntoNestedDropout) {
+  // eval() on the *root* must reach the Dropout modules buried inside
+  // the head's residual blocks (root → block_i → dropout); a stale
+  // training flag anywhere in that chain makes serving stochastic.
+  RngEngine rng(22);
+  OutputHeadConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.num_blocks = 3;
+  cfg.dropout = 0.5f;
+  OutputHead head(8, cfg, rng);
+  EXPECT_TRUE(head.is_training());
+  head.eval();
+  EXPECT_FALSE(head.is_training());
+
+  Tensor emb = Tensor::randn({4, 8}, rng);
+  Tensor a = head.forward(emb);
+  Tensor b = head.forward(emb);
+  // Bit-exact, not approximately equal: eval-mode dropout is the
+  // identity and must not advance its RNG stream.
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.at(i), b.at(i)) << "output " << i;
+  }
+
+  // Back to training: masks fire again, so outputs differ.
+  head.train();
+  Tensor c = head.forward(emb);
+  Tensor d = head.forward(emb);
+  EXPECT_GT(matsci::testing::max_abs_diff(c, d), 1e-6);
+}
+
 TEST(OutputHead, ZeroBlocksIsLinearReadout) {
   RngEngine rng(23);
   OutputHeadConfig cfg;

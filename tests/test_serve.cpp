@@ -1,0 +1,391 @@
+// Tests for the inference-serving subsystem: micro-batching flush
+// policy, batched-vs-single bit-exactness, concurrent correctness,
+// shutdown drain, checkpoint loading, and per-request head selection.
+// These live in their own binary (ctest label `serve`) so they can run
+// under TSan via -DMATSCI_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/macros.hpp"
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "optim/adam.hpp"
+#include "serve/serve.hpp"
+#include "tasks/multitask.hpp"
+#include "tasks/regression.hpp"
+#include "train/checkpoint.hpp"
+
+namespace matsci::serve {
+namespace {
+
+using core::RngEngine;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+models::EGNNConfig tiny_encoder_config() {
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.pos_hidden = 8;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+models::OutputHeadConfig tiny_head_config() {
+  models::OutputHeadConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.num_blocks = 2;
+  cfg.dropout = 0.2f;  // non-zero on purpose: eval mode must silence it
+  return cfg;
+}
+
+/// Band-gap regression task on the simulated Materials Project profile.
+std::shared_ptr<tasks::ScalarRegressionTask> make_task(std::uint64_t seed) {
+  RngEngine rng(seed);
+  auto encoder =
+      std::make_shared<models::EGNN>(tiny_encoder_config(), rng);
+  return std::make_shared<tasks::ScalarRegressionTask>(
+      encoder, "band_gap", tiny_head_config(), rng,
+      data::TargetStats{2.0f, 1.5f});
+}
+
+InferenceSessionOptions session_options() {
+  InferenceSessionOptions opts;
+  opts.collate.radius.cutoff = 4.5;
+  return opts;
+}
+
+std::vector<data::StructureSample> sample_pool(std::int64_t n,
+                                               std::uint64_t seed) {
+  materials::MaterialsProjectDataset ds(n, seed);
+  std::vector<data::StructureSample> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) pool.push_back(ds.get(i));
+  return pool;
+}
+
+// --- ServerStats ------------------------------------------------------------
+
+TEST(ServerStats, CountsHistogramAndPercentiles) {
+  ServerStats stats;
+  stats.record_batch(4, {100.0, 200.0, 300.0, 400.0});
+  stats.record_batch(2, {500.0, 600.0});
+  stats.record_batch(4, {700.0, 800.0, 900.0, 1000.0});
+
+  EXPECT_EQ(stats.requests_served(), 10);
+  EXPECT_EQ(stats.batches_executed(), 3);
+  EXPECT_NEAR(stats.mean_batch_size(), 10.0 / 3.0, 1e-12);
+  const auto hist = stats.batch_size_histogram();
+  EXPECT_EQ(hist.at(4), 2);
+  EXPECT_EQ(hist.at(2), 1);
+
+  const LatencySummary s = stats.latency_summary();
+  EXPECT_NEAR(s.p50_us, 500.0, 100.0 + 1e-9);
+  EXPECT_GE(s.p95_us, 900.0);
+  EXPECT_EQ(s.max_us, 1000.0);
+  EXPECT_NEAR(s.mean_us, 550.0, 1e-9);
+
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"requests\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\":"), std::string::npos);
+
+  stats.reset();
+  EXPECT_EQ(stats.requests_served(), 0);
+  EXPECT_EQ(stats.latency_summary().max_us, 0.0);
+}
+
+// --- RequestQueue flush policy ----------------------------------------------
+
+PredictRequest make_request(const data::StructureSample& s,
+                            const std::string& target) {
+  PredictRequest r;
+  r.structure = s;
+  r.target = target;
+  return r;
+}
+
+TEST(RequestQueue, FlushesImmediatelyAtMaxBatchSize) {
+  const auto pool = sample_pool(4, 11);
+  RequestQueue queue;
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& s : pool) {
+    futures.push_back(queue.push(make_request(s, "band_gap")));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  // A full batch must not wait out the 1-second deadline.
+  auto batch = queue.pop_batch(4, 1'000'000);
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_LT(ms, 200.0);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueue, FlushesOnDeadlineWithPartialBatch) {
+  const auto pool = sample_pool(2, 12);
+  RequestQueue queue;
+  queue.push(make_request(pool[0], "band_gap"));
+  queue.push(make_request(pool[1], "band_gap"));
+  auto batch = queue.pop_batch(8, /*max_wait_us=*/20'000);
+  EXPECT_EQ(batch.size(), 2u);  // deadline flush, not a hang
+}
+
+TEST(RequestQueue, BatchesAreSingleTarget) {
+  const auto pool = sample_pool(4, 13);
+  RequestQueue queue;
+  queue.push(make_request(pool[0], "band_gap"));
+  queue.push(make_request(pool[1], "efermi"));
+  queue.push(make_request(pool[2], "band_gap"));
+  queue.push(make_request(pool[3], "efermi"));
+
+  auto first = queue.pop_batch(8, 10'000);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].request.target, "band_gap");
+  EXPECT_EQ(first[1].request.target, "band_gap");
+
+  auto second = queue.pop_batch(8, 10'000);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].request.target, "efermi");
+  EXPECT_EQ(second[1].request.target, "efermi");
+}
+
+TEST(RequestQueue, PushAfterShutdownThrows) {
+  const auto pool = sample_pool(1, 14);
+  RequestQueue queue;
+  queue.shutdown();
+  EXPECT_TRUE(queue.is_shutdown());
+  EXPECT_THROW(queue.push(make_request(pool[0], "band_gap")), matsci::Error);
+  EXPECT_TRUE(queue.pop_batch(4, 1000).empty());
+}
+
+// --- InferenceSession -------------------------------------------------------
+
+TEST(InferenceSession, SingleEqualsBatchedBitExact) {
+  auto session =
+      std::make_shared<InferenceSession>(make_task(31), session_options());
+  const auto pool = sample_pool(6, 32);
+
+  // One forward over the whole pool...
+  const auto batched = session->predict(pool, "band_gap");
+  ASSERT_EQ(batched.size(), pool.size());
+  // ...must agree bit-for-bit with six single-structure forwards:
+  // per-graph compute in the batched-CSR path is independent, so the
+  // float summation order per graph is identical.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto single = session->predict({pool[i]}, "band_gap");
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0].value, batched[i].value) << "structure " << i;
+    ASSERT_EQ(single[0].scores.size(), batched[i].scores.size());
+    for (std::size_t j = 0; j < single[0].scores.size(); ++j) {
+      EXPECT_EQ(single[0].scores[j], batched[i].scores[j]);
+    }
+  }
+}
+
+TEST(InferenceSession, RepeatCallsAreDeterministic) {
+  // Dropout (p=0.2 in the head) must be inert in eval mode — identical
+  // outputs across calls, no RNG advance.
+  auto session =
+      std::make_shared<InferenceSession>(make_task(33), session_options());
+  const auto pool = sample_pool(3, 34);
+  const auto a = session->predict(pool, "band_gap");
+  const auto b = session->predict(pool, "band_gap");
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+TEST(InferenceSession, LeavesNoTapeAndRejectsUnknownTarget) {
+  auto task = make_task(35);
+  InferenceSession session(task, session_options());
+  const auto pool = sample_pool(2, 36);
+  const auto preds = session.predict(pool, "band_gap");
+  ASSERT_EQ(preds.size(), 2u);
+  for (const core::Tensor& p : task->parameters()) {
+    EXPECT_EQ(p.impl()->grad_fn, nullptr);
+  }
+  EXPECT_THROW(session.predict(pool, "no_such_target"), matsci::Error);
+}
+
+TEST(InferenceSession, LoadsTrainingCheckpointWeights) {
+  auto trained = make_task(41);
+  optim::Adam opt = optim::make_adamw(trained->parameters(), 1e-3);
+  const std::string path = temp_path("matsci_serve_ckpt.msck");
+  train::save_training_checkpoint(path, *trained, opt, /*epoch=*/3);
+
+  // Fresh task with a different seed: predictions differ until the
+  // checkpoint is loaded, then match the trained task bit-exactly.
+  auto fresh_task = make_task(99);
+  InferenceSession trained_session(trained, session_options());
+  InferenceSession fresh_session(fresh_task, session_options());
+  const auto pool = sample_pool(3, 42);
+
+  const auto want = trained_session.predict(pool, "band_gap");
+  const auto before = fresh_session.predict(pool, "band_gap");
+  EXPECT_NE(want[0].value, before[0].value);
+
+  const nn::LoadReport report = fresh_session.load_checkpoint(path);
+  EXPECT_GT(report.loaded, 0);
+  EXPECT_EQ(report.missing, 0);
+  const auto after = fresh_session.predict(pool, "band_gap");
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(after[i].value, want[i].value) << "structure " << i;
+  }
+  std::remove(path.c_str());
+}
+
+// --- BatchScheduler ---------------------------------------------------------
+
+TEST(BatchScheduler, ConcurrentClientsAllReceiveExactResults) {
+  auto session =
+      std::make_shared<InferenceSession>(make_task(51), session_options());
+  const auto pool = sample_pool(8, 52);
+
+  // Reference answers from direct single-structure forwards.
+  std::vector<float> reference;
+  for (const auto& s : pool) {
+    reference.push_back(session->predict({s}, "band_gap")[0].value);
+  }
+
+  SchedulerOptions opts;
+  opts.max_batch_size = 16;
+  opts.max_wait_us = 500;
+  opts.num_workers = 4;
+  BatchScheduler scheduler(session, opts);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 40;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t idx =
+            static_cast<std::size_t>(c * kPerClient + i) % pool.size();
+        try {
+          PredictResult r =
+              scheduler.submit(pool[idx], "band_gap").get();
+          if (r.prediction.value != reference[idx]) ++mismatches;
+          if (r.batch_size < 1) ++failures;
+        } catch (...) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  scheduler.shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(scheduler.stats().requests_served(), kClients * kPerClient);
+  EXPECT_GT(scheduler.stats().batches_executed(), 0);
+  // Micro-batching engaged: fewer batches than requests.
+  EXPECT_LT(scheduler.stats().batches_executed(),
+            static_cast<std::int64_t>(kClients * kPerClient));
+}
+
+TEST(BatchScheduler, ShutdownDrainsInFlightWithoutDeadlock) {
+  auto session =
+      std::make_shared<InferenceSession>(make_task(61), session_options());
+  const auto pool = sample_pool(4, 62);
+
+  SchedulerOptions opts;
+  opts.max_batch_size = 8;
+  // A long flush window: shutdown must cut it short, not wait it out.
+  opts.max_wait_us = 5'000'000;
+  opts.num_workers = 2;
+
+  std::vector<std::future<PredictResult>> futures;
+  {
+    BatchScheduler scheduler(session, opts);
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(
+          scheduler.submit(pool[static_cast<std::size_t>(i) % pool.size()],
+                           "band_gap"));
+    }
+    scheduler.shutdown();  // destructor would do the same
+    EXPECT_THROW(scheduler.submit(pool[0], "band_gap"), matsci::Error);
+  }
+  // Every queued request was served, none dropped.
+  for (auto& f : futures) {
+    EXPECT_NO_THROW({
+      PredictResult r = f.get();
+      EXPECT_GE(r.batch_size, 1);
+    });
+  }
+}
+
+TEST(BatchScheduler, UnknownTargetPropagatesThroughFuture) {
+  auto session =
+      std::make_shared<InferenceSession>(make_task(71), session_options());
+  const auto pool = sample_pool(1, 72);
+  SchedulerOptions opts;
+  opts.max_batch_size = 4;
+  opts.max_wait_us = 200;
+  opts.num_workers = 1;
+  BatchScheduler scheduler(session, opts);
+  auto bad = scheduler.submit(pool[0], "no_such_target");
+  EXPECT_THROW(bad.get(), matsci::Error);
+  // The worker survives a poisoned batch and keeps serving.
+  auto good = scheduler.submit(pool[0], "band_gap");
+  EXPECT_NO_THROW(good.get());
+  scheduler.shutdown();
+}
+
+// --- Multi-task head selection ----------------------------------------------
+
+TEST(BatchScheduler, RoutesMixedTargetsToTheRightHeads) {
+  RngEngine rng(81);
+  auto encoder =
+      std::make_shared<models::EGNN>(tiny_encoder_config(), rng);
+  auto task = std::make_shared<tasks::MultiTaskModule>(
+      encoder, tiny_head_config(), /*seed=*/82);
+  task->add_regression(0, "band_gap", {2.0f, 1.5f}, "mp/band_gap");
+  task->add_binary_classification(0, "stability", "mp/stability");
+
+  auto session =
+      std::make_shared<InferenceSession>(task, session_options());
+  const auto pool = sample_pool(6, 83);
+
+  std::vector<float> gap_ref;
+  std::vector<std::int64_t> stab_ref;
+  for (const auto& s : pool) {
+    gap_ref.push_back(session->predict({s}, "mp/band_gap")[0].value);
+    stab_ref.push_back(session->predict({s}, "mp/stability")[0].label);
+  }
+
+  SchedulerOptions opts;
+  opts.max_batch_size = 4;
+  opts.max_wait_us = 500;
+  opts.num_workers = 2;
+  BatchScheduler scheduler(session, opts);
+
+  // Interleave the two targets so micro-batches must split by key.
+  std::vector<std::future<PredictResult>> gap_futures, stab_futures;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      gap_futures.push_back(scheduler.submit(pool[i], "mp/band_gap"));
+      stab_futures.push_back(scheduler.submit(pool[i], "mp/stability"));
+    }
+  }
+  for (std::size_t k = 0; k < gap_futures.size(); ++k) {
+    const std::size_t i = k % pool.size();
+    EXPECT_EQ(gap_futures[k].get().prediction.value, gap_ref[i]);
+    EXPECT_EQ(stab_futures[k].get().prediction.label, stab_ref[i]);
+  }
+  scheduler.shutdown();
+}
+
+}  // namespace
+}  // namespace matsci::serve

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/macros.hpp"
 #include "core/ops.hpp"
 #include "core/tensor.hpp"
@@ -141,6 +143,32 @@ TEST(NoGradGuard, Nests) {
     EXPECT_FALSE(grad_mode_enabled());
   }
   EXPECT_FALSE(grad_mode_enabled());
+}
+
+TEST(NoGradGuard, IsThreadLocal) {
+  // The serving contract: a guard on one thread must not leak into any
+  // other, and fresh threads start with grad mode enabled.
+  NoGradGuard main_guard;
+  EXPECT_FALSE(grad_mode_enabled());
+
+  bool worker_started_enabled = false;
+  bool worker_disabled_inside_guard = false;
+  std::thread worker([&] {
+    worker_started_enabled = grad_mode_enabled();
+    NoGradGuard guard;
+    worker_disabled_inside_guard = !grad_mode_enabled();
+  });
+  worker.join();
+  EXPECT_TRUE(worker_started_enabled);
+  EXPECT_TRUE(worker_disabled_inside_guard);
+  // The worker's guard (and its destruction) left this thread untouched.
+  EXPECT_FALSE(grad_mode_enabled());
+
+  bool sibling_saw_enabled = false;
+  std::thread sibling([&] { sibling_saw_enabled = grad_mode_enabled(); });
+  sibling.join();
+  // A NoGradGuard alive on this thread is invisible to a sibling.
+  EXPECT_TRUE(sibling_saw_enabled);
 }
 
 TEST(ShapeHelpers, NumelAndToString) {

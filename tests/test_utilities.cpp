@@ -154,6 +154,55 @@ TEST(TrainingCheckpoint, RoundTripRestoresExactTrajectory) {
   std::remove(path.c_str());
 }
 
+TEST(TrainingCheckpoint, SaveLoadBitExactIncludingReservedPrefixes) {
+  // save → load must reproduce the model StateDict bit-for-bit, the
+  // epoch, and every optimizer buffer stored under the reserved
+  // "__optim__/" prefix ("__meta__/" holds the epoch).
+  RngEngine rng(21);
+  auto mlp = std::make_shared<nn::MLP>(std::vector<std::int64_t>{4, 6, 1},
+                                       nn::Act::kSiLU, rng);
+  optim::Adam opt = optim::make_adamw(mlp->parameters(), 2e-3);
+  Tensor x = Tensor::randn({8, 4}, rng);
+  Tensor y = Tensor::randn({8, 1}, rng);
+  opt.zero_grad();
+  core::mse_loss(mlp->forward(x), y).backward();
+  opt.step();  // materialize non-trivial moment buffers
+
+  const std::string path = temp_path("matsci_bitexact_ckpt.msck");
+  train::save_training_checkpoint(path, *mlp, opt, /*epoch=*/7);
+
+  const train::TrainingCheckpoint ckpt =
+      train::load_training_checkpoint(path);
+  EXPECT_EQ(ckpt.epoch, 7);
+
+  const nn::StateDict expected_model = nn::state_dict(*mlp);
+  ASSERT_EQ(ckpt.model.size(), expected_model.size());
+  for (const auto& [name, tensor] : expected_model) {
+    ASSERT_TRUE(ckpt.model.count(name)) << "missing parameter " << name;
+    const Tensor& loaded = ckpt.model.at(name);
+    ASSERT_EQ(loaded.numel(), tensor.numel()) << name;
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      EXPECT_EQ(loaded.at(i), tensor.at(i)) << name << "[" << i << "]";
+    }
+  }
+
+  const optim::OptimizerState expected_opt = opt.export_state();
+  ASSERT_EQ(ckpt.optimizer.size(), expected_opt.size());
+  for (const auto& [name, values] : expected_opt) {
+    ASSERT_TRUE(ckpt.optimizer.count(name)) << "missing buffer " << name;
+    EXPECT_EQ(ckpt.optimizer.at(name), values) << name;
+  }
+
+  // The model-only loader strips both reserved prefixes.
+  const nn::StateDict model_only = train::load_model_state(path);
+  EXPECT_EQ(model_only.size(), expected_model.size());
+  for (const auto& [name, _] : model_only) {
+    EXPECT_EQ(name.rfind("__optim__/", 0), std::string::npos) << name;
+    EXPECT_EQ(name.rfind("__meta__/", 0), std::string::npos) << name;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(TrainingCheckpoint, SgdMomentumRoundTrip) {
   RngEngine rng(7);
   auto mlp = std::make_shared<nn::MLP>(std::vector<std::int64_t>{3, 3},
