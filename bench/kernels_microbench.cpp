@@ -3,10 +3,25 @@
 // gather/segment message-passing kernels, radius-graph construction,
 // and a full EGNN forward — so performance regressions in the substrate
 // are visible independent of end-to-end training noise.
+//
+// The custom main() additionally sweeps the shared pool across thread
+// counts {1, 2, 4, max} on the large matmul / segment_sum / gather
+// shapes and emits one JSON line per (kernel, threads) point in the
+// same log-scraping style as bench_serving, so kernel scaling can be
+// tracked alongside serving throughput. `--sweep-only` skips the
+// google-benchmark suite; `--no-sweep` skips the sweep.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/graph_ops.hpp"
 #include "core/ops.hpp"
+#include "core/parallel/thread_pool.hpp"
 #include "data/collate.hpp"
 #include "graph/radius_graph.hpp"
 #include "models/egnn.hpp"
@@ -141,6 +156,122 @@ void BM_EgnnTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EgnnTrainStep);
 
+// --- thread-count scaling sweep ---------------------------------------------
+
+/// Best-of-3 wall time per call, microseconds. One untimed warm-up call
+/// absorbs first-touch allocation; best-of filters scheduler noise.
+template <typename Fn>
+double time_us_per_call(Fn&& fn, int reps) {
+  fn();
+  double best = 1e300;
+  for (int round = 0; round < 3; ++round) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::micro>(t1 - t0).count() / reps);
+  }
+  return best;
+}
+
+struct SweepKernel {
+  const char* name;
+  std::int64_t size;  ///< problem-size knob, reported in the JSON line
+  double (*run)(std::int64_t size);
+};
+
+double sweep_matmul(std::int64_t n) {
+  core::RngEngine rng(41);
+  core::Tensor a = core::Tensor::randn({n, n}, rng);
+  core::Tensor b = core::Tensor::randn({n, n}, rng);
+  core::NoGradGuard no_grad;
+  return time_us_per_call(
+      [&] { benchmark::DoNotOptimize(core::matmul(a, b)); }, 5);
+}
+
+double sweep_segment_sum(std::int64_t rows) {
+  const std::int64_t segments = rows / 8;
+  core::RngEngine rng(42);
+  core::Tensor x = core::Tensor::randn({rows, 64}, rng);
+  std::vector<std::int64_t> seg(static_cast<std::size_t>(rows));
+  for (auto& s : seg) s = rng.next_int(segments);
+  core::NoGradGuard no_grad;
+  return time_us_per_call(
+      [&] { benchmark::DoNotOptimize(core::segment_sum(x, seg, segments)); },
+      20);
+}
+
+double sweep_gather(std::int64_t n) {
+  core::RngEngine rng(43);
+  core::Tensor x = core::Tensor::randn({n, 64}, rng);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(4 * n));
+  for (auto& i : idx) i = rng.next_int(n);
+  core::NoGradGuard no_grad;
+  return time_us_per_call(
+      [&] { benchmark::DoNotOptimize(core::gather_rows(x, idx)); }, 20);
+}
+
+/// Sweep the shared pool over {1, 2, 4, max} threads (deduplicated,
+/// ascending) and report per-call time plus speedup over 1 thread. The
+/// kernels are bit-deterministic across the sweep, so the points differ
+/// only in wall time.
+void run_thread_sweep() {
+  namespace par = core::parallel;
+  const std::int64_t saved = par::num_threads();
+  const std::int64_t max_threads = par::ThreadPool::default_size();
+  std::vector<std::int64_t> counts = {1, 2, 4, max_threads};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  const SweepKernel kernels[] = {
+      {"matmul", 256, sweep_matmul},
+      {"segment_sum", 8192, sweep_segment_sum},
+      {"gather_rows", 4096, sweep_gather},
+  };
+
+  std::printf("thread sweep: kernels x threads {1,2,4,max=%lld}\n",
+              static_cast<long long>(max_threads));
+  for (const SweepKernel& k : kernels) {
+    double base_us = 0.0;
+    for (const std::int64_t t : counts) {
+      par::set_num_threads(t);
+      const double us = k.run(k.size);
+      if (t == 1) base_us = us;
+      std::printf("{\"bench\":\"kernels\",\"kernel\":\"%s\",\"size\":%lld,"
+                  "\"threads\":%lld,\"us_per_call\":%.2f,"
+                  "\"speedup_vs_1t\":%.2f}\n",
+                  k.name, static_cast<long long>(k.size),
+                  static_cast<long long>(t), us,
+                  base_us > 0.0 ? base_us / us : 0.0);
+    }
+  }
+  par::set_num_threads(saved);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep = true, suite = true;
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      suite = false;
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (sweep) run_thread_sweep();
+  if (suite) {
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

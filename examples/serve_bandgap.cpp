@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   serve::SchedulerOptions opts;
   opts.max_batch_size = 32;
   opts.max_wait_us = 2000;
-  opts.num_workers = 0;  // hardware_concurrency
+  opts.num_workers = 0;  // shared pool size (honors MATSCI_NUM_THREADS)
   serve::BatchScheduler scheduler(session, opts);
   std::printf("scheduler up: %lld workers, max_batch_size=%lld, "
               "max_wait_us=%lld\n",

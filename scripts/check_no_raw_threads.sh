@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lint: all parallelism in src/ must go through the shared pool in
+# src/core/parallel/. Raw std::thread construction, OpenMP pragmas, and
+# std::async anywhere else in src/ are rejected — they bypass
+# MATSCI_NUM_THREADS sizing, the nesting guard, and the determinism
+# contract (see DESIGN.md "Threading model").
+#
+# Exempt:
+#   src/core/parallel/  — the pool implementation itself
+#   src/comm/           — simulated DDP ranks are threads by design
+#
+# Usage: check_no_raw_threads.sh [src-dir]   (default: <repo>/src)
+set -u
+
+src_dir="${1:-$(cd "$(dirname "$0")/.." && pwd)/src}"
+if [ ! -d "$src_dir" ]; then
+  echo "check_no_raw_threads: no such directory: $src_dir" >&2
+  exit 2
+fi
+
+pattern='std::thread[[:space:]]*\(|#[[:space:]]*pragma[[:space:]]+omp|std::async'
+
+violations=$(grep -rnE "$pattern" "$src_dir" \
+  --include='*.cpp' --include='*.hpp' \
+  | grep -v '/core/parallel/' \
+  | grep -v '/comm/' || true)
+
+if [ -n "$violations" ]; then
+  echo "check_no_raw_threads: raw threading primitives outside" \
+       "src/core/parallel/ and src/comm/:" >&2
+  echo "$violations" >&2
+  echo >&2
+  echo "Use core::parallel::ThreadPool::global() / parallel_for instead." >&2
+  exit 1
+fi
+
+echo "check_no_raw_threads: OK ($src_dir)"

@@ -7,10 +7,20 @@
 #include "core/autograd.hpp"
 #include "core/macros.hpp"
 #include "core/ops.hpp"
+#include "core/parallel/parallel_for.hpp"
 
 namespace matsci::core {
 
 namespace {
+
+constexpr std::int64_t kRowGrainWork = 1 << 16;  // scalars per row-chunk
+
+/// Rows per chunk targeting ~kRowGrainWork scalars of work.
+std::int64_t rows_grain(std::int64_t per_row) {
+  return std::max<std::int64_t>(1,
+                                kRowGrainWork / std::max<std::int64_t>(1, per_row));
+}
+
 void check_segments(const std::vector<std::int64_t>& segment,
                     std::int64_t num_rows, std::int64_t num_segments,
                     const char* op) {
@@ -23,6 +33,78 @@ void check_segments(const std::vector<std::int64_t>& segment,
                     << num_segments << ")");
   }
 }
+
+/// Parallelizing a scatter means different threads would race on the
+/// same destination row, and atomics would make the addition order —
+/// and therefore the float rounding — nondeterministic. Instead we
+/// invert the index once (a stable counting sort: bucket b holds the
+/// source rows scattering into destination b, in ascending order) and
+/// parallelize over destination buckets, which are disjoint. Each
+/// destination element accumulates its sources in ascending row order
+/// — exactly the order the serial loop uses — so the result is
+/// bit-identical to serial for any thread count.
+struct RowBucketPlan {
+  std::vector<std::int64_t> order;    ///< source rows grouped by destination
+  std::vector<std::int64_t> offsets;  ///< bucket b spans order[offsets[b]..offsets[b+1])
+};
+
+RowBucketPlan bucket_rows(const std::vector<std::int64_t>& index,
+                          std::int64_t num_buckets) {
+  RowBucketPlan plan;
+  plan.offsets.assign(static_cast<std::size_t>(num_buckets) + 1, 0);
+  for (const std::int64_t b : index) {
+    ++plan.offsets[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t b = 1; b < plan.offsets.size(); ++b) {
+    plan.offsets[b] += plan.offsets[b - 1];
+  }
+  plan.order.resize(index.size());
+  std::vector<std::int64_t> cursor(plan.offsets.begin(),
+                                   plan.offsets.end() - 1);
+  for (std::size_t r = 0; r < index.size(); ++r) {
+    plan.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(index[r])]++)] =
+        static_cast<std::int64_t>(r);
+  }
+  return plan;
+}
+
+/// dst[index[r], :] += src[r, :] for all rows, deterministically.
+/// Serial below kScatterParallelCutoff scalars of work (the bucket
+/// plan would cost more than it saves); both paths produce identical
+/// bits (same per-element accumulation order).
+constexpr std::int64_t kScatterParallelCutoff = 1 << 15;
+
+void scatter_add_kernel(const float* src, std::int64_t num_src,
+                        std::int64_t d,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_dst, float* dst) {
+  if (num_src * d < kScatterParallelCutoff || num_dst > num_src) {
+    for (std::int64_t r = 0; r < num_src; ++r) {
+      float* out = dst + index[static_cast<std::size_t>(r)] * d;
+      const float* in = src + r * d;
+      for (std::int64_t j = 0; j < d; ++j) out[j] += in[j];
+    }
+    return;
+  }
+  const RowBucketPlan plan = bucket_rows(index, num_dst);
+  const std::int64_t avg_rows =
+      std::max<std::int64_t>(1, num_src / std::max<std::int64_t>(1, num_dst));
+  parallel::parallel_for(
+      0, num_dst, rows_grain(avg_rows * d),
+      [&](std::int64_t bb, std::int64_t be) {
+        for (std::int64_t b = bb; b < be; ++b) {
+          float* out = dst + b * d;
+          for (std::int64_t k = plan.offsets[static_cast<std::size_t>(b)];
+               k < plan.offsets[static_cast<std::size_t>(b) + 1]; ++k) {
+            const float* in =
+                src + plan.order[static_cast<std::size_t>(k)] * d;
+            for (std::int64_t j = 0; j < d; ++j) out[j] += in[j];
+          }
+        }
+      });
+}
+
 }  // namespace
 
 Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index) {
@@ -30,26 +112,61 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index) {
   const std::int64_t n = x.size(0), d = x.size(1);
   const std::int64_t m = static_cast<std::int64_t>(index.size());
   const float* px = x.data();
-  std::vector<float> out(static_cast<std::size_t>(m * d));
-  for (std::int64_t r = 0; r < m; ++r) {
-    const std::int64_t src = index[static_cast<std::size_t>(r)];
+  for (const std::int64_t src : index) {
     MATSCI_CHECK(src >= 0 && src < n,
                  "gather_rows: index " << src << " out of range [0, " << n << ")");
-    std::copy(px + src * d, px + (src + 1) * d, out.data() + r * d);
   }
+  std::vector<float> out(static_cast<std::size_t>(m * d));
+  parallel::parallel_for(
+      0, m, rows_grain(d), [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t r = rb; r < re; ++r) {
+          const std::int64_t src = index[static_cast<std::size_t>(r)];
+          std::copy(px + src * d, px + (src + 1) * d, out.data() + r * d);
+        }
+      });
   auto ix = x.impl();
   return make_op_result(
       {m, d}, std::move(out), "gather_rows", {ix},
       [ix, index, n, d, m](TensorImpl& o) {
         if (!ix->needs_grad()) return;
-        const float* go = o.grad.data();
         std::vector<float> gx(static_cast<std::size_t>(n * d), 0.0f);
-        for (std::int64_t r = 0; r < m; ++r) {
-          const std::int64_t src = index[static_cast<std::size_t>(r)];
-          float* dst = gx.data() + src * d;
-          const float* grow = go + r * d;
-          for (std::int64_t j = 0; j < d; ++j) dst[j] += grow[j];
-        }
+        scatter_add_kernel(o.grad.data(), m, d, index, n, gx.data());
+        ix->accumulate_grad(gx.data());
+      });
+}
+
+Tensor scatter_add_rows(const Tensor& x,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows) {
+  MATSCI_CHECK(x.defined() && x.dim() == 2,
+               "scatter_add_rows requires 2-D input");
+  MATSCI_CHECK(num_rows >= 0, "scatter_add_rows: negative num_rows");
+  const std::int64_t m = x.size(0), d = x.size(1);
+  MATSCI_CHECK(static_cast<std::int64_t>(index.size()) == m,
+               "scatter_add_rows: " << index.size() << " indices for " << m
+                                    << " rows");
+  for (const std::int64_t dst : index) {
+    MATSCI_CHECK(dst >= 0 && dst < num_rows,
+                 "scatter_add_rows: index " << dst << " out of range [0, "
+                                            << num_rows << ")");
+  }
+  std::vector<float> out(static_cast<std::size_t>(num_rows * d), 0.0f);
+  scatter_add_kernel(x.data(), m, d, index, num_rows, out.data());
+  auto ix = x.impl();
+  return make_op_result(
+      {num_rows, d}, std::move(out), "scatter_add_rows", {ix},
+      [ix, index, d, m](TensorImpl& o) {
+        if (!ix->needs_grad()) return;
+        const float* go = o.grad.data();
+        std::vector<float> gx(static_cast<std::size_t>(m * d));
+        parallel::parallel_for(
+            0, m, rows_grain(d), [&](std::int64_t rb, std::int64_t re) {
+              for (std::int64_t r = rb; r < re; ++r) {
+                const float* src =
+                    go + index[static_cast<std::size_t>(r)] * d;
+                std::copy(src, src + d, gx.data() + r * d);
+              }
+            });
         ix->accumulate_grad(gx.data());
       });
 }
@@ -61,11 +178,7 @@ Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
   check_segments(segment, n, num_segments, "segment_sum");
   const float* px = x.data();
   std::vector<float> out(static_cast<std::size_t>(num_segments * d), 0.0f);
-  for (std::int64_t r = 0; r < n; ++r) {
-    float* dst = out.data() + segment[static_cast<std::size_t>(r)] * d;
-    const float* src = px + r * d;
-    for (std::int64_t j = 0; j < d; ++j) dst[j] += src[j];
-  }
+  scatter_add_kernel(px, n, d, segment, num_segments, out.data());
   auto ix = x.impl();
   return make_op_result(
       {num_segments, d}, std::move(out), "segment_sum", {ix},
@@ -73,10 +186,14 @@ Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
         if (!ix->needs_grad()) return;
         const float* go = o.grad.data();
         std::vector<float> gx(static_cast<std::size_t>(n * d));
-        for (std::int64_t r = 0; r < n; ++r) {
-          const float* src = go + segment[static_cast<std::size_t>(r)] * d;
-          std::copy(src, src + d, gx.data() + r * d);
-        }
+        parallel::parallel_for(
+            0, n, rows_grain(d), [&](std::int64_t rb, std::int64_t re) {
+              for (std::int64_t r = rb; r < re; ++r) {
+                const float* src =
+                    go + segment[static_cast<std::size_t>(r)] * d;
+                std::copy(src, src + d, gx.data() + r * d);
+              }
+            });
         ix->accumulate_grad(gx.data());
       });
 }
@@ -210,13 +327,16 @@ Tensor gaussian_rbf(const Tensor& d, const std::vector<float>& centers,
   const std::int64_t k = static_cast<std::int64_t>(centers.size());
   const float* pd = d.data();
   std::vector<float> out(static_cast<std::size_t>(n * k));
-  for (std::int64_t r = 0; r < n; ++r) {
-    for (std::int64_t c = 0; c < k; ++c) {
-      const float diff = pd[r] - centers[static_cast<std::size_t>(c)];
-      out[static_cast<std::size_t>(r * k + c)] =
-          std::exp(-gamma * diff * diff);
-    }
-  }
+  parallel::parallel_for(
+      0, n, rows_grain(4 * k), [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t r = rb; r < re; ++r) {
+          for (std::int64_t c = 0; c < k; ++c) {
+            const float diff = pd[r] - centers[static_cast<std::size_t>(c)];
+            out[static_cast<std::size_t>(r * k + c)] =
+                std::exp(-gamma * diff * diff);
+          }
+        }
+      });
   auto id = d.impl();
   std::vector<float> saved = out;
   return make_op_result(
@@ -226,16 +346,20 @@ Tensor gaussian_rbf(const Tensor& d, const std::vector<float>& centers,
         const float* go = o.grad.data();
         const float* pd2 = id->data.data();
         std::vector<float> gd(static_cast<std::size_t>(n), 0.0f);
-        for (std::int64_t r = 0; r < n; ++r) {
-          double acc = 0.0;
-          for (std::int64_t c = 0; c < k; ++c) {
-            const float diff = pd2[r] - centers[static_cast<std::size_t>(c)];
-            acc += static_cast<double>(go[r * k + c]) *
-                   (-2.0 * gamma * diff) *
-                   saved[static_cast<std::size_t>(r * k + c)];
-          }
-          gd[static_cast<std::size_t>(r)] = static_cast<float>(acc);
-        }
+        parallel::parallel_for(
+            0, n, rows_grain(4 * k), [&](std::int64_t rb, std::int64_t re) {
+              for (std::int64_t r = rb; r < re; ++r) {
+                double acc = 0.0;
+                for (std::int64_t c = 0; c < k; ++c) {
+                  const float diff =
+                      pd2[r] - centers[static_cast<std::size_t>(c)];
+                  acc += static_cast<double>(go[r * k + c]) *
+                         (-2.0 * gamma * diff) *
+                         saved[static_cast<std::size_t>(r * k + c)];
+                }
+                gd[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+              }
+            });
         id->accumulate_grad(gd.data());
       });
 }

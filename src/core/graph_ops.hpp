@@ -14,6 +14,16 @@ namespace matsci::core {
 /// out[r, :] = x[index[r], :]  (x is [N, D], index has M entries < N).
 Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index);
 
+/// Scatter-accumulate: out[index[r], :] += x[r, :] into a fresh
+/// [num_rows, D] zero tensor (x is [M, D], index has M entries
+/// < num_rows). The transpose of gather_rows — its backward is a
+/// gather — and the deterministic scatter-add primitive underneath
+/// segment_sum: rows mapping to the same output accumulate in
+/// ascending row order regardless of thread count.
+Tensor scatter_add_rows(const Tensor& x,
+                        const std::vector<std::int64_t>& index,
+                        std::int64_t num_rows);
+
 /// out[s, :] = sum over rows r with segment[r] == s of x[r, :].
 /// `segment` need not be sorted. num_segments > max(segment).
 Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,

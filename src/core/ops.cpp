@@ -5,10 +5,26 @@
 
 #include "core/autograd.hpp"
 #include "core/macros.hpp"
+#include "core/parallel/parallel_for.hpp"
 
 namespace matsci::core {
 
 namespace {
+
+// Fixed work-per-chunk targets (in scalar operations). Chunk layout
+// depends only on tensor shape, so every kernel is bit-exact across
+// thread counts; problems below one grain collapse to a single chunk
+// and execute exactly like the previous serial code.
+constexpr std::int64_t kElemGrain = 1 << 15;        // elementwise loops
+constexpr std::int64_t kRowGrainWork = 1 << 16;     // row-sliced loops
+constexpr std::int64_t kMatmulGrainWork = 1 << 18;  // flops per matmul chunk
+constexpr std::int64_t kReduceGrain = 1 << 16;      // scalar reductions
+
+/// Rows per chunk so that each chunk holds ~`work_target` scalar ops.
+std::int64_t rows_grain(std::int64_t work_target, std::int64_t per_row) {
+  return std::max<std::int64_t>(
+      1, work_target / std::max<std::int64_t>(1, per_row));
+}
 
 /// How the second operand of a binary op maps onto the first.
 enum class Bcast { kSame, kScalar, kRow, kCol };
@@ -57,20 +73,22 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f,
   const float* pb = b.data();
 
   std::vector<float> out(static_cast<std::size_t>(n));
-  switch (info.kind) {
-    case Bcast::kSame:
-      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[i]);
-      break;
-    case Bcast::kScalar:
-      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[0]);
-      break;
-    case Bcast::kRow:
-      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[i % d]);
-      break;
-    case Bcast::kCol:
-      for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i], pb[i / d]);
-      break;
-  }
+  parallel::parallel_for(0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
+    switch (info.kind) {
+      case Bcast::kSame:
+        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[i]);
+        break;
+      case Bcast::kScalar:
+        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[0]);
+        break;
+      case Bcast::kRow:
+        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[i % d]);
+        break;
+      case Bcast::kCol:
+        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[i / d]);
+        break;
+    }
+  });
 
   auto ia = a.impl();
   auto ib = b.impl();
@@ -82,32 +100,41 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f,
         const float* pb2 = ib->data.data();
         if (ia->needs_grad()) {
           std::vector<float> ga(static_cast<std::size_t>(n));
-          switch (info.kind) {
-            case Bcast::kSame:
-              for (std::int64_t i = 0; i < n; ++i)
-                ga[i] = go[i] * dfa(pa2[i], pb2[i]);
-              break;
-            case Bcast::kScalar:
-              for (std::int64_t i = 0; i < n; ++i)
-                ga[i] = go[i] * dfa(pa2[i], pb2[0]);
-              break;
-            case Bcast::kRow:
-              for (std::int64_t i = 0; i < n; ++i)
-                ga[i] = go[i] * dfa(pa2[i], pb2[i % d]);
-              break;
-            case Bcast::kCol:
-              for (std::int64_t i = 0; i < n; ++i)
-                ga[i] = go[i] * dfa(pa2[i], pb2[i / d]);
-              break;
-          }
+          // dL/da is elementwise in i for every broadcast kind.
+          parallel::parallel_for(
+              0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
+                switch (info.kind) {
+                  case Bcast::kSame:
+                    for (std::int64_t i = b; i < e; ++i)
+                      ga[i] = go[i] * dfa(pa2[i], pb2[i]);
+                    break;
+                  case Bcast::kScalar:
+                    for (std::int64_t i = b; i < e; ++i)
+                      ga[i] = go[i] * dfa(pa2[i], pb2[0]);
+                    break;
+                  case Bcast::kRow:
+                    for (std::int64_t i = b; i < e; ++i)
+                      ga[i] = go[i] * dfa(pa2[i], pb2[i % d]);
+                    break;
+                  case Bcast::kCol:
+                    for (std::int64_t i = b; i < e; ++i)
+                      ga[i] = go[i] * dfa(pa2[i], pb2[i / d]);
+                    break;
+                }
+              });
           ia->accumulate_grad(ga.data());
         }
         if (ib->needs_grad()) {
           std::vector<float> gb(ib->data.size(), 0.0f);
+          // dL/db is elementwise only for kSame; the broadcast kinds
+          // reduce over a, which stays serial (b is small there).
           switch (info.kind) {
             case Bcast::kSame:
-              for (std::int64_t i = 0; i < n; ++i)
-                gb[i] += go[i] * dfb(pa2[i], pb2[i]);
+              parallel::parallel_for(
+                  0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
+                    for (std::int64_t i = b; i < e; ++i)
+                      gb[i] = go[i] * dfb(pa2[i], pb2[i]);
+                  });
               break;
             case Bcast::kScalar:
               for (std::int64_t i = 0; i < n; ++i)
@@ -134,7 +161,9 @@ Tensor unary_op(const Tensor& a, const char* name, F f, DF df) {
   const std::int64_t n = a.numel();
   const float* pa = a.data();
   std::vector<float> out(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) out[i] = f(pa[i]);
+  parallel::parallel_for(0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i]);
+  });
 
   auto ia = a.impl();
   // Keep output values for the backward pass (cheap, by value).
@@ -146,8 +175,11 @@ Tensor unary_op(const Tensor& a, const char* name, F f, DF df) {
         const float* go = o.grad.data();
         const float* pa2 = ia->data.data();
         std::vector<float> ga(static_cast<std::size_t>(n));
-        for (std::int64_t i = 0; i < n; ++i)
-          ga[i] = go[i] * df(pa2[i], saved[i]);
+        parallel::parallel_for(
+            0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
+              for (std::int64_t i = b; i < e; ++i)
+                ga[i] = go[i] * df(pa2[i], saved[i]);
+            });
         ia->accumulate_grad(ga.data());
       });
 }
@@ -317,8 +349,16 @@ Tensor sum(const Tensor& a) {
   MATSCI_CHECK(a.defined(), "sum: undefined operand");
   const std::int64_t n = a.numel();
   const float* pa = a.data();
-  double acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
+  // Deterministic tree reduction: fixed-grain chunk partials combined
+  // in a shape that depends only on n, never on the thread count.
+  const double acc = parallel::parallel_reduce(
+      0, n, kReduceGrain, 0.0,
+      [pa](std::int64_t b, std::int64_t e) {
+        double part = 0.0;
+        for (std::int64_t i = b; i < e; ++i) part += pa[i];
+        return part;
+      },
+      [](double x, double y) { return x + y; });
   auto ia = a.impl();
   return make_op_result(
       {1}, {static_cast<float>(acc)}, "sum", {ia}, [ia, n](TensorImpl& o) {
@@ -348,16 +388,26 @@ Tensor sum_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
   std::vector<float> out;
   if (dim == 0) {
     out.assign(static_cast<std::size_t>(d), 0.0f);
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t j = 0; j < d; ++j) out[j] += pa[i * d + j];
+    // Column slices are independent outputs; each column accumulates
+    // over rows in ascending order, exactly like the serial loop.
+    parallel::parallel_for(
+        0, d, rows_grain(kRowGrainWork, n),
+        [&](std::int64_t jb, std::int64_t je) {
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t j = jb; j < je; ++j) out[j] += pa[i * d + j];
+        });
     out_shape = keepdim ? Shape{1, d} : Shape{d};
   } else {
     out.assign(static_cast<std::size_t>(n), 0.0f);
-    for (std::int64_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
-      out[i] = static_cast<float>(acc);
-    }
+    parallel::parallel_for(
+        0, n, rows_grain(kRowGrainWork, d),
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) {
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
+            out[i] = static_cast<float>(acc);
+          }
+        });
     out_shape = keepdim ? Shape{n, 1} : Shape{n};
   }
 
@@ -368,13 +418,13 @@ Tensor sum_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
         std::vector<float> ga(static_cast<std::size_t>(n * d));
-        if (dim == 0) {
-          for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t j = 0; j < d; ++j) ga[i * d + j] = go[j];
-        } else {
-          for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t j = 0; j < d; ++j) ga[i * d + j] = go[i];
-        }
+        parallel::parallel_for(
+            0, n, rows_grain(kRowGrainWork, d),
+            [&](std::int64_t ib, std::int64_t ie) {
+              for (std::int64_t i = ib; i < ie; ++i)
+                for (std::int64_t j = 0; j < d; ++j)
+                  ga[i * d + j] = go[dim == 0 ? j : i];
+            });
         ia->accumulate_grad(ga.data());
       });
 }
@@ -397,19 +447,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   std::vector<float> out(static_cast<std::size_t>(n * m), 0.0f);
-  // i-k-j loop order for streaming access on row-major data.
-#ifdef MATSCI_WITH_OPENMP
-#pragma omp parallel for if (n * m * k > (1 << 18)) schedule(static)
-#endif
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * m;
-      float* orow = out.data() + i * m;
-      for (std::int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  // Row-sliced over i; each output row keeps the serial i-k-j order
+  // (streaming access on row-major data), so results are bit-identical
+  // to the serial kernel at any thread count.
+  parallel::parallel_for(
+      0, n, rows_grain(kMatmulGrainWork, 2 * k * m),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * m;
+            float* orow = out.data() + i * m;
+            for (std::int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+          }
+        }
+      });
 
   auto ia = a.impl();
   auto ib = b.impl();
@@ -418,30 +471,41 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       [ia, ib, n, k, m](TensorImpl& o) {
         const float* go = o.grad.data();
         if (ia->needs_grad()) {
-          // dA = dC * B^T
+          // dA = dC * B^T — row-sliced over i, disjoint ga rows.
           std::vector<float> ga(static_cast<std::size_t>(n * k), 0.0f);
           const float* pb2 = ib->data.data();
-          for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t j = 0; j < m; ++j) {
-              const float g = go[i * m + j];
-              if (g == 0.0f) continue;
-              for (std::int64_t kk = 0; kk < k; ++kk)
-                ga[i * k + kk] += g * pb2[kk * m + j];
-            }
+          parallel::parallel_for(
+              0, n, rows_grain(kMatmulGrainWork, 2 * k * m),
+              [&](std::int64_t ib2, std::int64_t ie) {
+                for (std::int64_t i = ib2; i < ie; ++i)
+                  for (std::int64_t j = 0; j < m; ++j) {
+                    const float g = go[i * m + j];
+                    if (g == 0.0f) continue;
+                    for (std::int64_t kk = 0; kk < k; ++kk)
+                      ga[i * k + kk] += g * pb2[kk * m + j];
+                  }
+              });
           ia->accumulate_grad(ga.data());
         }
         if (ib->needs_grad()) {
-          // dB = A^T * dC
+          // dB = A^T * dC — sliced over kk so each gb row accumulates
+          // over i in ascending order, matching the serial i-outer loop
+          // per element (bit-identical, no partial buffers needed).
           std::vector<float> gb(static_cast<std::size_t>(k * m), 0.0f);
           const float* pa2 = ia->data.data();
-          for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              const float av = pa2[i * k + kk];
-              if (av == 0.0f) continue;
-              const float* grow = go + i * m;
-              float* brow = gb.data() + kk * m;
-              for (std::int64_t j = 0; j < m; ++j) brow[j] += av * grow[j];
-            }
+          parallel::parallel_for(
+              0, k, rows_grain(kMatmulGrainWork, 2 * n * m),
+              [&](std::int64_t kb, std::int64_t ke) {
+                for (std::int64_t kk = kb; kk < ke; ++kk)
+                  for (std::int64_t i = 0; i < n; ++i) {
+                    const float av = pa2[i * k + kk];
+                    if (av == 0.0f) continue;
+                    const float* grow = go + i * m;
+                    float* brow = gb.data() + kk * m;
+                    for (std::int64_t j = 0; j < m; ++j)
+                      brow[j] += av * grow[j];
+                  }
+              });
           ib->accumulate_grad(gb.data());
         }
       });
@@ -452,8 +516,12 @@ Tensor transpose2d(const Tensor& a) {
   const std::int64_t n = a.size(0), d = a.size(1);
   const float* pa = a.data();
   std::vector<float> out(static_cast<std::size_t>(n * d));
-  for (std::int64_t i = 0; i < n; ++i)
-    for (std::int64_t j = 0; j < d; ++j) out[j * n + i] = pa[i * d + j];
+  parallel::parallel_for(
+      0, n, rows_grain(kRowGrainWork, d),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i)
+          for (std::int64_t j = 0; j < d; ++j) out[j * n + i] = pa[i * d + j];
+      });
   auto ia = a.impl();
   return make_op_result(
       {d, n}, std::move(out), "transpose2d", {ia}, [ia, n, d](TensorImpl& o) {
@@ -496,8 +564,13 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
   for (const Tensor& p : parts) {
     const std::int64_t d = p.size(1);
     const float* pp = p.data();
-    for (std::int64_t i = 0; i < n; ++i)
-      std::copy(pp + i * d, pp + (i + 1) * d, out.data() + i * total + off);
+    parallel::parallel_for(
+        0, n, rows_grain(kRowGrainWork, d),
+        [&](std::int64_t ib, std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i)
+            std::copy(pp + i * d, pp + (i + 1) * d,
+                      out.data() + i * total + off);
+        });
     off += d;
   }
   std::vector<std::shared_ptr<TensorImpl>> inputs;
@@ -571,9 +644,13 @@ Tensor slice_cols(const Tensor& a, std::int64_t start, std::int64_t len) {
                               << ") out of range for width " << d);
   const float* pa = a.data();
   std::vector<float> out(static_cast<std::size_t>(n * len));
-  for (std::int64_t i = 0; i < n; ++i)
-    std::copy(pa + i * d + start, pa + i * d + start + len,
-              out.data() + i * len);
+  parallel::parallel_for(
+      0, n, rows_grain(kRowGrainWork, len),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i)
+          std::copy(pa + i * d + start, pa + i * d + start + len,
+                    out.data() + i * len);
+      });
   auto ia = a.impl();
   return make_op_result(
       {n, len}, std::move(out), "slice_cols", {ia},
@@ -643,17 +720,21 @@ Tensor softmax_rows(const Tensor& logits) {
   const std::int64_t n = logits.size(0), c = logits.size(1);
   const float* pl = logits.data();
   std::vector<float> out(static_cast<std::size_t>(n * c));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = pl + i * c;
-    const float mx = *std::max_element(row, row + c);
-    double z = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      out[i * c + j] = std::exp(row[j] - mx);
-      z += out[i * c + j];
-    }
-    const float inv = static_cast<float>(1.0 / z);
-    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] *= inv;
-  }
+  parallel::parallel_for(
+      0, n, rows_grain(kRowGrainWork, 4 * c),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          const float* row = pl + i * c;
+          const float mx = *std::max_element(row, row + c);
+          double z = 0.0;
+          for (std::int64_t j = 0; j < c; ++j) {
+            out[i * c + j] = std::exp(row[j] - mx);
+            z += out[i * c + j];
+          }
+          const float inv = static_cast<float>(1.0 / z);
+          for (std::int64_t j = 0; j < c; ++j) out[i * c + j] *= inv;
+        }
+      });
   auto il = logits.impl();
   std::vector<float> probs = out;
   return make_op_result(
@@ -662,14 +743,18 @@ Tensor softmax_rows(const Tensor& logits) {
         if (!il->needs_grad()) return;
         const float* go = o.grad.data();
         std::vector<float> ga(static_cast<std::size_t>(n * c));
-        for (std::int64_t i = 0; i < n; ++i) {
-          double dot = 0.0;
-          for (std::int64_t j = 0; j < c; ++j)
-            dot += go[i * c + j] * probs[i * c + j];
-          for (std::int64_t j = 0; j < c; ++j)
-            ga[i * c + j] =
-                probs[i * c + j] * (go[i * c + j] - static_cast<float>(dot));
-        }
+        parallel::parallel_for(
+            0, n, rows_grain(kRowGrainWork, 4 * c),
+            [&](std::int64_t ib, std::int64_t ie) {
+              for (std::int64_t i = ib; i < ie; ++i) {
+                double dot = 0.0;
+                for (std::int64_t j = 0; j < c; ++j)
+                  dot += go[i * c + j] * probs[i * c + j];
+                for (std::int64_t j = 0; j < c; ++j)
+                  ga[i * c + j] = probs[i * c + j] *
+                                  (go[i * c + j] - static_cast<float>(dot));
+              }
+            });
         il->accumulate_grad(ga.data());
       });
 }
@@ -684,22 +769,29 @@ Tensor cross_entropy(const Tensor& logits,
                                  << " rows");
   const float* pl = logits.data();
   std::vector<float> probs(static_cast<std::size_t>(n * c));
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const std::int64_t y = labels[static_cast<std::size_t>(i)];
-    MATSCI_CHECK(y >= 0 && y < c, "label " << y << " out of range [0, " << c << ")");
-    const float* row = pl + i * c;
-    const float mx = *std::max_element(row, row + c);
-    double z = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      probs[i * c + j] = std::exp(row[j] - mx);
-      z += probs[i * c + j];
-    }
-    const double logz = std::log(z) + mx;
-    loss += logz - row[y];
-    const float inv = static_cast<float>(1.0 / z);
-    for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] *= inv;
-  }
+  double loss = parallel::parallel_reduce(
+      0, n, rows_grain(kRowGrainWork, 4 * c), 0.0,
+      [&](std::int64_t ib, std::int64_t ie) {
+        double part = 0.0;
+        for (std::int64_t i = ib; i < ie; ++i) {
+          const std::int64_t y = labels[static_cast<std::size_t>(i)];
+          MATSCI_CHECK(y >= 0 && y < c,
+                       "label " << y << " out of range [0, " << c << ")");
+          const float* row = pl + i * c;
+          const float mx = *std::max_element(row, row + c);
+          double z = 0.0;
+          for (std::int64_t j = 0; j < c; ++j) {
+            probs[i * c + j] = std::exp(row[j] - mx);
+            z += probs[i * c + j];
+          }
+          const double logz = std::log(z) + mx;
+          part += logz - row[y];
+          const float inv = static_cast<float>(1.0 / z);
+          for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] *= inv;
+        }
+        return part;
+      },
+      [](double x, double y) { return x + y; });
   loss /= static_cast<double>(n);
 
   auto il = logits.impl();
@@ -709,12 +801,17 @@ Tensor cross_entropy(const Tensor& logits,
         if (!il->needs_grad()) return;
         const float g = o.grad[0] / static_cast<float>(n);
         std::vector<float> ga(static_cast<std::size_t>(n * c));
-        for (std::int64_t i = 0; i < n; ++i) {
-          const std::int64_t y = labels[static_cast<std::size_t>(i)];
-          for (std::int64_t j = 0; j < c; ++j) {
-            ga[i * c + j] = g * (probs[i * c + j] - (j == y ? 1.0f : 0.0f));
-          }
-        }
+        parallel::parallel_for(
+            0, n, rows_grain(kRowGrainWork, c),
+            [&](std::int64_t ib, std::int64_t ie) {
+              for (std::int64_t i = ib; i < ie; ++i) {
+                const std::int64_t y = labels[static_cast<std::size_t>(i)];
+                for (std::int64_t j = 0; j < c; ++j) {
+                  ga[i * c + j] =
+                      g * (probs[i * c + j] - (j == y ? 1.0f : 0.0f));
+                }
+              }
+            });
         il->accumulate_grad(ga.data());
       });
 }
@@ -728,12 +825,19 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
   const std::int64_t n = logits.numel();
   const float* pz = logits.data();
   const float* pt = targets.data();
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float z = pz[i];
-    // max(z,0) - z*t + log(1+exp(-|z|)) — numerically stable form.
-    loss += std::max(z, 0.0f) - z * pt[i] + std::log1p(std::exp(-std::fabs(z)));
-  }
+  double loss = parallel::parallel_reduce(
+      0, n, kReduceGrain, 0.0,
+      [&](std::int64_t ib, std::int64_t ie) {
+        double part = 0.0;
+        for (std::int64_t i = ib; i < ie; ++i) {
+          const float z = pz[i];
+          // max(z,0) - z*t + log(1+exp(-|z|)) — numerically stable form.
+          part += std::max(z, 0.0f) - z * pt[i] +
+                  std::log1p(std::exp(-std::fabs(z)));
+        }
+        return part;
+      },
+      [](double x, double y) { return x + y; });
   loss /= static_cast<double>(n);
   auto il = logits.impl();
   auto it = targets.impl();
@@ -781,12 +885,18 @@ Tensor huber_loss(const Tensor& pred, const Tensor& target, float beta) {
   const std::int64_t n = pred.numel();
   const float* pp = pred.data();
   const float* pt = target.data();
-  double loss = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float d = pp[i] - pt[i];
-    const float ad = std::fabs(d);
-    loss += ad < beta ? 0.5f * d * d / beta : ad - 0.5f * beta;
-  }
+  double loss = parallel::parallel_reduce(
+      0, n, kReduceGrain, 0.0,
+      [&](std::int64_t ib, std::int64_t ie) {
+        double part = 0.0;
+        for (std::int64_t i = ib; i < ie; ++i) {
+          const float d = pp[i] - pt[i];
+          const float ad = std::fabs(d);
+          part += ad < beta ? 0.5f * d * d / beta : ad - 0.5f * beta;
+        }
+        return part;
+      },
+      [](double x, double y) { return x + y; });
   loss /= static_cast<double>(n);
   auto ip = pred.impl();
   auto it = target.impl();

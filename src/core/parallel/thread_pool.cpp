@@ -1,0 +1,223 @@
+#include "core/parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "core/macros.hpp"
+
+namespace matsci::core::parallel {
+
+namespace {
+thread_local bool tls_on_worker = false;
+}  // namespace
+
+// --- TaskHandle --------------------------------------------------------------
+
+void TaskHandle::run_now_or_wait() {
+  MATSCI_CHECK(state_ != nullptr, "run_now_or_wait on an empty TaskHandle");
+  State& s = *state_;
+  bool claimed = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.status == State::kPending) {
+      s.status = State::kRunning;
+      claimed = true;
+    }
+  }
+  if (claimed) {
+    std::exception_ptr error;
+    try {
+      s.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.error = error;
+      s.status = State::kDone;
+    }
+    s.cv.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.cv.wait(lock, [&s] { return s.status == State::kDone; });
+  }
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+// --- ThreadPool --------------------------------------------------------------
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_size());
+  return pool;
+}
+
+std::int64_t ThreadPool::default_size() {
+  if (const char* env = std::getenv("MATSCI_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::int64_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::int64_t>(hw) : 1;
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+ThreadPool::ThreadPool(std::int64_t threads) { start(threads); }
+
+ThreadPool::~ThreadPool() { stop_and_join(); }
+
+void ThreadPool::start(std::int64_t threads) {
+  size_ = threads > 0 ? threads : 1;
+  stop_ = false;
+  threads_.reserve(static_cast<std::size_t>(size_));
+  for (std::int64_t i = 0; i < size_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::stop_and_join() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::resize(std::int64_t threads) {
+  MATSCI_CHECK(!on_worker_thread(),
+               "ThreadPool::resize must not be called from a pool worker");
+  stop_and_join();
+  start(threads);
+}
+
+TaskHandle ThreadPool::submit(std::function<void()> fn) {
+  auto state = std::make_shared<TaskHandle::State>();
+  state->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MATSCI_CHECK(!stop_, "ThreadPool::submit after shutdown");
+    tasks_.push_back(state);
+  }
+  cv_.notify_one();
+  return TaskHandle(std::move(state));
+}
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  for (;;) {
+    std::shared_ptr<TaskHandle::State> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        // stop_ is set and the queue is drained.
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> lock(task->mu);
+      if (task->status == TaskHandle::State::kPending) {
+        task->status = TaskHandle::State::kRunning;
+        claimed = true;
+      }
+    }
+    if (!claimed) continue;  // reclaimed via run_now_or_wait
+    std::exception_ptr error;
+    try {
+      task->fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(task->mu);
+      task->error = error;
+      task->status = TaskHandle::State::kDone;
+    }
+    task->cv.notify_all();
+  }
+}
+
+// --- run_chunks --------------------------------------------------------------
+
+/// Shared state of one parallel region. Chunks are claimed through an
+/// atomic cursor — claim order is racy, but every chunk's index (and
+/// therefore its slice of the problem) is fixed up front, which is
+/// what the determinism contract rests on.
+struct ThreadPool::Region {
+  std::function<void(std::int64_t)> fn;
+  std::int64_t num_chunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first recorded chunk exception
+
+  void work() {
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(c);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+        }
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+void ThreadPool::run_chunks(
+    std::int64_t num_chunks,
+    const std::function<void(std::int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return;
+  if (num_chunks == 1 || size_ <= 1 || on_worker_thread()) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->fn = chunk_fn;
+  region->num_chunks = num_chunks;
+
+  const std::int64_t helpers = std::min(size_ - 1, num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t h = 0; h < helpers && !stop_; ++h) {
+      auto state = std::make_shared<TaskHandle::State>();
+      state->fn = [region] { region->work(); };
+      tasks_.push_back(std::move(state));
+    }
+  }
+  cv_.notify_all();
+
+  region->work();  // the caller claims chunks too
+  {
+    std::unique_lock<std::mutex> lock(region->mu);
+    region->cv.wait(lock, [&] {
+      return region->completed.load(std::memory_order_acquire) == num_chunks;
+    });
+    if (region->error) std::rethrow_exception(region->error);
+  }
+}
+
+}  // namespace matsci::core::parallel

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matsci::core::parallel {
+
+/// A unit of work handed to the pool. The owner can reclaim it with
+/// run_now_or_wait(): if no worker has started the task yet it runs
+/// inline on the calling thread, otherwise the call blocks until the
+/// worker finishes. Either way the task's exception (if any) is
+/// rethrown there. This makes teardown paths (e.g. serve shutdown)
+/// independent of pool availability: a queued task can always be
+/// driven to completion by the thread that needs it done.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  bool valid() const { return state_ != nullptr; }
+  void run_now_or_wait();
+
+ private:
+  friend class ThreadPool;
+  struct State {
+    std::function<void()> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+    enum Status { kPending, kRunning, kDone } status = kPending;
+    std::exception_ptr error;
+  };
+  explicit TaskHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Process-wide work pool: the single threading entry point for every
+/// parallel kernel (core ops, graph construction, collation) and for
+/// the serve scheduler's batch jobs. `global()` is sized by the
+/// MATSCI_NUM_THREADS environment variable, falling back to
+/// hardware_concurrency().
+///
+/// Determinism contract: run_chunks() executes a fixed set of chunk
+/// indices whose boundaries depend only on the problem shape — never
+/// on the pool size or on which thread claims which chunk — so any
+/// kernel that writes disjoint outputs per chunk (or merges per-chunk
+/// partials in fixed chunk order) is bit-exact for every thread count.
+///
+/// Nesting guard: a pool worker that reaches run_chunks() (a kernel's
+/// parallel_for inside a serve batch job, or a nested kernel) executes
+/// every chunk inline instead of re-enqueueing — no deadlock and no
+/// oversubscription, parallelism stays at the outermost level.
+class ThreadPool {
+ public:
+  /// The shared process-wide pool. Created on first use; sized by
+  /// default_size().
+  static ThreadPool& global();
+
+  /// MATSCI_NUM_THREADS if set to a positive integer, else
+  /// hardware_concurrency(), else 1.
+  static std::int64_t default_size();
+
+  /// True on a pool worker thread (inside a submitted task or a
+  /// helper executing kernel chunks).
+  static bool on_worker_thread();
+
+  explicit ThreadPool(std::int64_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker-thread count (>= 1). Kernels use at most `size()` compute
+  /// streams: the calling thread plus size()-1 helpers.
+  std::int64_t size() const { return size_; }
+
+  /// Join all workers and restart with `threads` workers. Callers
+  /// must ensure no kernels or submitted tasks are in flight (queued
+  /// tasks are drained first). Intended for tests, benchmarks, and
+  /// process setup — not for concurrent use.
+  void resize(std::int64_t threads);
+
+  /// Enqueue an independent task (e.g. one serve batch job). Tasks
+  /// may block and may live as long as the pool; completion and
+  /// exceptions are observed through the returned handle.
+  TaskHandle submit(std::function<void()> fn);
+
+  /// Execute chunk_fn(0..num_chunks-1), caller participating, up to
+  /// size()-1 workers helping. Blocks until every chunk completed;
+  /// rethrows the first chunk exception (remaining chunks are
+  /// skipped). On a worker thread, or when num_chunks <= 1, or for a
+  /// single-thread pool, runs every chunk inline in ascending order.
+  void run_chunks(std::int64_t num_chunks,
+                  const std::function<void(std::int64_t)>& chunk_fn);
+
+ private:
+  struct Region;
+  void start(std::int64_t threads);
+  void stop_and_join();
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<TaskHandle::State>> tasks_;
+  std::vector<std::thread> threads_;
+  std::int64_t size_ = 1;
+  bool stop_ = false;
+};
+
+/// Current size of the global pool.
+inline std::int64_t num_threads() { return ThreadPool::global().size(); }
+
+/// Resize the global pool (see ThreadPool::resize caveats).
+inline void set_num_threads(std::int64_t threads) {
+  ThreadPool::global().resize(threads);
+}
+
+}  // namespace matsci::core::parallel

@@ -1,6 +1,7 @@
 #include "data/collate.hpp"
 
 #include "core/macros.hpp"
+#include "core/parallel/parallel_for.hpp"
 
 namespace matsci::data {
 
@@ -26,15 +27,30 @@ Batch collate(const std::vector<StructureSample>& samples,
   Batch batch;
   batch.dataset_id = samples.front().dataset_id;
 
-  std::vector<graph::Graph> graphs;
-  graphs.reserve(samples.size());
+  // Per-sample topology construction is the expensive part of
+  // collation (an O(n²) neighbor search each); samples are independent
+  // so they build in parallel on the shared pool, one slot per sample.
+  // Inside a serve batch job this runs inline (nesting guard). The
+  // graphs land in per-sample slots and everything order-dependent
+  // below stays serial, so batches are bit-identical at any
+  // thread count.
+  std::vector<graph::Graph> graphs(samples.size());
+  core::parallel::parallel_for(
+      0, static_cast<std::int64_t>(samples.size()), 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const StructureSample& s = samples[static_cast<std::size_t>(i)];
+          MATSCI_CHECK(s.dataset_id == batch.dataset_id,
+                       "collate: mixed dataset ids in one batch ("
+                           << s.dataset_id << " vs " << batch.dataset_id
+                           << ")");
+          MATSCI_CHECK(s.num_atoms() > 0, "collate: sample with no atoms");
+          graphs[static_cast<std::size_t>(i)] = sample_topology(s, opts);
+        }
+      });
+
   std::vector<float> coords;
   for (const StructureSample& s : samples) {
-    MATSCI_CHECK(s.dataset_id == batch.dataset_id,
-                 "collate: mixed dataset ids in one batch ("
-                     << s.dataset_id << " vs " << batch.dataset_id << ")");
-    MATSCI_CHECK(s.num_atoms() > 0, "collate: sample with no atoms");
-    graphs.push_back(sample_topology(s, opts));
     for (const core::Vec3& p : s.positions) {
       coords.push_back(static_cast<float>(p.x));
       coords.push_back(static_cast<float>(p.y));

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/macros.hpp"
+#include "core/parallel/parallel_for.hpp"
 
 namespace matsci::graph {
 
@@ -39,48 +40,75 @@ Graph build_radius_graph(const std::vector<core::Vec3>& positions,
     std::int64_t j;
     double d2;
   };
-  std::vector<Neighbor> nbrs;
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    nbrs.clear();
-    double best_d2 = std::numeric_limits<double>::infinity();
-    std::int64_t best_j = -1;
-    for (std::int64_t j = 0; j < n; ++j) {
-      if (i == j && !opts.self_loops) continue;
-      double d2;
-      if (lattice) {
-        d2 = core::sq_norm(minimal_image_delta(
-            positions[static_cast<std::size_t>(i)],
-            positions[static_cast<std::size_t>(j)], *lattice, inv));
-      } else {
-        d2 = core::sq_norm(positions[static_cast<std::size_t>(j)] -
-                           positions[static_cast<std::size_t>(i)]);
-      }
-      if (i != j && d2 < best_d2) {
-        best_d2 = d2;
-        best_j = j;
-      }
-      if (d2 < cut2) {
-        nbrs.push_back({j, d2});
-      }
-    }
-    if (nbrs.empty() && opts.connect_isolated && best_j >= 0) {
-      nbrs.push_back({best_j, best_d2});
-    }
-    if (opts.max_neighbors > 0 &&
-        static_cast<std::int64_t>(nbrs.size()) > opts.max_neighbors) {
-      std::nth_element(nbrs.begin(), nbrs.begin() + opts.max_neighbors - 1,
-                       nbrs.end(),
-                       [](const Neighbor& a, const Neighbor& b) {
-                         return a.d2 < b.d2;
-                       });
-      nbrs.resize(static_cast<std::size_t>(opts.max_neighbors));
-    }
-    for (const Neighbor& nb : nbrs) {
-      // Message from j (src) into i (dst).
-      g.src.push_back(nb.j);
-      g.dst.push_back(i);
-    }
+  // The O(n²) scan is sliced into fixed chunks of source nodes; each
+  // chunk collects its edges into a private buffer and the buffers are
+  // concatenated in ascending chunk order afterwards, so the edge list
+  // (and every per-node nth_element tie-break) is identical to the
+  // serial scan at any thread count.
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, n));
+  const std::int64_t num_chunks = core::parallel::chunk_count(0, n, grain);
+  std::vector<std::vector<std::int64_t>> chunk_src(
+      static_cast<std::size_t>(num_chunks));
+  std::vector<std::vector<std::int64_t>> chunk_dst(
+      static_cast<std::size_t>(num_chunks));
+
+  core::parallel::parallel_for_chunks(
+      0, n, grain, [&](std::int64_t c, std::int64_t ib, std::int64_t ie) {
+        std::vector<Neighbor> nbrs;
+        std::vector<std::int64_t>& src = chunk_src[static_cast<std::size_t>(c)];
+        std::vector<std::int64_t>& dst = chunk_dst[static_cast<std::size_t>(c)];
+        for (std::int64_t i = ib; i < ie; ++i) {
+          nbrs.clear();
+          double best_d2 = std::numeric_limits<double>::infinity();
+          std::int64_t best_j = -1;
+          for (std::int64_t j = 0; j < n; ++j) {
+            if (i == j && !opts.self_loops) continue;
+            double d2;
+            if (lattice) {
+              d2 = core::sq_norm(minimal_image_delta(
+                  positions[static_cast<std::size_t>(i)],
+                  positions[static_cast<std::size_t>(j)], *lattice, inv));
+            } else {
+              d2 = core::sq_norm(positions[static_cast<std::size_t>(j)] -
+                                 positions[static_cast<std::size_t>(i)]);
+            }
+            if (i != j && d2 < best_d2) {
+              best_d2 = d2;
+              best_j = j;
+            }
+            if (d2 < cut2) {
+              nbrs.push_back({j, d2});
+            }
+          }
+          if (nbrs.empty() && opts.connect_isolated && best_j >= 0) {
+            nbrs.push_back({best_j, best_d2});
+          }
+          if (opts.max_neighbors > 0 &&
+              static_cast<std::int64_t>(nbrs.size()) > opts.max_neighbors) {
+            std::nth_element(nbrs.begin(),
+                             nbrs.begin() + opts.max_neighbors - 1, nbrs.end(),
+                             [](const Neighbor& a, const Neighbor& b) {
+                               return a.d2 < b.d2;
+                             });
+            nbrs.resize(static_cast<std::size_t>(opts.max_neighbors));
+          }
+          for (const Neighbor& nb : nbrs) {
+            // Message from j (src) into i (dst).
+            src.push_back(nb.j);
+            dst.push_back(i);
+          }
+        }
+      });
+
+  std::size_t total = 0;
+  for (const auto& c : chunk_src) total += c.size();
+  g.src.reserve(total);
+  g.dst.reserve(total);
+  for (std::size_t c = 0; c < chunk_src.size(); ++c) {
+    g.src.insert(g.src.end(), chunk_src[c].begin(), chunk_src[c].end());
+    g.dst.insert(g.dst.end(), chunk_dst[c].begin(), chunk_dst[c].end());
   }
   return g;
 }

@@ -14,14 +14,14 @@ BatchScheduler::BatchScheduler(std::shared_ptr<InferenceSession> session,
   MATSCI_CHECK(opts_.max_batch_size > 0,
                "max_batch_size=" << opts_.max_batch_size);
   MATSCI_CHECK(opts_.max_wait_us >= 0, "max_wait_us=" << opts_.max_wait_us);
+  core::parallel::ThreadPool& pool = core::parallel::ThreadPool::global();
   std::int64_t n = opts_.num_workers;
   if (n <= 0) {
-    n = static_cast<std::int64_t>(std::thread::hardware_concurrency());
-    if (n <= 0) n = 1;
+    n = pool.size();  // honors MATSCI_NUM_THREADS
   }
-  workers_.reserve(static_cast<std::size_t>(n));
+  dispatchers_.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    dispatchers_.push_back(pool.submit([this] { dispatch_loop(); }));
   }
 }
 
@@ -36,14 +36,19 @@ std::future<PredictResult> BatchScheduler::submit(
 }
 
 void BatchScheduler::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
   queue_.shutdown();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
+  // Reclaim every dispatch job: jobs running on pool workers are
+  // awaited, jobs still queued behind a busy pool are executed inline
+  // here (they drain whatever is left and exit once the queue is
+  // empty), so shutdown never depends on pool availability.
+  for (core::parallel::TaskHandle& d : dispatchers_) {
+    d.run_now_or_wait();
   }
-  workers_.clear();
+  dispatchers_.clear();
 }
 
-void BatchScheduler::worker_loop() {
+void BatchScheduler::dispatch_loop() {
   for (;;) {
     std::vector<PendingRequest> batch =
         queue_.pop_batch(opts_.max_batch_size, opts_.max_wait_us);

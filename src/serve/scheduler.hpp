@@ -3,10 +3,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "core/parallel/thread_pool.hpp"
 #include "serve/queue.hpp"
 #include "serve/session.hpp"
 #include "serve/stats.hpp"
@@ -18,20 +19,32 @@ struct SchedulerOptions {
   std::int64_t max_batch_size = 32;
   /// ...or once its oldest request has waited this long, whichever first.
   std::int64_t max_wait_us = 2000;
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Concurrent batch jobs on the shared pool;
+  /// 0 = core::parallel::ThreadPool::global().size() (which honors
+  /// MATSCI_NUM_THREADS).
   std::int64_t num_workers = 0;
 };
 
-/// The serving engine: a worker pool that drains the RequestQueue in
-/// micro-batches, runs them through a shared InferenceSession, and fans
+/// The serving engine: batch jobs on the process-wide
+/// core::parallel::ThreadPool that drain the RequestQueue in
+/// micro-batches, run them through a shared InferenceSession, and fan
 /// each result back out to the client's future. Clients block only on
-/// their own future; workers never block on clients.
+/// their own future; batch jobs never block on clients.
 ///
-/// Lifecycle: workers start in the constructor; shutdown() (or the
-/// destructor) stops intake, drains every queued request, and joins the
-/// pool — no request that got a future is ever dropped. If a forward
-/// pass throws, every request in that micro-batch receives the exception
-/// through its future and the worker keeps serving.
+/// The scheduler owns no threads of its own — it submits `num_workers`
+/// long-running dispatch jobs to the shared pool, occupying that many
+/// pool slots while live. Kernels inside a batch job's forward pass hit
+/// the pool's nesting guard and run inline, so concurrency comes from
+/// batch-level parallelism and total threading never exceeds the pool
+/// size (no N×N oversubscription against parallel kernels).
+///
+/// Lifecycle: dispatch jobs start in the constructor; shutdown() (or
+/// the destructor) stops intake, drains every queued request, and
+/// reclaims the jobs — a dispatch job that never got a pool slot is run
+/// inline by the shutting-down thread, so shutdown cannot deadlock on a
+/// busy pool and no request that got a future is ever dropped. If a
+/// forward pass throws, every request in that micro-batch receives the
+/// exception through its future and the job keeps serving.
 class BatchScheduler {
  public:
   explicit BatchScheduler(std::shared_ptr<InferenceSession> session,
@@ -44,25 +57,26 @@ class BatchScheduler {
   std::future<PredictResult> submit(data::StructureSample structure,
                                     std::string target);
 
-  /// Stop accepting requests, serve everything still queued, join the
-  /// workers. Idempotent.
+  /// Stop accepting requests, serve everything still queued, reclaim
+  /// the dispatch jobs from the pool. Idempotent.
   void shutdown();
 
   const ServerStats& stats() const { return stats_; }
   std::int64_t num_workers() const {
-    return static_cast<std::int64_t>(workers_.size());
+    return static_cast<std::int64_t>(dispatchers_.size());
   }
   const SchedulerOptions& options() const { return opts_; }
 
  private:
-  void worker_loop();
+  void dispatch_loop();
   void serve_batch(std::vector<PendingRequest>& batch);
 
   std::shared_ptr<InferenceSession> session_;
   SchedulerOptions opts_;
   RequestQueue queue_;
   ServerStats stats_;
-  std::vector<std::thread> workers_;
+  std::vector<core::parallel::TaskHandle> dispatchers_;
+  std::mutex shutdown_mu_;
 };
 
 }  // namespace matsci::serve
