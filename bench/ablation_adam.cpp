@@ -107,6 +107,7 @@ int main() {
   using namespace matsci;
   bench::print_header(
       "Ablation — Adam instability probes across effective batch sizes");
+  obs::BenchReporter reporter = bench::make_reporter("ablation_adam");
 
   std::printf(
       "\n[1] Adam (eps = 1e-8), lr = 1e-4 * N, grad autocorrelation &\n"
@@ -118,6 +119,14 @@ int main() {
     std::printf("%8lld %12.4f %14.4f %14.4f %14.4e %8d\n",
                 static_cast<long long>(n), s.final_ce, s.mean_autocorr,
                 s.mean_eps_floor, s.max_update, s.spikes);
+    reporter.add(obs::JsonRecord()
+                     .set("record", "adam_probe")
+                     .set("workers", n)
+                     .set("final_ce", s.final_ce)
+                     .set("autocorr", s.mean_autocorr)
+                     .set("eps_floor", s.mean_eps_floor)
+                     .set("max_update", s.max_update)
+                     .set("spikes", s.spikes));
   }
 
   std::printf(
@@ -129,6 +138,12 @@ int main() {
     const ProbeSummary s = run_config(64, true, eps, 1e-4);
     std::printf("%12.0e %12.4f %14.4f %14.4e\n", eps, s.final_ce,
                 s.mean_eps_floor, s.max_update);
+    reporter.add(obs::JsonRecord()
+                     .set("record", "eps_sweep")
+                     .set("eps", eps)
+                     .set("final_ce", s.final_ce)
+                     .set("eps_floor", s.mean_eps_floor)
+                     .set("max_update", s.max_update));
   }
 
   std::printf(
@@ -149,6 +164,11 @@ int main() {
     print_ce(a.final_ce);
     print_ce(s.final_ce);
     std::printf("\n");
+    reporter.add(obs::JsonRecord()
+                     .set("record", "optimizer_contrast")
+                     .set("workers", n)
+                     .set("adam_final_ce", a.final_ce)
+                     .set("sgd_final_ce", s.final_ce));
   }
 
   std::printf(

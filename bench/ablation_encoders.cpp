@@ -63,6 +63,7 @@ std::vector<EncoderSpec> encoder_specs() {
 
 int main() {
   bench::print_header("Ablation — encoder architectures on both workloads");
+  obs::BenchReporter reporter = bench::make_reporter("ablation_encoders");
 
   // --- (a) band-gap regression ----------------------------------------
   std::printf("\n[a] Materials Project band gap (radius graph, 8 epochs):\n");
@@ -97,6 +98,12 @@ int main() {
     std::printf("%-22s %12lld %12.2f %12.4f\n", spec.name,
                 static_cast<long long>(task.num_parameters()), wall,
                 fit.epochs.back().val.at("mae"));
+    reporter.add(obs::JsonRecord()
+                     .set("record", "bandgap_encoder")
+                     .set("encoder", spec.name)
+                     .set("params", task.num_parameters())
+                     .set("wall_s", wall)
+                     .set("val_mae", fit.epochs.back().val.at("mae")));
   }
 
   // --- (b) symmetry-group classification ------------------------------
@@ -133,6 +140,13 @@ int main() {
                 static_cast<long long>(task.num_parameters()), wall,
                 fit.epochs.back().val.at("ce"),
                 fit.epochs.back().val.at("accuracy"));
+    reporter.add(obs::JsonRecord()
+                     .set("record", "symmetry_encoder")
+                     .set("encoder", spec.name)
+                     .set("params", task.num_parameters())
+                     .set("wall_s", wall)
+                     .set("val_ce", fit.epochs.back().val.at("ce"))
+                     .set("val_acc", fit.epochs.back().val.at("accuracy")));
   }
 
   // --- (c) classical baseline on the symmetry task --------------------
@@ -159,6 +173,12 @@ int main() {
   std::printf("%-22s %12s %12.2f %12s %12.4f\n", "exact detector", "-",
               det_wall, "-",
               static_cast<double>(correct) / static_cast<double>(n_val));
+  reporter.add(obs::JsonRecord()
+                   .set("record", "symmetry_encoder")
+                   .set("encoder", "exact detector")
+                   .set("wall_s", det_wall)
+                   .set("val_acc", static_cast<double>(correct) /
+                                       static_cast<double>(n_val)));
 
   std::printf(
       "\nReading: the equivariant encoder's coordinate refinement and the\n"

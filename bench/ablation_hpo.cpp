@@ -59,6 +59,7 @@ int main() {
   using namespace matsci;
   bench::print_header(
       "Ablation — HPO over (base lr, worker count) for pretraining");
+  obs::BenchReporter reporter = bench::make_reporter("ablation_hpo");
 
   std::printf("\n[1] Grid search (objective: final validation CE after a\n"
               "    fixed 10-step budget; lr scaled by N per Goyal):\n\n");
@@ -76,6 +77,13 @@ int main() {
               best.params.at("lr_base"),
               static_cast<long long>(best.params.at("workers")),
               best.objective);
+  reporter.add(obs::JsonRecord()
+                   .set("record", "grid_search_best")
+                   .set("lr_base", best.params.at("lr_base"))
+                   .set("workers",
+                        static_cast<std::int64_t>(best.params.at("workers")))
+                   .set("final_ce", best.objective)
+                   .set("trials", static_cast<std::int64_t>(results.size())));
 
   std::printf("\n[2] Log-uniform random search over the *effective* lr at\n"
               "    fixed N=32 (8 trials):\n\n");
@@ -88,6 +96,12 @@ int main() {
   const auto& rbest = tune::best_trial(random_results);
   std::printf("\nbest: lr_base=%.2e (CE %.4f)\n", rbest.params.at("lr_base"),
               rbest.objective);
+  reporter.add(obs::JsonRecord()
+                   .set("record", "random_search_best")
+                   .set("lr_base", rbest.params.at("lr_base"))
+                   .set("final_ce", rbest.objective)
+                   .set("trials",
+                        static_cast<std::int64_t>(random_results.size())));
 
   std::printf(
       "\nReading: the sweep exposes the same landscape §5.2 describes —\n"

@@ -77,6 +77,7 @@ int main() {
   bench::print_header(
       "Ablation — radius-graph vs point-cloud representation trade-off\n"
       "(Materials Project band-gap regression, identical structures)");
+  obs::BenchReporter reporter = bench::make_reporter("ablation_repr");
 
   struct Row {
     const char* name;
@@ -95,6 +96,12 @@ int main() {
     const ReprResult r = run(row.repr, row.cutoff > 0 ? row.cutoff : 5.0);
     std::printf("%-26s %14.1f %16.5f %12.4f\n", row.name, r.mean_edges,
                 r.seconds_per_step, r.final_mae);
+    reporter.add(obs::JsonRecord()
+                     .set("record", "representation")
+                     .set("representation", row.name)
+                     .set("edges_per_graph", r.mean_edges)
+                     .set("s_per_step", r.seconds_per_step)
+                     .set("val_mae", r.final_mae));
   }
 
   // Structure-size scaling: radius graphs grow ~linearly in atoms at
@@ -135,6 +142,13 @@ int main() {
                 static_cast<long long>(cell.num_atoms()),
                 static_cast<long long>(edges[0]),
                 static_cast<long long>(edges[1]), secs[0], secs[1]);
+    reporter.add(obs::JsonRecord()
+                     .set("record", "size_scaling")
+                     .set("atoms", cell.num_atoms())
+                     .set("radius_edges", edges[0])
+                     .set("complete_edges", edges[1])
+                     .set("radius_s", secs[0])
+                     .set("complete_s", secs[1]));
   }
 
   std::printf(

@@ -98,31 +98,55 @@ int main() {
   using namespace matsci;
   bench::print_header(
       "Ablation — transform-chain inductive biases (paper Fig. 1)");
+  obs::BenchReporter reporter = bench::make_reporter("ablation_transforms");
+  const auto record_mae = [&reporter](const char* label, double mae) {
+    reporter.add(obs::JsonRecord()
+                     .set("record", "bandgap_transform")
+                     .set("transforms", label)
+                     .set("val_mae", mae));
+    return mae;
+  };
+  const auto record_acc = [&reporter](const char* label, double acc) {
+    reporter.add(obs::JsonRecord()
+                     .set("record", "symmetry_transform")
+                     .set("transforms", label)
+                     .set("val_acc", acc));
+    return acc;
+  };
 
   std::printf("\n[a] Band-gap regression (val MAE, lower is better):\n");
   std::printf("%-34s %12s\n", "train-time transforms", "val MAE");
-  const double plain = bandgap_val_mae(nullptr, "none");
-  const double jitter = bandgap_val_mae(
-      chain_of({std::make_shared<data::CoordinateJitter>(0.03)}),
-      "jitter sigma=0.03");
-  bandgap_val_mae(
-      chain_of({std::make_shared<data::CoordinateJitter>(0.15)}),
-      "jitter sigma=0.15 (too strong)");
-  bandgap_val_mae(
-      chain_of({std::make_shared<data::SupercellTransform>(2, 1, 1)}),
-      "2x1x1 supercell");
+  const double plain = record_mae("none", bandgap_val_mae(nullptr, "none"));
+  const double jitter = record_mae(
+      "jitter sigma=0.03",
+      bandgap_val_mae(
+          chain_of({std::make_shared<data::CoordinateJitter>(0.03)}),
+          "jitter sigma=0.03"));
+  record_mae("jitter sigma=0.15 (too strong)",
+             bandgap_val_mae(
+                 chain_of({std::make_shared<data::CoordinateJitter>(0.15)}),
+                 "jitter sigma=0.15 (too strong)"));
+  record_mae(
+      "2x1x1 supercell",
+      bandgap_val_mae(
+          chain_of({std::make_shared<data::SupercellTransform>(2, 1, 1)}),
+          "2x1x1 supercell"));
 
   std::printf("\n[b] Symmetry classification (val accuracy, higher is "
               "better):\n");
   std::printf("%-34s %12s\n", "train-time transforms", "val acc");
-  const double sym_plain = symmetry_val_acc(nullptr, "none");
-  const double sym_rot = symmetry_val_acc(
-      chain_of({std::make_shared<data::RandomRotation>()}),
-      "random rotation");
-  symmetry_val_acc(
-      chain_of({std::make_shared<data::CenterPositions>(),
-                std::make_shared<data::CoordinateJitter>(0.02)}),
-      "center + jitter sigma=0.02");
+  const double sym_plain =
+      record_acc("none", symmetry_val_acc(nullptr, "none"));
+  const double sym_rot = record_acc(
+      "random rotation",
+      symmetry_val_acc(chain_of({std::make_shared<data::RandomRotation>()}),
+                       "random rotation"));
+  record_acc(
+      "center + jitter sigma=0.02",
+      symmetry_val_acc(
+          chain_of({std::make_shared<data::CenterPositions>(),
+                    std::make_shared<data::CoordinateJitter>(0.02)}),
+          "center + jitter sigma=0.02"));
 
   std::printf(
       "\nReading: mild jitter acts as a regularizer on small-data\n"

@@ -8,6 +8,7 @@
 /// 10²–10³ samples — so a full run of every bench finishes in minutes.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -15,11 +16,26 @@
 #include "data/tagged.hpp"
 #include "models/egnn.hpp"
 #include "optim/adam.hpp"
+#include "obs/obs.hpp"
 #include "sym/synthetic_dataset.hpp"
 #include "tasks/classification.hpp"
 #include "train/trainer.hpp"
 
 namespace matsci::bench {
+
+/// Directory the BENCH_*.json / TRACE_*.json artifacts land in —
+/// $MATSCI_BENCH_DIR or the working directory.
+inline std::string bench_out_dir() {
+  const char* dir = std::getenv("MATSCI_BENCH_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+}
+
+/// The one way bench binaries emit structured results: records echo to
+/// stdout as JSON lines and land in BENCH_<name>.json alongside a
+/// registry snapshot and a Chrome trace (see obs/export.hpp).
+inline obs::BenchReporter make_reporter(const std::string& name) {
+  return obs::BenchReporter(name, bench_out_dir());
+}
 
 /// Encoder sized for bench runs (same architecture family as the paper's
 /// hidden-256/pos-64/3-layer model, narrower).

@@ -12,6 +12,10 @@
 //
 // Usage: bench_serving [clients] [requests_per_client]
 //   defaults: 32 clients x 40 requests per configuration.
+//
+// raw-threads-ok: the closed-loop clients block on scheduler futures;
+// running them on the shared pool would starve the serve dispatch jobs
+// they are waiting for.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "materials/materials_project.hpp"
 #include "models/egnn.hpp"
 #include "serve/serve.hpp"
@@ -102,6 +107,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::BenchReporter reporter = bench::make_reporter("serving");
+
   auto session = make_session();
   materials::MaterialsProjectDataset dataset(64, 17);
   std::vector<data::StructureSample> pool;
@@ -127,16 +134,19 @@ int main(int argc, char** argv) {
                 r.latency.p95_us / 1000.0, r.latency.p99_us / 1000.0);
   }
 
-  // One JSON line per configuration (log-scraping friendly).
+  // One JSON line per configuration, echoed to stdout by the reporter
+  // (log-scraping friendly) and persisted to BENCH_serving.json.
   std::printf("\n");
   for (const BenchResult& r : results) {
-    std::printf("{\"bench\":\"serving\",\"max_batch_size\":%lld,"
-                "\"clients\":%d,\"requests\":%d,"
-                "\"throughput_structs_per_s\":%.1f,\"mean_batch_size\":%.2f,"
-                "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}\n",
-                static_cast<long long>(r.max_batch_size), clients,
-                clients * per_client, r.throughput, r.mean_batch,
-                r.latency.p50_us, r.latency.p95_us, r.latency.p99_us);
+    reporter.add(obs::JsonRecord()
+                     .set("max_batch_size", r.max_batch_size)
+                     .set("clients", clients)
+                     .set("requests", clients * per_client)
+                     .set("throughput_structs_per_s", r.throughput)
+                     .set("mean_batch_size", r.mean_batch)
+                     .set("p50_us", r.latency.p50_us)
+                     .set("p95_us", r.latency.p95_us)
+                     .set("p99_us", r.latency.p99_us));
   }
 
   std::printf("\nmicro-batching throughput gain over batch size 1: ");
@@ -146,5 +156,6 @@ int main(int argc, char** argv) {
                 results[i].throughput / results.front().throughput);
   }
   std::printf("\n");
+  reporter.finish();
   return 0;
 }

@@ -24,7 +24,8 @@ using namespace matsci;
 constexpr std::int64_t kBasePerRankBatch = 2;  // paper uses 32; scaled down
 constexpr std::int64_t kOptimizerSteps = 20;
 
-void run_regime(const char* label, double base_lr,
+void run_regime(obs::BenchReporter& reporter, const char* label,
+                double base_lr,
                 const std::vector<std::int64_t>& worker_counts) {
   std::printf("\n--- Regime: %s (eta_base = %.0e, lr = eta_base * N) ---\n",
               label, base_lr);
@@ -108,6 +109,21 @@ void run_regime(const char* label, double base_lr,
   std::printf("\n%6s", "final");
   for (const auto& c : curves) std::printf(" %12.4f", c.back());
   std::printf("\n");
+
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    const std::vector<double>& c = curves[i];
+    int spikes = 0;
+    for (std::size_t s = 1; s < c.size(); ++s) {
+      if (c[s] > 1.03 * c[s - 1]) ++spikes;
+    }
+    reporter.add(obs::JsonRecord()
+                     .set("record", "dynamics")
+                     .set("regime", label)
+                     .set("base_lr", base_lr)
+                     .set("workers", worker_counts[i])
+                     .set("spikes", spikes)
+                     .set("final_ce", c.back()));
+  }
 }
 
 }  // namespace
@@ -118,11 +134,13 @@ int main() {
       "(B_eff = N*B emulated via gradient accumulation; cross-entropy of\n"
       "the symmetry pretraining task, fixed step budget)");
 
-  run_regime("high base lr (stagnation expected)", 1e-3, {8, 32, 128, 256});
+  obs::BenchReporter reporter = bench::make_reporter("fig3_dynamics");
+  run_regime(reporter, "high base lr (stagnation expected)", 1e-3,
+             {8, 32, 128, 256});
   // The low-rate regime needs the largest emulated worlds to reach the
   // instability window (paper: the N = 512 run spikes and never
   // recovers; scaled lr there is 512e-5 ≈ 5e-3).
-  run_regime("low base lr (convergence + spikes at large N)", 1e-5,
+  run_regime(reporter, "low base lr (convergence + spikes at large N)", 1e-5,
              {8, 32, 128, 512});
 
   std::printf(

@@ -52,6 +52,7 @@ core::Tensor embed_dataset(const models::EGNN& encoder,
 int main() {
   bench::print_header(
       "Figure 4 — UMAP of dataset embeddings from the pretrained encoder");
+  obs::BenchReporter reporter = bench::make_reporter("fig4_umap");
 
   std::printf("\nPretraining encoder on synthetic point groups...\n");
   auto encoder = bench::pretrain_symmetry_encoder(
@@ -135,6 +136,24 @@ int main() {
   std::printf("  LiPS points with an MP neighbor:         %.3f\n",
               lips_mp_overlap);
   std::printf("  mean silhouette over datasets:           %.3f\n", silhouette);
+
+  for (std::size_t d = 0; d < stats.size(); ++d) {
+    reporter.add(obs::JsonRecord()
+                     .set("record", "cluster")
+                     .set("dataset", names[d])
+                     .set("count", stats[d].count)
+                     .set("spread_high_d", high_stats[d].mean_radius)
+                     .set("spread_2d", stats[d].mean_radius)
+                     .set("isolation",
+                          embed::isolation_score(
+                              stats, static_cast<std::int64_t>(d))));
+  }
+  reporter.add(obs::JsonRecord()
+                   .set("record", "overlap")
+                   .set("oc20_oc22", oc_overlap)
+                   .set("mp_carolina", mp_cmd_overlap)
+                   .set("lips_mp", lips_mp_overlap)
+                   .set("silhouette", silhouette));
 
   // CSV for external plotting of the actual Fig. 4 scatter.
   const char* csv_path = "fig4_umap.csv";

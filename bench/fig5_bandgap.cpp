@@ -65,6 +65,7 @@ int main() {
   bench::print_header(
       "Figure 5 — Materials Project band-gap validation curves:\n"
       "pretrained encoder vs random initialization");
+  obs::BenchReporter reporter = bench::make_reporter("fig5_bandgap");
 
   materials::MaterialsProjectDataset ds(320, 41);
   auto [train_ds, val_ds] = data::train_val_split(ds, 0.2, 7);
@@ -113,6 +114,16 @@ int main() {
       "  pretrained @ eta/10 final MAE %.4f (the rule trades early speed\n"
       "  for stability; at this scale it simply undertrains).\n",
       slow.back().second);
+
+  reporter.add(obs::JsonRecord()
+                   .set("record", "bandgap_curves")
+                   .set("early_mean_mae_pretrained",
+                        early_pre / static_cast<double>(early))
+                   .set("early_mean_mae_scratch",
+                        early_scr / static_cast<double>(early))
+                   .set("final_mae_pretrained", final_pre)
+                   .set("final_mae_scratch", final_scr)
+                   .set("final_mae_pretrained_lr_div10", slow.back().second));
 
   std::printf(
       "\nPaper shape: pretrained converges to lower error early (useful\n"

@@ -16,6 +16,10 @@ int main() {
   using namespace matsci;
   bench::print_header(
       "Figure 6 — symmetry pretraining curve + learning-rate trace");
+  // The MetricsLogger below forwards its train_ce/val_ce/lr series to
+  // the obs registry, so they land in BENCH_fig6_pretrain_curve.json as
+  // series records without extra plumbing.
+  obs::BenchReporter reporter = bench::make_reporter("fig6_pretrain_curve");
 
   constexpr std::int64_t kWorkers = 32;   // paper: 512
   constexpr std::int64_t kBatch = 2;      // per-rank batch (paper: 32)
@@ -105,5 +109,14 @@ int main() {
       "(early spikes), stabilization + gradual plateau as the\n"
       "exponential decay brings it down.\n",
       ce.front().second, ce.back().second, early_bumps, late_bumps);
+
+  reporter.add(obs::JsonRecord()
+                   .set("record", "pretrain_curve")
+                   .set("warmup_monotone", warmup_monotone)
+                   .set("decay_ratio", decay_ratio)
+                   .set("train_ce_start", ce.front().second)
+                   .set("train_ce_end", ce.back().second)
+                   .set("early_bumps", early_bumps)
+                   .set("late_bumps", late_bumps));
   return 0;
 }

@@ -14,6 +14,7 @@ int main() {
   using namespace matsci;
   bench::print_header(
       "Figure 7 — per-metric validation curves, multi-task multi-dataset");
+  obs::BenchReporter reporter = bench::make_reporter("fig7_multitask_curves");
 
   bench::MultiTaskRunConfig cfg;
   std::printf("\nRunning from-scratch configuration...\n");
@@ -29,6 +30,13 @@ int main() {
     for (std::size_t e = 0; e < pc.size(); ++e) {
       std::printf("%8zu %16.4f %16.4f\n", e, pc[e], sc[e]);
     }
+    reporter.add(obs::JsonRecord()
+                     .set("record", "curve_endpoints")
+                     .set("metric", key)
+                     .set("pretrained_first", pc.front())
+                     .set("pretrained_final", pc.back())
+                     .set("scratch_first", sc.front())
+                     .set("scratch_final", sc.back()));
   }
 
   // Spike detection on the CMD E_form panel (the paper's callout).
@@ -42,5 +50,8 @@ int main() {
       "(paper: the E_form CMD panel spikes to abnormal levels before\n"
       "recovering).\n",
       worst_jump);
+  reporter.add(obs::JsonRecord()
+                   .set("record", "cmd_eform_spike")
+                   .set("worst_epoch_jump", worst_jump));
   return 0;
 }

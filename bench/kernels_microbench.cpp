@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/graph_ops.hpp"
 #include "core/ops.hpp"
 #include "core/parallel/thread_pool.hpp"
@@ -215,7 +216,7 @@ double sweep_gather(std::int64_t n) {
 /// ascending) and report per-call time plus speedup over 1 thread. The
 /// kernels are bit-deterministic across the sweep, so the points differ
 /// only in wall time.
-void run_thread_sweep() {
+void run_thread_sweep(obs::BenchReporter& reporter) {
   namespace par = core::parallel;
   const std::int64_t saved = par::num_threads();
   const std::int64_t max_threads = par::ThreadPool::default_size();
@@ -237,12 +238,13 @@ void run_thread_sweep() {
       par::set_num_threads(t);
       const double us = k.run(k.size);
       if (t == 1) base_us = us;
-      std::printf("{\"bench\":\"kernels\",\"kernel\":\"%s\",\"size\":%lld,"
-                  "\"threads\":%lld,\"us_per_call\":%.2f,"
-                  "\"speedup_vs_1t\":%.2f}\n",
-                  k.name, static_cast<long long>(k.size),
-                  static_cast<long long>(t), us,
-                  base_us > 0.0 ? base_us / us : 0.0);
+      reporter.add(obs::JsonRecord()
+                       .set("kernel", k.name)
+                       .set("size", k.size)
+                       .set("threads", t)
+                       .set("us_per_call", us)
+                       .set("speedup_vs_1t", base_us > 0.0 ? base_us / us
+                                                           : 0.0));
     }
   }
   par::set_num_threads(saved);
@@ -262,7 +264,13 @@ int main(int argc, char** argv) {
       bench_args.push_back(argv[i]);
     }
   }
-  if (sweep) run_thread_sweep();
+  obs::BenchReporter reporter = bench::make_reporter("kernels");
+  if (sweep) run_thread_sweep(reporter);
+  // Write artifacts and disarm tracing before the google-benchmark
+  // suite: an armed span costs two clock reads, which would distort the
+  // microsecond-scale kernel timings below.
+  reporter.finish();
+  obs::Tracer::global().set_enabled(false);
   if (suite) {
     int bench_argc = static_cast<int>(bench_args.size());
     benchmark::Initialize(&bench_argc, bench_args.data());

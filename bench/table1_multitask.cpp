@@ -18,6 +18,7 @@ int main() {
   using namespace matsci;
   bench::print_header(
       "Table 1 — multi-task multi-dataset: pretrained vs from scratch");
+  obs::BenchReporter reporter = bench::make_reporter("table1_multitask");
 
   bench::MultiTaskRunConfig cfg;
   std::printf("\nRunning from-scratch configuration...\n");
@@ -50,6 +51,12 @@ int main() {
     if (pre) ++pretrained_wins;
     std::printf("  %-22s %s (pretrained %.4f vs scratch %.4f)\n",
                 headers[i].c_str(), pre ? "pretrained" : "scratch", p, s);
+    reporter.add(obs::JsonRecord()
+                     .set("record", "table1_row")
+                     .set("metric", key)
+                     .set("pretrained", p)
+                     .set("scratch", s)
+                     .set("pretrained_wins", pre));
   }
   std::printf(
       "\nPaper shape: pretrained wins 3 of 5 (the MP regression targets),\n"

@@ -7,6 +7,10 @@
 //
 // Usage: serve_bandgap [clients] [requests_per_client]
 //   defaults: 6 clients x 200 requests = 1200 requests total.
+//
+// raw-threads-ok: the closed-loop clients block on scheduler futures;
+// running them on the shared pool would starve the serve dispatch jobs
+// they are waiting for.
 #include <atomic>
 #include <chrono>
 #include <cstdio>

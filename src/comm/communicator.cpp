@@ -5,8 +5,39 @@
 #include <thread>
 
 #include "core/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::comm {
+
+namespace {
+
+/// Collective telemetry: call/byte counters per collective plus a
+/// wall-clock histogram for the allreduce (the DDP-critical one, whose
+/// measured time fig2_scaleout compares against the α-β PerfModel).
+/// Bytes count each rank's buffer contribution, so the world-total for
+/// one logical allreduce is world_size * buffer_bytes — matching how
+/// the α-β ring model accounts traffic per rank.
+struct CommMetrics {
+  obs::Counter& allreduce_calls;
+  obs::Counter& allreduce_bytes;
+  obs::Counter& broadcast_calls;
+  obs::Counter& broadcast_bytes;
+  obs::Histogram& allreduce_us;
+
+  static CommMetrics& get() {
+    static CommMetrics* m = new CommMetrics{
+        obs::MetricsRegistry::global().counter("comm.allreduce.calls"),
+        obs::MetricsRegistry::global().counter("comm.allreduce.bytes"),
+        obs::MetricsRegistry::global().counter("comm.broadcast.calls"),
+        obs::MetricsRegistry::global().counter("comm.broadcast.bytes"),
+        obs::MetricsRegistry::global().histogram("comm.allreduce_us"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 ProcessGroup::ProcessGroup(std::int64_t world_size)
     : world_size_(world_size),
@@ -31,6 +62,12 @@ void Communicator::barrier() {
 
 void Communicator::allreduce_sum(std::span<float> data) {
   if (world_size() == 1) return;
+  MATSCI_TRACE_SCOPE("comm/allreduce");
+  CommMetrics& metrics = CommMetrics::get();
+  metrics.allreduce_calls.add(1);
+  metrics.allreduce_bytes.add(
+      static_cast<std::int64_t>(data.size() * sizeof(float)));
+  const obs::StopWatch watch;
   group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
   barrier();
   // Rank 0 reduces in double precision into the shared scratch buffer;
@@ -49,6 +86,7 @@ void Communicator::allreduce_sum(std::span<float> data) {
     data[i] = static_cast<float>(group_->scratch_[i]);
   }
   barrier();
+  metrics.allreduce_us.observe(watch.elapsed_us());
 }
 
 void Communicator::allreduce_mean(std::span<float> data) {
@@ -60,6 +98,11 @@ void Communicator::allreduce_mean(std::span<float> data) {
 void Communicator::broadcast(std::span<float> data, std::int64_t root) {
   MATSCI_CHECK(root >= 0 && root < world_size(), "broadcast root " << root);
   if (world_size() == 1) return;
+  MATSCI_TRACE_SCOPE("comm/broadcast");
+  CommMetrics& metrics = CommMetrics::get();
+  metrics.broadcast_calls.add(1);
+  metrics.broadcast_bytes.add(
+      static_cast<std::int64_t>(data.size() * sizeof(float)));
   group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
   barrier();
   if (rank_ != root) {

@@ -8,6 +8,7 @@
 #include "core/macros.hpp"
 #include "core/ops.hpp"
 #include "core/parallel/parallel_for.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::core {
 
@@ -108,6 +109,7 @@ void scatter_add_kernel(const float* src, std::int64_t num_src,
 }  // namespace
 
 Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index) {
+  MATSCI_TRACE_SCOPE("core/gather_rows");
   MATSCI_CHECK(x.defined() && x.dim() == 2, "gather_rows requires 2-D input");
   const std::int64_t n = x.size(0), d = x.size(1);
   const std::int64_t m = static_cast<std::int64_t>(index.size());
@@ -138,6 +140,7 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index) {
 Tensor scatter_add_rows(const Tensor& x,
                         const std::vector<std::int64_t>& index,
                         std::int64_t num_rows) {
+  MATSCI_TRACE_SCOPE("core/scatter_add_rows");
   MATSCI_CHECK(x.defined() && x.dim() == 2,
                "scatter_add_rows requires 2-D input");
   MATSCI_CHECK(num_rows >= 0, "scatter_add_rows: negative num_rows");
@@ -173,6 +176,7 @@ Tensor scatter_add_rows(const Tensor& x,
 
 Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
                    std::int64_t num_segments) {
+  MATSCI_TRACE_SCOPE("core/segment_sum");
   MATSCI_CHECK(x.defined() && x.dim() == 2, "segment_sum requires 2-D input");
   const std::int64_t n = x.size(0), d = x.size(1);
   check_segments(segment, n, num_segments, "segment_sum");

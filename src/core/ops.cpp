@@ -6,6 +6,7 @@
 #include "core/autograd.hpp"
 #include "core/macros.hpp"
 #include "core/parallel/parallel_for.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::core {
 
@@ -438,6 +439,7 @@ Tensor mean_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
 // --- linear algebra ----------------------------------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  MATSCI_TRACE_SCOPE("core/matmul");
   MATSCI_CHECK(a.defined() && b.defined() && a.dim() == 2 && b.dim() == 2,
                "matmul requires two 2-D tensors");
   const std::int64_t n = a.size(0), k = a.size(1), m = b.size(1);

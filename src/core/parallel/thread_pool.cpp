@@ -5,11 +5,36 @@
 #include <string>
 
 #include "core/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::core::parallel {
 
 namespace {
 thread_local bool tls_on_worker = false;
+
+/// Pool metrics, resolved once (registry lookup takes a lock). Queue
+/// depth is a gauge updated under the pool mutex; task wait is the
+/// submit-to-claim latency of independent tasks (serve dispatch jobs),
+/// not of run_chunks helpers.
+struct PoolMetrics {
+  obs::Counter& tasks_submitted;
+  obs::Counter& chunks_executed;
+  obs::Counter& regions;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_us;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* m = new PoolMetrics{
+        obs::MetricsRegistry::global().counter("pool.tasks_submitted"),
+        obs::MetricsRegistry::global().counter("pool.chunks_executed"),
+        obs::MetricsRegistry::global().counter("pool.regions"),
+        obs::MetricsRegistry::global().gauge("pool.queue_depth"),
+        obs::MetricsRegistry::global().histogram("pool.task_wait_us"),
+    };
+    return *m;
+  }
+};
 }  // namespace
 
 // --- TaskHandle --------------------------------------------------------------
@@ -97,13 +122,17 @@ void ThreadPool::resize(std::int64_t threads) {
 }
 
 TaskHandle ThreadPool::submit(std::function<void()> fn) {
+  PoolMetrics& metrics = PoolMetrics::get();
   auto state = std::make_shared<TaskHandle::State>();
   state->fn = std::move(fn);
+  state->enqueued_ns = obs::Tracer::now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
     MATSCI_CHECK(!stop_, "ThreadPool::submit after shutdown");
     tasks_.push_back(state);
+    metrics.queue_depth.set(static_cast<double>(tasks_.size()));
   }
+  metrics.tasks_submitted.add(1);
   cv_.notify_one();
   return TaskHandle(std::move(state));
 }
@@ -121,6 +150,12 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      PoolMetrics::get().queue_depth.set(static_cast<double>(tasks_.size()));
+    }
+    if (task->enqueued_ns != 0) {
+      PoolMetrics::get().task_wait_us.observe(
+          static_cast<double>(obs::Tracer::now_ns() - task->enqueued_ns) /
+          1.0e3);
     }
     bool claimed = false;
     {
@@ -190,10 +225,14 @@ void ThreadPool::run_chunks(
     std::int64_t num_chunks,
     const std::function<void(std::int64_t)>& chunk_fn) {
   if (num_chunks <= 0) return;
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.chunks_executed.add(num_chunks);
   if (num_chunks == 1 || size_ <= 1 || on_worker_thread()) {
     for (std::int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
     return;
   }
+  MATSCI_TRACE_SCOPE("pool/run_chunks");
+  metrics.regions.add(1);
 
   auto region = std::make_shared<Region>();
   region->fn = chunk_fn;

@@ -33,6 +33,10 @@ class TaskHandle {
     std::condition_variable cv;
     enum Status { kPending, kRunning, kDone } status = kPending;
     std::exception_ptr error;
+    /// Steady-clock submit time, ns; 0 for run_chunks helper tasks
+    /// (those are not independent work items, so their queue wait is
+    /// not observed into pool.task_wait_us).
+    std::uint64_t enqueued_ns = 0;
   };
   explicit TaskHandle(std::shared_ptr<State> state)
       : state_(std::move(state)) {}

@@ -1,0 +1,117 @@
+#pragma once
+
+// Exporters for the obs subsystem (DESIGN.md §10):
+//   * Chrome trace_event JSON — load TRACE_*.json in chrome://tracing
+//     or https://ui.perfetto.dev for a per-thread span timeline;
+//   * Prometheus-style text exposition of a MetricsRegistry snapshot;
+//   * JSON-lines snapshots (BENCH_*.json) — the single structured
+//     format every bench/ binary emits: one flat JSON object per line,
+//     a leading meta record, trailing registry-snapshot records.
+// Plus a structural validator for the Chrome format (used by the
+// `obs`-labeled round-trip ctest) built on a minimal strict JSON
+// parser.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace matsci::obs {
+
+/// Render spans as a Chrome trace_event JSON document: one "X"
+/// (complete) event per span, timestamps in microseconds relative to
+/// the earliest span, pid fixed at 1, tid from the tracer.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// True iff `json` parses as strict JSON and has the Chrome trace
+/// shape: root object, "traceEvents" array, every event an object with
+/// string "name"/"ph", numeric "ts"/"pid"/"tid", and numeric "dur" on
+/// "X" events. On failure, *error (if given) says what broke.
+bool validate_chrome_trace_json(const std::string& json,
+                                std::string* error = nullptr);
+
+/// True iff `text` is one strict JSON value (any type).
+bool validate_json(const std::string& text, std::string* error = nullptr);
+
+/// Prometheus text exposition: counters, gauges, histograms (with
+/// cumulative le-buckets, _sum and _count), and series (exposed as a
+/// gauge carrying the last value). Names are sanitized to
+/// [a-zA-Z0-9_:] and prefixed "matsci_".
+std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot);
+void write_prometheus(const std::string& path,
+                      const MetricsRegistry::Snapshot& snapshot);
+
+/// Insertion-ordered flat JSON object builder for snapshot lines.
+class JsonRecord {
+ public:
+  JsonRecord& set(const std::string& key, double value);
+  JsonRecord& set(const std::string& key, std::int64_t value);
+  JsonRecord& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonRecord& set(const std::string& key, const std::string& value);
+  JsonRecord& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  JsonRecord& set(const std::string& key, bool value);
+  /// Pre-serialized JSON value (arrays / nested objects).
+  JsonRecord& set_raw(const std::string& key, const std::string& json);
+
+  std::string str() const;  ///< {"k":v,...} in insertion order
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+std::string json_escape(const std::string& s);
+/// Compact numeric rendering ("%.10g"); inf/nan, which JSON lacks,
+/// render as null.
+std::string json_number(double v);
+
+/// One bench run's structured output. Construction clears the tracer's
+/// rings and enables tracing; add() appends a record and echoes the
+/// JSON line to stdout (the log-scraping contract predating BENCH_*
+/// files); finish() writes
+///   BENCH_<name>.json  — meta line, every record, registry snapshot
+///   TRACE_<name>.json  — Chrome trace of every span since construction
+/// into `out_dir` and prints both paths.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name, std::string out_dir = ".");
+
+  /// Append one record. A "bench" field with the reporter's name is
+  /// prepended if the record doesn't carry one.
+  void add(const JsonRecord& record);
+
+  /// Records added so far (excluding meta/snapshot lines).
+  std::size_t num_records() const { return records_.size(); }
+
+  std::string bench_json_path() const;
+  std::string trace_json_path() const;
+
+  /// Write both artifacts. Idempotent; also invoked by the destructor
+  /// if never called explicitly.
+  void finish();
+
+  ~BenchReporter();
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  std::vector<std::string> records_;
+  bool finished_ = false;
+};
+
+/// Registry snapshot as BENCH_*.json lines: one record per metric,
+/// tagged {"record":"counter"|"gauge"|"histogram"|"series"}.
+std::vector<JsonRecord> snapshot_records(
+    const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace matsci::obs

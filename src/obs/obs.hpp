@@ -1,0 +1,13 @@
+#pragma once
+
+// Umbrella header for the observability subsystem (DESIGN.md §10):
+//   obs/metrics.hpp — MetricsRegistry: counters, gauges, fixed-bucket
+//                     histograms, step-keyed series (sharded, lock-free
+//                     emission paths)
+//   obs/trace.hpp   — MATSCI_TRACE_SCOPE spans into per-thread rings
+//   obs/export.hpp  — Chrome trace_event JSON, Prometheus text, and
+//                     BENCH_*.json JSON-lines snapshots (BenchReporter)
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

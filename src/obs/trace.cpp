@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace matsci::obs {
+
+Tracer& Tracer::global() {
+  // Leaked on purpose, same rationale as MetricsRegistry::global():
+  // worker threads may finish spans during static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer() {
+  if (const char* env = std::getenv("MATSCI_TRACE")) {
+    if (std::strcmp(env, "0") != 0 && std::strcmp(env, "") != 0) {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  thread_local Ring* cached = nullptr;
+  if (cached == nullptr) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(kRingCapacity);
+    ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    cached = ring.get();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    rings_.push_back(std::move(ring));
+  }
+  return *cached;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) {
+  Ring& ring = ring_for_this_thread();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  TraceEvent& ev = ring.slots[ring.head];
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = ring.tid;
+  ring.head = (ring.head + 1) % kRingCapacity;
+  ++ring.total;
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const std::size_t retained = static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring->total, kRingCapacity));
+    // Oldest retained event: at slot `head` once wrapped, at 0 before.
+    const std::size_t oldest =
+        ring->total > kRingCapacity ? ring->head : 0;
+    for (std::size_t i = 0; i < retained; ++i) {
+      events.push_back(ring->slots[(oldest + i) % kRingCapacity]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+std::int64_t Tracer::dropped() const {
+  std::int64_t dropped = 0;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->total > kRingCapacity) {
+      dropped += static_cast<std::int64_t>(ring->total - kRingCapacity);
+    }
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->head = 0;
+    ring->total = 0;
+  }
+}
+
+}  // namespace matsci::obs

@@ -4,8 +4,38 @@
 
 #include "core/macros.hpp"
 #include "data/collate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::serve {
+
+namespace {
+
+/// Scheduler telemetry: queue wait is enqueue-to-pop (how long a
+/// request sat before a dispatch job picked it up — the micro-batching
+/// coalescing cost), distinct from the end-to-end latency ServerStats
+/// records. Queue depth is sampled after every pop.
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& batch_size;
+  obs::Gauge& queue_depth;
+
+  static ServeMetrics& get() {
+    static ServeMetrics* m = new ServeMetrics{
+        obs::MetricsRegistry::global().counter("serve.requests"),
+        obs::MetricsRegistry::global().counter("serve.batches"),
+        obs::MetricsRegistry::global().histogram("serve.queue_wait_us"),
+        obs::MetricsRegistry::global().histogram(
+            "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256}),
+        obs::MetricsRegistry::global().gauge("serve.queue_depth"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 BatchScheduler::BatchScheduler(std::shared_ptr<InferenceSession> session,
                                SchedulerOptions opts)
@@ -49,17 +79,31 @@ void BatchScheduler::shutdown() {
 }
 
 void BatchScheduler::dispatch_loop() {
+  ServeMetrics& metrics = ServeMetrics::get();
   for (;;) {
     std::vector<PendingRequest> batch =
         queue_.pop_batch(opts_.max_batch_size, opts_.max_wait_us);
     if (batch.empty()) {
       return;  // shut down and drained
     }
+    const auto popped = std::chrono::steady_clock::now();
+    for (const PendingRequest& p : batch) {
+      metrics.queue_wait_us.observe(
+          std::chrono::duration<double, std::micro>(popped - p.enqueued)
+              .count());
+    }
+    metrics.queue_depth.set(static_cast<double>(queue_.size()));
     serve_batch(batch);
   }
 }
 
 void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
+  MATSCI_TRACE_SCOPE("serve/batch");
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.batches.add(1);
+  metrics.requests.add(static_cast<std::int64_t>(batch.size()));
+  metrics.batch_size.observe(static_cast<double>(batch.size()));
+
   std::vector<data::StructureSample> samples;
   samples.reserve(batch.size());
   for (const PendingRequest& p : batch) {
@@ -68,6 +112,7 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
 
   std::vector<tasks::Prediction> predictions;
   try {
+    MATSCI_TRACE_SCOPE("serve/predict");
     predictions = session_->predict(samples, batch.front().request.target);
     MATSCI_CHECK(predictions.size() == batch.size(),
                  "session returned " << predictions.size()

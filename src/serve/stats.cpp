@@ -1,35 +1,25 @@
 #include "serve/stats.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 #include "core/macros.hpp"
 
 namespace matsci::serve {
 
-namespace {
-
-/// Nearest-rank percentile over an unsorted copy; q in [0, 1].
-double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(rank, values.size() - 1)];
-}
-
-}  // namespace
+ServerStats::ServerStats()
+    : latencies_us_(obs::Histogram::default_latency_bounds_us()) {}
 
 void ServerStats::record_batch(
     std::int64_t batch_size, const std::vector<double>& request_latencies_us) {
   MATSCI_CHECK(batch_size > 0, "record_batch: batch_size=" << batch_size);
   const auto now = std::chrono::steady_clock::now();
+  for (const double latency_us : request_latencies_us) {
+    latencies_us_.observe(latency_us);  // sharded, lock-free
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++batches_;
   requests_ += batch_size;
   ++histogram_[batch_size];
-  latencies_us_.insert(latencies_us_.end(), request_latencies_us.begin(),
-                       request_latencies_us.end());
   if (!any_) {
     first_ = now;
     any_ = true;
@@ -62,16 +52,13 @@ std::map<std::int64_t, std::int64_t> ServerStats::batch_size_histogram()
 
 LatencySummary ServerStats::summary_locked() const {
   LatencySummary s;
-  if (latencies_us_.empty()) return s;
-  s.p50_us = percentile(latencies_us_, 0.50);
-  s.p95_us = percentile(latencies_us_, 0.95);
-  s.p99_us = percentile(latencies_us_, 0.99);
-  double sum = 0.0;
-  for (const double v : latencies_us_) {
-    sum += v;
-    s.max_us = std::max(s.max_us, v);
-  }
-  s.mean_us = sum / static_cast<double>(latencies_us_.size());
+  const obs::HistogramSnapshot snap = latencies_us_.snapshot();
+  if (snap.count == 0) return s;
+  s.p50_us = snap.percentile(0.50);
+  s.p95_us = snap.percentile(0.95);
+  s.p99_us = snap.percentile(0.99);
+  s.mean_us = snap.mean();
+  s.max_us = snap.max;
   return s;
 }
 
@@ -111,7 +98,7 @@ std::string ServerStats::to_json() const {
 
 void ServerStats::reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  latencies_us_.clear();
+  latencies_us_.reset();
   histogram_.clear();
   requests_ = 0;
   batches_ = 0;

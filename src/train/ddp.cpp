@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "core/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::train {
 
@@ -65,23 +67,42 @@ DDPResult DDPTrainer::fit(const Factory& factory, const DDPOptions& opts) {
       const std::int64_t num_batches = static_cast<std::int64_t>(nb_min);
 
       tasks::MetricAccumulator train_acc;
+      obs::Histogram& allreduce_us =
+          obs::MetricsRegistry::global().histogram("ddp.allreduce_us");
       for (std::int64_t b = 0; b < num_batches; ++b) {
         data::Batch batch = ctx.train_loader->batch(b);
         ctx.optimizer->zero_grad();
-        tasks::TaskOutput out = ctx.task->step(batch);
-        out.loss.backward();
+        tasks::TaskOutput out;
+        {
+          MATSCI_TRACE_SCOPE("ddp/forward");
+          out = ctx.task->step(batch);
+        }
+        {
+          MATSCI_TRACE_SCOPE("ddp/backward");
+          out.loss.backward();
+        }
         train_acc.add(out);
         local_samples += static_cast<double>(batch.num_graphs());
 
-        // The defining DDP collective: average gradients across ranks.
-        std::vector<float> flat = flatten_grads(params);
-        comm.allreduce_mean(flat);
-        unflatten_grads(flat, params);
-
-        if (opts.grad_clip > 0.0) {
-          ctx.optimizer->clip_grad_norm(opts.grad_clip);
+        {
+          // The defining DDP collective: average gradients across
+          // ranks. The ddp-level histogram includes flatten/unflatten
+          // staging; comm.allreduce_us (inside) is the bare collective.
+          MATSCI_TRACE_SCOPE("ddp/allreduce");
+          const obs::StopWatch watch;
+          std::vector<float> flat = flatten_grads(params);
+          comm.allreduce_mean(flat);
+          unflatten_grads(flat, params);
+          allreduce_us.observe(watch.elapsed_us());
         }
-        ctx.optimizer->step();
+
+        {
+          MATSCI_TRACE_SCOPE("ddp/optimizer");
+          if (opts.grad_clip > 0.0) {
+            ctx.optimizer->clip_grad_norm(opts.grad_clip);
+          }
+          ctx.optimizer->step();
+        }
         ++local_steps;
       }
 

@@ -6,11 +6,16 @@
 #include <sstream>
 
 #include "core/macros.hpp"
+#include "obs/metrics.hpp"
 
 namespace matsci::train {
 
 void MetricsLogger::log(std::int64_t step, const std::string& key,
                         double value) {
+  if (!obs_prefix_.empty()) {
+    obs::MetricsRegistry::global().series(obs_prefix_ + key)
+        .record(step, value);
+  }
   if (!records_.empty() && records_.back().step == step) {
     records_.back().values[key] = value;
     return;

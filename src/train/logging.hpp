@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace matsci::train {
@@ -10,10 +11,21 @@ namespace matsci::train {
 /// Step/epoch-keyed metric recorder with CSV export — the toolkit's
 /// stand-in for a Lightning logger. Each record is (step, {key: value});
 /// keys may vary between records (sparse columns are written empty).
+///
+/// Every log() call is also forwarded to the process-wide obs registry
+/// as the Series "<prefix><key>" (default prefix "train."), so the
+/// Prometheus and BENCH_*.json exporters see exactly the series the CSV
+/// holds; the CSV format itself is unchanged. set_obs_prefix("")
+/// disables forwarding.
 class MetricsLogger {
  public:
   void log(std::int64_t step, const std::string& key, double value);
   void log(std::int64_t step, const std::map<std::string, double>& values);
+
+  /// Prefix for the obs::Series names this logger forwards to; empty
+  /// disables obs forwarding entirely.
+  void set_obs_prefix(std::string prefix) { obs_prefix_ = std::move(prefix); }
+  const std::string& obs_prefix() const { return obs_prefix_; }
 
   std::size_t num_records() const { return records_.size(); }
 
@@ -39,6 +51,7 @@ class MetricsLogger {
     std::map<std::string, double> values;
   };
   std::vector<Record> records_;
+  std::string obs_prefix_ = "train.";
 };
 
 }  // namespace matsci::train

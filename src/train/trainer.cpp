@@ -5,8 +5,38 @@
 #include <cstdio>
 
 #include "core/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace matsci::train {
+
+namespace {
+
+/// Step-phase telemetry shared by Trainer and DDPTrainer ranks: the
+/// paper's forward / backward / optimizer decomposition (the allreduce
+/// phase is recorded by comm::Communicator itself).
+struct TrainMetrics {
+  obs::Counter& steps;
+  obs::Counter& epochs;
+  obs::Counter& samples;
+  obs::Histogram& forward_us;
+  obs::Histogram& backward_us;
+  obs::Histogram& optimizer_us;
+
+  static TrainMetrics& get() {
+    static TrainMetrics* m = new TrainMetrics{
+        obs::MetricsRegistry::global().counter("train.steps"),
+        obs::MetricsRegistry::global().counter("train.epochs"),
+        obs::MetricsRegistry::global().counter("train.samples"),
+        obs::MetricsRegistry::global().histogram("train.forward_us"),
+        obs::MetricsRegistry::global().histogram("train.backward_us"),
+        obs::MetricsRegistry::global().histogram("train.optimizer_us"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 Trainer::Trainer(TrainerOptions opts) : opts_(opts) {
   MATSCI_CHECK(opts.max_epochs >= 1, "max_epochs must be >= 1");
@@ -52,33 +82,53 @@ FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
     std::int64_t accumulated = 0;
     opt.zero_grad();
 
+    TrainMetrics& metrics = TrainMetrics::get();
+    MATSCI_TRACE_SCOPE("train/epoch");
     for (std::int64_t b = 0; b < num_batches; ++b) {
       data::Batch batch = train_loader.batch(b);
-      tasks::TaskOutput out = task.step(batch);
-      out.loss.backward();
+      tasks::TaskOutput out;
+      {
+        MATSCI_TRACE_SCOPE("train/forward");
+        const obs::StopWatch watch;
+        out = task.step(batch);
+        metrics.forward_us.observe(watch.elapsed_us());
+      }
+      {
+        MATSCI_TRACE_SCOPE("train/backward");
+        const obs::StopWatch watch;
+        out.loss.backward();
+        metrics.backward_us.observe(watch.elapsed_us());
+      }
       train_acc.add(out);
       result.total_samples += static_cast<double>(batch.num_graphs());
+      metrics.samples.add(batch.num_graphs());
       ++accumulated;
 
       const bool flush =
           accumulated == opts_.accumulate_batches || b + 1 == num_batches;
       if (!flush) continue;
 
-      if (accumulated > 1) {
-        // Average, matching synchronous-DDP gradient semantics.
-        const float inv = 1.0f / static_cast<float>(accumulated);
-        for (core::Tensor p : opt.params()) {  // cheap handle copy
-          if (!p.has_grad()) continue;
-          for (float& g : p.grad_span()) g *= inv;
+      {
+        MATSCI_TRACE_SCOPE("train/optimizer");
+        const obs::StopWatch watch;
+        if (accumulated > 1) {
+          // Average, matching synchronous-DDP gradient semantics.
+          const float inv = 1.0f / static_cast<float>(accumulated);
+          for (core::Tensor p : opt.params()) {  // cheap handle copy
+            if (!p.has_grad()) continue;
+            for (float& g : p.grad_span()) g *= inv;
+          }
         }
+        if (opts_.grad_clip > 0.0) {
+          opt.clip_grad_norm(opts_.grad_clip);
+        }
+        opt.step();
+        opt.zero_grad();
+        metrics.optimizer_us.observe(watch.elapsed_us());
       }
-      if (opts_.grad_clip > 0.0) {
-        opt.clip_grad_norm(opts_.grad_clip);
-      }
-      opt.step();
-      opt.zero_grad();
       accumulated = 0;
       ++result.total_steps;
+      metrics.steps.add(1);
 
       if (opts_.validate_every_steps > 0 && val_loader != nullptr &&
           result.total_steps % opts_.validate_every_steps == 0) {
@@ -109,6 +159,7 @@ FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
     }
     if (on_epoch) on_epoch(stats);
     result.epochs.push_back(std::move(stats));
+    metrics.epochs.add(1);
 
     if (opts_.early_stopping_patience > 0) {
       const std::map<std::string, double>& val_metrics =
