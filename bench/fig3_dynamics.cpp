@@ -126,6 +126,75 @@ void run_regime(obs::BenchReporter& reporter, const char* label,
   }
 }
 
+// Health-on mode: the same training loop with the PR's HealthMonitor
+// active (log-and-continue). Reports the per-step overhead of the
+// monitor — per-layer grad norms, rolling-window detection, flight
+// recorder — which must stay < 5% of a (deliberately small-model,
+// monitor-unfriendly) step. Min-of-repeats on both sides to shed
+// scheduler noise.
+void run_health_overhead(obs::BenchReporter& reporter) {
+  constexpr int kRepeats = 3;
+  constexpr std::int64_t kSteps = 200;
+
+  std::printf("\n--- Health monitor overhead (N = 1, %lld steps) ---\n",
+              static_cast<long long>(kSteps));
+
+  const auto run_once = [](bool health_on, std::int64_t* anomalies) {
+    sym::SyntheticPointGroupDataset train_ds(kSteps * kBasePerRankBatch, 31,
+                                             bench::bench_sym_options());
+    data::DataLoaderOptions lo;
+    lo.batch_size = kBasePerRankBatch;
+    lo.seed = 5;
+    lo.collate.representation = data::Representation::kPointCloud;
+    data::DataLoader train_loader(train_ds, lo);
+
+    core::RngEngine rng(13);
+    auto encoder = std::make_shared<models::EGNN>(
+        bench::bench_encoder_config(24, 2), rng);
+    tasks::ClassificationTask task(encoder, "point_group",
+                                   sym::num_point_groups(),
+                                   bench::bench_head_config(24, 1), rng);
+    optim::AdamOptions ao;
+    ao.lr = 1e-4;
+    ao.decoupled_weight_decay = true;
+    optim::Adam opt(task.parameters(), ao);
+
+    train::TrainerOptions topts;
+    topts.max_epochs = 1;
+    topts.health.enabled = health_on;
+    topts.health.record_metrics = false;  // isolate the monitor itself
+    const obs::StopWatch watch;
+    const train::FitResult result =
+        train::Trainer(topts).fit(task, train_loader, nullptr, opt);
+    if (anomalies != nullptr) {
+      *anomalies = static_cast<std::int64_t>(result.anomalies.size());
+    }
+    return watch.elapsed_us();
+  };
+
+  double off_us = 1e300;
+  double on_us = 1e300;
+  std::int64_t anomalies = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    off_us = std::min(off_us, run_once(false, nullptr));
+    on_us = std::min(on_us, run_once(true, &anomalies));
+  }
+
+  const double overhead_pct = 100.0 * (on_us - off_us) / off_us;
+  std::printf("health off: %8.1f us/step\n", off_us / kSteps);
+  std::printf("health on:  %8.1f us/step   anomalies flagged: %lld\n",
+              on_us / kSteps, static_cast<long long>(anomalies));
+  std::printf("overhead:   %+7.2f %%  (acceptance: < 5%%)\n", overhead_pct);
+
+  reporter.add(obs::JsonRecord()
+                   .set("record", "health_overhead")
+                   .set("steps", kSteps)
+                   .set("off_us_per_step", off_us / kSteps)
+                   .set("on_us_per_step", on_us / kSteps)
+                   .set("overhead_pct", overhead_pct)
+                   .set("anomalies", anomalies));
+}
+
 }  // namespace
 
 int main() {
@@ -142,6 +211,7 @@ int main() {
   // recovers; scaled lr there is 512e-5 ≈ 5e-3).
   run_regime(reporter, "low base lr (convergence + spikes at large N)", 1e-5,
              {8, 32, 128, 512});
+  run_health_overhead(reporter);
 
   std::printf(
       "\nShape check vs paper: at the high base rate, every scale\n"

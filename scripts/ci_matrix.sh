@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI build matrix for configurations tier-1 verify does not cover:
+#
+#   obs-off   -DMATSCI_OBS=OFF build + the obs/health test labels —
+#             proves the MATSCI_TRACE_SCOPE compile-out path and the
+#             health monitor still build and pass without the macro.
+#   tsan      -DMATSCI_SANITIZE=thread build running every
+#             concurrency-sensitive label (serve, parallel, obs,
+#             health) — the health monitor runs inside DDP rank
+#             threads, so its registry/ring accesses must be
+#             TSan-clean.
+#
+# Usage: ci_matrix.sh [obs-off|tsan|all]   (default: all)
+# Build trees land in build-obs-off/ and build-tsan/ at the repo root.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+stage="${1:-all}"
+jobs="${MATSCI_CI_JOBS:-$(nproc)}"
+
+run_obs_off() {
+  echo "=== ci_matrix: obs-off (-DMATSCI_OBS=OFF) ==="
+  cmake -B "$repo_root/build-obs-off" -S "$repo_root" -DMATSCI_OBS=OFF
+  cmake --build "$repo_root/build-obs-off" -j "$jobs"
+  ctest --test-dir "$repo_root/build-obs-off" -L "obs|health" \
+    --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  echo "=== ci_matrix: tsan (-DMATSCI_SANITIZE=thread) ==="
+  cmake -B "$repo_root/build-tsan" -S "$repo_root" -DMATSCI_SANITIZE=thread
+  cmake --build "$repo_root/build-tsan" -j "$jobs"
+  ctest --test-dir "$repo_root/build-tsan" \
+    -L "serve|parallel|obs|health" --output-on-failure -j "$jobs"
+}
+
+case "$stage" in
+  obs-off) run_obs_off ;;
+  tsan) run_tsan ;;
+  all)
+    run_obs_off
+    run_tsan
+    ;;
+  *)
+    echo "ci_matrix: unknown stage '$stage' (obs-off|tsan|all)" >&2
+    exit 2
+    ;;
+esac
+echo "=== ci_matrix: $stage OK ==="

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Aggregate per-binary bench outputs into one trajectory file.
+#
+# Every bench binary writes BENCH_<name>.json (JSON-lines: one meta
+# record, per-run records, a registry snapshot) into $MATSCI_BENCH_DIR
+# (or the cwd). This script concatenates every BENCH_*.json found there
+# into BENCH_trajectory.json — a single JSON-lines file with one
+# trajectory meta line followed by every source line tagged with its
+# originating file — so dashboards ingest one artifact per CI run
+# instead of globbing.
+#
+# Usage:
+#   collect_bench.sh [dir]     aggregate BENCH_*.json under dir
+#                              (default: $MATSCI_BENCH_DIR, else .)
+#   collect_bench.sh --selftest
+#       build a temp dir with synthetic BENCH_*.json files, aggregate,
+#       and verify line counts and tags (registered as the
+#       `collect_bench` ctest, label `lint`).
+set -u
+
+aggregate() {
+  local dir="$1"
+  if [ ! -d "$dir" ]; then
+    echo "collect_bench: no such directory: $dir" >&2
+    return 2
+  fi
+
+  local out="$dir/BENCH_trajectory.json"
+  local tmp="$out.tmp"
+  local sources=()
+  local f
+  for f in "$dir"/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    case "$(basename "$f")" in
+      BENCH_trajectory.json) continue ;;  # never ingest our own output
+    esac
+    sources+=("$f")
+  done
+
+  {
+    printf '{"record":"meta","schema":"matsci.trajectory.v1",'
+    printf '"emitted_unix_s":%s,"num_sources":%d}\n' \
+      "$(date +%s)" "${#sources[@]}"
+    local src base
+    for src in "${sources[@]}"; do
+      base="$(basename "$src")"
+      # Tag every line with its source file: rewrite the leading '{'
+      # to '{"source":"<file>",'. Lines are flat JSON objects by the
+      # BenchReporter contract, so this produces valid JSON.
+      sed -e "s/^{/{\"source\":\"${base}\",/" "$src"
+    done
+  } > "$tmp"
+  mv "$tmp" "$out"
+  echo "collect_bench: wrote $out (${#sources[@]} source files)"
+}
+
+selftest() {
+  # Not `local`: the EXIT trap fires after the function returns.
+  selftest_dir="$(mktemp -d)"
+  trap 'rm -rf "${selftest_dir:-}"' EXIT
+  local dir="$selftest_dir"
+
+  printf '{"record":"meta","bench":"a"}\n{"record":"run","x":1}\n' \
+    > "$dir/BENCH_a.json"
+  printf '{"record":"meta","bench":"b"}\n' > "$dir/BENCH_b.json"
+  # A stale trajectory must be excluded from its own rebuild.
+  printf '{"record":"meta","schema":"matsci.trajectory.v1"}\n' \
+    > "$dir/BENCH_trajectory.json"
+
+  aggregate "$dir" || return 1
+
+  local out="$dir/BENCH_trajectory.json"
+  local lines
+  lines=$(wc -l < "$out")
+  if [ "$lines" -ne 4 ]; then  # 1 meta + 2 from a + 1 from b
+    echo "collect_bench selftest: expected 4 lines, got $lines" >&2
+    cat "$out" >&2
+    return 1
+  fi
+  if ! head -1 "$out" | grep -q '"schema":"matsci.trajectory.v1"'; then
+    echo "collect_bench selftest: missing trajectory meta line" >&2
+    return 1
+  fi
+  if ! grep -q '"source":"BENCH_a.json"' "$out" ||
+     ! grep -q '"source":"BENCH_b.json"' "$out"; then
+    echo "collect_bench selftest: missing source tags" >&2
+    return 1
+  fi
+  if grep -q '"source":"BENCH_trajectory.json"' "$out"; then
+    echo "collect_bench selftest: ingested its own output" >&2
+    return 1
+  fi
+  # Idempotence: re-aggregating over the produced trajectory must not
+  # change the line count.
+  aggregate "$dir" || return 1
+  lines=$(wc -l < "$out")
+  if [ "$lines" -ne 4 ]; then
+    echo "collect_bench selftest: re-aggregation not idempotent" >&2
+    return 1
+  fi
+  echo "collect_bench selftest: OK"
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+  selftest
+  exit $?
+fi
+
+aggregate "${1:-${MATSCI_BENCH_DIR:-.}}"

@@ -139,6 +139,10 @@ double Communicator::allreduce_scalar_max(double value) {
   return result;
 }
 
+double Communicator::allreduce_scalar_min(double value) {
+  return -allreduce_scalar_max(-value);
+}
+
 void run_ranks(std::int64_t world_size,
                const std::function<void(Communicator&)>& rank_fn) {
   MATSCI_CHECK(world_size >= 1, "world_size must be >= 1");

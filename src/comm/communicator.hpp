@@ -50,9 +50,14 @@ class Communicator {
   /// In-place broadcast of root's buffer to every rank.
   void broadcast(std::span<float> data, std::int64_t root);
 
-  /// Scalar convenience forms.
+  /// Scalar convenience forms. min is max over negated values. NaN
+  /// caveat: sum propagates NaN to every rank, but max/min silently
+  /// drop NaN contributions (std::max comparison semantics) — callers
+  /// needing NaN detection must reduce an is-finite indicator with sum,
+  /// which is what the health monitor does.
   double allreduce_scalar_sum(double value);
   double allreduce_scalar_max(double value);
+  double allreduce_scalar_min(double value);
 
  private:
   std::shared_ptr<ProcessGroup> group_;

@@ -3,8 +3,10 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "core/macros.hpp"
@@ -81,13 +83,22 @@ std::string JsonRecord::str() const {
 
 // --- Chrome trace ------------------------------------------------------------
 
-std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              std::int64_t dropped_events) {
   std::uint64_t epoch_ns = 0;
   for (const TraceEvent& ev : events) {
     if (epoch_ns == 0 || ev.start_ns < epoch_ns) epoch_ns = ev.start_ns;
   }
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",";
+  if (dropped_events >= 0) {
+    // Chrome/Perfetto pass unknown root keys through; "otherData" is
+    // the conventional metadata slot. Ring overflow is no longer
+    // silent: consumers can see how many spans the window lost.
+    os << "\"otherData\":{\"droppedEvents\":" << dropped_events
+       << ",\"ringCapacityPerThread\":" << Tracer::kRingCapacity << "},";
+  }
+  os << "\"traceEvents\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& ev = events[i];
     if (i > 0) os << ",";
@@ -102,10 +113,11 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
 }
 
 void write_chrome_trace(const std::string& path,
-                        const std::vector<TraceEvent>& events) {
+                        const std::vector<TraceEvent>& events,
+                        std::int64_t dropped_events) {
   std::ofstream os(path);
   MATSCI_CHECK(os.is_open(), "cannot open '" << path << "' for writing");
-  os << chrome_trace_json(events);
+  os << chrome_trace_json(events, dropped_events);
 }
 
 // --- Minimal strict JSON parser (validation only) ----------------------------
@@ -374,6 +386,33 @@ std::string prom_name(const std::string& name) {
 
 }  // namespace
 
+std::string prometheus_escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot) {
   std::ostringstream os;
   for (const auto& [name, value] : snapshot.counters) {
@@ -388,8 +427,11 @@ std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot) {
   for (const auto& [name, points] : snapshot.series) {
     const std::string n = prom_name(name);
     os << "# TYPE " << n << " gauge\n"
-       << "# HELP " << n << " last value of a step-keyed series ("
-       << points.size() << " points recorded)\n"
+       << "# HELP " << n << " "
+       << prometheus_escape_help("last value of step-keyed series '" + name +
+                                 "' (" + std::to_string(points.size()) +
+                                 " points recorded)")
+       << "\n"
        << n << " " << json_number(points.empty() ? 0.0 : points.back().second)
        << "\n";
   }
@@ -397,16 +439,189 @@ std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot) {
     const std::string n = prom_name(name);
     os << "# TYPE " << n << " histogram\n";
     std::int64_t cumulative = 0;
-    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    for (std::size_t b = 0; b < hist.bounds.size() && b < hist.counts.size();
+         ++b) {
       cumulative += hist.counts[b];
-      const std::string le =
-          b < hist.bounds.size() ? json_number(hist.bounds[b]) : "+Inf";
-      os << n << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+      os << n << "_bucket{le=\""
+         << prometheus_escape_label_value(json_number(hist.bounds[b]))
+         << "\"} " << cumulative << "\n";
     }
+    // The +Inf bucket is mandatory and must equal _count, even for
+    // hand-built snapshots whose counts lack an overflow slot.
+    os << n << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
     os << n << "_sum " << json_number(hist.sum) << "\n"
        << n << "_count " << hist.count << "\n";
   }
   return os.str();
+}
+
+namespace {
+
+bool prom_fail(std::string* error, std::size_t line_no,
+               const std::string& why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+bool prom_valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return !std::isdigit(static_cast<unsigned char>(name[0]));
+}
+
+bool prom_valid_value(const std::string& value) {
+  if (value.empty()) return false;
+  if (value == "+Inf" || value == "-Inf" || value == "NaN") return true;
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool validate_prometheus_text(const std::string& text, std::string* error) {
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  // Histogram bookkeeping keyed by base metric name.
+  std::map<std::string, std::int64_t> last_bucket;      // last cumulative
+  std::map<std::string, std::int64_t> inf_bucket;       // le="+Inf" value
+  std::map<std::string, std::int64_t> histogram_count;  // _count value
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, name;
+      comment >> hash >> kind >> name;
+      if (kind != "TYPE" && kind != "HELP") {
+        return prom_fail(error, line_no, "comment must be # TYPE or # HELP");
+      }
+      if (!prom_valid_name(name)) {
+        return prom_fail(error, line_no, "bad metric name '" + name + "'");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::string name, labels, value;
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (brace != std::string::npos && (space == std::string::npos ||
+                                       brace < space)) {
+      name = line.substr(0, brace);
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        return prom_fail(error, line_no, "unterminated label set");
+      }
+      labels = line.substr(brace + 1, close - brace - 1);
+      if (close + 2 > line.size() || line[close + 1] != ' ') {
+        return prom_fail(error, line_no, "expected ' ' after labels");
+      }
+      value = line.substr(close + 2);
+    } else {
+      if (space == std::string::npos) {
+        return prom_fail(error, line_no, "expected 'name value'");
+      }
+      name = line.substr(0, space);
+      value = line.substr(space + 1);
+    }
+    if (!prom_valid_name(name)) {
+      return prom_fail(error, line_no, "bad metric name '" + name + "'");
+    }
+    if (!prom_valid_value(value)) {
+      return prom_fail(error, line_no, "bad sample value '" + value + "'");
+    }
+    // Label pairs: key="escaped value", comma separated.
+    std::string le_value;
+    std::size_t pos = 0;
+    while (pos < labels.size()) {
+      const std::size_t eq = labels.find('=', pos);
+      if (eq == std::string::npos) {
+        return prom_fail(error, line_no, "label without '='");
+      }
+      const std::string key = labels.substr(pos, eq - pos);
+      if (!prom_valid_name(key)) {
+        return prom_fail(error, line_no, "bad label name '" + key + "'");
+      }
+      if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+        return prom_fail(error, line_no, "label value must be quoted");
+      }
+      std::string decoded;
+      std::size_t i = eq + 2;
+      bool closed = false;
+      for (; i < labels.size(); ++i) {
+        const char c = labels[i];
+        if (c == '\\') {
+          if (i + 1 >= labels.size()) {
+            return prom_fail(error, line_no, "dangling escape in label");
+          }
+          const char esc = labels[++i];
+          if (esc == '\\') decoded += '\\';
+          else if (esc == '"') decoded += '"';
+          else if (esc == 'n') decoded += '\n';
+          else return prom_fail(error, line_no, "bad label escape");
+        } else if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        } else if (c == '\n') {
+          return prom_fail(error, line_no, "raw newline in label value");
+        } else {
+          decoded += c;
+        }
+      }
+      if (!closed) {
+        return prom_fail(error, line_no, "unterminated label value");
+      }
+      if (key == "le") le_value = decoded;
+      if (i < labels.size()) {
+        if (labels[i] != ',') {
+          return prom_fail(error, line_no, "expected ',' between labels");
+        }
+        ++i;
+      }
+      pos = i;
+    }
+    // Histogram structure: cumulative buckets ending at le="+Inf".
+    constexpr const char* kBucket = "_bucket";
+    if (name.size() > 7 && name.compare(name.size() - 7, 7, kBucket) == 0 &&
+        !le_value.empty()) {
+      const std::string base = name.substr(0, name.size() - 7);
+      const std::int64_t count = static_cast<std::int64_t>(
+          std::strtod(value.c_str(), nullptr));
+      auto it = last_bucket.find(base);
+      if (it != last_bucket.end() && count < it->second) {
+        return prom_fail(error, line_no,
+                         "histogram '" + base + "' buckets not cumulative");
+      }
+      last_bucket[base] = count;
+      if (le_value == "+Inf") inf_bucket[base] = count;
+    } else if (name.size() > 6 &&
+               name.compare(name.size() - 6, 6, "_count") == 0) {
+      histogram_count[name.substr(0, name.size() - 6)] =
+          static_cast<std::int64_t>(std::strtod(value.c_str(), nullptr));
+    }
+  }
+  for (const auto& [base, count] : histogram_count) {
+    if (last_bucket.count(base) == 0) continue;  // plain *_count counter
+    auto inf = inf_bucket.find(base);
+    if (inf == inf_bucket.end()) {
+      return prom_fail(error, 0, "histogram '" + base +
+                                     "' missing le=\"+Inf\" bucket");
+    }
+    if (inf->second != count) {
+      return prom_fail(error, 0, "histogram '" + base +
+                                     "' +Inf bucket != _count");
+    }
+  }
+  return true;
 }
 
 void write_prometheus(const std::string& path,
@@ -488,6 +703,13 @@ void BenchReporter::finish() {
   if (finished_) return;
   finished_ = true;
 
+  // Surface ring wrap-around in the registry snapshot before draining
+  // it: exporting partial traces silently was the original sin here.
+  const std::int64_t dropped = Tracer::global().dropped();
+  MetricsRegistry::global()
+      .gauge("obs.trace.dropped_events")
+      .set(static_cast<double>(dropped));
+
   {
     std::ofstream os(bench_json_path());
     MATSCI_CHECK(os.is_open(),
@@ -508,7 +730,7 @@ void BenchReporter::finish() {
   }
 
   const std::vector<TraceEvent> events = Tracer::global().collect();
-  write_chrome_trace(trace_json_path(), events);
+  write_chrome_trace(trace_json_path(), events, dropped);
 
   std::printf("obs: wrote %s (%zu records) and %s (%zu spans%s)\n",
               bench_json_path().c_str(), records_.size(),

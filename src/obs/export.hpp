@@ -23,10 +23,15 @@ namespace matsci::obs {
 
 /// Render spans as a Chrome trace_event JSON document: one "X"
 /// (complete) event per span, timestamps in microseconds relative to
-/// the earliest span, pid fixed at 1, tid from the tracer.
-std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+/// the earliest span, pid fixed at 1, tid from the tracer. When
+/// `dropped_events >= 0`, an "otherData" metadata object records how
+/// many spans the per-thread rings overwrote (ring overflow used to be
+/// silent in the export).
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              std::int64_t dropped_events = -1);
 void write_chrome_trace(const std::string& path,
-                        const std::vector<TraceEvent>& events);
+                        const std::vector<TraceEvent>& events,
+                        std::int64_t dropped_events = -1);
 
 /// True iff `json` parses as strict JSON and has the Chrome trace
 /// shape: root object, "traceEvents" array, every event an object with
@@ -39,12 +44,30 @@ bool validate_chrome_trace_json(const std::string& json,
 bool validate_json(const std::string& text, std::string* error = nullptr);
 
 /// Prometheus text exposition: counters, gauges, histograms (with
-/// cumulative le-buckets, _sum and _count), and series (exposed as a
-/// gauge carrying the last value). Names are sanitized to
-/// [a-zA-Z0-9_:] and prefixed "matsci_".
+/// cumulative le-buckets including the mandatory `+Inf` bucket, _sum
+/// and _count), and series (exposed as a gauge carrying the last
+/// value). Names are sanitized to [a-zA-Z0-9_:] and prefixed
+/// "matsci_"; label values and HELP strings are escaped per the text
+/// exposition format.
 std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot);
 void write_prometheus(const std::string& path,
                       const MetricsRegistry::Snapshot& snapshot);
+
+/// Escaping rules from the Prometheus text exposition format: label
+/// values escape backslash, double-quote, and newline; HELP text
+/// escapes backslash and newline.
+std::string prometheus_escape_label_value(const std::string& s);
+std::string prometheus_escape_help(const std::string& s);
+
+/// Structural validator for the text exposition format (the `obs`
+/// round-trip test feeds prometheus_text back through this): every
+/// non-comment line must parse as `name[{labels}] value`, label values
+/// must be properly quoted/escaped, histogram bucket counts must be
+/// cumulative (non-decreasing), and every histogram must end its
+/// buckets with le="+Inf" equal to its `_count`. On failure, *error
+/// (if given) says what broke.
+bool validate_prometheus_text(const std::string& text,
+                              std::string* error = nullptr);
 
 /// Insertion-ordered flat JSON object builder for snapshot lines.
 class JsonRecord {

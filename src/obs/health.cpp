@@ -1,0 +1,596 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <ctime>
+#include <exception>
+#include <fstream>
+
+#include "core/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace matsci::obs::health {
+
+const char* to_string(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kNonFiniteLoss: return "non_finite_loss";
+    case AnomalyType::kNonFiniteGrad: return "non_finite_grad";
+    case AnomalyType::kLossSpike: return "loss_spike";
+    case AnomalyType::kGradNormSpike: return "grad_norm_spike";
+    case AnomalyType::kEpsFloorDominance: return "eps_floor_dominance";
+    case AnomalyType::kRankDivergence: return "rank_divergence";
+  }
+  return "unknown";
+}
+
+const char* to_string(AnomalyPolicy policy) {
+  switch (policy) {
+    case AnomalyPolicy::kLogAndContinue: return "log_and_continue";
+    case AnomalyPolicy::kSkipStep: return "skip_step";
+    case AnomalyPolicy::kAbort: return "abort";
+  }
+  return "unknown";
+}
+
+std::string resolve_flight_path(const std::string& path) {
+  if (!path.empty()) return path;
+  const char* dir = std::getenv("MATSCI_BENCH_DIR");
+  const std::string base = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  return base + "/flight_recorder.json";
+}
+
+// --- JSON rendering ----------------------------------------------------------
+
+JsonRecord anomaly_record(const Anomaly& anomaly) {
+  return JsonRecord()
+      .set("type", to_string(anomaly.type))
+      .set("step", anomaly.step)
+      .set("rank", anomaly.rank)
+      .set("value", anomaly.value)
+      .set("threshold", anomaly.threshold)
+      .set("detail", anomaly.detail);
+}
+
+JsonRecord snapshot_record(const HealthSnapshot& snap) {
+  JsonRecord rec;
+  rec.set("step", snap.step)
+      .set("rank", snap.rank)
+      .set("loss", snap.loss)
+      .set("grad_norm", snap.grad_norm)
+      .set("nonfinite_grads", snap.nonfinite_grads)
+      .set("max_update_ratio", snap.max_update_ratio);
+  if (snap.has_adam_stats) {
+    rec.set("frac_at_eps_floor", snap.frac_at_eps_floor)
+        .set("grad_autocorrelation", snap.grad_autocorrelation)
+        .set("max_update_magnitude", snap.max_update_magnitude);
+  }
+  if (snap.cross_rank.reduced) {
+    rec.set_raw("cross_rank",
+                JsonRecord()
+                    .set("world_size", snap.cross_rank.world_size)
+                    .set("grad_norm_mean", snap.cross_rank.grad_norm_mean)
+                    .set("grad_norm_min", snap.cross_rank.grad_norm_min)
+                    .set("grad_norm_max", snap.cross_rank.grad_norm_max)
+                    .set("nonfinite_ranks", snap.cross_rank.nonfinite_ranks)
+                    .str());
+  }
+  std::string layers = "[";
+  for (std::size_t i = 0; i < snap.layers.size(); ++i) {
+    const LayerHealth& lh = snap.layers[i];
+    if (i > 0) layers += ",";
+    layers += JsonRecord()
+                  .set("name", lh.name)
+                  .set("grad_norm", lh.grad_norm)
+                  .set("weight_norm", lh.weight_norm)
+                  .set("update_ratio", lh.update_ratio)
+                  .set("nonfinite", lh.nonfinite_grads)
+                  .str();
+  }
+  layers += "]";
+  rec.set_raw("layers", layers);
+  return rec;
+}
+
+// --- RollingWindow -----------------------------------------------------------
+
+RollingWindow::RollingWindow(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void RollingWindow::push(double v) {
+  ring_[head_] = v;
+  head_ = (head_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+}
+
+namespace {
+
+double median_of(std::vector<double>& vals) {
+  if (vals.empty()) return 0.0;
+  const std::size_t mid = vals.size() / 2;
+  std::nth_element(vals.begin(), vals.begin() + static_cast<std::ptrdiff_t>(mid),
+                   vals.end());
+  double m = vals[mid];
+  if (vals.size() % 2 == 0) {
+    // Lower median completes the pair: max of the left partition.
+    const double lower =
+        *std::max_element(vals.begin(),
+                          vals.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+}  // namespace
+
+double RollingWindow::median() const {
+  std::vector<double> vals(ring_.begin(),
+                           ring_.begin() + static_cast<std::ptrdiff_t>(count_));
+  return median_of(vals);
+}
+
+double RollingWindow::mad() const {
+  if (count_ < 2) return 0.0;
+  const double med = median();
+  std::vector<double> dev;
+  dev.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    dev.push_back(std::fabs(ring_[i] - med));
+  }
+  return median_of(dev);
+}
+
+// --- AnomalyDetector ---------------------------------------------------------
+
+AnomalyDetector::AnomalyDetector(HealthOptions opts)
+    : opts_(std::move(opts)),
+      loss_window_(static_cast<std::size_t>(std::max<std::int64_t>(
+          opts_.window, 2))),
+      grad_window_(static_cast<std::size_t>(std::max<std::int64_t>(
+          opts_.window, 2))) {}
+
+std::vector<Anomaly> AnomalyDetector::observe(const HealthSnapshot& snap) {
+  std::vector<Anomaly> out;
+  ++steps_seen_;
+
+  auto flag = [&](AnomalyType type, double value, double threshold,
+                  std::string detail) {
+    out.push_back(Anomaly{type, snap.step, snap.rank, value, threshold,
+                          std::move(detail)});
+  };
+
+  // Non-finite values fire immediately, warmup or not.
+  if (!std::isfinite(snap.loss)) {
+    flag(AnomalyType::kNonFiniteLoss, snap.loss, 0.0, "loss is non-finite");
+  }
+  if (snap.nonfinite_grads > 0 || !std::isfinite(snap.grad_norm)) {
+    std::string where;
+    for (const LayerHealth& lh : snap.layers) {
+      if (lh.nonfinite_grads > 0) {
+        where = " (first: " + lh.name + ")";
+        break;
+      }
+    }
+    flag(AnomalyType::kNonFiniteGrad,
+         static_cast<double>(snap.nonfinite_grads), 0.0,
+         "non-finite gradient entries" + where);
+  }
+
+  // Rolling median/MAD spike detection: test against the window first,
+  // then absorb (the spike must not raise its own threshold).
+  const bool armed = steps_seen_ > opts_.warmup_steps;
+  auto spike_check = [&](RollingWindow& window, double value,
+                         AnomalyType type, const char* what) {
+    if (!std::isfinite(value)) return;  // kept out of the window entirely
+    if (armed &&
+        window.size() >= static_cast<std::size_t>(
+                             std::max<std::int64_t>(opts_.warmup_steps, 2))) {
+      const double med = window.median();
+      const double scale =
+          std::max(window.mad(), 0.01 * std::fabs(med) + 1e-12);
+      const double threshold = med + opts_.spike_mads * scale;
+      if (value > threshold && value > opts_.spike_min_ratio * med) {
+        flag(type, value, threshold,
+             std::string(what) + " spiked above rolling median " +
+                 json_number(med));
+      }
+    }
+    window.push(value);
+  };
+  spike_check(loss_window_, snap.loss, AnomalyType::kLossSpike, "loss");
+  spike_check(grad_window_, snap.grad_norm, AnomalyType::kGradNormSpike,
+              "gradient norm");
+
+  // ε-floor dominance (paper §5.2): early steps always sit at the floor
+  // (second moments start at zero), so this arms with the spike checks.
+  if (snap.has_adam_stats && armed &&
+      snap.frac_at_eps_floor > opts_.eps_floor_threshold) {
+    flag(AnomalyType::kEpsFloorDominance, snap.frac_at_eps_floor,
+         opts_.eps_floor_threshold,
+         "Adam updates dominated by the eps floor");
+  }
+  return out;
+}
+
+std::vector<Anomaly> AnomalyDetector::observe_cross_rank(
+    const CrossRankHealth& cross, std::int64_t step,
+    std::int64_t offender_rank) {
+  std::vector<Anomaly> out;
+  if (!cross.reduced || cross.world_size <= 1) return out;
+  if (cross.nonfinite_ranks > 0) {
+    out.push_back(Anomaly{AnomalyType::kNonFiniteGrad, step, offender_rank,
+                          static_cast<double>(cross.nonfinite_ranks), 0.0,
+                          "rank-local gradients non-finite before allreduce"});
+    // A poisoned norm makes the spread meaningless; don't double-flag.
+    return out;
+  }
+  // Divergence shares the spike warmup: cold-start gradients are
+  // dominated by whichever shard holds the odd structure, so first-step
+  // spreads of 100x+ are normal and carry no signal.
+  if (steps_seen_ <= opts_.warmup_steps) return out;
+  // Spread is only meaningful when the gradients are non-trivial: an
+  // all-zero replica (min == 0) at a cold start is not divergence.
+  if (cross.grad_norm_max > 1e-12) {
+    const double spread =
+        cross.grad_norm_max / std::max(cross.grad_norm_min, 1e-30);
+    if (std::isfinite(spread) && spread > opts_.rank_divergence_ratio) {
+      out.push_back(Anomaly{
+          AnomalyType::kRankDivergence, step, offender_rank, spread,
+          opts_.rank_divergence_ratio,
+          "per-rank grad-norm spread (max/min) " + json_number(spread) +
+              ", mean " + json_number(cross.grad_norm_mean)});
+    }
+  }
+  return out;
+}
+
+// --- FlightRecorder ----------------------------------------------------------
+
+FlightRecorder::FlightRecorder(std::int64_t capacity)
+    : capacity_(std::max<std::int64_t>(capacity, 1)) {
+  ring_.resize(static_cast<std::size_t>(capacity_));
+}
+
+void FlightRecorder::record(const HealthSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = snap;
+  head_ = (head_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+}
+
+void FlightRecorder::amend_last(const HealthSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return;
+  ring_[(head_ + ring_.size() - 1) % ring_.size()] = snap;
+}
+
+std::vector<HealthSnapshot> FlightRecorder::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HealthSnapshot> out;
+  out.reserve(count_);
+  const std::size_t oldest =
+      count_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(oldest + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+std::string env_object() {
+  JsonRecord env;
+  for (const char* key : {"MATSCI_NUM_THREADS", "MATSCI_TRACE",
+                          "MATSCI_BENCH_DIR"}) {
+    const char* value = std::getenv(key);
+    env.set(key, value != nullptr ? value : "");
+  }
+  return env.str();
+}
+
+std::string config_object(const HealthOptions& opts) {
+  return JsonRecord()
+      .set("window", opts.window)
+      .set("warmup_steps", opts.warmup_steps)
+      .set("spike_mads", opts.spike_mads)
+      .set("spike_min_ratio", opts.spike_min_ratio)
+      .set("eps_floor_threshold", opts.eps_floor_threshold)
+      .set("rank_divergence_ratio", opts.rank_divergence_ratio)
+      .set("policy", to_string(opts.policy))
+      .set("flight_recorder_steps", opts.flight_recorder_steps)
+      .str();
+}
+
+}  // namespace
+
+std::string FlightRecorder::dump(const std::string& path,
+                                 const std::string& reason,
+                                 const std::vector<Anomaly>& anomalies,
+                                 const HealthOptions* config) const {
+  const std::string resolved = resolve_flight_path(path);
+
+  JsonRecord bundle;
+  bundle.set("record", "flight_recorder")
+      .set("schema", "matsci.flight.v1")
+      .set("emitted_unix_s", static_cast<std::int64_t>(std::time(nullptr)))
+      .set("reason", reason);
+
+  std::string anomalies_json = "[";
+  for (std::size_t i = 0; i < anomalies.size(); ++i) {
+    if (i > 0) anomalies_json += ",";
+    anomalies_json += anomaly_record(anomalies[i]).str();
+  }
+  anomalies_json += "]";
+  bundle.set_raw("anomalies", anomalies_json);
+
+  if (config != nullptr) bundle.set_raw("config", config_object(*config));
+  bundle.set_raw("env", env_object());
+
+  std::string health_json = "[";
+  const std::vector<HealthSnapshot> snaps = history();
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (i > 0) health_json += ",";
+    health_json += snapshot_record(snaps[i]).str();
+  }
+  health_json += "]";
+  bundle.set_raw("health", health_json);
+
+  std::string metrics_json = "[";
+  const std::vector<JsonRecord> records =
+      snapshot_records(MetricsRegistry::global().snapshot());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) metrics_json += ",";
+    metrics_json += records[i].str();
+  }
+  metrics_json += "]";
+  bundle.set_raw("metrics", metrics_json);
+
+  // Drain the trace rings into an embedded Chrome trace object so the
+  // bundle alone reconstructs the timeline around the failure.
+  std::string trace = chrome_trace_json(Tracer::global().collect(),
+                                        Tracer::global().dropped());
+  while (!trace.empty() && (trace.back() == '\n' || trace.back() == ' ')) {
+    trace.pop_back();
+  }
+  bundle.set_raw("trace", trace);
+
+  std::ofstream os(resolved);
+  MATSCI_CHECK(os.is_open(),
+               "flight recorder cannot open '" << resolved << "' for writing");
+  os << bundle.str() << "\n";
+  return resolved;
+}
+
+// --- crash handler -----------------------------------------------------------
+
+namespace {
+
+// Best-effort crash dumping: the armed recorder, its target path, and a
+// copy of its config. Guarded by a mutex on the arm/disarm side; the
+// handlers themselves read without locking (a crashed process cannot
+// wait on its own mutexes) and serialize through g_crash_dumping.
+std::mutex g_crash_mu;
+FlightRecorder* g_armed_recorder = nullptr;
+std::string* g_crash_path = nullptr;
+HealthOptions* g_crash_config = nullptr;
+bool g_have_crash_config = false;
+std::terminate_handler g_prev_terminate = nullptr;
+bool g_handlers_installed = false;
+std::atomic<bool> g_crash_dumping{false};
+
+constexpr int kCrashSignals[] = {SIGABRT, SIGSEGV, SIGFPE, SIGILL};
+
+void crash_dump(const std::string& reason) {
+  if (g_crash_dumping.exchange(true)) return;
+  FlightRecorder* recorder = g_armed_recorder;
+  if (recorder == nullptr) return;
+  try {
+    recorder->dump(*g_crash_path, reason, {},
+                   g_have_crash_config ? g_crash_config : nullptr);
+  } catch (...) {
+    // Nothing sane to do while the process is already going down.
+  }
+}
+
+[[noreturn]] void terminate_with_dump() {
+  crash_dump("terminate");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+void signal_with_dump(int sig) {
+  crash_dump("signal:" + std::to_string(sig));
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::arm_crash_handler(const std::string& path,
+                                       const HealthOptions* config) {
+  std::lock_guard<std::mutex> lock(g_crash_mu);
+  if (g_crash_path == nullptr) g_crash_path = new std::string();
+  if (g_crash_config == nullptr) g_crash_config = new HealthOptions();
+  *g_crash_path = resolve_flight_path(path);
+  if (config != nullptr) {
+    *g_crash_config = *config;
+    g_have_crash_config = true;
+  } else {
+    g_have_crash_config = false;
+  }
+  g_armed_recorder = this;
+  if (!g_handlers_installed) {
+    g_handlers_installed = true;
+    g_prev_terminate = std::set_terminate(terminate_with_dump);
+    for (const int sig : kCrashSignals) {
+      std::signal(sig, signal_with_dump);
+    }
+  }
+}
+
+void FlightRecorder::disarm_crash_handler() {
+  std::lock_guard<std::mutex> lock(g_crash_mu);
+  g_armed_recorder = nullptr;
+  if (g_handlers_installed) {
+    g_handlers_installed = false;
+    std::set_terminate(g_prev_terminate);
+    g_prev_terminate = nullptr;
+    for (const int sig : kCrashSignals) {
+      std::signal(sig, SIG_DFL);
+    }
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::unique_lock<std::mutex> lock(g_crash_mu);
+  if (g_armed_recorder == this) {
+    lock.unlock();
+    disarm_crash_handler();
+  }
+}
+
+// --- HealthMonitor -----------------------------------------------------------
+
+namespace {
+
+/// Registry handles the monitor emits through (resolved once; the
+/// registry guarantees reference stability).
+struct HealthMetrics {
+  Series& loss;
+  Series& grad_norm;
+  Series& eps_floor;
+  Series& update_ratio;
+  Counter& steps;
+  Counter& nonfinite;
+  Counter& anomalies;
+  Gauge& last_anomaly_step;
+
+  static HealthMetrics& get() {
+    static HealthMetrics* m = new HealthMetrics{
+        MetricsRegistry::global().series("health.loss"),
+        MetricsRegistry::global().series("health.grad_norm"),
+        MetricsRegistry::global().series("health.frac_at_eps_floor"),
+        MetricsRegistry::global().series("health.max_update_ratio"),
+        MetricsRegistry::global().counter("health.steps"),
+        MetricsRegistry::global().counter("health.nonfinite_grads"),
+        MetricsRegistry::global().counter("health.anomalies"),
+        MetricsRegistry::global().gauge("health.last_anomaly_step"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(HealthOptions opts, const nn::Module& model,
+                             const optim::Optimizer& opt)
+    : opts_(std::move(opts)),
+      model_(&model),
+      opt_(&opt),
+      detector_(opts_),
+      recorder_(opts_.flight_recorder_steps) {
+  named_ = model_->named_parameters();
+  if (const auto* adam = dynamic_cast<const optim::Adam*>(opt_)) {
+    probe_.emplace(*adam);
+    probe_->set_history_limit(
+        static_cast<std::size_t>(opts_.flight_recorder_steps));
+  }
+  if (opts_.arm_crash_handler) {
+    recorder_.arm_crash_handler(opts_.flight_recorder_path, &opts_);
+  }
+}
+
+std::vector<Anomaly> HealthMonitor::on_step(std::int64_t step, double loss) {
+  MATSCI_TRACE_SCOPE("health/on_step");
+  HealthSnapshot snap;
+  snap.step = step;
+  snap.rank = rank_;
+  snap.loss = loss;
+
+  const double lr = opt_->lr();
+  double total_sq = 0.0;
+  snap.layers.reserve(named_.size());
+  for (const auto& [name, param] : named_) {
+    LayerHealth lh;
+    lh.name = name;
+    double grad_sq = 0.0, weight_sq = 0.0;
+    for (const float w : param.span()) {
+      weight_sq += static_cast<double>(w) * w;
+    }
+    if (param.has_grad()) {
+      for (const float g : param.impl()->grad) {
+        if (!std::isfinite(g)) {
+          ++lh.nonfinite_grads;
+        } else {
+          grad_sq += static_cast<double>(g) * g;
+        }
+      }
+    }
+    lh.grad_norm = std::sqrt(grad_sq);
+    lh.weight_norm = std::sqrt(weight_sq);
+    lh.update_ratio = lr * lh.grad_norm / (lh.weight_norm + 1e-12);
+    total_sq += grad_sq;
+    snap.nonfinite_grads += lh.nonfinite_grads;
+    snap.max_update_ratio = std::max(snap.max_update_ratio, lh.update_ratio);
+    snap.layers.push_back(std::move(lh));
+  }
+  snap.grad_norm = std::sqrt(total_sq);
+
+  if (probe_) {
+    const optim::AdamStepStats stats = probe_->observe();
+    snap.has_adam_stats = true;
+    snap.frac_at_eps_floor = stats.frac_at_eps_floor;
+    snap.grad_autocorrelation = stats.grad_autocorrelation;
+    snap.max_update_magnitude = stats.max_update_magnitude;
+  }
+
+  if (opts_.record_metrics && rank_ == 0) {
+    HealthMetrics& metrics = HealthMetrics::get();
+    metrics.steps.add(1);
+    metrics.loss.record(step, snap.loss);
+    metrics.grad_norm.record(step, snap.grad_norm);
+    metrics.update_ratio.record(step, snap.max_update_ratio);
+    if (snap.has_adam_stats) {
+      metrics.eps_floor.record(step, snap.frac_at_eps_floor);
+    }
+    if (snap.nonfinite_grads > 0) {
+      metrics.nonfinite.add(snap.nonfinite_grads);
+    }
+  }
+
+  recorder_.record(snap);
+  last_ = std::move(snap);
+
+  std::vector<Anomaly> anomalies = detector_.observe(last_);
+  if (opts_.record_metrics && rank_ == 0 && !anomalies.empty()) {
+    HealthMetrics& metrics = HealthMetrics::get();
+    metrics.anomalies.add(static_cast<std::int64_t>(anomalies.size()));
+    metrics.last_anomaly_step.set(static_cast<double>(step));
+  }
+  return anomalies;
+}
+
+std::vector<Anomaly> HealthMonitor::on_cross_rank(
+    const CrossRankHealth& cross, std::int64_t offender_rank) {
+  last_.cross_rank = cross;
+  recorder_.amend_last(last_);
+  std::vector<Anomaly> anomalies =
+      detector_.observe_cross_rank(cross, last_.step, offender_rank);
+  if (opts_.record_metrics && rank_ == 0 && !anomalies.empty()) {
+    HealthMetrics& metrics = HealthMetrics::get();
+    metrics.anomalies.add(static_cast<std::int64_t>(anomalies.size()));
+    metrics.last_anomaly_step.set(static_cast<double>(last_.step));
+  }
+  return anomalies;
+}
+
+std::string HealthMonitor::dump_bundle(
+    const std::string& reason, const std::vector<Anomaly>& anomalies) const {
+  return recorder_.dump(opts_.flight_recorder_path, reason, anomalies,
+                        &opts_);
+}
+
+}  // namespace matsci::obs::health

@@ -1,0 +1,278 @@
+#pragma once
+
+// Training health monitoring (DESIGN.md §10): the layer that turns the
+// obs substrate from passive counters into active run supervision.
+//
+//   HealthMonitor   — per-step probe the Trainer/DDPTrainer invoke after
+//                     backward and *before* gradient clipping: per-layer
+//                     gradient norms, NaN/Inf counts, update-to-weight
+//                     ratios, plus the AdamInstabilityProbe's ε-floor
+//                     stats, recorded into the MetricsRegistry and fed to
+//                     the anomaly detector and flight recorder.
+//   AnomalyDetector — online spike detection with rolling median/MAD
+//                     over the loss and gradient-norm series; also flags
+//                     non-finite values, ε-floor dominance (the paper's
+//                     §5.2 large-batch Adam divergence precursor), and
+//                     cross-rank gradient-norm divergence in DDP runs.
+//   FlightRecorder  — ring of the last N health snapshots that dumps a
+//                     self-contained post-mortem JSON bundle (health
+//                     history + drained trace spans + config/env +
+//                     registry snapshot) on anomaly-triggered abort,
+//                     std::terminate, or a fatal signal.
+//
+// DDP lockstep invariant: every policy decision is derived from values
+// that are identical on all ranks (post-allreduce gradients, allreduced
+// loss, allreduced cross-rank stats), so skip-step / abort fire on every
+// rank in the same step and no rank is left waiting at a collective.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "obs/export.hpp"
+#include "optim/diagnostics.hpp"
+#include "optim/optimizer.hpp"
+
+namespace matsci::obs::health {
+
+enum class AnomalyType {
+  kNonFiniteLoss,      ///< loss is NaN/Inf
+  kNonFiniteGrad,      ///< any gradient entry (or the norm) is NaN/Inf
+  kLossSpike,          ///< loss above rolling median + k·MAD
+  kGradNormSpike,      ///< gradient norm above rolling median + k·MAD
+  kEpsFloorDominance,  ///< frac_at_eps_floor above threshold (§5.2)
+  kRankDivergence,     ///< one rank's grad norm far from the global mean
+};
+const char* to_string(AnomalyType type);
+
+/// What the trainer does when the detector fires.
+enum class AnomalyPolicy {
+  kLogAndContinue,  ///< record, invoke callback, keep training
+  kSkipStep,        ///< additionally zero grads and skip optimizer step
+  kAbort,           ///< dump flight-recorder bundle and throw Error
+};
+const char* to_string(AnomalyPolicy policy);
+
+struct Anomaly {
+  AnomalyType type = AnomalyType::kLossSpike;
+  std::int64_t step = 0;
+  std::int64_t rank = 0;   ///< offending rank (0 in single-process runs)
+  double value = 0.0;      ///< observed quantity
+  double threshold = 0.0;  ///< limit it violated
+  std::string detail;      ///< human-readable context
+};
+
+/// Per-parameter-tensor health (the module tree's registration names,
+/// e.g. "encoder.layers.0.weight", are the layer granularity).
+struct LayerHealth {
+  std::string name;
+  double grad_norm = 0.0;
+  double weight_norm = 0.0;
+  /// lr·‖g‖/‖w‖ — SGD-style update-to-weight proxy (Adam's true update
+  /// magnitude is tracked separately via max_update_magnitude).
+  double update_ratio = 0.0;
+  std::int64_t nonfinite_grads = 0;  ///< NaN/Inf gradient entries
+};
+
+/// Cross-rank reduction of per-rank grad norms (DDP only; every field
+/// comes out of a collective, so it is identical on all ranks).
+struct CrossRankHealth {
+  bool reduced = false;  ///< true once filled by the DDP trainer
+  std::int64_t world_size = 1;
+  double grad_norm_mean = 0.0;
+  double grad_norm_min = 0.0;
+  double grad_norm_max = 0.0;
+  std::int64_t nonfinite_ranks = 0;  ///< ranks with any non-finite grad
+};
+
+/// One step's complete health record — the flight recorder's unit.
+struct HealthSnapshot {
+  std::int64_t step = 0;
+  std::int64_t rank = 0;
+  double loss = 0.0;
+  double grad_norm = 0.0;  ///< global pre-clip L2 norm
+  std::int64_t nonfinite_grads = 0;
+  double max_update_ratio = 0.0;
+  std::vector<LayerHealth> layers;
+  /// AdamInstabilityProbe stats (valid when has_adam_stats).
+  bool has_adam_stats = false;
+  double frac_at_eps_floor = 0.0;
+  double grad_autocorrelation = 0.0;
+  double max_update_magnitude = 0.0;
+  CrossRankHealth cross_rank;
+};
+
+/// Render one snapshot as a flat-ish JSON object (layers nested array).
+JsonRecord snapshot_record(const HealthSnapshot& snap);
+JsonRecord anomaly_record(const Anomaly& anomaly);
+
+struct HealthOptions {
+  bool enabled = false;
+  /// Rolling median/MAD window length for the loss / grad-norm series.
+  std::int64_t window = 32;
+  /// Steps before spike, ε-floor, and rank-divergence detection arm
+  /// (non-finite detection is always armed: step 1 NaNs must fire
+  /// immediately). Cold-start gradients are noisy both over time and
+  /// across shards, so all statistical checks wait out the warmup.
+  std::int64_t warmup_steps = 8;
+  /// Spike when value > median + spike_mads · max(MAD, 1% of median)
+  /// AND value > spike_min_ratio · median (guards near-zero MAD).
+  /// Healthy small-batch training routinely wanders 2–3x around its
+  /// rolling median, so the ratio guard defaults to 4x; genuine blow-ups
+  /// are orders of magnitude. Tighten per-run when loss is smooth.
+  double spike_mads = 8.0;
+  double spike_min_ratio = 4.0;
+  /// ε-floor dominance when frac_at_eps_floor exceeds this.
+  double eps_floor_threshold = 0.5;
+  /// Rank divergence when grad_norm_max / grad_norm_min exceeds this.
+  double rank_divergence_ratio = 8.0;
+  AnomalyPolicy policy = AnomalyPolicy::kLogAndContinue;
+  /// Health snapshots retained by the flight recorder.
+  std::int64_t flight_recorder_steps = 64;
+  /// Bundle path; "" resolves to "$MATSCI_BENCH_DIR/flight_recorder.json"
+  /// (or ./flight_recorder.json).
+  std::string flight_recorder_path;
+  /// Also dump a bundle on every anomaly under kLogAndContinue /
+  /// kSkipStep (kAbort always dumps).
+  bool dump_on_anomaly = false;
+  /// Install the process-wide std::terminate / fatal-signal dump hook
+  /// for the monitor's lifetime (off by default: it is global state).
+  bool arm_crash_handler = false;
+  /// Mirror health series/counters into MetricsRegistry::global().
+  bool record_metrics = true;
+};
+
+/// Default bundle location for `path == ""`.
+std::string resolve_flight_path(const std::string& path);
+
+/// Fixed-capacity rolling window with median / MAD (median absolute
+/// deviation) summaries — robust location/scale for spike detection.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity);
+  void push(double v);
+  std::size_t size() const { return count_; }
+  double median() const;
+  /// MAD: median(|x - median|). 0 for windows of size < 2.
+  double mad() const;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Online anomaly detection over a stream of health snapshots. Not
+/// thread-safe: one detector per training loop (per rank in DDP).
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(HealthOptions opts);
+
+  /// Examine one step. Order matters for spike detection: the snapshot
+  /// is tested against the window *before* being absorbed into it.
+  std::vector<Anomaly> observe(const HealthSnapshot& snap);
+
+  /// DDP-only: examine allreduced cross-rank stats. `offender_rank` is
+  /// the rank owning grad_norm_max (identical on all ranks).
+  std::vector<Anomaly> observe_cross_rank(const CrossRankHealth& cross,
+                                          std::int64_t step,
+                                          std::int64_t offender_rank);
+
+ private:
+  HealthOptions opts_;
+  RollingWindow loss_window_;
+  RollingWindow grad_window_;
+  std::int64_t steps_seen_ = 0;
+};
+
+/// Bounded ring of health snapshots plus the post-mortem bundle writer.
+/// Thread-safe (the crash handler may fire from any thread).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::int64_t capacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(const HealthSnapshot& snap);
+  /// Overwrite the most recent snapshot (DDP folds cross-rank stats
+  /// into the step's record after the collectives complete).
+  void amend_last(const HealthSnapshot& snap);
+  /// Oldest-first retained snapshots.
+  std::vector<HealthSnapshot> history() const;
+  std::int64_t capacity() const { return capacity_; }
+
+  /// Write the self-contained post-mortem bundle: one strict-JSON object
+  /// with the health history, anomalies, drained trace spans (Chrome
+  /// trace object, including dropped-span metadata), a registry
+  /// snapshot, the health config, and MATSCI_* environment. Returns the
+  /// resolved path.
+  std::string dump(const std::string& path, const std::string& reason,
+                   const std::vector<Anomaly>& anomalies = {},
+                   const HealthOptions* config = nullptr) const;
+
+  /// Register this recorder as the process crash dumper: on
+  /// std::terminate or SIGABRT/SIGSEGV/SIGFPE/SIGILL a bundle with
+  /// reason "terminate"/"signal" is written to `path` (best-effort —
+  /// the signal path allocates, which is technically not async-safe but
+  /// is standard flight-recorder practice). One recorder may be armed
+  /// at a time; arming replaces the previous one. Disarmed
+  /// automatically on destruction.
+  void arm_crash_handler(const std::string& path,
+                         const HealthOptions* config = nullptr);
+  static void disarm_crash_handler();
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t capacity_;
+  std::vector<HealthSnapshot> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Per-step training health probe. Constructed over the live module and
+/// optimizer (references must outlive the monitor); if the optimizer is
+/// an Adam, an AdamInstabilityProbe is attached automatically and its
+/// stats (frac_at_eps_floor, grad autocorrelation, max update) flow
+/// into every snapshot. Call on_step() after backward and before
+/// clip_grad_norm so spikes are measured on true gradients.
+class HealthMonitor {
+ public:
+  HealthMonitor(HealthOptions opts, const nn::Module& model,
+                const optim::Optimizer& opt);
+
+  /// Record one step: compute per-layer stats, feed registry series,
+  /// push the snapshot into the flight recorder, and run the detector.
+  /// Returns every anomaly flagged this step (empty == healthy).
+  std::vector<Anomaly> on_step(std::int64_t step, double loss);
+
+  /// DDP-only: fold allreduced cross-rank stats into the last snapshot
+  /// and run divergence detection. Call right after on_step().
+  std::vector<Anomaly> on_cross_rank(const CrossRankHealth& cross,
+                                     std::int64_t offender_rank);
+
+  /// Dump a bundle now (used by the abort policy); returns the path.
+  std::string dump_bundle(const std::string& reason,
+                          const std::vector<Anomaly>& anomalies) const;
+
+  const HealthSnapshot& last() const { return last_; }
+  const HealthOptions& options() const { return opts_; }
+  FlightRecorder& flight_recorder() { return recorder_; }
+  void set_rank(std::int64_t rank) { rank_ = rank; }
+
+ private:
+  HealthOptions opts_;
+  const nn::Module* model_;
+  const optim::Optimizer* opt_;
+  std::vector<std::pair<std::string, core::Tensor>> named_;
+  std::optional<optim::AdamInstabilityProbe> probe_;
+  AnomalyDetector detector_;
+  FlightRecorder recorder_;
+  HealthSnapshot last_;
+  std::int64_t rank_ = 0;
+};
+
+}  // namespace matsci::obs::health

@@ -7,7 +7,11 @@
 //   obs/trace.hpp   — MATSCI_TRACE_SCOPE spans into per-thread rings
 //   obs/export.hpp  — Chrome trace_event JSON, Prometheus text, and
 //                     BENCH_*.json JSON-lines snapshots (BenchReporter)
+//   obs/health.hpp  — training health monitor: per-layer gradient
+//                     stats, anomaly detection (rolling median/MAD),
+//                     flight-recorder post-mortem bundles
 
 #include "obs/export.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

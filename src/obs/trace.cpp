@@ -89,6 +89,20 @@ std::int64_t Tracer::dropped() const {
   return dropped;
 }
 
+std::vector<std::pair<std::uint32_t, std::int64_t>> Tracer::dropped_by_thread()
+    const {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> out;
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->total > kRingCapacity) {
+      out.emplace_back(ring->tid,
+                       static_cast<std::int64_t>(ring->total - kRingCapacity));
+    }
+  }
+  return out;
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> registry_lock(registry_mu_);
   for (const std::unique_ptr<Ring>& ring : rings_) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace matsci::obs {
@@ -55,6 +56,14 @@ class Tracer {
 
   /// Spans lost to ring wrap-around since the last clear().
   std::int64_t dropped() const;
+
+  /// Per-thread wrap-around losses: (tracer tid, spans dropped) for
+  /// every ring that has overflowed since the last clear(). Overflow
+  /// used to be silent in exports; the Chrome exporter now embeds the
+  /// total in trace metadata and BenchReporter surfaces it as the
+  /// `obs.trace.dropped_events` gauge.
+  std::vector<std::pair<std::uint32_t, std::int64_t>> dropped_by_thread()
+      const;
 
   /// Empty every ring (registrations and thread ids persist).
   void clear();

@@ -60,7 +60,14 @@ AdamStepStats AdamInstabilityProbe::observe() {
   stats.max_update_magnitude = max_update;
 
   history_.push_back(stats);
+  trim_history();
   return stats;
+}
+
+void AdamInstabilityProbe::trim_history() {
+  if (history_limit_ == 0 || history_.size() <= history_limit_) return;
+  history_.erase(history_.begin(),
+                 history_.end() - static_cast<std::ptrdiff_t>(history_limit_));
 }
 
 }  // namespace matsci::optim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,18 +29,35 @@ struct AdamStepStats {
 };
 
 /// Observes an Adam optimizer across steps. Call `observe()` after each
-/// backward pass and *before* opt.step() consumes the gradients.
+/// backward pass and *before* opt.step() consumes the gradients — and
+/// before any clip_grad_norm, so the recorded grad_norm is the true
+/// (pre-clip) norm even on clipped steps.
 class AdamInstabilityProbe {
  public:
   explicit AdamInstabilityProbe(const Adam& opt);
 
   AdamStepStats observe();
   const std::vector<AdamStepStats>& history() const { return history_; }
+  /// Most recent stats (nullptr before the first observe()).
+  const AdamStepStats* last() const {
+    return history_.empty() ? nullptr : &history_.back();
+  }
+  /// Bound the retained history (0 = unbounded, the default); the
+  /// oldest entries are discarded first. Long-running supervisors
+  /// (obs::health::HealthMonitor) cap this at their flight-recorder
+  /// window so memory stays constant over arbitrarily long runs.
+  void set_history_limit(std::size_t limit) {
+    history_limit_ = limit;
+    trim_history();
+  }
 
  private:
+  void trim_history();
+
   const Adam* opt_;
   std::vector<float> prev_grads_;
   std::vector<AdamStepStats> history_;
+  std::size_t history_limit_ = 0;
 };
 
 }  // namespace matsci::optim

@@ -1,8 +1,10 @@
 #include "train/ddp.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 
 #include "core/macros.hpp"
 #include "obs/metrics.hpp"
@@ -54,8 +56,18 @@ DDPResult DDPTrainer::fit(const Factory& factory, const DDPOptions& opts) {
       comm.broadcast(p.span(), /*root=*/0);
     }
 
+    std::optional<obs::health::HealthMonitor> monitor;
+    if (opts.health.enabled) {
+      obs::health::HealthOptions hopts = opts.health;
+      // One crash-dump recorder per process; rank 0 owns it.
+      hopts.arm_crash_handler = opts.health.arm_crash_handler && rank == 0;
+      monitor.emplace(hopts, *ctx.task, *ctx.optimizer);
+      monitor->set_rank(rank);
+    }
+
     double local_samples = 0.0;
-    std::int64_t local_steps = 0;
+    std::int64_t local_steps = 0;      // applied optimizer steps
+    std::int64_t attempted_steps = 0;  // batches seen; advances on skip too
 
     for (std::int64_t epoch = 0; epoch < opts.max_epochs; ++epoch) {
       ctx.task->train(true);
@@ -71,6 +83,7 @@ DDPResult DDPTrainer::fit(const Factory& factory, const DDPOptions& opts) {
           obs::MetricsRegistry::global().histogram("ddp.allreduce_us");
       for (std::int64_t b = 0; b < num_batches; ++b) {
         data::Batch batch = ctx.train_loader->batch(b);
+        ++attempted_steps;
         ctx.optimizer->zero_grad();
         tasks::TaskOutput out;
         {
@@ -84,6 +97,16 @@ DDPResult DDPTrainer::fit(const Factory& factory, const DDPOptions& opts) {
         train_acc.add(out);
         local_samples += static_cast<double>(batch.num_graphs());
 
+        // Pre-allreduce local gradient norm: after the allreduce every
+        // rank's gradients are identical, so per-rank divergence is only
+        // visible here.
+        double local_gn = 0.0;
+        bool local_nonfinite = false;
+        if (monitor) {
+          local_gn = ctx.optimizer->grad_norm();
+          local_nonfinite = !std::isfinite(local_gn);
+        }
+
         {
           // The defining DDP collective: average gradients across
           // ranks. The ddp-level histogram includes flatten/unflatten
@@ -94,6 +117,96 @@ DDPResult DDPTrainer::fit(const Factory& factory, const DDPOptions& opts) {
           comm.allreduce_mean(flat);
           unflatten_grads(flat, params);
           allreduce_us.observe(watch.elapsed_us());
+        }
+
+        // Health: every detector input below comes out of a collective
+        // (or the already-allreduced gradients), so the anomaly set and
+        // therefore the skip/abort decision is identical on all ranks.
+        bool skip_step = false;
+        if (monitor) {
+          MATSCI_TRACE_SCOPE("ddp/health");
+          const double loss_mean =
+              comm.allreduce_scalar_sum(
+                  static_cast<double>(out.loss.item())) /
+              static_cast<double>(comm.world_size());
+          std::vector<obs::health::Anomaly> step_anomalies =
+              monitor->on_step(attempted_steps, loss_mean);
+
+          obs::health::CrossRankHealth cross;
+          cross.reduced = true;
+          cross.world_size = comm.world_size();
+          const double finite_gn = local_nonfinite ? 0.0 : local_gn;
+          cross.grad_norm_mean =
+              comm.allreduce_scalar_sum(finite_gn) /
+              static_cast<double>(comm.world_size());
+          cross.grad_norm_max = comm.allreduce_scalar_max(finite_gn);
+          cross.grad_norm_min = comm.allreduce_scalar_min(finite_gn);
+          cross.nonfinite_ranks = static_cast<std::int64_t>(
+              comm.allreduce_scalar_sum(local_nonfinite ? 1.0 : 0.0) + 0.5);
+          // Offending rank: a non-finite rank if any exists, else the
+          // owner of the max norm (ties resolve to the highest rank;
+          // identical on all ranks by allreduce). Scalar collectives
+          // round through float, so the ownership test must compare in
+          // float space or the owner misses its own maximum.
+          const double nf_offender = comm.allreduce_scalar_max(
+              local_nonfinite ? static_cast<double>(rank) : -1.0);
+          const bool owns_max = static_cast<float>(finite_gn) >=
+                                static_cast<float>(cross.grad_norm_max);
+          const double max_offender = comm.allreduce_scalar_max(
+              owns_max ? static_cast<double>(rank) : -1.0);
+          const double offender =
+              cross.nonfinite_ranks > 0 ? nf_offender : max_offender;
+          const std::vector<obs::health::Anomaly> cross_anomalies =
+              monitor->on_cross_rank(cross,
+                                     static_cast<std::int64_t>(offender));
+          step_anomalies.insert(step_anomalies.end(),
+                                cross_anomalies.begin(),
+                                cross_anomalies.end());
+
+          if (!step_anomalies.empty()) {
+            if (rank == 0) {
+              {
+                std::lock_guard<std::mutex> lock(result_mu);
+                for (const obs::health::Anomaly& a : step_anomalies) {
+                  result.anomalies.push_back(a);
+                }
+              }
+              if (opts.on_anomaly) {
+                for (const obs::health::Anomaly& a : step_anomalies) {
+                  opts.on_anomaly(a);
+                }
+              }
+            }
+            if (opts.health.policy == obs::health::AnomalyPolicy::kAbort) {
+              std::string bundle;
+              if (rank == 0) {
+                bundle = monitor->dump_bundle("abort", step_anomalies);
+              }
+              MATSCI_CHECK(false,
+                           "ddp health abort at step "
+                               << attempted_steps << " on rank " << rank
+                               << " ("
+                               << obs::health::to_string(
+                                      step_anomalies.front().type)
+                               << ")"
+                               << (bundle.empty()
+                                       ? std::string()
+                                       : "; flight bundle: " + bundle));
+            }
+            if (opts.health.dump_on_anomaly && rank == 0) {
+              monitor->dump_bundle("anomaly", step_anomalies);
+            }
+            skip_step =
+                opts.health.policy == obs::health::AnomalyPolicy::kSkipStep;
+          }
+        }
+
+        if (skip_step) {
+          if (rank == 0) {
+            std::lock_guard<std::mutex> lock(result_mu);
+            ++result.skipped_steps;
+          }
+          continue;
         }
 
         {

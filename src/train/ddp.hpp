@@ -23,6 +23,14 @@ struct DDPOptions {
   std::int64_t max_epochs = 1;
   double grad_clip = 0.0;
   bool verbose = false;
+  /// Per-rank health monitoring. Local detection runs on post-allreduce
+  /// gradients and the allreduced mean loss; per-rank grad norms are
+  /// additionally reduced (min/mean/max + non-finite rank count) so the
+  /// policy decision is identical on every rank — no rank is ever left
+  /// waiting at a collective (lockstep invariant, obs/health.hpp).
+  obs::health::HealthOptions health;
+  /// Rank-0 anomaly callback (same semantics as Trainer's).
+  Trainer::AnomalyCallback on_anomaly;
 };
 
 struct DDPResult {
@@ -30,6 +38,11 @@ struct DDPResult {
   std::int64_t total_steps = 0;
   double total_samples = 0.0;  ///< across all ranks
   double wall_seconds = 0.0;
+  /// Anomalies flagged on rank 0 (cross-rank stats are identical on all
+  /// ranks, so rank 0's view is the global view).
+  std::vector<obs::health::Anomaly> anomalies;
+  /// Lockstep-skipped optimizer steps (counted once, not per rank).
+  std::int64_t skipped_steps = 0;
   double samples_per_second() const {
     return wall_seconds > 0.0 ? total_samples / wall_seconds : 0.0;
   }

@@ -65,13 +65,19 @@ std::map<std::string, double> Trainer::evaluate(const tasks::Task& task,
 FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
                        data::DataLoader* val_loader, optim::Optimizer& opt,
                        optim::LRScheduler* scheduler,
-                       const EpochCallback& on_epoch) {
+                       const EpochCallback& on_epoch,
+                       const AnomalyCallback& on_anomaly) {
   MATSCI_CHECK(opts_.early_stopping_patience == 0 || val_loader != nullptr,
                "early stopping requires a validation loader");
   FitResult result;
   const auto t0 = std::chrono::steady_clock::now();
   double best_metric = std::numeric_limits<double>::infinity();
   std::int64_t epochs_without_improvement = 0;
+
+  std::optional<obs::health::HealthMonitor> monitor;
+  if (opts_.health.enabled) {
+    monitor.emplace(opts_.health, task, opt);
+  }
 
   for (std::int64_t epoch = 0; epoch < opts_.max_epochs; ++epoch) {
     task.train(true);
@@ -80,6 +86,7 @@ FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
 
     const std::int64_t num_batches = train_loader.num_batches();
     std::int64_t accumulated = 0;
+    double flush_loss = 0.0;  ///< sum of microbatch losses since last flush
     opt.zero_grad();
 
     TrainMetrics& metrics = TrainMetrics::get();
@@ -103,22 +110,66 @@ FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
       result.total_samples += static_cast<double>(batch.num_graphs());
       metrics.samples.add(batch.num_graphs());
       ++accumulated;
+      if (monitor) flush_loss += static_cast<double>(out.loss.item());
 
       const bool flush =
           accumulated == opts_.accumulate_batches || b + 1 == num_batches;
       if (!flush) continue;
 
+      if (accumulated > 1) {
+        // Average, matching synchronous-DDP gradient semantics.
+        const float inv = 1.0f / static_cast<float>(accumulated);
+        for (core::Tensor p : opt.params()) {  // cheap handle copy
+          if (!p.has_grad()) continue;
+          for (float& g : p.grad_span()) g *= inv;
+        }
+      }
+
+      // Health probe on the averaged, pre-clip gradients: spikes must be
+      // measured before clip_grad_norm rescales them away.
+      bool skip_step = false;
+      // Health steps count *attempted* flushes: a skipped step still
+      // advances the index, so consecutive anomalies get distinct steps.
+      const std::int64_t health_step =
+          result.total_steps + result.skipped_steps + 1;
+      if (monitor) {
+        MATSCI_TRACE_SCOPE("train/health");
+        const double step_loss =
+            flush_loss / static_cast<double>(accumulated);
+        const std::vector<obs::health::Anomaly> anomalies =
+            monitor->on_step(health_step, step_loss);
+        if (!anomalies.empty()) {
+          for (const obs::health::Anomaly& a : anomalies) {
+            result.anomalies.push_back(a);
+            if (on_anomaly) on_anomaly(a);
+          }
+          if (opts_.health.policy == obs::health::AnomalyPolicy::kAbort) {
+            const std::string bundle = monitor->dump_bundle("abort", anomalies);
+            MATSCI_CHECK(false,
+                         "health abort at step "
+                             << health_step << " ("
+                             << obs::health::to_string(anomalies.front().type)
+                             << "); flight bundle: " << bundle);
+          }
+          if (opts_.health.dump_on_anomaly) {
+            monitor->dump_bundle("anomaly", anomalies);
+          }
+          skip_step =
+              opts_.health.policy == obs::health::AnomalyPolicy::kSkipStep;
+        }
+      }
+      flush_loss = 0.0;
+      accumulated = 0;
+
+      if (skip_step) {
+        opt.zero_grad();
+        ++result.skipped_steps;
+        continue;
+      }
+
       {
         MATSCI_TRACE_SCOPE("train/optimizer");
         const obs::StopWatch watch;
-        if (accumulated > 1) {
-          // Average, matching synchronous-DDP gradient semantics.
-          const float inv = 1.0f / static_cast<float>(accumulated);
-          for (core::Tensor p : opt.params()) {  // cheap handle copy
-            if (!p.has_grad()) continue;
-            for (float& g : p.grad_span()) g *= inv;
-          }
-        }
         if (opts_.grad_clip > 0.0) {
           opt.clip_grad_norm(opts_.grad_clip);
         }
@@ -126,7 +177,6 @@ FitResult Trainer::fit(tasks::Task& task, data::DataLoader& train_loader,
         opt.zero_grad();
         metrics.optimizer_us.observe(watch.elapsed_us());
       }
-      accumulated = 0;
       ++result.total_steps;
       metrics.steps.add(1);
 

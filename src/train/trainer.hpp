@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "data/dataloader.hpp"
+#include "obs/health.hpp"
 #include "optim/lr_scheduler.hpp"
 #include "optim/optimizer.hpp"
 #include "tasks/task.hpp"
@@ -29,6 +30,10 @@ struct TrainerOptions {
   std::int64_t early_stopping_patience = 0;
   std::string early_stopping_metric = "loss";
   bool verbose = false;  ///< print one line per epoch
+  /// Training health monitoring (obs/health.hpp): per-step gradient /
+  /// loss anomaly detection with a configurable response policy.
+  /// Disabled by default (health.enabled == false costs nothing).
+  obs::health::HealthOptions health;
 };
 
 struct EpochStats {
@@ -46,6 +51,10 @@ struct FitResult {
   std::int64_t total_steps = 0;
   double total_samples = 0.0;
   double wall_seconds = 0.0;
+  /// Every anomaly the health monitor flagged (empty when disabled).
+  std::vector<obs::health::Anomaly> anomalies;
+  /// Optimizer steps suppressed by AnomalyPolicy::kSkipStep.
+  std::int64_t skipped_steps = 0;
   double samples_per_second() const {
     return wall_seconds > 0.0 ? total_samples / wall_seconds : 0.0;
   }
@@ -60,11 +69,15 @@ class Trainer {
   explicit Trainer(TrainerOptions opts = {});
 
   using EpochCallback = std::function<void(const EpochStats&)>;
+  /// Invoked once per flagged anomaly, before the policy response
+  /// (so an abort's callback still runs). Same-thread, synchronous.
+  using AnomalyCallback = std::function<void(const obs::health::Anomaly&)>;
 
   FitResult fit(tasks::Task& task, data::DataLoader& train_loader,
                 data::DataLoader* val_loader, optim::Optimizer& opt,
                 optim::LRScheduler* scheduler = nullptr,
-                const EpochCallback& on_epoch = {});
+                const EpochCallback& on_epoch = {},
+                const AnomalyCallback& on_anomaly = {});
 
   /// Full evaluation pass (eval mode, no grads); returns metric means.
   static std::map<std::string, double> evaluate(

@@ -1,0 +1,618 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "materials/materials_project.hpp"
+#include "models/egnn.hpp"
+#include "obs/health.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+#include "tasks/regression.hpp"
+#include "train/ddp.hpp"
+#include "train/trainer.hpp"
+
+namespace matsci::obs::health {
+namespace {
+
+using core::RngEngine;
+using train::FitResult;
+using train::Trainer;
+using train::TrainerOptions;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr float kNaNf = std::numeric_limits<float>::quiet_NaN();
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- building blocks ---------------------------------------------------------
+
+std::unique_ptr<tasks::ScalarRegressionTask> make_task(std::uint64_t seed) {
+  RngEngine rng(seed);
+  models::EGNNConfig ecfg;
+  ecfg.hidden_dim = 16;
+  ecfg.pos_hidden = 8;
+  ecfg.num_layers = 2;
+  auto enc = std::make_shared<models::EGNN>(ecfg, rng);
+  models::OutputHeadConfig hcfg;
+  hcfg.hidden_dim = 16;
+  hcfg.num_blocks = 1;
+  return std::make_unique<tasks::ScalarRegressionTask>(
+      enc, "band_gap", hcfg, rng, data::TargetStats{1.4f, 1.1f});
+}
+
+data::DataLoaderOptions loader_opts(std::int64_t batch = 8) {
+  data::DataLoaderOptions o;
+  o.batch_size = batch;
+  o.seed = 3;
+  o.shuffle = false;
+  o.collate.radius.cutoff = 4.0;
+  return o;
+}
+
+/// Wraps a task and multiplies the loss by `factor` on one training
+/// batch — the injected fault the monitor must catch. Registered as a
+/// child module so parameters() pass through to the optimizer.
+class FaultInjectionTask : public tasks::Task {
+ public:
+  FaultInjectionTask(std::shared_ptr<tasks::Task> inner,
+                     std::int64_t trigger_batch, float factor)
+      : trigger_(trigger_batch), factor_(factor) {
+    inner_ = register_module("inner", std::move(inner));
+  }
+
+  tasks::TaskOutput step(const data::Batch& batch) const override {
+    tasks::TaskOutput out = inner_->step(batch);
+    if (is_training() && calls_++ == trigger_) {
+      out.loss = core::mul_scalar(out.loss, factor_);
+    }
+    return out;
+  }
+  std::shared_ptr<models::Encoder> encoder() const override {
+    return inner_->encoder();
+  }
+
+ private:
+  std::shared_ptr<tasks::Task> inner_;
+  std::int64_t trigger_;
+  float factor_;
+  mutable std::int64_t calls_ = 0;
+};
+
+HealthSnapshot snap(std::int64_t step, double loss, double grad_norm) {
+  HealthSnapshot s;
+  s.step = step;
+  s.loss = loss;
+  s.grad_norm = grad_norm;
+  return s;
+}
+
+HealthOptions detector_opts() {
+  HealthOptions o;
+  o.enabled = true;
+  o.window = 16;
+  o.warmup_steps = 4;
+  return o;
+}
+
+// --- RollingWindow -----------------------------------------------------------
+
+TEST(RollingWindow, MedianAndMad) {
+  RollingWindow w(8);
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 100.0}) w.push(v);
+  EXPECT_DOUBLE_EQ(w.median(), 3.0);  // robust to the outlier
+  // deviations from 3: {2,1,0,1,97} -> median 1
+  EXPECT_DOUBLE_EQ(w.mad(), 1.0);
+}
+
+TEST(RollingWindow, EvenSizeAveragesMiddlePair) {
+  RollingWindow w(8);
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) w.push(v);
+  EXPECT_DOUBLE_EQ(w.median(), 2.5);
+}
+
+TEST(RollingWindow, EvictsOldestAtCapacity) {
+  RollingWindow w(4);
+  for (const double v : {100.0, 1.0, 1.0, 1.0, 1.0}) w.push(v);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w.median(), 1.0);  // the 100 fell out of the window
+}
+
+// --- AnomalyDetector ---------------------------------------------------------
+
+TEST(AnomalyDetector, QuietStreamFlagsNothing) {
+  AnomalyDetector det(detector_opts());
+  for (std::int64_t s = 1; s <= 50; ++s) {
+    const double jitter = 0.01 * static_cast<double>(s % 5);
+    EXPECT_TRUE(det.observe(snap(s, 1.0 + jitter, 2.0 + jitter)).empty())
+        << "step " << s;
+  }
+}
+
+TEST(AnomalyDetector, NonFiniteFiresImmediately) {
+  AnomalyDetector det(detector_opts());
+  const auto anomalies = det.observe(snap(1, kNaN, 1.0));
+  ASSERT_EQ(anomalies.size(), 1u);  // step 1, no warmup needed
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kNonFiniteLoss);
+  EXPECT_EQ(anomalies[0].step, 1);
+}
+
+TEST(AnomalyDetector, LossAndGradSpikesAfterWarmup) {
+  AnomalyDetector det(detector_opts());
+  for (std::int64_t s = 1; s <= 10; ++s) {
+    ASSERT_TRUE(det.observe(snap(s, 1.0, 2.0)).empty());
+  }
+  const auto anomalies = det.observe(snap(11, 50.0, 200.0));
+  ASSERT_EQ(anomalies.size(), 2u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kLossSpike);
+  EXPECT_EQ(anomalies[1].type, AnomalyType::kGradNormSpike);
+  EXPECT_DOUBLE_EQ(anomalies[0].value, 50.0);
+  EXPECT_GT(anomalies[0].threshold, 1.0);
+  // The spike was not absorbed into the window before being tested, and
+  // a repeat at the old level is still healthy.
+  EXPECT_TRUE(det.observe(snap(12, 1.0, 2.0)).empty());
+}
+
+TEST(AnomalyDetector, SpikeDuringWarmupIsNotFlagged) {
+  AnomalyDetector det(detector_opts());
+  EXPECT_TRUE(det.observe(snap(1, 1.0, 1.0)).empty());
+  EXPECT_TRUE(det.observe(snap(2, 100.0, 100.0)).empty());  // warmup
+}
+
+TEST(AnomalyDetector, EpsFloorDominanceAfterWarmup) {
+  AnomalyDetector det(detector_opts());
+  auto adam_snap = [&](std::int64_t s, double frac) {
+    HealthSnapshot sn = snap(s, 1.0, 1.0);
+    sn.has_adam_stats = true;
+    sn.frac_at_eps_floor = frac;
+    return sn;
+  };
+  // All-at-floor during warmup (zero second moments) must not fire.
+  EXPECT_TRUE(det.observe(adam_snap(1, 1.0)).empty());
+  for (std::int64_t s = 2; s <= 10; ++s) {
+    ASSERT_TRUE(det.observe(adam_snap(s, 0.1)).empty());
+  }
+  const auto anomalies = det.observe(adam_snap(11, 0.9));
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kEpsFloorDominance);
+}
+
+TEST(AnomalyDetector, CrossRankDivergenceAndNonFinite) {
+  AnomalyDetector det(detector_opts());
+  // Divergence shares the spike warmup (cold-start shards spread
+  // naturally), so feed a quiet stream past warmup=4 first.
+  for (std::int64_t s = 1; s <= 6; ++s) {
+    EXPECT_TRUE(det.observe(snap(s, 1.0, 1.0)).empty());
+  }
+  CrossRankHealth cross;
+  cross.reduced = true;
+  cross.world_size = 4;
+  cross.grad_norm_min = 1.0;
+  cross.grad_norm_mean = 3.0;
+  cross.grad_norm_max = 9.0;
+  const auto diverged = det.observe_cross_rank(cross, 7, /*offender=*/2);
+  ASSERT_EQ(diverged.size(), 1u);
+  EXPECT_EQ(diverged[0].type, AnomalyType::kRankDivergence);
+  EXPECT_EQ(diverged[0].rank, 2);
+  EXPECT_DOUBLE_EQ(diverged[0].value, 9.0);
+
+  cross.grad_norm_max = 5.0;  // spread 5 < ratio 8: healthy
+  EXPECT_TRUE(det.observe_cross_rank(cross, 8, 2).empty());
+
+  cross.nonfinite_ranks = 1;
+  const auto poisoned = det.observe_cross_rank(cross, 9, 3);
+  ASSERT_EQ(poisoned.size(), 1u);  // divergence not double-flagged
+  EXPECT_EQ(poisoned[0].type, AnomalyType::kNonFiniteGrad);
+
+  cross.nonfinite_ranks = 0;
+  cross.grad_norm_min = 0.0;
+  cross.grad_norm_max = 1e-13;  // cold start, not divergence
+  EXPECT_TRUE(det.observe_cross_rank(cross, 10, 0).empty());
+}
+
+// --- FlightRecorder ----------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsLastNOldestFirst) {
+  FlightRecorder rec(3);
+  for (std::int64_t s = 1; s <= 5; ++s) rec.record(snap(s, 0.0, 0.0));
+  const auto hist = rec.history();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0].step, 3);
+  EXPECT_EQ(hist[2].step, 5);
+}
+
+TEST(FlightRecorder, AmendLastOverwritesNewest) {
+  FlightRecorder rec(3);
+  rec.record(snap(1, 0.0, 0.0));
+  rec.record(snap(2, 0.0, 0.0));
+  HealthSnapshot amended = snap(2, 0.0, 0.0);
+  amended.cross_rank.reduced = true;
+  amended.cross_rank.world_size = 4;
+  rec.amend_last(amended);
+  const auto hist = rec.history();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_FALSE(hist[0].cross_rank.reduced);
+  EXPECT_TRUE(hist[1].cross_rank.reduced);
+  EXPECT_EQ(hist[1].cross_rank.world_size, 4);
+}
+
+TEST(FlightRecorder, DumpIsStrictJsonWithAllSections) {
+  FlightRecorder rec(4);
+  HealthSnapshot s = snap(7, 1.5, 2.5);
+  s.layers.push_back(LayerHealth{"encoder.w\"eird", 1.0, 2.0, 0.1, 0});
+  rec.record(s);
+
+  Anomaly anomaly;
+  anomaly.type = AnomalyType::kLossSpike;
+  anomaly.step = 7;
+  anomaly.value = 50.0;
+  anomaly.detail = "test \"quoted\" detail";
+  HealthOptions opts = detector_opts();
+
+  const std::string path = temp_path("matsci_flight_test.json");
+  const std::string written = rec.dump(path, "unit-test", {anomaly}, &opts);
+  EXPECT_EQ(written, path);
+
+  const std::string body = slurp(path);
+  std::string error;
+  EXPECT_TRUE(validate_json(body, &error)) << error;
+  for (const char* key :
+       {"\"schema\":\"matsci.flight.v1\"", "\"reason\":\"unit-test\"",
+        "\"anomalies\":", "\"loss_spike\"", "\"config\":", "\"env\":",
+        "\"health\":", "\"layers\":", "\"metrics\":", "\"trace\":",
+        "\"traceEvents\""}) {
+    EXPECT_NE(body.find(key), std::string::npos) << "missing " << key;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, ResolvePathUsesBenchDirDefault) {
+  EXPECT_EQ(resolve_flight_path("/tmp/x.json"), "/tmp/x.json");
+  EXPECT_NE(resolve_flight_path("").find("flight_recorder.json"),
+            std::string::npos);
+}
+
+// --- HealthMonitor on a real model ------------------------------------------
+
+TEST(HealthMonitor, RecordsPerLayerStatsAndAdamProbe) {
+  materials::MaterialsProjectDataset ds(16, 41);
+  data::DataLoader loader(ds, loader_opts());
+  auto task = make_task(41);
+  optim::Adam opt = optim::make_adamw(task->parameters(), 1e-3);
+
+  HealthOptions opts = detector_opts();
+  HealthMonitor monitor(opts, *task, opt);
+
+  opt.zero_grad();
+  task->step(loader.batch(0)).loss.backward();
+  const auto anomalies = monitor.on_step(1, 0.5);
+  EXPECT_TRUE(anomalies.empty());
+
+  const HealthSnapshot& last = monitor.last();
+  EXPECT_EQ(last.step, 1);
+  EXPECT_EQ(last.layers.size(), task->named_parameters().size());
+  EXPECT_GT(last.grad_norm, 0.0);
+  EXPECT_TRUE(last.has_adam_stats);  // probe auto-attached to Adam
+  EXPECT_EQ(last.nonfinite_grads, 0);
+  bool some_layer_nonzero = false;
+  for (const LayerHealth& lh : last.layers) {
+    EXPECT_TRUE(std::isfinite(lh.grad_norm));
+    EXPECT_GT(lh.weight_norm, 0.0);
+    if (lh.grad_norm > 0.0) some_layer_nonzero = true;
+  }
+  EXPECT_TRUE(some_layer_nonzero);
+}
+
+TEST(HealthMonitor, SgdOptimizerGetsNoAdamStats) {
+  auto task = make_task(42);
+  optim::SGD opt(task->parameters(), {.lr = 0.01});
+  HealthMonitor monitor(detector_opts(), *task, opt);
+  const auto anomalies = monitor.on_step(1, 0.5);
+  EXPECT_TRUE(anomalies.empty());
+  EXPECT_FALSE(monitor.last().has_adam_stats);
+}
+
+// --- Trainer integration -----------------------------------------------------
+
+TrainerOptions health_trainer_opts() {
+  TrainerOptions topts;
+  topts.max_epochs = 2;  // 24 steps at 12 batches/epoch
+  topts.health = detector_opts();
+  // Small-batch training on this dataset is naturally noisy (per-batch
+  // loss varies ~4x, grad norm ~12x within the first epoch, before the
+  // rolling window has absorbed the spread). Only the injected x1000
+  // fault should clear this ratio.
+  topts.health.spike_min_ratio = 20.0;
+  return topts;
+}
+
+TEST(TrainerHealth, GradientSpikeTriggersCallbackWithinOneStep) {
+  materials::MaterialsProjectDataset ds(96, 43);
+  data::DataLoader loader(ds, loader_opts());
+  const std::int64_t trigger = 14;  // 0-based batch -> step 15, armed
+  auto task = std::make_shared<FaultInjectionTask>(make_task(43), trigger,
+                                                   1000.0f);
+  optim::Adam opt = optim::make_adamw(task->parameters(), 1e-3);
+  std::vector<Anomaly> seen;
+  Trainer trainer(health_trainer_opts());
+  const FitResult result =
+      trainer.fit(*task, loader, nullptr, opt, nullptr, {},
+                  [&](const Anomaly& a) { seen.push_back(a); });
+
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front().step, trigger + 1);  // within one step
+  bool loss_spike = false, grad_spike = false;
+  for (const Anomaly& a : seen) {
+    loss_spike |= a.type == AnomalyType::kLossSpike;
+    grad_spike |= a.type == AnomalyType::kGradNormSpike;
+    EXPECT_EQ(a.step, trigger + 1);  // nothing flagged after recovery
+  }
+  EXPECT_TRUE(loss_spike);
+  EXPECT_TRUE(grad_spike);
+  EXPECT_EQ(result.anomalies.size(), seen.size());
+  EXPECT_EQ(result.skipped_steps, 0);  // log-and-continue
+}
+
+TEST(TrainerHealth, InjectedNanTriggersNonFiniteAnomalies) {
+  materials::MaterialsProjectDataset ds(96, 44);
+  data::DataLoader loader(ds, loader_opts());
+  const std::int64_t trigger = 2;  // non-finite detection needs no warmup
+  auto task =
+      std::make_shared<FaultInjectionTask>(make_task(44), trigger, kNaNf);
+  optim::Adam opt = optim::make_adamw(task->parameters(), 1e-3);
+  TrainerOptions topts = health_trainer_opts();
+  topts.max_epochs = 1;
+  topts.health.policy = AnomalyPolicy::kSkipStep;
+  const FitResult result = Trainer(topts).fit(*task, loader, nullptr, opt);
+
+  bool nan_loss = false, nan_grad = false;
+  for (const Anomaly& a : result.anomalies) {
+    EXPECT_EQ(a.step, trigger + 1);
+    nan_loss |= a.type == AnomalyType::kNonFiniteLoss;
+    nan_grad |= a.type == AnomalyType::kNonFiniteGrad;
+  }
+  EXPECT_TRUE(nan_loss);
+  EXPECT_TRUE(nan_grad);
+
+  // The poisoned step was skipped, so parameters never went NaN and
+  // training carried on for the remaining batches.
+  EXPECT_EQ(result.skipped_steps, 1);
+  EXPECT_EQ(result.total_steps, 11);  // 12 batches, one skipped
+  for (core::Tensor p : task->parameters()) {
+    for (const float w : p.span()) {
+      ASSERT_TRUE(std::isfinite(w));
+    }
+  }
+}
+
+TEST(TrainerHealth, AbortPolicyThrowsAndDumpsBundle) {
+  materials::MaterialsProjectDataset ds(96, 45);
+  data::DataLoader loader(ds, loader_opts());
+  const std::int64_t trigger = 3;
+  auto task =
+      std::make_shared<FaultInjectionTask>(make_task(45), trigger, kNaNf);
+  optim::Adam opt = optim::make_adamw(task->parameters(), 1e-3);
+  TrainerOptions topts = health_trainer_opts();
+  topts.max_epochs = 1;
+  topts.health.policy = AnomalyPolicy::kAbort;
+  topts.health.flight_recorder_path = temp_path("matsci_abort_bundle.json");
+  std::remove(topts.health.flight_recorder_path.c_str());
+
+  EXPECT_THROW(Trainer(topts).fit(*task, loader, nullptr, opt), matsci::Error);
+
+  const std::string body = slurp(topts.health.flight_recorder_path);
+  ASSERT_FALSE(body.empty()) << "abort must write the flight bundle";
+  std::string error;
+  EXPECT_TRUE(validate_json(body, &error)) << error;
+  EXPECT_NE(body.find("\"reason\":\"abort\""), std::string::npos);
+  EXPECT_NE(body.find("\"non_finite_loss\""), std::string::npos);
+  // The offending step's snapshot is in the history with per-layer stats.
+  EXPECT_NE(body.find("\"step\":" + std::to_string(trigger + 1)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"layers\":[{\"name\":"), std::string::npos);
+  std::remove(topts.health.flight_recorder_path.c_str());
+}
+
+TEST(TrainerHealth, HealthySpikelessRunStaysQuiet) {
+  materials::MaterialsProjectDataset ds(64, 46);
+  data::DataLoader loader(ds, loader_opts());
+  auto task = make_task(46);
+  optim::Adam opt = optim::make_adamw(task->parameters(), 1e-3);
+  TrainerOptions topts = health_trainer_opts();
+  const FitResult result = Trainer(topts).fit(*task, loader, nullptr, opt);
+  EXPECT_TRUE(result.anomalies.empty());
+  EXPECT_EQ(result.skipped_steps, 0);
+}
+
+// --- DDP integration ---------------------------------------------------------
+
+/// Rank-dependent fault: only `fault_rank` injects, so ranks disagree —
+/// the cross-rank reduction must notice before the allreduce hides it.
+train::DDPTrainer::Factory ddp_factory(
+    const materials::MaterialsProjectDataset& ds, std::int64_t fault_rank,
+    std::int64_t trigger, float factor) {
+  return [&ds, fault_rank, trigger, factor](std::int64_t rank,
+                                            std::int64_t ws) {
+    train::RankContext ctx;
+    // Every rank gets the wrapper (identical module tree, so broadcast
+    // order matches), but only fault_rank's ever triggers.
+    const bool faulty = rank == fault_rank;
+    auto task = std::make_unique<FaultInjectionTask>(
+        make_task(47), faulty ? trigger : -1, faulty ? factor : 1.0f);
+    data::DataLoaderOptions lo = loader_opts(4);
+    lo.rank = rank;
+    lo.world_size = ws;
+    ctx.train_loader = std::make_unique<data::DataLoader>(ds, lo);
+    // Adam: stable on these tiny shards (SGD at any useful lr diverges
+    // on its own, which would contaminate the injection signal).
+    optim::AdamOptions aopts;
+    aopts.lr = 1e-3;
+    ctx.optimizer =
+        std::make_unique<optim::Adam>(task->parameters(), aopts);
+    ctx.task = std::move(task);
+    return ctx;
+  };
+}
+
+train::DDPOptions ddp_opts() {
+  train::DDPOptions dopts;
+  dopts.world_size = 2;
+  dopts.max_epochs = 2;  // 8 steps at 4 batches/shard
+  dopts.health = detector_opts();
+  dopts.health.spike_min_ratio = 20.0;  // see health_trainer_opts()
+  // Two 16-sample shards at batch 4 see genuinely different data, so
+  // per-rank grad norms naturally spread up to ~24x early on; only the
+  // x1000 injection should clear this ratio.
+  dopts.health.rank_divergence_ratio = 100.0;
+  return dopts;
+}
+
+TEST(DdpHealth, RankLocalSpikeFlagsRankDivergenceWithinOneStep) {
+  materials::MaterialsProjectDataset ds(32, 47);
+  const std::int64_t trigger = 5;  // step 6, past warmup=4
+  train::DDPTrainer ddp;
+  const train::DDPResult result =
+      ddp.fit(ddp_factory(ds, /*fault_rank=*/1, trigger, 1000.0f),
+              ddp_opts());
+
+  ASSERT_FALSE(result.anomalies.empty());
+  bool divergence = false;
+  for (const Anomaly& a : result.anomalies) {
+    if (a.type == AnomalyType::kRankDivergence) {
+      divergence = true;
+      EXPECT_EQ(a.step, trigger + 1);  // within one step
+      EXPECT_EQ(a.rank, 1);            // the offender is identified
+      EXPECT_GT(a.value, 8.0);
+    }
+  }
+  EXPECT_TRUE(divergence);
+}
+
+TEST(DdpHealth, RankLocalNanFlagsNonFiniteWithinOneStep) {
+  materials::MaterialsProjectDataset ds(32, 48);
+  const std::int64_t trigger = 1;  // step 2: no warmup needed
+  train::DDPTrainer ddp;
+  train::DDPOptions dopts = ddp_opts();
+  dopts.max_epochs = 1;
+  dopts.health.policy = AnomalyPolicy::kSkipStep;
+  const train::DDPResult result =
+      ddp.fit(ddp_factory(ds, /*fault_rank=*/0, trigger, kNaNf), dopts);
+
+  ASSERT_FALSE(result.anomalies.empty());
+  bool nonfinite = false;
+  for (const Anomaly& a : result.anomalies) {
+    if (a.type == AnomalyType::kNonFiniteGrad) {
+      nonfinite = true;
+      EXPECT_EQ(a.step, trigger + 1);  // within one step
+    }
+  }
+  EXPECT_TRUE(nonfinite);
+  EXPECT_EQ(result.skipped_steps, 1);
+}
+
+TEST(DdpHealth, AbortPolicyPropagatesThroughRunRanks) {
+  materials::MaterialsProjectDataset ds(32, 49);
+  train::DDPTrainer ddp;
+  train::DDPOptions dopts = ddp_opts();
+  dopts.max_epochs = 1;
+  dopts.health.policy = AnomalyPolicy::kAbort;
+  dopts.health.flight_recorder_path = temp_path("matsci_ddp_bundle.json");
+  std::remove(dopts.health.flight_recorder_path.c_str());
+
+  EXPECT_THROW(ddp.fit(ddp_factory(ds, /*fault_rank=*/1, 1, kNaNf), dopts),
+               matsci::Error);
+
+  const std::string body = slurp(dopts.health.flight_recorder_path);
+  ASSERT_FALSE(body.empty());
+  std::string error;
+  EXPECT_TRUE(validate_json(body, &error)) << error;
+  EXPECT_NE(body.find("\"cross_rank\":"), std::string::npos);
+  std::remove(dopts.health.flight_recorder_path.c_str());
+}
+
+TEST(DdpHealth, HealthyRunMatchesMonitorOffResult) {
+  materials::MaterialsProjectDataset ds(32, 50);
+  train::DDPTrainer ddp;
+  const train::DDPResult with_health =
+      ddp.fit(ddp_factory(ds, /*fault_rank=*/-1, 0, 1.0f), ddp_opts());
+  train::DDPOptions off = ddp_opts();
+  off.health.enabled = false;
+  const train::DDPResult without =
+      ddp.fit(ddp_factory(ds, /*fault_rank=*/-1, 0, 1.0f), off);
+
+  EXPECT_TRUE(with_health.anomalies.empty());
+  ASSERT_EQ(with_health.epochs.size(), without.epochs.size());
+  // Monitoring must be purely observational: identical training result.
+  for (std::size_t e = 0; e < with_health.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(with_health.epochs[e].train.at("loss"),
+                     without.epochs[e].train.at("loss"));
+  }
+}
+
+// --- crash handler -----------------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)
+#define MATSCI_HEALTH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MATSCI_HEALTH_TSAN 1
+#endif
+#endif
+
+#if !defined(MATSCI_HEALTH_TSAN)
+TEST(FlightRecorderDeathTest, TerminateDumpsBundle) {
+  // Re-exec the binary for the death test: the shared pool and earlier
+  // DDP rank threads make plain fork() unreliable.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = temp_path("matsci_crash_bundle.json");
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder rec(4);
+        HealthSnapshot s;
+        s.step = 3;
+        s.loss = 1.0;
+        rec.record(s);
+        rec.arm_crash_handler(path);
+        std::terminate();
+      },
+      "");
+  const std::string body = slurp(path);
+  ASSERT_FALSE(body.empty()) << "terminate must write the crash bundle";
+  std::string error;
+  EXPECT_TRUE(validate_json(body, &error)) << error;
+  EXPECT_NE(body.find("\"reason\":\"terminate\""), std::string::npos);
+  EXPECT_NE(body.find("\"step\":3"), std::string::npos);
+  std::remove(path.c_str());
+}
+#endif  // not TSan
+
+TEST(FlightRecorder, DisarmIsIdempotentAndScoped) {
+  const std::string path = temp_path("matsci_disarm_bundle.json");
+  {
+    FlightRecorder rec(2);
+    rec.arm_crash_handler(path);
+  }  // destructor disarms
+  FlightRecorder::disarm_crash_handler();  // and again, harmlessly
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace matsci::obs::health

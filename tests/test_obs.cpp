@@ -308,6 +308,103 @@ TEST(ObsExport, PrometheusTextShape) {
   EXPECT_NE(text.find("matsci_test_prom_hist_count 3"), std::string::npos);
 }
 
+TEST(ObsExport, ChromeTraceEmbedsDroppedEventsMetadata) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back({"phase_a", 1000, 500, 1});
+  const std::string json = obs::chrome_trace_json(events, /*dropped=*/42);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"droppedEvents\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"ringCapacityPerThread\""), std::string::npos);
+  // Default (-1) keeps the legacy shape: no metadata object.
+  EXPECT_EQ(obs::chrome_trace_json(events).find("droppedEvents"),
+            std::string::npos);
+}
+
+TEST(ObsTracer, DroppedByThreadReportsOnlyOverflowedRings) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  for (std::size_t i = 0; i < obs::Tracer::kRingCapacity + 7; ++i) {
+    tracer.record("test/wrap2", i, 1);
+  }
+  const auto per_thread = tracer.dropped_by_thread();
+  ASSERT_EQ(per_thread.size(), 1u);  // only this thread's ring overflowed
+  EXPECT_EQ(per_thread[0].second, 7);
+  EXPECT_EQ(tracer.dropped(), 7);
+  tracer.clear();
+  EXPECT_TRUE(tracer.dropped_by_thread().empty());
+}
+
+TEST(ObsExport, PrometheusEscapingRules) {
+  EXPECT_EQ(obs::prometheus_escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(obs::prometheus_escape_help("help\\ text\nline2"),
+            "help\\\\ text\\nline2");
+  // HELP keeps double quotes unescaped (only label values escape them).
+  EXPECT_EQ(obs::prometheus_escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(ObsExport, PrometheusRoundTripsThroughValidator) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("test.promrt.counter").reset();
+  reg.counter("test.promrt.counter").add(2);
+  reg.gauge("test.promrt.gauge").set(-0.5);
+  obs::Histogram& h = reg.histogram("test.promrt.hist", {1.0, 2.0});
+  h.reset();
+  h.observe(0.5);
+  h.observe(9.0);
+  obs::Series& s = reg.series("test.promrt.series");
+  s.record(1, 3.5);
+
+  const std::string text = obs::prometheus_text(reg.snapshot());
+  std::string error;
+  EXPECT_TRUE(obs::validate_prometheus_text(text, &error)) << error;
+}
+
+TEST(ObsExport, PrometheusInfBucketGuaranteedForHandBuiltSnapshots) {
+  // A snapshot whose counts lack the overflow slot (counts.size() ==
+  // bounds.size()) must still emit le="+Inf" equal to _count.
+  obs::MetricsRegistry::Snapshot snap;
+  obs::HistogramSnapshot hist;
+  hist.bounds = {1.0, 2.0};
+  hist.counts = {1, 2};  // no overflow slot
+  hist.count = 5;        // 2 observations above every bound
+  hist.sum = 12.0;
+  snap.histograms["test.hand.hist"] = hist;
+
+  const std::string text = obs::prometheus_text(snap);
+  EXPECT_NE(text.find("matsci_test_hand_hist_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  std::string error;
+  EXPECT_TRUE(obs::validate_prometheus_text(text, &error)) << error;
+}
+
+TEST(ObsExport, PrometheusValidatorRejectsDamage) {
+  std::string error;
+  // Non-cumulative buckets.
+  EXPECT_FALSE(obs::validate_prometheus_text(
+      "m_bucket{le=\"1\"} 5\nm_bucket{le=\"+Inf\"} 3\nm_sum 1\nm_count 3\n",
+      &error));
+  // Missing +Inf bucket.
+  EXPECT_FALSE(obs::validate_prometheus_text(
+      "m_bucket{le=\"1\"} 1\nm_sum 1\nm_count 3\n", &error));
+  // +Inf bucket disagrees with _count.
+  EXPECT_FALSE(obs::validate_prometheus_text(
+      "m_bucket{le=\"+Inf\"} 2\nm_sum 1\nm_count 3\n", &error));
+  // Unquoted label value, bad name, bad value, unterminated labels.
+  EXPECT_FALSE(obs::validate_prometheus_text("m{le=1} 2\n", &error));
+  EXPECT_FALSE(obs::validate_prometheus_text("2bad 1\n", &error));
+  EXPECT_FALSE(obs::validate_prometheus_text("m x\n", &error));
+  EXPECT_FALSE(obs::validate_prometheus_text("m{le=\"1\" 2\n", &error));
+  // A plain counter named *_count must not require histogram structure.
+  EXPECT_TRUE(obs::validate_prometheus_text("requests_count 7\n", &error))
+      << error;
+  // Escaped label values parse.
+  EXPECT_TRUE(obs::validate_prometheus_text(
+      "m{l=\"a\\\\b\\\"c\\nd\"} 1\n", &error))
+      << error;
+}
+
 TEST(ObsExport, JsonRecordRendering) {
   const std::string line = obs::JsonRecord()
                                .set("bench", "demo \"x\"\n")

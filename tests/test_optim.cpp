@@ -140,6 +140,61 @@ TEST(Optimizer, GradNormAndClip) {
   EXPECT_NEAR(opt.grad_norm(), 1.0, 1e-5);
 }
 
+TEST(Optimizer, ClipReturnsPreClipNormAcrossMultipleTensors) {
+  Tensor a = Tensor::zeros({2}).set_requires_grad(true);
+  Tensor b = Tensor::zeros({1}).set_requires_grad(true);
+  SGD opt({a, b}, {.lr = 0.1});
+  opt.zero_grad();
+  // grads: a = (2, 3), b = (6) -> global norm 7.
+  core::sum(core::mul(a, Tensor::from_vector({2.0f, 3.0f}, {2}))).backward();
+  core::sum(core::mul(b, Tensor::from_vector({6.0f}, {1}))).backward();
+  EXPECT_NEAR(opt.grad_norm(), 7.0, 1e-5);
+  const double pre = opt.clip_grad_norm(3.5);
+  EXPECT_NEAR(pre, 7.0, 1e-5);
+  EXPECT_NEAR(opt.grad_norm(), 3.5, 1e-4);
+  // Uniform rescale: every component halved.
+  EXPECT_NEAR(a.grad_span()[0], 1.0f, 1e-5);
+  EXPECT_NEAR(b.grad_span()[0], 3.0f, 1e-5);
+}
+
+TEST(AdamInstabilityProbe, ObserveBeforeClipRecordsTrueNorm) {
+  Tensor x = Tensor::zeros({2}).set_requires_grad(true);
+  Adam opt({x}, {.lr = 0.01});
+  AdamInstabilityProbe probe(opt);
+  opt.zero_grad();
+  // grad = (3, 4) -> true norm 5, clipped down to 1.
+  core::sum(core::mul(x, Tensor::from_vector({3.0f, 4.0f}, {2}))).backward();
+  const AdamStepStats stats = probe.observe();  // the documented order
+  const double pre = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-5);
+  EXPECT_NEAR(stats.grad_norm, 5.0, 1e-5);  // probe saw the pre-clip norm
+  ASSERT_NE(probe.last(), nullptr);
+  EXPECT_NEAR(probe.last()->grad_norm, 5.0, 1e-5);
+  // An observe() after clipping sees the rescaled gradients instead —
+  // the history keeps the honest record only if the order is respected.
+  const AdamStepStats late = probe.observe();
+  EXPECT_NEAR(late.grad_norm, 1.0, 1e-4);
+}
+
+TEST(AdamInstabilityProbe, HistoryLimitDiscardsOldest) {
+  Tensor x = Tensor::zeros({2}).set_requires_grad(true);
+  Adam opt({x}, {.lr = 0.01});
+  AdamInstabilityProbe probe(opt);
+  probe.set_history_limit(3);
+  for (int i = 0; i < 5; ++i) {
+    opt.zero_grad();
+    core::sum(core::mul(x, Tensor::from_vector({1.0f, 1.0f}, {2})))
+        .backward();
+    probe.observe();
+    opt.step();
+  }
+  ASSERT_EQ(probe.history().size(), 3u);
+  EXPECT_EQ(probe.history().front().step, 3);  // steps 1-2 trimmed
+  EXPECT_EQ(probe.history().back().step, 5);
+  ASSERT_NE(probe.last(), nullptr);
+  EXPECT_EQ(probe.last()->step, 5);
+}
+
 TEST(Schedulers, LinearWarmupRamp) {
   Tensor x = Tensor::ones({1}).set_requires_grad(true);
   SGD opt({x}, {.lr = 1.0});
