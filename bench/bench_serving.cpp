@@ -13,6 +13,11 @@
 // Usage: bench_serving [clients] [requests_per_client]
 //   defaults: 32 clients x 40 requests per configuration.
 //
+// Records carry `closed_loop: true` so trajectory aggregation can
+// separate this harness from the open-loop overload harness
+// (bench_serve_openloop, `closed_loop: false`): closed-loop latency is
+// only meaningful at offered loads the server can sustain.
+//
 // raw-threads-ok: the closed-loop clients block on scheduler futures;
 // running them on the shared pool would starve the serve dispatch jobs
 // they are waiting for.
@@ -139,6 +144,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (const BenchResult& r : results) {
     reporter.add(obs::JsonRecord()
+                     .set("closed_loop", true)
                      .set("max_batch_size", r.max_batch_size)
                      .set("clients", clients)
                      .set("requests", clients * per_client)

@@ -13,6 +13,11 @@
 #     e.g. closed-loop bench clients that must block on futures (pool
 #     workers would deadlock against the serve dispatch jobs they feed)
 #
+# No-waiver zone: src/serve/frontend/ — the production serving frontend
+# must schedule exclusively on the shared pool (registry drains and
+# admission decisions run on client/dispatch threads that already
+# exist); a `raw-threads-ok:` comment there is itself a violation.
+#
 # Usage: check_no_raw_threads.sh [dir ...]
 #   (default: <repo>/src <repo>/bench <repo>/examples)
 set -u
@@ -38,16 +43,34 @@ for dir in "${dirs[@]}"; do
     | grep -v '/core/parallel/' \
     | grep -v '/comm/' || true)
 
-  # Drop hits in files that declare a waiver.
+  # Drop hits in files that declare a waiver — except inside the
+  # no-waiver zone, where the waiver comment is ignored.
   if [ -n "$violations" ]; then
     filtered=""
     while IFS= read -r line; do
       file="${line%%:*}"
+      case "$file" in
+        */src/serve/frontend/*) filtered+="$line"$'\n'; continue ;;
+      esac
       if ! grep -q 'raw-threads-ok:' "$file"; then
         filtered+="$line"$'\n'
       fi
     done <<< "$violations"
     violations="${filtered%$'\n'}"
+  fi
+
+  # A waiver comment inside the no-waiver zone is rejected outright,
+  # even before any thread primitive lands next to it.
+  if [ -d "$dir/serve/frontend" ] || [[ "$dir" == */src ]]; then
+    waivers=$(grep -rln 'raw-threads-ok:' "$dir" \
+      --include='*.cpp' --include='*.hpp' 2>/dev/null \
+      | grep '/src/serve/frontend/' || true)
+    if [ -n "$waivers" ]; then
+      echo "check_no_raw_threads: 'raw-threads-ok:' waivers are not" \
+           "honored in src/serve/frontend/ (no-waiver zone):" >&2
+      echo "$waivers" >&2
+      status=1
+    fi
   fi
 
   if [ -n "$violations" ]; then

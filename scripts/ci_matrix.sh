@@ -9,9 +9,16 @@
 #             health) — the health monitor runs inside DDP rank
 #             threads, so its registry/ring accesses must be
 #             TSan-clean.
+#   asan      -DMATSCI_SANITIZE=address build running the serve label —
+#             the frontend's hot-swap drains retire whole
+#             scheduler/session object graphs while clients still hold
+#             futures into them, so lifetime bugs (use-after-free on a
+#             drained ServingModel, leaked promises) surface here, not
+#             under TSan.
 #
-# Usage: ci_matrix.sh [obs-off|tsan|all]   (default: all)
-# Build trees land in build-obs-off/ and build-tsan/ at the repo root.
+# Usage: ci_matrix.sh [obs-off|tsan|asan|all]   (default: all)
+# Build trees land in build-obs-off/, build-tsan/, and build-asan/ at
+# the repo root.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,15 +41,26 @@ run_tsan() {
     -L "serve|parallel|obs|health" --output-on-failure -j "$jobs"
 }
 
+run_asan() {
+  echo "=== ci_matrix: asan (-DMATSCI_SANITIZE=address) ==="
+  cmake -B "$repo_root/build-asan" -S "$repo_root" \
+    -DMATSCI_SANITIZE=address
+  cmake --build "$repo_root/build-asan" -j "$jobs"
+  ctest --test-dir "$repo_root/build-asan" -L serve \
+    --output-on-failure -j "$jobs"
+}
+
 case "$stage" in
   obs-off) run_obs_off ;;
   tsan) run_tsan ;;
+  asan) run_asan ;;
   all)
     run_obs_off
     run_tsan
+    run_asan
     ;;
   *)
-    echo "ci_matrix: unknown stage '$stage' (obs-off|tsan|all)" >&2
+    echo "ci_matrix: unknown stage '$stage' (obs-off|tsan|asan|all)" >&2
     exit 2
     ;;
 esac

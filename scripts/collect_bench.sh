@@ -63,6 +63,12 @@ selftest() {
   printf '{"record":"meta","bench":"a"}\n{"record":"run","x":1}\n' \
     > "$dir/BENCH_a.json"
   printf '{"record":"meta","bench":"b"}\n' > "$dir/BENCH_b.json"
+  # Open-loop serving artifact (closed_loop:false distinguishes it from
+  # bench_serving's closed-loop records) — must ride the same glob.
+  printf '%s\n%s\n' \
+    '{"record":"meta","bench":"serve_openloop"}' \
+    '{"record":"run","closed_loop":false,"multiplier":10,"p99_us":9000}' \
+    > "$dir/BENCH_serve_openloop.json"
   # A stale trajectory must be excluded from its own rebuild.
   printf '{"record":"meta","schema":"matsci.trajectory.v1"}\n' \
     > "$dir/BENCH_trajectory.json"
@@ -72,8 +78,9 @@ selftest() {
   local out="$dir/BENCH_trajectory.json"
   local lines
   lines=$(wc -l < "$out")
-  if [ "$lines" -ne 4 ]; then  # 1 meta + 2 from a + 1 from b
-    echo "collect_bench selftest: expected 4 lines, got $lines" >&2
+  # 1 meta + 2 from a + 1 from b + 2 from serve_openloop
+  if [ "$lines" -ne 6 ]; then
+    echo "collect_bench selftest: expected 6 lines, got $lines" >&2
     cat "$out" >&2
     return 1
   fi
@@ -86,6 +93,12 @@ selftest() {
     echo "collect_bench selftest: missing source tags" >&2
     return 1
   fi
+  # The open-loop record must land tagged, with its closed_loop marker
+  # intact so trajectory consumers can split the two serving harnesses.
+  if ! grep -q '"source":"BENCH_serve_openloop.json","record":"run","closed_loop":false' "$out"; then
+    echo "collect_bench selftest: open-loop artifact missing or untagged" >&2
+    return 1
+  fi
   if grep -q '"source":"BENCH_trajectory.json"' "$out"; then
     echo "collect_bench selftest: ingested its own output" >&2
     return 1
@@ -94,7 +107,7 @@ selftest() {
   # change the line count.
   aggregate "$dir" || return 1
   lines=$(wc -l < "$out")
-  if [ "$lines" -ne 4 ]; then
+  if [ "$lines" -ne 6 ]; then
     echo "collect_bench selftest: re-aggregation not idempotent" >&2
     return 1
   fi

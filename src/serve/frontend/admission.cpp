@@ -1,0 +1,82 @@
+#include "serve/frontend/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+
+namespace matsci::serve::frontend {
+
+AdmissionController::AdmissionController(AdmissionOptions opts,
+                                         std::int64_t queue_capacity,
+                                         std::int64_t num_workers)
+    : opts_(opts),
+      capacity_(queue_capacity),
+      workers_(std::max<std::int64_t>(1, num_workers)),
+      ewma_us_(opts.initial_service_us) {
+  MATSCI_CHECK(queue_capacity >= 0, "queue_capacity=" << queue_capacity);
+  MATSCI_CHECK(opts_.ewma_alpha > 0.0 && opts_.ewma_alpha <= 1.0,
+               "ewma_alpha=" << opts_.ewma_alpha);
+  for (double share : opts_.depth_share) {
+    MATSCI_CHECK(share > 0.0 && share <= 1.0, "depth_share=" << share);
+  }
+}
+
+AdmissionDecision AdmissionController::decide(Priority priority,
+                                              std::int64_t queue_depth,
+                                              std::int64_t deadline_us) const {
+  AdmissionDecision d;
+  const double per_request_us = service_estimate_us();
+  const double wait_us = static_cast<double>(queue_depth) * per_request_us /
+                         static_cast<double>(workers_);
+
+  if (capacity_ > 0) {
+    const double share =
+        opts_.depth_share[static_cast<std::size_t>(priority)];
+    const std::int64_t admit_below = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(share * static_cast<double>(
+                                                            capacity_))));
+    if (queue_depth >= admit_below) {
+      d.outcome = AdmissionOutcome::kQueueFull;
+      // Time for the queue to drain back to this class's threshold.
+      const double excess =
+          static_cast<double>(queue_depth - admit_below + 1);
+      d.retry_after_us =
+          std::clamp(excess * per_request_us / static_cast<double>(workers_),
+                     opts_.min_retry_after_us, opts_.max_retry_after_us);
+      return d;
+    }
+  }
+
+  if (deadline_us > 0 && wait_us > static_cast<double>(deadline_us)) {
+    d.outcome = AdmissionOutcome::kDeadlineInfeasible;
+    d.retry_after_us = std::clamp(wait_us - static_cast<double>(deadline_us),
+                                  opts_.min_retry_after_us,
+                                  opts_.max_retry_after_us);
+    return d;
+  }
+  return d;
+}
+
+void AdmissionController::observe_service(double us) {
+  if (!(us > 0.0) || !std::isfinite(us)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!seeded_) {
+    ewma_us_ = us;
+    seeded_ = true;
+  } else {
+    ewma_us_ += opts_.ewma_alpha * (us - ewma_us_);
+  }
+}
+
+double AdmissionController::estimated_wait_us(std::int64_t queue_depth) const {
+  return static_cast<double>(queue_depth) * service_estimate_us() /
+         static_cast<double>(workers_);
+}
+
+double AdmissionController::service_estimate_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_us_;
+}
+
+}  // namespace matsci::serve::frontend

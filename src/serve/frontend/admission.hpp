@@ -1,0 +1,89 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/queue.hpp"
+
+namespace matsci::serve::frontend {
+
+struct AdmissionOptions {
+  /// Fraction of the scheduler's queue capacity each priority class may
+  /// fill before it is shed: interactive traffic may use the whole
+  /// queue, standard stops at 85%, batch at 60% — under overload the
+  /// least urgent classes are rejected first, reserving headroom for
+  /// latency-sensitive requests. Indexed by Priority.
+  std::array<double, kNumPriorities> depth_share{1.0, 0.85, 0.6};
+  /// EWMA smoothing factor for the per-request service-time estimate
+  /// fed by observe_service (higher = faster adaptation).
+  double ewma_alpha = 0.05;
+  /// Service-time estimate before any completion has been observed.
+  double initial_service_us = 2000.0;
+  /// Clamp on the retry-after backoff hint handed to shed clients.
+  double min_retry_after_us = 1000.0;
+  double max_retry_after_us = 5'000'000.0;
+};
+
+/// Why a request was (not) admitted.
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmit,
+  kQueueFull,            ///< class over its depth share — shed, back off
+  kDeadlineInfeasible,   ///< predicted queue wait already exceeds the SLO
+};
+
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmit;
+  /// Backoff hint for shed requests: the predicted time for the queue
+  /// to drain to this class's admit threshold (clamped). A graceful
+  /// "retry-after" instead of a bare rejection.
+  double retry_after_us = 0.0;
+  bool admitted() const { return outcome == AdmissionOutcome::kAdmit; }
+};
+
+/// Per-model admission control: decides, from the current queue depth
+/// and a running service-rate estimate, whether a request may enter the
+/// bounded queue. Stateless per decision apart from the service-time
+/// EWMA, so one controller serves every version of a model across
+/// hot-swaps (the estimate survives the swap).
+///
+/// State machine per request (see DESIGN.md §8):
+///   decide() — depth < share[priority]·capacity and the deadline is
+///   feasible -> kAdmit; depth at/over the class share -> kQueueFull
+///   with retry-after; predicted wait over the deadline budget ->
+///   kDeadlineInfeasible (shed now rather than queue work that is
+///   already dead).
+class AdmissionController {
+ public:
+  /// `queue_capacity`/`num_workers` describe the scheduler being
+  /// guarded; capacity 0 (unbounded queue) disables depth shedding but
+  /// keeps deadline-feasibility shedding.
+  AdmissionController(AdmissionOptions opts, std::int64_t queue_capacity,
+                      std::int64_t num_workers);
+
+  /// Decide for one request. `deadline_us` is the request's dispatch
+  /// budget (0 = none); `queue_depth` the scheduler's current depth.
+  AdmissionDecision decide(Priority priority, std::int64_t queue_depth,
+                           std::int64_t deadline_us) const;
+
+  /// Feed one observed per-request service time (forward-pass cost per
+  /// structure, queue wait excluded) into the EWMA.
+  void observe_service(double us);
+
+  /// Predicted wait for a request entering behind `queue_depth` others:
+  /// depth × EWMA service per request / workers.
+  double estimated_wait_us(std::int64_t queue_depth) const;
+
+  double service_estimate_us() const;
+  const AdmissionOptions& options() const { return opts_; }
+
+ private:
+  AdmissionOptions opts_;
+  std::int64_t capacity_;
+  std::int64_t workers_;
+  mutable std::mutex mu_;
+  double ewma_us_;
+  bool seeded_ = false;
+};
+
+}  // namespace matsci::serve::frontend

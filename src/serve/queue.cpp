@@ -1,21 +1,54 @@
 #include "serve/queue.hpp"
 
-#include "core/macros.hpp"
+#include <algorithm>
 
 namespace matsci::serve {
 
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
 std::future<PredictResult> RequestQueue::push(PredictRequest request) {
+  PushResult r = try_push(std::move(request));
+  MATSCI_CHECK(r.status != PushStatus::kShutdown,
+               "RequestQueue: push after shutdown");
+  if (r.status == PushStatus::kQueueFull) {
+    throw ShedError("RequestQueue: queue full (capacity " +
+                    std::to_string(capacity_) + ")");
+  }
+  return std::move(r.future);
+}
+
+PushResult RequestQueue::try_push(PredictRequest request) {
   PendingRequest pending;
   pending.request = std::move(request);
   pending.enqueued = std::chrono::steady_clock::now();
   std::future<PredictResult> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    MATSCI_CHECK(!shutdown_, "RequestQueue: push after shutdown");
+    if (shutdown_) {
+      return {PushStatus::kShutdown, {}};
+    }
+    if (capacity_ != 0 && pending_.size() >= capacity_) {
+      ++rejected_full_;
+      return {PushStatus::kQueueFull, {}};
+    }
     pending_.push_back(std::move(pending));
   }
   cv_.notify_all();
-  return future;
+  return {PushStatus::kAccepted, std::move(future)};
+}
+
+void RequestQueue::drop_expired_locked(
+    std::chrono::steady_clock::time_point now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->request.deadline <= now) {
+      it->promise.set_exception(std::make_exception_ptr(
+          ShedError("request shed: dispatch deadline exceeded while queued")));
+      it = pending_.erase(it);
+      ++deadline_drops_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void RequestQueue::extract_matching_locked(
@@ -41,20 +74,36 @@ std::vector<PendingRequest> RequestQueue::pop_batch(
   MATSCI_CHECK(max_wait_us >= 0, "pop_batch: max_wait_us=" << max_wait_us);
 
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
-  if (pending_.empty()) {
-    return {};  // shut down and drained
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+    // Shed whatever expired while waiting for a dispatcher; during
+    // drain (shutdown) everything already accepted is served instead.
+    if (!shutdown_) {
+      drop_expired_locked(std::chrono::steady_clock::now());
+    }
+    if (!pending_.empty()) break;
+    if (shutdown_) return {};  // shut down and drained
   }
 
-  // The oldest request anchors both the batch key and the flush deadline.
+  // The anchor — the oldest request of the most urgent queued class —
+  // fixes the batch key and the flush deadline. min(SLO deadline,
+  // coalescing window): a tight deadline flushes early.
+  auto anchor = pending_.begin();
+  for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+    if (it->request.priority < anchor->request.priority) anchor = it;
+  }
   const std::pair<std::string, std::int64_t> key = {
-      pending_.front().request.target,
-      pending_.front().request.structure.dataset_id};
-  const auto deadline =
-      pending_.front().enqueued + std::chrono::microseconds(max_wait_us);
+      anchor->request.target, anchor->request.structure.dataset_id};
+  auto deadline = anchor->enqueued + std::chrono::microseconds(max_wait_us);
+  if (anchor->request.deadline < deadline) deadline = anchor->request.deadline;
 
   std::vector<PendingRequest> batch;
   batch.reserve(static_cast<std::size_t>(max_batch_size));
+  // The anchor joins first — FIFO extraction alone could fill the batch
+  // with older lower-priority requests of the same key and leave the
+  // anchor queued (priority inversion).
+  batch.push_back(std::move(*anchor));
+  pending_.erase(anchor);
   for (;;) {
     extract_matching_locked(key, max_batch_size, batch);
     if (static_cast<std::int64_t>(batch.size()) >= max_batch_size ||
@@ -86,6 +135,16 @@ bool RequestQueue::is_shutdown() const {
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
+}
+
+std::int64_t RequestQueue::deadline_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadline_drops_;
+}
+
+std::int64_t RequestQueue::rejected_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_full_;
 }
 
 }  // namespace matsci::serve

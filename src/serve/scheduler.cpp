@@ -14,10 +14,12 @@ namespace {
 /// Scheduler telemetry: queue wait is enqueue-to-pop (how long a
 /// request sat before a dispatch job picked it up — the micro-batching
 /// coalescing cost), distinct from the end-to-end latency ServerStats
-/// records. Queue depth is sampled after every pop.
+/// records. Queue depth is sampled after every pop; deadline drops are
+/// exported as a counter delta per pop (the queue owns the count).
 struct ServeMetrics {
   obs::Counter& requests;
   obs::Counter& batches;
+  obs::Counter& deadline_drops;
   obs::Histogram& queue_wait_us;
   obs::Histogram& batch_size;
   obs::Gauge& queue_depth;
@@ -26,6 +28,7 @@ struct ServeMetrics {
     static ServeMetrics* m = new ServeMetrics{
         obs::MetricsRegistry::global().counter("serve.requests"),
         obs::MetricsRegistry::global().counter("serve.batches"),
+        obs::MetricsRegistry::global().counter("serve.deadline_drops"),
         obs::MetricsRegistry::global().histogram("serve.queue_wait_us"),
         obs::MetricsRegistry::global().histogram(
             "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256}),
@@ -39,11 +42,17 @@ struct ServeMetrics {
 
 BatchScheduler::BatchScheduler(std::shared_ptr<InferenceSession> session,
                                SchedulerOptions opts)
-    : session_(std::move(session)), opts_(opts) {
+    : session_(std::move(session)),
+      opts_(std::move(opts)),
+      queue_(opts_.queue_capacity > 0
+                 ? static_cast<std::size_t>(opts_.queue_capacity)
+                 : 0) {
   MATSCI_CHECK(session_ != nullptr, "BatchScheduler needs a session");
   MATSCI_CHECK(opts_.max_batch_size > 0,
                "max_batch_size=" << opts_.max_batch_size);
   MATSCI_CHECK(opts_.max_wait_us >= 0, "max_wait_us=" << opts_.max_wait_us);
+  MATSCI_CHECK(opts_.queue_capacity >= 0,
+               "queue_capacity=" << opts_.queue_capacity);
   core::parallel::ThreadPool& pool = core::parallel::ThreadPool::global();
   std::int64_t n = opts_.num_workers;
   if (n <= 0) {
@@ -65,6 +74,22 @@ std::future<PredictResult> BatchScheduler::submit(
   return queue_.push(std::move(request));
 }
 
+PushResult BatchScheduler::try_submit(data::StructureSample structure,
+                                      std::string target,
+                                      SubmitOptions sopts) {
+  MATSCI_CHECK(sopts.deadline_us >= 0, "deadline_us=" << sopts.deadline_us);
+  PredictRequest request;
+  request.structure = std::move(structure);
+  request.target = std::move(target);
+  request.priority = sopts.priority;
+  if (sopts.deadline_us > 0) {
+    request.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(sopts.deadline_us);
+  }
+  request.cache_key = std::move(sopts.cache_key);
+  return queue_.try_push(std::move(request));
+}
+
 void BatchScheduler::shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   queue_.shutdown();
@@ -80,6 +105,7 @@ void BatchScheduler::shutdown() {
 
 void BatchScheduler::dispatch_loop() {
   ServeMetrics& metrics = ServeMetrics::get();
+  std::int64_t seen_deadline_drops = 0;
   for (;;) {
     std::vector<PendingRequest> batch =
         queue_.pop_batch(opts_.max_batch_size, opts_.max_wait_us);
@@ -93,6 +119,11 @@ void BatchScheduler::dispatch_loop() {
               .count());
     }
     metrics.queue_depth.set(static_cast<double>(queue_.size()));
+    const std::int64_t drops = queue_.deadline_drops();
+    if (drops > seen_deadline_drops) {
+      metrics.deadline_drops.add(drops - seen_deadline_drops);
+      seen_deadline_drops = drops;
+    }
     serve_batch(batch);
   }
 }
@@ -111,6 +142,7 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
   }
 
   std::vector<tasks::Prediction> predictions;
+  const auto forward_start = std::chrono::steady_clock::now();
   try {
     MATSCI_TRACE_SCOPE("serve/predict");
     predictions = session_->predict(samples, batch.front().request.target);
@@ -127,6 +159,8 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
   }
 
   const auto now = std::chrono::steady_clock::now();
+  const double service_us =
+      std::chrono::duration<double, std::micro>(now - forward_start).count();
   std::vector<double> latencies_us;
   latencies_us.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -136,7 +170,15 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
     result.latency_us =
         std::chrono::duration<double, std::micro>(now - batch[i].enqueued)
             .count();
+    result.service_us = service_us;
     latencies_us.push_back(result.latency_us);
+    if (opts_.on_result) {
+      try {
+        opts_.on_result(batch[i].request, result);
+      } catch (...) {
+        // Observers must not break serving.
+      }
+    }
     batch[i].promise.set_value(std::move(result));
   }
   stats_.record_batch(static_cast<std::int64_t>(batch.size()), latencies_us);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -17,12 +18,33 @@ namespace matsci::serve {
 struct SchedulerOptions {
   /// Flush a micro-batch once it holds this many requests...
   std::int64_t max_batch_size = 32;
-  /// ...or once its oldest request has waited this long, whichever first.
+  /// ...or once its anchor request has waited this long (or its SLO
+  /// deadline is up), whichever first.
   std::int64_t max_wait_us = 2000;
   /// Concurrent batch jobs on the shared pool;
   /// 0 = core::parallel::ThreadPool::global().size() (which honors
   /// MATSCI_NUM_THREADS).
   std::int64_t num_workers = 0;
+  /// Bound on queued-but-undispatched requests: beyond it submit()
+  /// throws ShedError and try_submit() reports kQueueFull, so overload
+  /// turns into shed traffic instead of unbounded queue growth.
+  /// 0 = unbounded (the seed behavior).
+  std::int64_t queue_capacity = 0;
+  /// Invoked on the dispatch job once per request right before its
+  /// future resolves — the frontend populates its response cache and
+  /// its service-time estimate here. Keep it cheap; exceptions are
+  /// swallowed (a broken observer must not break serving).
+  std::function<void(const PredictRequest&, const PredictResult&)> on_result;
+};
+
+/// Per-request scheduling knobs for try_submit.
+struct SubmitOptions {
+  Priority priority = Priority::kStandard;
+  /// Dispatch-deadline budget from submit time, microseconds; a request
+  /// still queued when it expires is shed with ShedError. 0 = none.
+  std::int64_t deadline_us = 0;
+  /// Opaque annotation passed through to on_result (cache key).
+  std::string cache_key;
 };
 
 /// The serving engine: batch jobs on the process-wide
@@ -53,15 +75,31 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// Enqueue one structure for prediction of `target`.
+  /// Enqueue one structure for prediction of `target` at standard
+  /// priority with no deadline. Throws matsci::Error after shutdown and
+  /// ShedError when the bounded queue is full.
   std::future<PredictResult> submit(data::StructureSample structure,
                                     std::string target);
+
+  /// Non-throwing enqueue with per-request priority/deadline; overload
+  /// and shutdown come back as statuses (the frontend's entry point —
+  /// it sheds on kQueueFull and re-resolves the registry on kShutdown).
+  PushResult try_submit(data::StructureSample structure, std::string target,
+                        SubmitOptions sopts = {});
 
   /// Stop accepting requests, serve everything still queued, reclaim
   /// the dispatch jobs from the pool. Idempotent.
   void shutdown();
 
   const ServerStats& stats() const { return stats_; }
+  /// Queued-but-undispatched requests right now (admission input).
+  std::int64_t queue_depth() const {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+  /// Requests shed by the queue because their deadline expired.
+  std::int64_t deadline_drops() const { return queue_.deadline_drops(); }
+  /// Submit attempts rejected because the bounded queue was full.
+  std::int64_t rejected_full() const { return queue_.rejected_full(); }
   std::int64_t num_workers() const {
     return static_cast<std::int64_t>(dispatchers_.size());
   }

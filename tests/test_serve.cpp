@@ -158,6 +158,102 @@ TEST(RequestQueue, BatchesAreSingleTarget) {
   EXPECT_EQ(second[1].request.target, "efermi");
 }
 
+TEST(RequestQueue, FullQueueRejectsAtCapacity) {
+  const auto pool = sample_pool(3, 15);
+  RequestQueue queue(/*capacity=*/2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  auto f1 = queue.push(make_request(pool[0], "band_gap"));
+  auto f2 = queue.push(make_request(pool[1], "band_gap"));
+
+  // Third request: non-throwing path reports kQueueFull, throwing path
+  // sheds with ShedError (catchable as matsci::Error too).
+  PushResult r = queue.try_push(make_request(pool[2], "band_gap"));
+  EXPECT_EQ(r.status, PushStatus::kQueueFull);
+  EXPECT_FALSE(r.future.valid());
+  EXPECT_THROW(queue.push(make_request(pool[2], "band_gap")), ShedError);
+  EXPECT_EQ(queue.rejected_full(), 2);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Popping frees capacity for new arrivals.
+  auto batch = queue.pop_batch(8, 0);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(queue.try_push(make_request(pool[2], "band_gap")).status,
+            PushStatus::kAccepted);
+}
+
+TEST(RequestQueue, ZeroMaxWaitFlushesImmediately) {
+  const auto pool = sample_pool(2, 16);
+  RequestQueue queue;
+  queue.push(make_request(pool[0], "band_gap"));
+  queue.push(make_request(pool[1], "band_gap"));
+  const auto t0 = std::chrono::steady_clock::now();
+  // max_wait_us = 0: no coalescing window — take what matches right now.
+  auto batch = queue.pop_batch(8, 0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_LT(ms, 150.0);
+}
+
+TEST(RequestQueue, ShutdownDrainsQueuedButUnbatchedRequests) {
+  const auto pool = sample_pool(5, 17);
+  RequestQueue queue;
+  for (int i = 0; i < 3; ++i) {
+    queue.push(make_request(pool[static_cast<std::size_t>(i)], "band_gap"));
+  }
+  queue.push(make_request(pool[3], "efermi"));
+  queue.push(make_request(pool[4], "efermi"));
+  queue.shutdown();
+
+  // Everything accepted before shutdown keeps flowing out, one
+  // homogeneous batch per pop, then the drained-empty exit signal.
+  auto first = queue.pop_batch(8, 1'000'000);
+  EXPECT_EQ(first.size(), 3u);
+  auto second = queue.pop_batch(8, 1'000'000);
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].request.target, "efermi");
+  EXPECT_TRUE(queue.pop_batch(8, 1'000'000).empty());
+}
+
+TEST(RequestQueue, InteractiveAnchorPreemptsOlderBatchTraffic) {
+  const auto pool = sample_pool(3, 18);
+  RequestQueue queue;
+  PredictRequest bulk = make_request(pool[0], "efermi");
+  bulk.priority = Priority::kBatch;
+  queue.push(std::move(bulk));
+  PredictRequest urgent = make_request(pool[1], "band_gap");
+  urgent.priority = Priority::kInteractive;
+  queue.push(std::move(urgent));
+
+  // The anchor is the most urgent queued request, not the oldest: the
+  // interactive band_gap request dispatches ahead of the earlier bulk
+  // efermi request.
+  auto first = queue.pop_batch(8, 0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].request.target, "band_gap");
+  auto second = queue.pop_batch(8, 0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].request.target, "efermi");
+}
+
+TEST(RequestQueue, ExpiredRequestsAreShedOnPop) {
+  const auto pool = sample_pool(2, 19);
+  RequestQueue queue;
+  PredictRequest stale = make_request(pool[0], "band_gap");
+  stale.deadline = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1);  // already expired
+  auto stale_future = queue.push(std::move(stale));
+  auto fresh_future = queue.push(make_request(pool[1], "band_gap"));
+
+  auto batch = queue.pop_batch(8, 0);
+  ASSERT_EQ(batch.size(), 1u);  // only the fresh request dispatches
+  EXPECT_EQ(queue.deadline_drops(), 1);
+  EXPECT_THROW(stale_future.get(), ShedError);
+  batch[0].promise.set_value({});
+  EXPECT_NO_THROW(fresh_future.get());
+}
+
 TEST(RequestQueue, PushAfterShutdownThrows) {
   const auto pool = sample_pool(1, 14);
   RequestQueue queue;
@@ -324,6 +420,56 @@ TEST(BatchScheduler, ShutdownDrainsInFlightWithoutDeadlock) {
       EXPECT_GE(r.batch_size, 1);
     });
   }
+}
+
+TEST(BatchScheduler, BoundedQueueShedsBurstsInsteadOfGrowing) {
+  auto session =
+      std::make_shared<InferenceSession>(make_task(63), session_options());
+  const auto pool = sample_pool(4, 64);
+
+  SchedulerOptions opts;
+  opts.max_batch_size = 1;  // one forward per request: slowest drain
+  opts.max_wait_us = 0;
+  opts.num_workers = 1;
+  opts.queue_capacity = 2;
+  BatchScheduler scheduler(session, opts);
+
+  // A burst far beyond queue capacity: submission is microseconds per
+  // request while each forward is milliseconds, so the bounded queue
+  // must reject part of the burst instead of growing without bound.
+  std::vector<std::future<PredictResult>> accepted;
+  std::int64_t shed = 0;
+  for (int i = 0; i < 64; ++i) {
+    PushResult r = scheduler.try_submit(
+        pool[static_cast<std::size_t>(i) % pool.size()], "band_gap");
+    if (r.status == PushStatus::kAccepted) {
+      accepted.push_back(std::move(r.future));
+    } else {
+      EXPECT_EQ(r.status, PushStatus::kQueueFull);
+      ++shed;
+    }
+    EXPECT_LE(scheduler.queue_depth(), opts.queue_capacity);
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(scheduler.rejected_full(), shed);
+  // Every accepted request is served; shed ones never got a future.
+  for (auto& f : accepted) {
+    EXPECT_NO_THROW(f.get());
+  }
+  scheduler.shutdown();
+  EXPECT_EQ(scheduler.stats().requests_served(),
+            static_cast<std::int64_t>(accepted.size()));
+}
+
+TEST(BatchScheduler, TrySubmitReportsShutdown) {
+  auto session =
+      std::make_shared<InferenceSession>(make_task(65), session_options());
+  const auto pool = sample_pool(1, 66);
+  BatchScheduler scheduler(session, {});
+  scheduler.shutdown();
+  PushResult r = scheduler.try_submit(pool[0], "band_gap");
+  EXPECT_EQ(r.status, PushStatus::kShutdown);
+  EXPECT_FALSE(r.future.valid());
 }
 
 TEST(BatchScheduler, UnknownTargetPropagatesThroughFuture) {
