@@ -4,12 +4,16 @@
 // and a full EGNN forward — so performance regressions in the substrate
 // are visible independent of end-to-end training noise.
 //
-// The custom main() additionally sweeps the shared pool across thread
-// counts {1, 2, 4, max} on the large matmul / segment_sum / gather
-// shapes and emits one JSON line per (kernel, threads) point in the
-// same log-scraping style as bench_serving, so kernel scaling can be
-// tracked alongside serving throughput. `--sweep-only` skips the
-// google-benchmark suite; `--no-sweep` skips the sweep.
+// The custom main() additionally sweeps {scalar, best-SIMD} kernel
+// backends x {1, 2, 4, max} pool threads on the large matmul /
+// elementwise / reduction / segment_sum / gather shapes and emits one
+// JSON line per (kernel, backend, threads) point in the same
+// log-scraping style as bench_serving. Each line carries
+// `speedup_vs_1t` (thread scaling within a backend) and
+// `speedup_vs_scalar` (SIMD win at the same thread count), so both the
+// parallel runtime and the vector kernels are tracked release over
+// release. `--sweep-only` skips the google-benchmark suite;
+// `--no-sweep` skips the sweep.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/backend/backend.hpp"
 #include "core/graph_ops.hpp"
 #include "core/ops.hpp"
 #include "core/parallel/thread_pool.hpp"
@@ -212,41 +217,85 @@ double sweep_gather(std::int64_t n) {
       [&] { benchmark::DoNotOptimize(core::gather_rows(x, idx)); }, 20);
 }
 
-/// Sweep the shared pool over {1, 2, 4, max} threads (deduplicated,
-/// ascending) and report per-call time plus speedup over 1 thread. The
-/// kernels are bit-deterministic across the sweep, so the points differ
-/// only in wall time.
+double sweep_elementwise(std::int64_t n) {
+  // mul + add + silu over a flat [n] tensor: the fused shape of one
+  // message-MLP activation, dominated by the binary/unary kernels.
+  core::RngEngine rng(44);
+  core::Tensor a = core::Tensor::randn({n, 1}, rng);
+  core::Tensor b = core::Tensor::randn({n, 1}, rng);
+  core::NoGradGuard no_grad;
+  return time_us_per_call(
+      [&] { benchmark::DoNotOptimize(core::silu(core::add(core::mul(a, b), a))); },
+      10);
+}
+
+double sweep_reduce(std::int64_t n) {
+  core::RngEngine rng(45);
+  core::Tensor x = core::Tensor::randn({n, 1}, rng);
+  core::NoGradGuard no_grad;
+  return time_us_per_call(
+      [&] { benchmark::DoNotOptimize(core::sum(x)); }, 10);
+}
+
+/// Sweep {scalar, best-SIMD} backends x {1, 2, 4, max} pool threads
+/// (deduplicated, ascending) and report per-call time plus two
+/// speedups: over the same backend at 1 thread, and over the scalar
+/// backend at the same thread count. Within a backend the kernels are
+/// bit-deterministic across the sweep, so those points differ only in
+/// wall time.
 void run_thread_sweep(obs::BenchReporter& reporter) {
   namespace par = core::parallel;
+  namespace bk = core::backend;
   const std::int64_t saved = par::num_threads();
+  const bk::Backend saved_backend = bk::active_backend();
   const std::int64_t max_threads = par::ThreadPool::default_size();
   std::vector<std::int64_t> counts = {1, 2, 4, max_threads};
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
+  std::vector<bk::Backend> backends = {bk::Backend::kScalar};
+  if (bk::best_supported() != bk::Backend::kScalar) {
+    backends.push_back(bk::best_supported());
+  }
+
   const SweepKernel kernels[] = {
       {"matmul", 256, sweep_matmul},
+      {"elementwise", 1 << 20, sweep_elementwise},
+      {"reduce_sum", 1 << 20, sweep_reduce},
       {"segment_sum", 8192, sweep_segment_sum},
       {"gather_rows", 4096, sweep_gather},
   };
 
-  std::printf("thread sweep: kernels x threads {1,2,4,max=%lld}\n",
+  std::printf("kernel sweep: {scalar,%s} x threads {1,2,4,max=%lld}\n",
+              bk::backend_name(backends.back()),
               static_cast<long long>(max_threads));
   for (const SweepKernel& k : kernels) {
-    double base_us = 0.0;
-    for (const std::int64_t t : counts) {
-      par::set_num_threads(t);
-      const double us = k.run(k.size);
-      if (t == 1) base_us = us;
-      reporter.add(obs::JsonRecord()
-                       .set("kernel", k.name)
-                       .set("size", k.size)
-                       .set("threads", t)
-                       .set("us_per_call", us)
-                       .set("speedup_vs_1t", base_us > 0.0 ? base_us / us
-                                                           : 0.0));
+    // scalar_us[i] = scalar-backend time at counts[i], the denominator
+    // for speedup_vs_scalar at matching thread counts.
+    std::vector<double> scalar_us(counts.size(), 0.0);
+    for (const bk::Backend backend : backends) {
+      bk::set_backend(backend);
+      double base_us = 0.0;
+      for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+        const std::int64_t t = counts[ci];
+        par::set_num_threads(t);
+        const double us = k.run(k.size);
+        if (t == 1) base_us = us;
+        if (backend == bk::Backend::kScalar) scalar_us[ci] = us;
+        reporter.add(obs::JsonRecord()
+                         .set("kernel", k.name)
+                         .set("backend", bk::backend_name(backend))
+                         .set("size", k.size)
+                         .set("threads", t)
+                         .set("us_per_call", us)
+                         .set("speedup_vs_1t",
+                              base_us > 0.0 ? base_us / us : 0.0)
+                         .set("speedup_vs_scalar",
+                              scalar_us[ci] > 0.0 ? scalar_us[ci] / us : 0.0));
+      }
     }
   }
+  bk::set_backend(saved_backend);
   par::set_num_threads(saved);
 }
 

@@ -9,16 +9,24 @@
 #             health) — the health monitor runs inside DDP rank
 #             threads, so its registry/ring accesses must be
 #             TSan-clean.
-#   asan      -DMATSCI_SANITIZE=address build running the serve label —
-#             the frontend's hot-swap drains retire whole
-#             scheduler/session object graphs while clients still hold
-#             futures into them, so lifetime bugs (use-after-free on a
-#             drained ServingModel, leaked promises) surface here, not
-#             under TSan.
+#   asan      -DMATSCI_SANITIZE=address build running the serve and
+#             backend labels — the frontend's hot-swap drains retire
+#             whole scheduler/session object graphs while clients still
+#             hold futures into them, so lifetime bugs (use-after-free
+#             on a drained ServingModel, leaked promises) surface here,
+#             not under TSan. The backend label runs twice: once pooled
+#             and once with MATSCI_TENSOR_POOL=0, so ASan sees each
+#             tensor buffer's exact lifetime instead of pooled reuse
+#             (a read past a pooled buffer's end lands in cached bytes
+#             and would otherwise go unnoticed).
+#   scalar    forced-scalar fallback (MATSCI_KERNEL_BACKEND=scalar) on
+#             the regular tier-1 build tree — the portable kernel path
+#             must keep passing the full suite on machines whose
+#             default backend is AVX2/AVX-512, or it rots unnoticed.
 #
-# Usage: ci_matrix.sh [obs-off|tsan|asan|all]   (default: all)
-# Build trees land in build-obs-off/, build-tsan/, and build-asan/ at
-# the repo root.
+# Usage: ci_matrix.sh [obs-off|tsan|asan|scalar|all]   (default: all)
+# Build trees land in build-obs-off/, build-tsan/, build-asan/, and
+# build-scalar/ at the repo root.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,7 +54,21 @@ run_asan() {
   cmake -B "$repo_root/build-asan" -S "$repo_root" \
     -DMATSCI_SANITIZE=address
   cmake --build "$repo_root/build-asan" -j "$jobs"
-  ctest --test-dir "$repo_root/build-asan" -L serve \
+  ctest --test-dir "$repo_root/build-asan" -L "serve|backend" \
+    --output-on-failure -j "$jobs"
+  # Pool off: every tensor buffer gets its own malloc/free so ASan
+  # checks exact lifetimes (the pooled run above checks the recycling
+  # machinery itself; the steady-state tests skip themselves when the
+  # pool is disabled).
+  MATSCI_TENSOR_POOL=0 ctest --test-dir "$repo_root/build-asan" \
+    -L backend --output-on-failure -j "$jobs"
+}
+
+run_scalar() {
+  echo "=== ci_matrix: scalar (MATSCI_KERNEL_BACKEND=scalar) ==="
+  cmake -B "$repo_root/build-scalar" -S "$repo_root"
+  cmake --build "$repo_root/build-scalar" -j "$jobs"
+  MATSCI_KERNEL_BACKEND=scalar ctest --test-dir "$repo_root/build-scalar" \
     --output-on-failure -j "$jobs"
 }
 
@@ -54,13 +76,15 @@ case "$stage" in
   obs-off) run_obs_off ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
+  scalar) run_scalar ;;
   all)
     run_obs_off
     run_tsan
     run_asan
+    run_scalar
     ;;
   *)
-    echo "ci_matrix: unknown stage '$stage' (obs-off|tsan|asan|all)" >&2
+    echo "ci_matrix: unknown stage '$stage' (obs-off|tsan|asan|scalar|all)" >&2
     exit 2
     ;;
 esac

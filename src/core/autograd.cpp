@@ -3,24 +3,38 @@
 #include <unordered_set>
 
 #include "core/macros.hpp"
+#include "core/memory/arena.hpp"
 
 namespace matsci::core {
 
 namespace {
 
+/// Tape-walk containers draw from the per-thread bump arena: a
+/// steady-state training loop reuses the same chunks every step instead
+/// of reallocating the topo vector / visited set each backward.
+template <typename T>
+using ArenaVector = std::vector<T, memory::ArenaStlAllocator<T>>;
+using ArenaVisitedSet =
+    std::unordered_set<TensorImpl*, std::hash<TensorImpl*>,
+                       std::equal_to<TensorImpl*>,
+                       memory::ArenaStlAllocator<TensorImpl*>>;
+
 /// Iterative post-order DFS over the grad_fn DAG rooted at `root`.
 /// Returns payloads in topological order (inputs before outputs), so the
 /// reverse walk visits each node only after all its consumers.
-std::vector<std::shared_ptr<TensorImpl>> topo_order(
-    const std::shared_ptr<TensorImpl>& root) {
-  std::vector<std::shared_ptr<TensorImpl>> order;
-  std::unordered_set<TensorImpl*> visited;
+ArenaVector<std::shared_ptr<TensorImpl>> topo_order(
+    const std::shared_ptr<TensorImpl>& root, memory::Arena& arena) {
+  ArenaVector<std::shared_ptr<TensorImpl>> order{
+      memory::ArenaStlAllocator<std::shared_ptr<TensorImpl>>(arena)};
+  ArenaVisitedSet visited{/*bucket_count=*/16, std::hash<TensorImpl*>(),
+                          std::equal_to<TensorImpl*>(),
+                          memory::ArenaStlAllocator<TensorImpl*>(arena)};
 
   struct Frame {
     std::shared_ptr<TensorImpl> node;
     std::size_t next_input = 0;
   };
-  std::vector<Frame> stack;
+  ArenaVector<Frame> stack{memory::ArenaStlAllocator<Frame>(arena)};
   if (root->grad_fn != nullptr) {
     stack.push_back({root, 0});
     visited.insert(root.get());
@@ -41,6 +55,11 @@ std::vector<std::shared_ptr<TensorImpl>> topo_order(
   return order;
 }
 
+/// Depth of nested run_backward calls on this thread: the arena only
+/// rewinds when the outermost backward finishes, so a backward launched
+/// from inside another one cannot clobber the outer walk's containers.
+thread_local int g_backward_depth = 0;
+
 }  // namespace
 
 void run_backward(const Tensor& root) {
@@ -57,34 +76,55 @@ void run_backward(const Tensor& root) {
     return;
   }
 
-  auto order = topo_order(impl);
-  impl->ensure_grad();
-  impl->grad[0] += 1.0f;
-
-  // Reverse topological order: every node's grad is complete before its
-  // backward runs.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    TensorImpl& node = **it;
-    if (node.grad.empty()) {
-      // This node never received gradient (dead branch); skip.
-      continue;
+  memory::Arena& arena = memory::Arena::thread_local_arena();
+  // Exception-safe depth bookkeeping: a throwing backward must still
+  // unwind the depth so later calls rewind the arena again.
+  struct DepthGuard {
+    memory::Arena& arena;
+    ~DepthGuard() {
+      if (--g_backward_depth == 0) arena.reset();
     }
-    if (node.grad_fn->backward) {
-      node.grad_fn->backward(node);
-    }
-  }
+  } depth_guard{arena};
+  ++g_backward_depth;
+  {
+    auto order = topo_order(impl, arena);
+    impl->ensure_grad();
+    impl->grad[0] += 1.0f;
 
-  // Release the tape below the root so intermediate buffers free eagerly
-  // and repeated backward calls fail loudly instead of double-counting.
-  for (const auto& node : order) {
-    node->grad_fn.reset();
-  }
+    // Reverse topological order: every node's grad is complete before
+    // its backward runs.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      TensorImpl& node = **it;
+      if (node.grad.empty()) {
+        // This node never received gradient (dead branch); skip.
+        continue;
+      }
+      if (node.grad_fn->backward) {
+        node.grad_fn->backward(node);
+      }
+    }
+
+    // Release the tape below the root so intermediate buffers free
+    // eagerly and repeated backward calls fail loudly instead of
+    // double-counting.
+    for (const auto& node : order) {
+      node->grad_fn.reset();
+    }
+  }  // containers die before DepthGuard rewinds the arena
 }
 
 Tensor make_op_result(Shape shape, std::vector<float> data, const char* name,
                       std::vector<std::shared_ptr<TensorImpl>> inputs,
                       std::function<void(TensorImpl&)> backward) {
-  Tensor out = Tensor::from_vector(std::move(data), std::move(shape));
+  return make_op_result(std::move(shape),
+                        memory::FloatStorage::from_vector(data), name,
+                        std::move(inputs), std::move(backward));
+}
+
+Tensor make_op_result(Shape shape, memory::FloatStorage data, const char* name,
+                      std::vector<std::shared_ptr<TensorImpl>> inputs,
+                      std::function<void(TensorImpl&)> backward) {
+  Tensor out = Tensor::from_storage(std::move(data), std::move(shape));
   if (!grad_mode_enabled()) {
     return out;
   }

@@ -28,6 +28,11 @@ void run_backward(const Tensor& root);
 /// Construct an op result: wraps `data` with `shape`, and if grad mode is
 /// on and any input needs grad, attaches a GradFn with the given backward.
 /// `backward` may be empty when no input needs grad (it is then dropped).
+/// The pooled-storage overload is the hot path (no copy); the vector
+/// overload copies into the pool and remains for cold call sites.
+Tensor make_op_result(Shape shape, memory::FloatStorage data, const char* name,
+                      std::vector<std::shared_ptr<TensorImpl>> inputs,
+                      std::function<void(TensorImpl&)> backward);
 Tensor make_op_result(Shape shape, std::vector<float> data, const char* name,
                       std::vector<std::shared_ptr<TensorImpl>> inputs,
                       std::function<void(TensorImpl&)> backward);

@@ -1,0 +1,148 @@
+#include "core/backend/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/backend/tables.hpp"
+#include "core/macros.hpp"
+
+namespace matsci::core::backend {
+
+namespace {
+
+const KernelTable* table_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_impl::table();
+    case Backend::kAvx2:
+#if MATSCI_BACKEND_HAS_AVX2
+      return avx2_impl::table();
+#else
+      return nullptr;
+#endif
+    case Backend::kAvx512:
+#if MATSCI_BACKEND_HAS_AVX512
+      return avx512_impl::table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Backend b) {
+#if defined(__x86_64__) || defined(_M_X64)
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+/// Resolve the initial backend once: MATSCI_KERNEL_BACKEND, else the
+/// widest supported tier. An unknown or unsupported env value fails
+/// loudly — silently running scalar when the user asked for avx512
+/// would invalidate benchmark numbers.
+Backend resolve_initial() {
+  if (const char* env = std::getenv("MATSCI_KERNEL_BACKEND")) {
+    const std::string_view v(env);
+    if (!v.empty() && v != "auto") {
+      const std::optional<Backend> parsed = parse_backend(v);
+      MATSCI_CHECK(parsed.has_value(),
+                   "MATSCI_KERNEL_BACKEND: unknown backend '"
+                       << env << "' (expected auto|scalar|avx2|avx512)");
+      MATSCI_CHECK(backend_supported(*parsed),
+                   "MATSCI_KERNEL_BACKEND=" << env
+                                            << " is not supported here ("
+                                            << (backend_compiled(*parsed)
+                                                    ? "CPU lacks the ISA"
+                                                    : "not compiled in")
+                                            << ")");
+      return *parsed;
+    }
+  }
+  return best_supported();
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_backend{-1};
+std::once_flag g_init_once;
+
+void init_once() {
+  std::call_once(g_init_once, [] {
+    const Backend b = resolve_initial();
+    g_table.store(table_for(b), std::memory_order_release);
+    g_backend.store(static_cast<int>(b), std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+const KernelTable& kernels() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    init_once();
+    t = g_table.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+Backend active_backend() {
+  init_once();
+  return static_cast<Backend>(g_backend.load(std::memory_order_acquire));
+}
+
+bool backend_compiled(Backend b) { return table_for(b) != nullptr; }
+
+bool backend_supported(Backend b) {
+  return backend_compiled(b) && cpu_supports(b);
+}
+
+Backend best_supported() {
+  if (backend_supported(Backend::kAvx512)) return Backend::kAvx512;
+  if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kScalar;
+}
+
+void set_backend(Backend b) {
+  MATSCI_CHECK(backend_supported(b),
+               "set_backend(" << backend_name(b) << "): "
+                              << (backend_compiled(b)
+                                      ? "CPU does not support this ISA"
+                                      : "backend not compiled into this binary"));
+  init_once();
+  g_table.store(table_for(b), std::memory_order_release);
+  g_backend.store(static_cast<int>(b), std::memory_order_release);
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  return std::nullopt;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+}  // namespace matsci::core::backend

@@ -1,0 +1,7 @@
+// AVX2 + FMA backend. This TU is compiled with -mavx2 -mfma (per-source
+// flags set in src/CMakeLists.txt) and only ever executed after a
+// runtime cpuid check in dispatch.cpp.
+#define MATSCI_BK_NS avx2_impl
+#define MATSCI_BK_LEVEL 1
+#define MATSCI_BK_NAME "avx2"
+#include "core/backend/kernels_body.inc"

@@ -1,0 +1,7 @@
+// AVX-512 backend (F/DQ/BW/VL subset via -mavx512f -mavx512dq
+// -mavx512bw -mavx512vl; per-source flags in src/CMakeLists.txt).
+// Only executed after a runtime cpuid check in dispatch.cpp.
+#define MATSCI_BK_NS avx512_impl
+#define MATSCI_BK_LEVEL 2
+#define MATSCI_BK_NAME "avx512"
+#include "core/backend/kernels_body.inc"

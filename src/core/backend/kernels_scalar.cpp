@@ -1,0 +1,7 @@
+// Portable reference backend: plain C++ loops, no intrinsics, compiled
+// with the project's baseline flags. Bit-for-bit identical to the
+// pre-backend serial kernels.
+#define MATSCI_BK_NS scalar_impl
+#define MATSCI_BK_LEVEL 0
+#define MATSCI_BK_NAME "scalar"
+#include "core/backend/kernels_body.inc"

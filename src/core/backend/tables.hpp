@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/backend/backend.hpp"
+
+// Internal: per-backend table accessors defined by the kernels_*.cpp
+// translation units. The AVX declarations exist unconditionally; their
+// definitions are only linked when CMake compiled the matching TU
+// (MATSCI_BACKEND_HAS_AVX2 / MATSCI_BACKEND_HAS_AVX512), and
+// dispatch.cpp only references them under those same guards.
+
+namespace matsci::core::backend {
+namespace scalar_impl {
+const KernelTable* table();
+}
+namespace avx2_impl {
+const KernelTable* table();
+}
+namespace avx512_impl {
+const KernelTable* table();
+}
+}  // namespace matsci::core::backend

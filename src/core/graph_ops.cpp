@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "core/autograd.hpp"
+#include "core/backend/backend.hpp"
 #include "core/macros.hpp"
+#include "core/memory/storage.hpp"
 #include "core/ops.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "obs/trace.hpp"
@@ -13,6 +15,8 @@
 namespace matsci::core {
 
 namespace {
+
+using memory::FloatStorage;
 
 constexpr std::int64_t kRowGrainWork = 1 << 16;  // scalars per row-chunk
 
@@ -43,7 +47,9 @@ void check_segments(const std::vector<std::int64_t>& segment,
 /// parallelize over destination buckets, which are disjoint. Each
 /// destination element accumulates its sources in ascending row order
 /// — exactly the order the serial loop uses — so the result is
-/// bit-identical to serial for any thread count.
+/// bit-identical to serial for any thread count. (The row addition
+/// itself runs through the backend add_rows kernel: pointwise IEEE
+/// adds, bit-identical across backends too.)
 struct RowBucketPlan {
   std::vector<std::int64_t> order;    ///< source rows grouped by destination
   std::vector<std::int64_t> offsets;  ///< bucket b spans order[offsets[b]..offsets[b+1])
@@ -80,11 +86,11 @@ void scatter_add_kernel(const float* src, std::int64_t num_src,
                         std::int64_t d,
                         const std::vector<std::int64_t>& index,
                         std::int64_t num_dst, float* dst) {
+  const backend::KernelTable& kt = backend::kernels();
   if (num_src * d < kScatterParallelCutoff || num_dst > num_src) {
     for (std::int64_t r = 0; r < num_src; ++r) {
-      float* out = dst + index[static_cast<std::size_t>(r)] * d;
-      const float* in = src + r * d;
-      for (std::int64_t j = 0; j < d; ++j) out[j] += in[j];
+      kt.add_rows(dst + index[static_cast<std::size_t>(r)] * d, src + r * d,
+                  d);
     }
     return;
   }
@@ -98,9 +104,8 @@ void scatter_add_kernel(const float* src, std::int64_t num_src,
           float* out = dst + b * d;
           for (std::int64_t k = plan.offsets[static_cast<std::size_t>(b)];
                k < plan.offsets[static_cast<std::size_t>(b) + 1]; ++k) {
-            const float* in =
-                src + plan.order[static_cast<std::size_t>(k)] * d;
-            for (std::int64_t j = 0; j < d; ++j) out[j] += in[j];
+            kt.add_rows(out,
+                        src + plan.order[static_cast<std::size_t>(k)] * d, d);
           }
         }
       });
@@ -118,20 +123,19 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& index) {
     MATSCI_CHECK(src >= 0 && src < n,
                  "gather_rows: index " << src << " out of range [0, " << n << ")");
   }
-  std::vector<float> out(static_cast<std::size_t>(m * d));
+  const backend::KernelTable& kt = backend::kernels();
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(m * d));
   parallel::parallel_for(
       0, m, rows_grain(d), [&](std::int64_t rb, std::int64_t re) {
-        for (std::int64_t r = rb; r < re; ++r) {
-          const std::int64_t src = index[static_cast<std::size_t>(r)];
-          std::copy(px + src * d, px + (src + 1) * d, out.data() + r * d);
-        }
+        kt.gather_rows(px, index.data(), out.data(), rb, re, d);
       });
   auto ix = x.impl();
   return make_op_result(
       {m, d}, std::move(out), "gather_rows", {ix},
       [ix, index, n, d, m](TensorImpl& o) {
         if (!ix->needs_grad()) return;
-        std::vector<float> gx(static_cast<std::size_t>(n * d), 0.0f);
+        FloatStorage gx = FloatStorage::zeros(static_cast<std::size_t>(n * d));
         scatter_add_kernel(o.grad.data(), m, d, index, n, gx.data());
         ix->accumulate_grad(gx.data());
       });
@@ -153,7 +157,10 @@ Tensor scatter_add_rows(const Tensor& x,
                  "scatter_add_rows: index " << dst << " out of range [0, "
                                             << num_rows << ")");
   }
-  std::vector<float> out(static_cast<std::size_t>(num_rows * d), 0.0f);
+  // Scatter targets keep the zero-fill: rows with no incoming source
+  // must read as zero.
+  FloatStorage out =
+      FloatStorage::zeros(static_cast<std::size_t>(num_rows * d));
   scatter_add_kernel(x.data(), m, d, index, num_rows, out.data());
   auto ix = x.impl();
   return make_op_result(
@@ -161,14 +168,12 @@ Tensor scatter_add_rows(const Tensor& x,
       [ix, index, d, m](TensorImpl& o) {
         if (!ix->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> gx(static_cast<std::size_t>(m * d));
+        const backend::KernelTable& kt = backend::kernels();
+        FloatStorage gx =
+            FloatStorage::uninitialized(static_cast<std::size_t>(m * d));
         parallel::parallel_for(
             0, m, rows_grain(d), [&](std::int64_t rb, std::int64_t re) {
-              for (std::int64_t r = rb; r < re; ++r) {
-                const float* src =
-                    go + index[static_cast<std::size_t>(r)] * d;
-                std::copy(src, src + d, gx.data() + r * d);
-              }
+              kt.gather_rows(go, index.data(), gx.data(), rb, re, d);
             });
         ix->accumulate_grad(gx.data());
       });
@@ -181,7 +186,8 @@ Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
   const std::int64_t n = x.size(0), d = x.size(1);
   check_segments(segment, n, num_segments, "segment_sum");
   const float* px = x.data();
-  std::vector<float> out(static_cast<std::size_t>(num_segments * d), 0.0f);
+  FloatStorage out =
+      FloatStorage::zeros(static_cast<std::size_t>(num_segments * d));
   scatter_add_kernel(px, n, d, segment, num_segments, out.data());
   auto ix = x.impl();
   return make_op_result(
@@ -189,14 +195,12 @@ Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
       [ix, segment, n, d](TensorImpl& o) {
         if (!ix->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> gx(static_cast<std::size_t>(n * d));
+        const backend::KernelTable& kt = backend::kernels();
+        FloatStorage gx =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n * d));
         parallel::parallel_for(
             0, n, rows_grain(d), [&](std::int64_t rb, std::int64_t re) {
-              for (std::int64_t r = rb; r < re; ++r) {
-                const float* src =
-                    go + segment[static_cast<std::size_t>(r)] * d;
-                std::copy(src, src + d, gx.data() + r * d);
-              }
+              kt.gather_rows(go, segment.data(), gx.data(), rb, re, d);
             });
         ix->accumulate_grad(gx.data());
       });
@@ -204,13 +208,14 @@ Tensor segment_sum(const Tensor& x, const std::vector<std::int64_t>& segment,
 
 Tensor segment_counts(const std::vector<std::int64_t>& segment,
                       std::int64_t num_segments) {
-  std::vector<float> counts(static_cast<std::size_t>(num_segments), 0.0f);
+  FloatStorage counts =
+      FloatStorage::zeros(static_cast<std::size_t>(num_segments));
   for (const std::int64_t s : segment) {
     MATSCI_CHECK(s >= 0 && s < num_segments,
                  "segment_counts: id " << s << " out of range");
     counts[static_cast<std::size_t>(s)] += 1.0f;
   }
-  return Tensor::from_vector(std::move(counts), {num_segments, 1});
+  return Tensor::from_storage(std::move(counts), {num_segments, 1});
 }
 
 Tensor segment_mean(const Tensor& x, const std::vector<std::int64_t>& segment,
@@ -232,7 +237,8 @@ Tensor segment_max(const Tensor& x, const std::vector<std::int64_t>& segment,
   check_segments(segment, n, num_segments, "segment_max");
   const float* px = x.data();
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  std::vector<float> out(static_cast<std::size_t>(num_segments * d), kNegInf);
+  FloatStorage out =
+      FloatStorage::full(static_cast<std::size_t>(num_segments * d), kNegInf);
   std::vector<std::int64_t> arg(static_cast<std::size_t>(num_segments * d), -1);
   for (std::int64_t r = 0; r < n; ++r) {
     const std::int64_t s = segment[static_cast<std::size_t>(r)];
@@ -253,7 +259,7 @@ Tensor segment_max(const Tensor& x, const std::vector<std::int64_t>& segment,
       [ix, arg = std::move(arg), n, d](TensorImpl& o) {
         if (!ix->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> gx(static_cast<std::size_t>(n * d), 0.0f);
+        FloatStorage gx = FloatStorage::zeros(static_cast<std::size_t>(n * d));
         for (std::size_t i = 0; i < arg.size(); ++i) {
           if (arg[i] >= 0) {
             gx[static_cast<std::size_t>(arg[i]) * d +
@@ -277,7 +283,8 @@ Tensor segment_softmax(const Tensor& x,
   check_segments(segment, n, num_segments, "segment_softmax");
   const float* px = x.data();
 
-  // Per-segment max shift, then normalized exponentials.
+  // Per-segment max shift, then normalized exponentials. Stays scalar
+  // in every backend: the access pattern is index-driven.
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
   std::vector<float> seg_max(static_cast<std::size_t>(num_segments), kNegInf);
   for (std::int64_t r = 0; r < n; ++r) {
@@ -285,7 +292,7 @@ Tensor segment_softmax(const Tensor& x,
     m = std::max(m, px[r]);
   }
   std::vector<double> seg_sum(static_cast<std::size_t>(num_segments), 0.0);
-  std::vector<float> out(static_cast<std::size_t>(n));
+  FloatStorage out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
   for (std::int64_t r = 0; r < n; ++r) {
     const std::int64_t s = segment[static_cast<std::size_t>(r)];
     out[static_cast<std::size_t>(r)] =
@@ -298,7 +305,8 @@ Tensor segment_softmax(const Tensor& x,
   }
 
   auto ix = x.impl();
-  std::vector<float> probs = out;
+  FloatStorage probs;
+  if (grad_mode_enabled() && ix->needs_grad()) probs = out;
   return make_op_result(
       {n, 1}, std::move(out), "segment_softmax", {ix},
       [ix, segment, n, num_segments, probs = std::move(probs)](TensorImpl& o) {
@@ -310,7 +318,8 @@ Tensor segment_softmax(const Tensor& x,
           dot[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])] +=
               static_cast<double>(go[r]) * probs[static_cast<std::size_t>(r)];
         }
-        std::vector<float> gx(static_cast<std::size_t>(n));
+        FloatStorage gx =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n));
         for (std::int64_t r = 0; r < n; ++r) {
           const std::int64_t s = segment[static_cast<std::size_t>(r)];
           gx[static_cast<std::size_t>(r)] =
@@ -330,26 +339,24 @@ Tensor gaussian_rbf(const Tensor& d, const std::vector<float>& centers,
   const std::int64_t n = d.size(0);
   const std::int64_t k = static_cast<std::int64_t>(centers.size());
   const float* pd = d.data();
-  std::vector<float> out(static_cast<std::size_t>(n * k));
+  const backend::KernelTable& kt = backend::kernels();
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * k));
   parallel::parallel_for(
       0, n, rows_grain(4 * k), [&](std::int64_t rb, std::int64_t re) {
-        for (std::int64_t r = rb; r < re; ++r) {
-          for (std::int64_t c = 0; c < k; ++c) {
-            const float diff = pd[r] - centers[static_cast<std::size_t>(c)];
-            out[static_cast<std::size_t>(r * k + c)] =
-                std::exp(-gamma * diff * diff);
-          }
-        }
+        kt.gaussian_rbf_rows(pd, centers.data(), k, gamma, rb, re, out.data());
       });
   auto id = d.impl();
-  std::vector<float> saved = out;
+  FloatStorage saved;
+  if (grad_mode_enabled() && id->needs_grad()) saved = out;
   return make_op_result(
       {n, k}, std::move(out), "gaussian_rbf", {id},
       [id, centers, gamma, n, k, saved = std::move(saved)](TensorImpl& o) {
         if (!id->needs_grad()) return;
         const float* go = o.grad.data();
         const float* pd2 = id->data.data();
-        std::vector<float> gd(static_cast<std::size_t>(n), 0.0f);
+        FloatStorage gd =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n));
         parallel::parallel_for(
             0, n, rows_grain(4 * k), [&](std::int64_t rb, std::int64_t re) {
               for (std::int64_t r = rb; r < re; ++r) {

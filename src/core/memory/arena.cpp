@@ -1,0 +1,57 @@
+#include "core/memory/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace matsci::core::memory {
+
+namespace {
+constexpr std::size_t kChunkAlign = 64;
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Arena::~Arena() {
+  for (const Chunk& c : chunks_) {
+    ::operator delete(c.base, c.capacity, std::align_val_t{kChunkAlign});
+  }
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  align = std::max<std::size_t>(align, 1);
+  for (; active_ < chunks_.size(); ++active_) {
+    Chunk& c = chunks_[active_];
+    const std::size_t start = align_up(c.used, align);
+    if (start + bytes <= c.capacity) {
+      c.used = start + bytes;
+      return c.base + start;
+    }
+    // Chunk full for this request; later requests could still be
+    // smaller, but advancing keeps allocation O(1) amortized and the
+    // stranded tail is bounded by one request per chunk.
+  }
+  const std::size_t capacity =
+      std::max(chunk_bytes_, align_up(bytes, kChunkAlign));
+  char* base = static_cast<char*>(
+      ::operator new(capacity, std::align_val_t{kChunkAlign}));
+  chunks_.push_back({base, capacity, bytes});
+  ++chunks_allocated_;
+  bytes_reserved_ += capacity;
+  active_ = chunks_.size() - 1;
+  return base;
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+}
+
+Arena& Arena::thread_local_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace matsci::core::memory

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace matsci::core::memory {
+
+/// Caching bump allocator for per-step transient metadata (the autograd
+/// traversal's topo-order and visited containers, per-call scratch that
+/// isn't a flat float buffer). allocate() bumps a pointer inside the
+/// current chunk; reset() rewinds every chunk without freeing it, so a
+/// steady-state loop of identical steps touches malloc only during the
+/// very first step.
+///
+/// Not thread-safe — use one arena per thread (see thread_local_arena).
+/// Destructors are NOT run for arena-allocated objects' memory; pair it
+/// with containers via ArenaStlAllocator, whose element destructors run
+/// normally while the raw memory is simply abandoned until reset().
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+      : chunk_bytes_(chunk_bytes) {}
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewind all chunks; cached memory stays for the next step.
+  void reset();
+
+  /// Fresh chunk allocations since construction (the warmup hook:
+  /// steady-state loops must keep this constant).
+  std::uint64_t chunks_allocated() const { return chunks_allocated_; }
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Per-thread arena for tape-walk scratch. Thread-local so serve
+  /// workers backprop (force prediction) without sharing state.
+  static Arena& thread_local_arena();
+
+ private:
+  struct Chunk {
+    char* base;
+    std::size_t capacity;
+    std::size_t used;
+  };
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunks_[active_..] have free space
+  std::uint64_t chunks_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// Minimal C++17 allocator over an Arena: allocation bumps, deallocation
+/// is a no-op (memory is reclaimed wholesale by Arena::reset()).
+template <typename T>
+class ArenaStlAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaStlAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaStlAllocator(const ArenaStlAllocator<U>& other)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // reclaimed by Arena::reset()
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaStlAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaStlAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace matsci::core::memory

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/memory/pool.hpp"
+
+namespace matsci::core::memory {
+
+/// Pooled, 64-byte-aligned, trivially-copyable element buffer — the
+/// storage handle behind TensorImpl (and the scratch buffers inside op
+/// backward passes). Replaces bare std::vector<T> in the hot path:
+///
+///  - memory comes from BufferPool::global(), so fixed-shape steps
+///    reuse buffers instead of hitting malloc;
+///  - `uninitialized(n)` skips the value-initialization write entirely
+///    for outputs the kernel fully overwrites (std::vector::resize
+///    cannot);
+///  - data() is always 64-byte aligned, which the SIMD backends assume
+///    for their aligned fast paths.
+///
+/// The API deliberately mirrors the std::vector subset the rest of the
+/// codebase uses (size/data/operator[]/begin/end/empty/assign), so the
+/// optimizer and test helpers compile unchanged. Copying is a deep
+/// copy through the pool; moves are pointer swaps.
+template <typename T>
+class Storage {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Storage is for trivially copyable payloads");
+
+ public:
+  Storage() = default;
+
+  /// n elements of UNDEFINED content — only for outputs that are fully
+  /// overwritten before being read (the kernel contract).
+  static Storage uninitialized(std::size_t n) {
+    Storage s;
+    s.allocate(n);
+    return s;
+  }
+
+  static Storage zeros(std::size_t n) {
+    Storage s;
+    s.allocate(n);
+    if (n > 0) std::memset(s.ptr_, 0, n * sizeof(T));
+    return s;
+  }
+
+  static Storage full(std::size_t n, T value) {
+    Storage s;
+    s.allocate(n);
+    s.fill(value);
+    return s;
+  }
+
+  static Storage from_vector(const std::vector<T>& v) {
+    return copy_of(v.data(), v.size());
+  }
+
+  static Storage copy_of(const T* src, std::size_t n) {
+    Storage s;
+    s.allocate(n);
+    if (n > 0) std::memcpy(s.ptr_, src, n * sizeof(T));
+    return s;
+  }
+
+  Storage(std::initializer_list<T> init) {
+    allocate(init.size());
+    std::size_t i = 0;
+    for (const T& v : init) ptr_[i++] = v;
+  }
+
+  Storage(const Storage& other) {
+    allocate(other.size_);
+    if (size_ > 0) std::memcpy(ptr_, other.ptr_, size_ * sizeof(T));
+  }
+
+  Storage& operator=(const Storage& other) {
+    if (this != &other) {
+      Storage copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  Storage(Storage&& other) noexcept { swap(other); }
+
+  Storage& operator=(Storage&& other) noexcept {
+    if (this != &other) {
+      clear();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~Storage() { clear(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return ptr_; }
+  const T* data() const { return ptr_; }
+  T& operator[](std::size_t i) { return ptr_[i]; }
+  const T& operator[](std::size_t i) const { return ptr_[i]; }
+  T* begin() { return ptr_; }
+  T* end() { return ptr_ + size_; }
+  const T* begin() const { return ptr_; }
+  const T* end() const { return ptr_ + size_; }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) ptr_[i] = value;
+  }
+
+  /// vector::assign compatible: size to n, every element = value.
+  /// Reuses the existing buffer when its capacity already fits.
+  void assign(std::size_t n, T value) {
+    resize_uninitialized(n);
+    fill(value);
+  }
+
+  /// Resize WITHOUT preserving or initializing contents (callers
+  /// overwrite). Keeps the current buffer when it is large enough.
+  void resize_uninitialized(std::size_t n) {
+    if (n * sizeof(T) > cap_bytes_) {
+      clear();
+      allocate(n);
+    } else {
+      size_ = n;
+    }
+  }
+
+  /// Release the buffer back to the pool.
+  void clear() {
+    if (ptr_ != nullptr) {
+      BufferPool::global().release(ptr_, cap_bytes_);
+      ptr_ = nullptr;
+    }
+    size_ = 0;
+    cap_bytes_ = 0;
+  }
+
+  void swap(Storage& other) noexcept {
+    std::swap(ptr_, other.ptr_);
+    std::swap(size_, other.size_);
+    std::swap(cap_bytes_, other.cap_bytes_);
+  }
+
+ private:
+  void allocate(std::size_t n) {
+    size_ = n;
+    if (n == 0) return;
+    const BufferPool::Block block = BufferPool::global().acquire(n * sizeof(T));
+    ptr_ = static_cast<T*>(block.ptr);
+    cap_bytes_ = block.capacity;
+  }
+
+  T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_bytes_ = 0;
+};
+
+using FloatStorage = Storage<float>;
+using DoubleStorage = Storage<double>;
+using IndexStorage = Storage<std::int64_t>;
+
+}  // namespace matsci::core::memory

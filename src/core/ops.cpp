@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "core/autograd.hpp"
+#include "core/backend/backend.hpp"
 #include "core/macros.hpp"
+#include "core/memory/storage.hpp"
 #include "core/parallel/parallel_for.hpp"
 #include "obs/trace.hpp"
 
@@ -12,10 +14,15 @@ namespace matsci::core {
 
 namespace {
 
+using backend::Bcast;
+using backend::BinaryOp;
+using backend::UnaryOp;
+using memory::FloatStorage;
+
 // Fixed work-per-chunk targets (in scalar operations). Chunk layout
 // depends only on tensor shape, so every kernel is bit-exact across
-// thread counts; problems below one grain collapse to a single chunk
-// and execute exactly like the previous serial code.
+// thread counts within a backend; problems below one grain collapse to
+// a single chunk and execute exactly like the previous serial code.
 constexpr std::int64_t kElemGrain = 1 << 15;        // elementwise loops
 constexpr std::int64_t kRowGrainWork = 1 << 16;     // row-sliced loops
 constexpr std::int64_t kMatmulGrainWork = 1 << 18;  // flops per matmul chunk
@@ -26,9 +33,6 @@ std::int64_t rows_grain(std::int64_t work_target, std::int64_t per_row) {
   return std::max<std::int64_t>(
       1, work_target / std::max<std::int64_t>(1, per_row));
 }
-
-/// How the second operand of a binary op maps onto the first.
-enum class Bcast { kSame, kScalar, kRow, kCol };
 
 struct BcastInfo {
   Bcast kind;
@@ -61,11 +65,27 @@ BcastInfo classify_broadcast(const Tensor& a, const Tensor& b,
   return {row ? Bcast::kRow : Bcast::kCol, n, d};
 }
 
-/// Generic differentiable binary elementwise op with b-side broadcasting.
-/// f(a,b) computes the output; dfa/dfb give ∂out/∂a and ∂out/∂b at (a,b).
-template <typename F, typename DFA, typename DFB>
-Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f,
-                 DFA dfa, DFB dfb) {
+/// ∂out/∂b at (x, y) for the table-routed binary ops — only used by the
+/// serial reduced-broadcast gradient loops (the kSame path runs through
+/// the vectorized binary_grad_b_same kernel instead).
+float dfb_reduced(BinaryOp op, float x, float y) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return 1.0f;
+    case BinaryOp::kSub:
+      return -1.0f;
+    case BinaryOp::kMul:
+      return x;
+    case BinaryOp::kDiv:
+      return -x / (y * y);
+  }
+  return 0.0f;  // unreachable
+}
+
+/// Differentiable binary elementwise op, routed through the backend
+/// kernel table (b-side broadcasting).
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name,
+                 BinaryOp op) {
   MATSCI_CHECK(a.defined() && b.defined(), name << ": undefined operand");
   const BcastInfo info = classify_broadcast(a, b, name);
   const std::int64_t n = a.numel();
@@ -73,109 +93,129 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f,
   const float* pa = a.data();
   const float* pb = b.data();
 
-  std::vector<float> out(static_cast<std::size_t>(n));
-  parallel::parallel_for(0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
-    switch (info.kind) {
-      case Bcast::kSame:
-        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[i]);
-        break;
-      case Bcast::kScalar:
-        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[0]);
-        break;
-      case Bcast::kRow:
-        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[i % d]);
-        break;
-      case Bcast::kCol:
-        for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i], pb[i / d]);
-        break;
-    }
-  });
+  const backend::KernelTable& kt = backend::kernels();
+  FloatStorage out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
+  parallel::parallel_for(
+      0, n, kElemGrain, [&](std::int64_t bb, std::int64_t e) {
+        kt.binary_ew(op, info.kind, pa, pb, out.data(), bb, e, d);
+      });
 
   auto ia = a.impl();
   auto ib = b.impl();
   return make_op_result(
       a.shape(), std::move(out), name, {ia, ib},
-      [ia, ib, info, n, d, f, dfa, dfb](TensorImpl& o) {
+      [ia, ib, info, n, d, op](TensorImpl& o) {
+        const backend::KernelTable& kt2 = backend::kernels();
         const float* go = o.grad.data();
         const float* pa2 = ia->data.data();
         const float* pb2 = ib->data.data();
         if (ia->needs_grad()) {
-          std::vector<float> ga(static_cast<std::size_t>(n));
           // dL/da is elementwise in i for every broadcast kind.
+          FloatStorage ga =
+              FloatStorage::uninitialized(static_cast<std::size_t>(n));
           parallel::parallel_for(
-              0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
-                switch (info.kind) {
-                  case Bcast::kSame:
-                    for (std::int64_t i = b; i < e; ++i)
-                      ga[i] = go[i] * dfa(pa2[i], pb2[i]);
-                    break;
-                  case Bcast::kScalar:
-                    for (std::int64_t i = b; i < e; ++i)
-                      ga[i] = go[i] * dfa(pa2[i], pb2[0]);
-                    break;
-                  case Bcast::kRow:
-                    for (std::int64_t i = b; i < e; ++i)
-                      ga[i] = go[i] * dfa(pa2[i], pb2[i % d]);
-                    break;
-                  case Bcast::kCol:
-                    for (std::int64_t i = b; i < e; ++i)
-                      ga[i] = go[i] * dfa(pa2[i], pb2[i / d]);
-                    break;
-                }
+              0, n, kElemGrain, [&](std::int64_t bb, std::int64_t e) {
+                kt2.binary_grad_a(op, info.kind, go, pa2, pb2, ga.data(), bb,
+                                  e, d);
               });
           ia->accumulate_grad(ga.data());
         }
         if (ib->needs_grad()) {
-          std::vector<float> gb(ib->data.size(), 0.0f);
-          // dL/db is elementwise only for kSame; the broadcast kinds
-          // reduce over a, which stays serial (b is small there).
-          switch (info.kind) {
-            case Bcast::kSame:
-              parallel::parallel_for(
-                  0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
-                    for (std::int64_t i = b; i < e; ++i)
-                      gb[i] = go[i] * dfb(pa2[i], pb2[i]);
-                  });
-              break;
-            case Bcast::kScalar:
-              for (std::int64_t i = 0; i < n; ++i)
-                gb[0] += go[i] * dfb(pa2[i], pb2[0]);
-              break;
-            case Bcast::kRow:
-              for (std::int64_t i = 0; i < n; ++i)
-                gb[i % d] += go[i] * dfb(pa2[i], pb2[i % d]);
-              break;
-            case Bcast::kCol:
-              for (std::int64_t i = 0; i < n; ++i)
-                gb[i / d] += go[i] * dfb(pa2[i], pb2[i / d]);
-              break;
+          if (info.kind == Bcast::kSame) {
+            FloatStorage gb =
+                FloatStorage::uninitialized(static_cast<std::size_t>(n));
+            parallel::parallel_for(
+                0, n, kElemGrain, [&](std::int64_t bb, std::int64_t e) {
+                  kt2.binary_grad_b_same(op, go, pa2, pb2, gb.data(), bb, e);
+                });
+            ib->accumulate_grad(gb.data());
+          } else {
+            // The broadcast kinds reduce over a, which stays serial
+            // (b is small there).
+            FloatStorage gb = FloatStorage::zeros(ib->data.size());
+            switch (info.kind) {
+              case Bcast::kScalar:
+                for (std::int64_t i = 0; i < n; ++i)
+                  gb[0] += go[i] * dfb_reduced(op, pa2[i], pb2[0]);
+                break;
+              case Bcast::kRow:
+                for (std::int64_t i = 0; i < n; ++i)
+                  gb[i % d] += go[i] * dfb_reduced(op, pa2[i], pb2[i % d]);
+                break;
+              case Bcast::kCol:
+                for (std::int64_t i = 0; i < n; ++i)
+                  gb[i / d] += go[i] * dfb_reduced(op, pa2[i], pb2[i / d]);
+                break;
+              case Bcast::kSame:
+                break;  // handled above
+            }
+            ib->accumulate_grad(gb.data());
           }
-          ib->accumulate_grad(gb.data());
         }
       });
 }
 
-/// Generic differentiable unary elementwise op. df receives (x, y).
+/// Differentiable unary elementwise op routed through the backend
+/// kernel table. arg0/arg1 carry op parameters (scalar, clamp bounds).
+Tensor routed_unary(const Tensor& a, const char* name, UnaryOp op,
+                    float arg0 = 0.0f, float arg1 = 0.0f) {
+  MATSCI_CHECK(a.defined(), name << ": undefined operand");
+  const std::int64_t n = a.numel();
+  const float* pa = a.data();
+  const backend::KernelTable& kt = backend::kernels();
+  FloatStorage out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
+  parallel::parallel_for(
+      0, n, kElemGrain, [&](std::int64_t bb, std::int64_t e) {
+        kt.unary_map(op, pa, out.data(), bb, e, arg0, arg1);
+      });
+
+  auto ia = a.impl();
+  // Keep output values for the backward pass — only when a tape will
+  // actually be recorded (inference skips the copy entirely).
+  FloatStorage saved;
+  if (grad_mode_enabled() && ia->needs_grad()) saved = out;
+  return make_op_result(
+      a.shape(), std::move(out), name, {ia},
+      [ia, n, op, arg0, arg1, saved = std::move(saved)](TensorImpl& o) {
+        if (!ia->needs_grad()) return;
+        const backend::KernelTable& kt2 = backend::kernels();
+        const float* go = o.grad.data();
+        const float* pa2 = ia->data.data();
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n));
+        parallel::parallel_for(
+            0, n, kElemGrain, [&](std::int64_t bb, std::int64_t e) {
+              kt2.unary_grad(op, pa2, saved.data(), go, ga.data(), bb, e,
+                             arg0, arg1);
+            });
+        ia->accumulate_grad(ga.data());
+      });
+}
+
+/// Generic differentiable unary elementwise op for the long tail of
+/// activations without a table entry (log/selu/gelu/softplus). df
+/// receives (x, y).
 template <typename F, typename DF>
 Tensor unary_op(const Tensor& a, const char* name, F f, DF df) {
   MATSCI_CHECK(a.defined(), name << ": undefined operand");
   const std::int64_t n = a.numel();
   const float* pa = a.data();
-  std::vector<float> out(static_cast<std::size_t>(n));
+  FloatStorage out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
   parallel::parallel_for(0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) out[i] = f(pa[i]);
   });
 
   auto ia = a.impl();
-  // Keep output values for the backward pass (cheap, by value).
-  std::vector<float> saved = out;
+  FloatStorage saved;
+  if (grad_mode_enabled() && ia->needs_grad()) saved = out;
   return make_op_result(
       a.shape(), std::move(out), name, {ia},
       [ia, n, df, saved = std::move(saved)](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
         const float* pa2 = ia->data.data();
-        std::vector<float> ga(static_cast<std::size_t>(n));
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n));
         parallel::parallel_for(
             0, n, kElemGrain, [&](std::int64_t b, std::int64_t e) {
               for (std::int64_t i = b; i < e; ++i)
@@ -195,75 +235,48 @@ float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 // --- binary ----------------------------------------------------------------
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_op(
-      a, b, "add", [](float x, float y) { return x + y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+  return binary_op(a, b, "add", BinaryOp::kAdd);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_op(
-      a, b, "sub", [](float x, float y) { return x - y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+  return binary_op(a, b, "sub", BinaryOp::kSub);
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_op(
-      a, b, "mul", [](float x, float y) { return x * y; },
-      [](float, float y) { return y; }, [](float x, float) { return x; });
+  return binary_op(a, b, "mul", BinaryOp::kMul);
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary_op(
-      a, b, "div", [](float x, float y) { return x / y; },
-      [](float, float y) { return 1.0f / y; },
-      [](float x, float y) { return -x / (y * y); });
+  return binary_op(a, b, "div", BinaryOp::kDiv);
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  return unary_op(
-      a, "add_scalar", [s](float x) { return x + s; },
-      [](float, float) { return 1.0f; });
+  return routed_unary(a, "add_scalar", UnaryOp::kAddScalar, s);
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  return unary_op(
-      a, "mul_scalar", [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+  return routed_unary(a, "mul_scalar", UnaryOp::kMulScalar, s);
 }
 
 // --- unary -------------------------------------------------------------------
 
 Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
 
-Tensor abs(const Tensor& a) {
-  return unary_op(
-      a, "abs", [](float x) { return std::fabs(x); },
-      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
-}
+Tensor abs(const Tensor& a) { return routed_unary(a, "abs", UnaryOp::kAbs); }
 
 Tensor square(const Tensor& a) {
-  return unary_op(
-      a, "square", [](float x) { return x * x; },
-      [](float x, float) { return 2.0f * x; });
+  return routed_unary(a, "square", UnaryOp::kSquare);
 }
 
 Tensor sqrt(const Tensor& a) {
-  return unary_op(
-      a, "sqrt", [](float x) { return std::sqrt(x); },
-      [](float, float y) { return 0.5f / y; });
+  return routed_unary(a, "sqrt", UnaryOp::kSqrt);
 }
 
 Tensor rsqrt(const Tensor& a) {
-  return unary_op(
-      a, "rsqrt", [](float x) { return 1.0f / std::sqrt(x); },
-      [](float x, float y) { return -0.5f * y / x; });
+  return routed_unary(a, "rsqrt", UnaryOp::kRsqrt);
 }
 
-Tensor exp(const Tensor& a) {
-  return unary_op(
-      a, "exp", [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
-}
+Tensor exp(const Tensor& a) { return routed_unary(a, "exp", UnaryOp::kExp); }
 
 Tensor log(const Tensor& a) {
   return unary_op(
@@ -272,30 +285,19 @@ Tensor log(const Tensor& a) {
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return unary_op(
-      a, "sigmoid", sigmoid_scalar,
-      [](float, float y) { return y * (1.0f - y); });
+  return routed_unary(a, "sigmoid", UnaryOp::kSigmoid);
 }
 
 Tensor tanh(const Tensor& a) {
-  return unary_op(
-      a, "tanh", [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  return routed_unary(a, "tanh", UnaryOp::kTanh);
 }
 
 Tensor relu(const Tensor& a) {
-  return unary_op(
-      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  return routed_unary(a, "relu", UnaryOp::kRelu);
 }
 
 Tensor silu(const Tensor& a) {
-  return unary_op(
-      a, "silu", [](float x) { return x * sigmoid_scalar(x); },
-      [](float x, float) {
-        const float s = sigmoid_scalar(x);
-        return s * (1.0f + x * (1.0f - s));
-      });
+  return routed_unary(a, "silu", UnaryOp::kSilu);
 }
 
 Tensor selu(const Tensor& a) {
@@ -338,10 +340,7 @@ Tensor softplus(const Tensor& a) {
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
   MATSCI_CHECK(lo <= hi, "clamp: lo=" << lo << " > hi=" << hi);
-  return unary_op(
-      a, "clamp",
-      [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
-      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
+  return routed_unary(a, "clamp", UnaryOp::kClamp, lo, hi);
 }
 
 // --- reductions --------------------------------------------------------------
@@ -350,22 +349,22 @@ Tensor sum(const Tensor& a) {
   MATSCI_CHECK(a.defined(), "sum: undefined operand");
   const std::int64_t n = a.numel();
   const float* pa = a.data();
+  const backend::KernelTable& kt = backend::kernels();
   // Deterministic tree reduction: fixed-grain chunk partials combined
   // in a shape that depends only on n, never on the thread count.
   const double acc = parallel::parallel_reduce(
       0, n, kReduceGrain, 0.0,
-      [pa](std::int64_t b, std::int64_t e) {
-        double part = 0.0;
-        for (std::int64_t i = b; i < e; ++i) part += pa[i];
-        return part;
+      [pa, &kt](std::int64_t b, std::int64_t e) {
+        return kt.reduce_sum(pa, b, e);
       },
       [](double x, double y) { return x + y; });
   auto ia = a.impl();
   return make_op_result(
-      {1}, {static_cast<float>(acc)}, "sum", {ia}, [ia, n](TensorImpl& o) {
+      {1}, FloatStorage{static_cast<float>(acc)}, "sum", {ia},
+      [ia, n](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float g = o.grad[0];
-        std::vector<float> ga(static_cast<std::size_t>(n), g);
+        FloatStorage ga = FloatStorage::full(static_cast<std::size_t>(n), g);
         ia->accumulate_grad(ga.data());
       });
 }
@@ -384,30 +383,27 @@ Tensor sum_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
   const std::int64_t n = a.size(0);
   const std::int64_t d = a.size(1);
   const float* pa = a.data();
+  const backend::KernelTable& kt = backend::kernels();
 
   Shape out_shape;
-  std::vector<float> out;
+  FloatStorage out;
   if (dim == 0) {
-    out.assign(static_cast<std::size_t>(d), 0.0f);
+    out = FloatStorage::zeros(static_cast<std::size_t>(d));
     // Column slices are independent outputs; each column accumulates
     // over rows in ascending order, exactly like the serial loop.
     parallel::parallel_for(
         0, d, rows_grain(kRowGrainWork, n),
         [&](std::int64_t jb, std::int64_t je) {
           for (std::int64_t i = 0; i < n; ++i)
-            for (std::int64_t j = jb; j < je; ++j) out[j] += pa[i * d + j];
+            kt.add_rows(out.data() + jb, pa + i * d + jb, je - jb);
         });
     out_shape = keepdim ? Shape{1, d} : Shape{d};
   } else {
-    out.assign(static_cast<std::size_t>(n), 0.0f);
+    out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
     parallel::parallel_for(
         0, n, rows_grain(kRowGrainWork, d),
         [&](std::int64_t ib, std::int64_t ie) {
-          for (std::int64_t i = ib; i < ie; ++i) {
-            double acc = 0.0;
-            for (std::int64_t j = 0; j < d; ++j) acc += pa[i * d + j];
-            out[i] = static_cast<float>(acc);
-          }
+          kt.row_sums(pa, out.data(), ib, ie, d);
         });
     out_shape = keepdim ? Shape{n, 1} : Shape{n};
   }
@@ -418,7 +414,8 @@ Tensor sum_dim(const Tensor& a, std::int64_t dim, bool keepdim) {
       [ia, n, d, dim](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> ga(static_cast<std::size_t>(n * d));
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n * d));
         parallel::parallel_for(
             0, n, rows_grain(kRowGrainWork, d),
             [&](std::int64_t ib, std::int64_t ie) {
@@ -448,22 +445,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                    << shape_to_string(b.shape()));
   const float* pa = a.data();
   const float* pb = b.data();
-  std::vector<float> out(static_cast<std::size_t>(n * m), 0.0f);
-  // Row-sliced over i; each output row keeps the serial i-k-j order
-  // (streaming access on row-major data), so results are bit-identical
-  // to the serial kernel at any thread count.
+  const backend::KernelTable& kt = backend::kernels();
+  // Row-sliced over i; the kernel fully overwrites its rows, so the
+  // output starts uninitialized. Within a backend, results are
+  // bit-identical at any thread count (chunk bounds only affect which
+  // rows a thread owns, never the per-row arithmetic).
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * m));
   parallel::parallel_for(
       0, n, rows_grain(kMatmulGrainWork, 2 * k * m),
       [&](std::int64_t ib, std::int64_t ie) {
-        for (std::int64_t i = ib; i < ie; ++i) {
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * m;
-            float* orow = out.data() + i * m;
-            for (std::int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
-          }
-        }
+        kt.matmul_nn(pa, pb, out.data(), ib, ie, k, m);
       });
 
   auto ia = a.impl();
@@ -471,42 +463,30 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return make_op_result(
       {n, m}, std::move(out), "matmul", {ia, ib},
       [ia, ib, n, k, m](TensorImpl& o) {
+        const backend::KernelTable& kt2 = backend::kernels();
         const float* go = o.grad.data();
         if (ia->needs_grad()) {
           // dA = dC * B^T — row-sliced over i, disjoint ga rows.
-          std::vector<float> ga(static_cast<std::size_t>(n * k), 0.0f);
+          FloatStorage ga =
+              FloatStorage::uninitialized(static_cast<std::size_t>(n * k));
           const float* pb2 = ib->data.data();
           parallel::parallel_for(
               0, n, rows_grain(kMatmulGrainWork, 2 * k * m),
               [&](std::int64_t ib2, std::int64_t ie) {
-                for (std::int64_t i = ib2; i < ie; ++i)
-                  for (std::int64_t j = 0; j < m; ++j) {
-                    const float g = go[i * m + j];
-                    if (g == 0.0f) continue;
-                    for (std::int64_t kk = 0; kk < k; ++kk)
-                      ga[i * k + kk] += g * pb2[kk * m + j];
-                  }
+                kt2.matmul_nt(go, pb2, ga.data(), ib2, ie, k, m);
               });
           ia->accumulate_grad(ga.data());
         }
         if (ib->needs_grad()) {
           // dB = A^T * dC — sliced over kk so each gb row accumulates
-          // over i in ascending order, matching the serial i-outer loop
-          // per element (bit-identical, no partial buffers needed).
-          std::vector<float> gb(static_cast<std::size_t>(k * m), 0.0f);
+          // over i in ascending order regardless of the chunking.
+          FloatStorage gb =
+              FloatStorage::uninitialized(static_cast<std::size_t>(k * m));
           const float* pa2 = ia->data.data();
           parallel::parallel_for(
               0, k, rows_grain(kMatmulGrainWork, 2 * n * m),
               [&](std::int64_t kb, std::int64_t ke) {
-                for (std::int64_t kk = kb; kk < ke; ++kk)
-                  for (std::int64_t i = 0; i < n; ++i) {
-                    const float av = pa2[i * k + kk];
-                    if (av == 0.0f) continue;
-                    const float* grow = go + i * m;
-                    float* brow = gb.data() + kk * m;
-                    for (std::int64_t j = 0; j < m; ++j)
-                      brow[j] += av * grow[j];
-                  }
+                kt2.matmul_tn(pa2, go, gb.data(), kb, ke, n, k, m);
               });
           ib->accumulate_grad(gb.data());
         }
@@ -517,7 +497,8 @@ Tensor transpose2d(const Tensor& a) {
   MATSCI_CHECK(a.defined() && a.dim() == 2, "transpose2d requires 2-D");
   const std::int64_t n = a.size(0), d = a.size(1);
   const float* pa = a.data();
-  std::vector<float> out(static_cast<std::size_t>(n * d));
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * d));
   parallel::parallel_for(
       0, n, rows_grain(kRowGrainWork, d),
       [&](std::int64_t ib, std::int64_t ie) {
@@ -529,7 +510,8 @@ Tensor transpose2d(const Tensor& a) {
       {d, n}, std::move(out), "transpose2d", {ia}, [ia, n, d](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> ga(static_cast<std::size_t>(n * d));
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n * d));
         for (std::int64_t j = 0; j < d; ++j)
           for (std::int64_t i = 0; i < n; ++i) ga[i * d + j] = go[j * n + i];
         ia->accumulate_grad(ga.data());
@@ -543,7 +525,8 @@ Tensor reshape(const Tensor& a, Shape shape) {
   MATSCI_CHECK(shape_numel(shape) == a.numel(),
                "reshape: numel mismatch " << a.numel() << " -> "
                                           << shape_to_string(shape));
-  std::vector<float> out(a.data(), a.data() + a.numel());
+  FloatStorage out =
+      FloatStorage::copy_of(a.data(), static_cast<std::size_t>(a.numel()));
   auto ia = a.impl();
   return make_op_result(std::move(shape), std::move(out), "reshape", {ia},
                         [ia](TensorImpl& o) {
@@ -561,7 +544,8 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
                  "concat_cols: inconsistent shapes");
     total += p.size(1);
   }
-  std::vector<float> out(static_cast<std::size_t>(n * total));
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * total));
   std::int64_t off = 0;
   for (const Tensor& p : parts) {
     const std::int64_t d = p.size(1);
@@ -591,7 +575,8 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
         for (std::size_t pi = 0; pi < inputs.size(); ++pi) {
           const std::int64_t d = widths[pi];
           if (inputs[pi]->needs_grad()) {
-            std::vector<float> g(static_cast<std::size_t>(n * d));
+            FloatStorage g =
+                FloatStorage::uninitialized(static_cast<std::size_t>(n * d));
             for (std::int64_t i = 0; i < n; ++i)
               std::copy(go + i * total + off2, go + i * total + off2 + d,
                         g.data() + i * d);
@@ -611,10 +596,12 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
                  "concat_rows: inconsistent shapes");
     total += p.size(0);
   }
-  std::vector<float> out;
-  out.reserve(static_cast<std::size_t>(total * d));
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(total * d));
+  std::int64_t woff = 0;
   for (const Tensor& p : parts) {
-    out.insert(out.end(), p.data(), p.data() + p.numel());
+    std::copy(p.data(), p.data() + p.numel(), out.data() + woff);
+    woff += p.numel();
   }
   std::vector<std::shared_ptr<TensorImpl>> inputs;
   std::vector<std::int64_t> heights;
@@ -645,7 +632,8 @@ Tensor slice_cols(const Tensor& a, std::int64_t start, std::int64_t len) {
                "slice_cols [" << start << ", " << start + len
                               << ") out of range for width " << d);
   const float* pa = a.data();
-  std::vector<float> out(static_cast<std::size_t>(n * len));
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * len));
   parallel::parallel_for(
       0, n, rows_grain(kRowGrainWork, len),
       [&](std::int64_t ib, std::int64_t ie) {
@@ -659,7 +647,7 @@ Tensor slice_cols(const Tensor& a, std::int64_t start, std::int64_t len) {
       [ia, n, d, start, len](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> ga(static_cast<std::size_t>(n * d), 0.0f);
+        FloatStorage ga = FloatStorage::zeros(static_cast<std::size_t>(n * d));
         for (std::int64_t i = 0; i < n; ++i)
           std::copy(go + i * len, go + (i + 1) * len,
                     ga.data() + i * d + start);
@@ -674,14 +662,15 @@ Tensor slice_rows(const Tensor& a, std::int64_t start, std::int64_t len) {
                "slice_rows [" << start << ", " << start + len
                               << ") out of range for height " << n);
   const float* pa = a.data();
-  std::vector<float> out(pa + start * d, pa + (start + len) * d);
+  FloatStorage out =
+      FloatStorage::copy_of(pa + start * d, static_cast<std::size_t>(len * d));
   auto ia = a.impl();
   return make_op_result(
       {len, d}, std::move(out), "slice_rows", {ia},
       [ia, n, d, start, len](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> ga(static_cast<std::size_t>(n * d), 0.0f);
+        FloatStorage ga = FloatStorage::zeros(static_cast<std::size_t>(n * d));
         std::copy(go, go + len * d, ga.data() + start * d);
         ia->accumulate_grad(ga.data());
       });
@@ -697,10 +686,11 @@ Tensor dropout(const Tensor& a, float p, bool training, RngEngine& rng) {
   }
   const std::int64_t n = a.numel();
   const float scale = 1.0f / (1.0f - p);
-  std::vector<float> mask(static_cast<std::size_t>(n));
-  for (auto& m : mask) m = rng.bernoulli(p) ? 0.0f : scale;
+  // Mask draws stay serial: the RNG stream is sequential by contract.
+  FloatStorage mask = FloatStorage::uninitialized(static_cast<std::size_t>(n));
+  for (float& m : mask) m = rng.bernoulli(p) ? 0.0f : scale;
   const float* pa = a.data();
-  std::vector<float> out(static_cast<std::size_t>(n));
+  FloatStorage out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) out[i] = pa[i] * mask[i];
   auto ia = a.impl();
   return make_op_result(
@@ -708,7 +698,8 @@ Tensor dropout(const Tensor& a, float p, bool training, RngEngine& rng) {
       [ia, n, mask = std::move(mask)](TensorImpl& o) {
         if (!ia->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> ga(static_cast<std::size_t>(n));
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n));
         for (std::int64_t i = 0; i < n; ++i) ga[i] = go[i] * mask[i];
         ia->accumulate_grad(ga.data());
       });
@@ -721,30 +712,24 @@ Tensor softmax_rows(const Tensor& logits) {
                "softmax_rows requires 2-D logits");
   const std::int64_t n = logits.size(0), c = logits.size(1);
   const float* pl = logits.data();
-  std::vector<float> out(static_cast<std::size_t>(n * c));
+  const backend::KernelTable& kt = backend::kernels();
+  FloatStorage out =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * c));
   parallel::parallel_for(
       0, n, rows_grain(kRowGrainWork, 4 * c),
       [&](std::int64_t ib, std::int64_t ie) {
-        for (std::int64_t i = ib; i < ie; ++i) {
-          const float* row = pl + i * c;
-          const float mx = *std::max_element(row, row + c);
-          double z = 0.0;
-          for (std::int64_t j = 0; j < c; ++j) {
-            out[i * c + j] = std::exp(row[j] - mx);
-            z += out[i * c + j];
-          }
-          const float inv = static_cast<float>(1.0 / z);
-          for (std::int64_t j = 0; j < c; ++j) out[i * c + j] *= inv;
-        }
+        kt.softmax_rows(pl, out.data(), ib, ie, c);
       });
   auto il = logits.impl();
-  std::vector<float> probs = out;
+  FloatStorage probs;
+  if (grad_mode_enabled() && il->needs_grad()) probs = out;
   return make_op_result(
       logits.shape(), std::move(out), "softmax_rows", {il},
       [il, n, c, probs = std::move(probs)](TensorImpl& o) {
         if (!il->needs_grad()) return;
         const float* go = o.grad.data();
-        std::vector<float> ga(static_cast<std::size_t>(n * c));
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n * c));
         parallel::parallel_for(
             0, n, rows_grain(kRowGrainWork, 4 * c),
             [&](std::int64_t ib, std::int64_t ie) {
@@ -770,7 +755,8 @@ Tensor cross_entropy(const Tensor& logits,
                "cross_entropy: " << labels.size() << " labels for " << n
                                  << " rows");
   const float* pl = logits.data();
-  std::vector<float> probs(static_cast<std::size_t>(n * c));
+  FloatStorage probs =
+      FloatStorage::uninitialized(static_cast<std::size_t>(n * c));
   double loss = parallel::parallel_reduce(
       0, n, rows_grain(kRowGrainWork, 4 * c), 0.0,
       [&](std::int64_t ib, std::int64_t ie) {
@@ -798,11 +784,12 @@ Tensor cross_entropy(const Tensor& logits,
 
   auto il = logits.impl();
   return make_op_result(
-      {1}, {static_cast<float>(loss)}, "cross_entropy", {il},
+      {1}, FloatStorage{static_cast<float>(loss)}, "cross_entropy", {il},
       [il, n, c, labels, probs = std::move(probs)](TensorImpl& o) {
         if (!il->needs_grad()) return;
         const float g = o.grad[0] / static_cast<float>(n);
-        std::vector<float> ga(static_cast<std::size_t>(n * c));
+        FloatStorage ga =
+            FloatStorage::uninitialized(static_cast<std::size_t>(n * c));
         parallel::parallel_for(
             0, n, rows_grain(kRowGrainWork, c),
             [&](std::int64_t ib, std::int64_t ie) {
@@ -844,19 +831,21 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
   auto il = logits.impl();
   auto it = targets.impl();
   return make_op_result(
-      {1}, {static_cast<float>(loss)}, "bce_with_logits", {il, it},
-      [il, it, n](TensorImpl& o) {
+      {1}, FloatStorage{static_cast<float>(loss)}, "bce_with_logits",
+      {il, it}, [il, it, n](TensorImpl& o) {
         const float g = o.grad[0] / static_cast<float>(n);
         const float* pz2 = il->data.data();
         const float* pt2 = it->data.data();
         if (il->needs_grad()) {
-          std::vector<float> ga(static_cast<std::size_t>(n));
+          FloatStorage ga =
+              FloatStorage::uninitialized(static_cast<std::size_t>(n));
           for (std::int64_t i = 0; i < n; ++i)
             ga[i] = g * (sigmoid_scalar(pz2[i]) - pt2[i]);
           il->accumulate_grad(ga.data());
         }
         if (it->needs_grad()) {
-          std::vector<float> gt(static_cast<std::size_t>(n));
+          FloatStorage gt =
+              FloatStorage::uninitialized(static_cast<std::size_t>(n));
           for (std::int64_t i = 0; i < n; ++i) gt[i] = -g * pz2[i];
           it->accumulate_grad(gt.data());
         }
@@ -903,7 +892,7 @@ Tensor huber_loss(const Tensor& pred, const Tensor& target, float beta) {
   auto ip = pred.impl();
   auto it = target.impl();
   return make_op_result(
-      {1}, {static_cast<float>(loss)}, "huber_loss", {ip, it},
+      {1}, FloatStorage{static_cast<float>(loss)}, "huber_loss", {ip, it},
       [ip, it, n, beta](TensorImpl& o) {
         const float g = o.grad[0] / static_cast<float>(n);
         const float* pp2 = ip->data.data();
@@ -914,13 +903,15 @@ Tensor huber_loss(const Tensor& pred, const Tensor& target, float beta) {
           return d / beta;
         };
         if (ip->needs_grad()) {
-          std::vector<float> ga(static_cast<std::size_t>(n));
+          FloatStorage ga =
+              FloatStorage::uninitialized(static_cast<std::size_t>(n));
           for (std::int64_t i = 0; i < n; ++i)
             ga[i] = g * dval(pp2[i] - pt2[i]);
           ip->accumulate_grad(ga.data());
         }
         if (it->needs_grad()) {
-          std::vector<float> gt(static_cast<std::size_t>(n));
+          FloatStorage gt =
+              FloatStorage::uninitialized(static_cast<std::size_t>(n));
           for (std::int64_t i = 0; i < n; ++i)
             gt[i] = -g * dval(pp2[i] - pt2[i]);
           it->accumulate_grad(gt.data());

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/autograd.hpp"
+#include "core/backend/backend.hpp"
 #include "core/macros.hpp"
 
 namespace matsci::core {
@@ -57,17 +58,16 @@ void TensorImpl::ensure_grad() {
 
 void TensorImpl::accumulate_grad(const float* g) {
   ensure_grad();
-  const std::size_t n = data.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    grad[i] += g[i];
-  }
+  backend::kernels().add_rows(grad.data(), g,
+                              static_cast<std::int64_t>(data.size()));
 }
 
 Tensor Tensor::empty(Shape shape) {
   auto impl = std::make_shared<TensorImpl>();
   const std::int64_t n = shape_numel(shape);
   impl->shape = std::move(shape);
-  impl->data.resize(static_cast<std::size_t>(n));
+  impl->data =
+      memory::FloatStorage::uninitialized(static_cast<std::size_t>(n));
   return Tensor(std::move(impl));
 }
 
@@ -88,6 +88,17 @@ Tensor Tensor::from_vector(std::vector<float> values, Shape shape) {
   MATSCI_CHECK(static_cast<std::int64_t>(values.size()) == n,
                "from_vector: " << values.size() << " values for shape "
                                << shape_to_string(shape));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = memory::FloatStorage::from_vector(values);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_storage(memory::FloatStorage values, Shape shape) {
+  const std::int64_t n = shape_numel(shape);
+  MATSCI_CHECK(static_cast<std::int64_t>(values.size()) == n,
+               "from_storage: " << values.size() << " values for shape "
+                                << shape_to_string(shape));
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(values);
@@ -196,7 +207,7 @@ bool Tensor::has_grad() const { return defined() && !impl_->grad.empty(); }
 
 Tensor Tensor::grad() const {
   MATSCI_CHECK(has_grad(), "grad() requested but no gradient is materialized");
-  return Tensor::from_vector(impl_->grad, impl_->shape);
+  return Tensor::from_storage(impl_->grad, impl_->shape);
 }
 
 std::span<float> Tensor::grad_span() & {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/memory/storage.hpp"
 #include "core/random.hpp"
 
 namespace matsci::core {
@@ -16,13 +17,17 @@ struct GradFn;
 
 /// Reference-counted tensor payload. Users interact through `Tensor`;
 /// optimizers and autograd touch the impl directly (data / grad buffers).
+///
+/// Both buffers live in pooled, 64-byte-aligned Storage (see
+/// core/memory): a steady-state loop of fixed-shape steps recycles
+/// buffers through the pool instead of touching malloc.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  memory::FloatStorage data;
   bool requires_grad = false;
   /// Gradient buffer; empty until materialized by the autograd engine
   /// (or `ensure_grad`). When non-empty, always `data.size()` long.
-  std::vector<float> grad;
+  memory::FloatStorage grad;
   /// Backward node that produced this tensor; null for leaves.
   std::shared_ptr<GradFn> grad_fn;
 
@@ -45,12 +50,16 @@ class Tensor {
   explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
 
   // --- factories ---------------------------------------------------------
+  /// UNINITIALIZED contents — callers must fully overwrite before any
+  /// read (every kernel producing into empty() does).
   static Tensor empty(Shape shape);
   static Tensor zeros(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
   static Tensor scalar(float value);  ///< shape [1]
   static Tensor from_vector(std::vector<float> values, Shape shape);
+  /// Wrap an already-pooled buffer without copying (the op hot path).
+  static Tensor from_storage(memory::FloatStorage values, Shape shape);
   static Tensor randn(Shape shape, RngEngine& rng, float mean = 0.0f,
                       float stddev = 1.0f);
   static Tensor rand_uniform(Shape shape, RngEngine& rng, float lo = 0.0f,

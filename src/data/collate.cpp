@@ -49,37 +49,43 @@ Batch collate(const std::vector<StructureSample>& samples,
         }
       });
 
-  std::vector<float> coords;
-  for (const StructureSample& s : samples) {
-    for (const core::Vec3& p : s.positions) {
-      coords.push_back(static_cast<float>(p.x));
-      coords.push_back(static_cast<float>(p.y));
-      coords.push_back(static_cast<float>(p.z));
-    }
-    batch.species.insert(batch.species.end(), s.species.begin(),
-                         s.species.end());
-  }
+  std::int64_t total_atoms = 0;
+  for (const StructureSample& s : samples) total_atoms += s.num_atoms();
+
+  // Write coordinates straight into pooled tensor storage — no staging
+  // vector, and repeated same-size batches reuse the same pool buffer.
   batch.topology = graph::batch_graphs(graphs);
-  batch.coords = core::Tensor::from_vector(std::move(coords),
-                                           {batch.topology.num_nodes, 3});
+  batch.coords = core::Tensor::empty({total_atoms, 3});
+  {
+    float* pc = batch.coords.data();
+    std::size_t w = 0;
+    for (const StructureSample& s : samples) {
+      for (const core::Vec3& p : s.positions) {
+        pc[w++] = static_cast<float>(p.x);
+        pc[w++] = static_cast<float>(p.y);
+        pc[w++] = static_cast<float>(p.z);
+      }
+      batch.species.insert(batch.species.end(), s.species.begin(),
+                           s.species.end());
+    }
+  }
 
   // Forces: all-or-nothing across the batch.
   const bool has_forces = !samples.front().forces.empty();
   if (has_forces) {
-    std::vector<float> forces;
-    forces.reserve(static_cast<std::size_t>(batch.topology.num_nodes * 3));
+    batch.forces = core::Tensor::empty({batch.topology.num_nodes, 3});
+    float* pf = batch.forces.data();
+    std::size_t w = 0;
     for (const StructureSample& s : samples) {
       MATSCI_CHECK(static_cast<std::int64_t>(s.forces.size()) ==
                        s.num_atoms(),
                    "collate: sample forces/atoms mismatch");
       for (const core::Vec3& f : s.forces) {
-        forces.push_back(static_cast<float>(f.x));
-        forces.push_back(static_cast<float>(f.y));
-        forces.push_back(static_cast<float>(f.z));
+        pf[w++] = static_cast<float>(f.x);
+        pf[w++] = static_cast<float>(f.y);
+        pf[w++] = static_cast<float>(f.z);
       }
     }
-    batch.forces = core::Tensor::from_vector(std::move(forces),
-                                             {batch.topology.num_nodes, 3});
   } else {
     for (const StructureSample& s : samples) {
       MATSCI_CHECK(s.forces.empty(),

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "core/backend/backend.hpp"
 #include "core/macros.hpp"
+#include "core/memory/storage.hpp"
 #include "core/parallel/parallel_for.hpp"
 
 namespace matsci::graph {
@@ -34,6 +36,31 @@ Graph build_radius_graph(const std::vector<core::Vec3>& positions,
 
   core::Mat3 inv{};
   if (lattice) inv = core::inverse3(*lattice);
+  // Flatten the matrices row-major for the kernels (lat[r*3+c] == m[r][c]).
+  double lat9[9], inv9[9];
+  if (lattice) {
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        lat9[r * 3 + c] = (*lattice)[r][c];
+        inv9[r * 3 + c] = inv[r][c];
+      }
+    }
+  }
+
+  // Structure-of-arrays coordinates: the distance kernels stream
+  // contiguous x/y/z lanes instead of strided Vec3 loads.
+  core::memory::DoubleStorage xs =
+      core::memory::DoubleStorage::uninitialized(static_cast<std::size_t>(n));
+  core::memory::DoubleStorage ys =
+      core::memory::DoubleStorage::uninitialized(static_cast<std::size_t>(n));
+  core::memory::DoubleStorage zs =
+      core::memory::DoubleStorage::uninitialized(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const core::Vec3& p = positions[static_cast<std::size_t>(i)];
+    xs[static_cast<std::size_t>(i)] = p.x;
+    ys[static_cast<std::size_t>(i)] = p.y;
+    zs[static_cast<std::size_t>(i)] = p.z;
+  }
 
   const double cut2 = opts.cutoff * opts.cutoff;
   struct Neighbor {
@@ -45,7 +72,9 @@ Graph build_radius_graph(const std::vector<core::Vec3>& positions,
   // chunk collects its edges into a private buffer and the buffers are
   // concatenated in ascending chunk order afterwards, so the edge list
   // (and every per-node nth_element tie-break) is identical to the
-  // serial scan at any thread count.
+  // serial scan at any thread count. Distances come from the backend
+  // geometry kernels, which are bit-identical across backends (the
+  // PBC variant agrees to tolerance; see DESIGN.md §11).
   const std::int64_t grain =
       std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, n));
   const std::int64_t num_chunks = core::parallel::chunk_count(0, n, grain);
@@ -54,26 +83,30 @@ Graph build_radius_graph(const std::vector<core::Vec3>& positions,
   std::vector<std::vector<std::int64_t>> chunk_dst(
       static_cast<std::size_t>(num_chunks));
 
+  const core::backend::KernelTable& kt = core::backend::kernels();
   core::parallel::parallel_for_chunks(
       0, n, grain, [&](std::int64_t c, std::int64_t ib, std::int64_t ie) {
         std::vector<Neighbor> nbrs;
+        core::memory::DoubleStorage d2s =
+            core::memory::DoubleStorage::uninitialized(
+                static_cast<std::size_t>(n));
         std::vector<std::int64_t>& src = chunk_src[static_cast<std::size_t>(c)];
         std::vector<std::int64_t>& dst = chunk_dst[static_cast<std::size_t>(c)];
         for (std::int64_t i = ib; i < ie; ++i) {
+          const std::size_t si = static_cast<std::size_t>(i);
+          if (lattice) {
+            kt.sq_dists_pbc(xs.data(), ys.data(), zs.data(), 0, n, xs[si],
+                            ys[si], zs[si], lat9, inv9, d2s.data());
+          } else {
+            kt.sq_dists(xs.data(), ys.data(), zs.data(), 0, n, xs[si], ys[si],
+                        zs[si], d2s.data());
+          }
           nbrs.clear();
           double best_d2 = std::numeric_limits<double>::infinity();
           std::int64_t best_j = -1;
           for (std::int64_t j = 0; j < n; ++j) {
             if (i == j && !opts.self_loops) continue;
-            double d2;
-            if (lattice) {
-              d2 = core::sq_norm(minimal_image_delta(
-                  positions[static_cast<std::size_t>(i)],
-                  positions[static_cast<std::size_t>(j)], *lattice, inv));
-            } else {
-              d2 = core::sq_norm(positions[static_cast<std::size_t>(j)] -
-                                 positions[static_cast<std::size_t>(i)]);
-            }
+            const double d2 = d2s[static_cast<std::size_t>(j)];
             if (i != j && d2 < best_d2) {
               best_d2 = d2;
               best_j = j;

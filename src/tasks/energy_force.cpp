@@ -29,7 +29,7 @@ core::Tensor EnergyForceTask::predict_forces(const data::Batch& batch) const {
   // snapshot parameter grads, run the coordinate backward, restore.
   core::GradModeGuard grad_on(true);
   const auto params = parameters();
-  std::vector<std::vector<float>> saved;
+  std::vector<core::memory::FloatStorage> saved;
   saved.reserve(params.size());
   for (const core::Tensor& p : params) {
     saved.push_back(p.impl()->grad);

@@ -1,0 +1,435 @@
+// The runtime-dispatched kernel backend and the tensor memory runtime
+// (ctest label `backend`): dispatch resolution and forced fallback,
+// scalar-backend bit-compatibility with the legacy serial kernels,
+// scalar-vs-SIMD agreement (bit-exact for pointwise IEEE ops, tolerance
+// for reassociating/polynomial kernels), 64-byte buffer alignment, pool
+// reuse, and the zero-fresh-allocation steady state of fixed-shape
+// train/serve loops. Also run under -DMATSCI_SANITIZE=address (the
+// pool's recycled buffers must not mask lifetime bugs with
+// MATSCI_TENSOR_POOL=0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/backend/backend.hpp"
+#include "core/graph_ops.hpp"
+#include "core/memory/arena.hpp"
+#include "core/memory/pool.hpp"
+#include "core/memory/storage.hpp"
+#include "core/ops.hpp"
+#include "core/random.hpp"
+#include "core/tensor.hpp"
+#include "data/collate.hpp"
+#include "graph/radius_graph.hpp"
+#include "models/egnn.hpp"
+#include "sym/synthetic_dataset.hpp"
+
+namespace {
+
+using namespace matsci;
+namespace bk = core::backend;
+namespace mem = core::memory;
+
+/// Restores the active backend on scope exit so one test's forced
+/// fallback never leaks into the next.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(bk::active_backend()) {}
+  ~BackendGuard() { bk::set_backend(saved_); }
+
+ private:
+  bk::Backend saved_;
+};
+
+std::vector<bk::Backend> supported_backends() {
+  std::vector<bk::Backend> out;
+  for (int i = 0; i < bk::kNumBackends; ++i) {
+    const auto b = static_cast<bk::Backend>(i);
+    if (bk::backend_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<float> tensor_bits(const core::Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+bool bit_identical(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// |got - ref| <= tol * max(1, |ref|), elementwise.
+void expect_close(const std::vector<float>& ref, const std::vector<float>& got,
+                  float tol, const char* what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const float bound = tol * std::max(1.0f, std::fabs(ref[i]));
+    ASSERT_NEAR(ref[i], got[i], bound) << what << " at index " << i;
+  }
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+TEST(BackendDispatch, ScalarIsAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(bk::backend_compiled(bk::Backend::kScalar));
+  EXPECT_TRUE(bk::backend_supported(bk::Backend::kScalar));
+  EXPECT_TRUE(bk::backend_supported(bk::best_supported()));
+  EXPECT_TRUE(bk::backend_supported(bk::active_backend()));
+}
+
+TEST(BackendDispatch, ActiveTableMatchesActiveBackend) {
+  EXPECT_STREQ(bk::kernels().name, bk::backend_name(bk::active_backend()));
+}
+
+TEST(BackendDispatch, ParseBackendRoundTripsNames) {
+  for (const bk::Backend b : supported_backends()) {
+    const auto parsed = bk::parse_backend(bk::backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(bk::parse_backend("auto").has_value());  // dispatcher-only
+  EXPECT_FALSE(bk::parse_backend("sse9").has_value());
+  EXPECT_FALSE(bk::parse_backend("").has_value());
+}
+
+TEST(BackendDispatch, SetBackendSwitchesTheKernelTable) {
+  BackendGuard guard;
+  for (const bk::Backend b : supported_backends()) {
+    bk::set_backend(b);
+    EXPECT_EQ(bk::active_backend(), b);
+    EXPECT_STREQ(bk::kernels().name, bk::backend_name(b));
+  }
+}
+
+TEST(BackendDispatch, SetBackendRejectsUnsupportedTiers) {
+  for (int i = 0; i < bk::kNumBackends; ++i) {
+    const auto b = static_cast<bk::Backend>(i);
+    if (!bk::backend_supported(b)) {
+      EXPECT_THROW(bk::set_backend(b), matsci::Error);
+    }
+  }
+}
+
+// --- scalar backend == legacy serial numerics -------------------------------
+
+TEST(BackendScalar, MatmulMatchesLegacySerialLoopBitForBit) {
+  // The forced-fallback contract: the scalar backend reproduces the
+  // pre-backend serial kernel exactly — same loop nest (i, l-skip-zero,
+  // j), same accumulation order — so MATSCI_KERNEL_BACKEND=scalar is a
+  // bit-exact escape hatch, not an approximation.
+  BackendGuard guard;
+  bk::set_backend(bk::Backend::kScalar);
+
+  core::RngEngine rng(71);
+  const std::int64_t n = 37, k = 23, m = 29;  // awkward non-vector shapes
+  core::Tensor a = core::Tensor::randn({n, k}, rng);
+  core::Tensor b = core::Tensor::randn({k, m}, rng);
+  a.data()[5] = 0.0f;  // exercise the zero-skip shortcut
+  a.data()[k + 1] = 0.0f;
+
+  std::vector<float> expected(static_cast<std::size_t>(n * m), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float av = a.data()[i * k + l];
+      if (av == 0.0f) continue;
+      for (std::int64_t j = 0; j < m; ++j) {
+        expected[static_cast<std::size_t>(i * m + j)] += av * b.data()[l * m + j];
+      }
+    }
+  }
+
+  core::NoGradGuard no_grad;
+  EXPECT_TRUE(bit_identical(expected, tensor_bits(core::matmul(a, b))));
+}
+
+TEST(BackendScalar, TranscendentalsUseLibm) {
+  BackendGuard guard;
+  bk::set_backend(bk::Backend::kScalar);
+  core::RngEngine rng(72);
+  core::Tensor x = core::Tensor::randn({13, 17}, rng);
+  core::NoGradGuard no_grad;
+  const std::vector<float> got = tensor_bits(core::exp(x));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], std::exp(x.data()[i]));
+  }
+}
+
+// --- scalar vs SIMD agreement -----------------------------------------------
+
+TEST(BackendAgreement, PointwiseOpsAreBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  core::RngEngine rng(73);
+  // Odd sizes so every SIMD kernel runs both its vector body and its
+  // scalar tail.
+  core::Tensor a = core::Tensor::randn({37, 27}, rng);
+  core::Tensor b = core::Tensor::randn({37, 27}, rng);
+  core::Tensor row = core::Tensor::randn({1, 27}, rng);
+  core::Tensor pos = core::abs(core::add_scalar(core::abs(a), 0.1f));
+  std::vector<std::int64_t> idx(100);
+  for (auto& i : idx) i = rng.next_int(37);
+
+  const auto run_all = [&] {
+    core::NoGradGuard no_grad;
+    std::vector<std::vector<float>> r;
+    r.push_back(tensor_bits(core::add(a, b)));
+    r.push_back(tensor_bits(core::sub(a, b)));
+    r.push_back(tensor_bits(core::mul(a, b)));
+    r.push_back(tensor_bits(core::div(a, b)));
+    r.push_back(tensor_bits(core::add(a, row)));  // kRow broadcast
+    r.push_back(tensor_bits(core::abs(a)));
+    r.push_back(tensor_bits(core::square(a)));
+    r.push_back(tensor_bits(core::sqrt(pos)));
+    r.push_back(tensor_bits(core::rsqrt(pos)));
+    r.push_back(tensor_bits(core::relu(a)));
+    r.push_back(tensor_bits(core::clamp(a, -0.5f, 0.5f)));
+    r.push_back(tensor_bits(core::add_scalar(a, 1.25f)));
+    r.push_back(tensor_bits(core::mul_scalar(a, -3.0f)));
+    r.push_back(tensor_bits(core::gather_rows(a, idx)));
+    r.push_back(tensor_bits(core::scatter_add_rows(
+        core::gather_rows(a, idx), idx, 37)));
+    return r;
+  };
+
+  bk::set_backend(bk::Backend::kScalar);
+  const auto reference = run_all();
+  for (const bk::Backend backend : supported_backends()) {
+    if (backend == bk::Backend::kScalar) continue;
+    bk::set_backend(backend);
+    const auto got = run_all();
+    ASSERT_EQ(reference.size(), got.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(bit_identical(reference[i], got[i]))
+          << "pointwise op #" << i << " differs under "
+          << bk::backend_name(backend);
+    }
+  }
+}
+
+TEST(BackendAgreement, ReassociatingKernelsAgreeToTolerance) {
+  BackendGuard guard;
+  core::RngEngine rng(74);
+  core::Tensor a = core::Tensor::randn({53, 67}, rng);
+  core::Tensor b = core::Tensor::randn({67, 41}, rng);
+  core::Tensor x = core::Tensor::randn({31, 43}, rng);
+  core::Tensor d = core::abs(core::Tensor::randn({97, 1}, rng));
+  std::vector<float> centers;
+  for (int i = 0; i < 19; ++i) centers.push_back(0.1f * static_cast<float>(i));
+
+  const auto run_all = [&] {
+    core::NoGradGuard no_grad;
+    std::vector<std::vector<float>> r;
+    r.push_back(tensor_bits(core::matmul(a, b)));
+    r.push_back(tensor_bits(core::sum(x)));
+    r.push_back(tensor_bits(core::sum_dim(x, 0)));
+    r.push_back(tensor_bits(core::sum_dim(x, 1)));
+    r.push_back(tensor_bits(core::softmax_rows(x)));
+    r.push_back(tensor_bits(core::exp(x)));
+    r.push_back(tensor_bits(core::sigmoid(x)));
+    r.push_back(tensor_bits(core::tanh(x)));
+    r.push_back(tensor_bits(core::silu(x)));
+    r.push_back(tensor_bits(core::gaussian_rbf(d, centers, 4.0f)));
+    return r;
+  };
+
+  bk::set_backend(bk::Backend::kScalar);
+  const auto reference = run_all();
+  for (const bk::Backend backend : supported_backends()) {
+    if (backend == bk::Backend::kScalar) continue;
+    bk::set_backend(backend);
+    const auto got = run_all();
+    ASSERT_EQ(reference.size(), got.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      expect_close(reference[i], got[i], 2e-5f, bk::backend_name(backend));
+    }
+  }
+}
+
+TEST(BackendAgreement, GradientsAgreeToToleranceAcrossBackends) {
+  // One composite touching matmul_nn/nt/tn, unary_grad, binary_grad and
+  // the reduction backward.
+  BackendGuard guard;
+  core::RngEngine rng(75);
+  const std::vector<float> xv = tensor_bits(core::Tensor::randn({21, 33}, rng));
+  const std::vector<float> wv = tensor_bits(core::Tensor::randn({33, 17}, rng));
+
+  const auto grads = [&] {
+    core::Tensor x = core::Tensor::from_vector(xv, {21, 33});
+    core::Tensor w = core::Tensor::from_vector(wv, {33, 17});
+    x.set_requires_grad(true);
+    w.set_requires_grad(true);
+    core::sum(core::silu(core::matmul(x, w))).backward();
+    std::vector<float> out = tensor_bits(x.grad());
+    const std::vector<float> gw = tensor_bits(w.grad());
+    out.insert(out.end(), gw.begin(), gw.end());
+    return out;
+  };
+
+  bk::set_backend(bk::Backend::kScalar);
+  const std::vector<float> reference = grads();
+  for (const bk::Backend backend : supported_backends()) {
+    if (backend == bk::Backend::kScalar) continue;
+    bk::set_backend(backend);
+    expect_close(reference, grads(), 2e-5f, bk::backend_name(backend));
+  }
+}
+
+TEST(BackendAgreement, RadiusGraphEdgesIdenticalAcrossBackends) {
+  // Free-boundary squared distances are pointwise IEEE arithmetic, so
+  // the edge list (a set of threshold decisions) must match exactly.
+  // The periodic variant is tolerance-only (vectorized round) and is
+  // covered by the geometry tests in test_graph.cpp.
+  BackendGuard guard;
+  core::RngEngine rng(76);
+  std::vector<core::Vec3> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0, 8), rng.uniform(0, 8), rng.uniform(0, 8)});
+  }
+  graph::RadiusGraphOptions opts;
+  opts.cutoff = 2.5;
+  opts.max_neighbors = 10;
+
+  bk::set_backend(bk::Backend::kScalar);
+  const graph::Graph reference = graph::build_radius_graph(pts, opts);
+  for (const bk::Backend backend : supported_backends()) {
+    if (backend == bk::Backend::kScalar) continue;
+    bk::set_backend(backend);
+    const graph::Graph got = graph::build_radius_graph(pts, opts);
+    EXPECT_EQ(reference.src, got.src) << bk::backend_name(backend);
+    EXPECT_EQ(reference.dst, got.dst) << bk::backend_name(backend);
+  }
+}
+
+// --- memory runtime ---------------------------------------------------------
+
+TEST(BackendMemory, StorageBuffersAre64ByteAligned) {
+  for (const std::size_t n : {1ul, 17ul, 1000ul, 65536ul}) {
+    mem::FloatStorage f = mem::FloatStorage::uninitialized(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f.data()) %
+                  mem::kBufferAlignment,
+              0u);
+    mem::DoubleStorage d = mem::DoubleStorage::uninitialized(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) %
+                  mem::kBufferAlignment,
+              0u);
+  }
+  core::RngEngine rng(77);
+  core::Tensor t = core::Tensor::randn({13, 5}, rng);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) %
+                mem::kBufferAlignment,
+            0u);
+}
+
+TEST(BackendMemory, SizeClassLadderIsPowersOfTwoPlusMidpoints) {
+  EXPECT_EQ(mem::round_up_to_class(1), 64u);
+  EXPECT_EQ(mem::round_up_to_class(64), 64u);
+  EXPECT_EQ(mem::round_up_to_class(65), 96u);
+  EXPECT_EQ(mem::round_up_to_class(96), 96u);
+  EXPECT_EQ(mem::round_up_to_class(97), 128u);
+  EXPECT_EQ(mem::round_up_to_class(1000), 1024u);
+  EXPECT_EQ(mem::round_up_to_class(1537), 2048u);
+  // Internal waste never exceeds 1/3 of the handed-out capacity (above
+  // the 64-byte minimum class, where tiny requests round up further).
+  for (std::size_t bytes = 64; bytes < (1u << 20); bytes = bytes * 5 / 3 + 7) {
+    const std::size_t cls = mem::round_up_to_class(bytes);
+    EXPECT_GE(cls, bytes);
+    EXPECT_LE(cls, bytes + (bytes + 1) / 2);
+  }
+}
+
+TEST(BackendMemory, PoolReusesBuffersAfterWarmup) {
+  mem::BufferPool& pool = mem::BufferPool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "MATSCI_TENSOR_POOL=0";
+
+  { mem::FloatStorage warm = mem::FloatStorage::uninitialized(4096); }
+
+  const mem::PoolStats before = pool.stats();
+  for (int i = 0; i < 100; ++i) {
+    mem::FloatStorage s = mem::FloatStorage::uninitialized(4096);
+    s.data()[0] = static_cast<float>(i);  // keep the buffer observable
+  }
+  const mem::PoolStats after = pool.stats();
+  EXPECT_EQ(after.fresh_allocs, before.fresh_allocs);
+  EXPECT_GE(after.hits, before.hits + 100);
+}
+
+TEST(BackendMemory, TrimReleasesIdleBuffersThenRefills) {
+  mem::BufferPool& pool = mem::BufferPool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "MATSCI_TENSOR_POOL=0";
+
+  { mem::FloatStorage warm = mem::FloatStorage::uninitialized(8192); }
+  pool.trim();
+  EXPECT_EQ(pool.stats().bytes_cached, 0u);
+
+  const std::uint64_t fresh_before = pool.stats().fresh_allocs;
+  { mem::FloatStorage again = mem::FloatStorage::uninitialized(8192); }
+  EXPECT_GT(pool.stats().fresh_allocs, fresh_before);  // cache was emptied
+  EXPECT_GT(pool.stats().bytes_cached, 0u);            // and refilled
+}
+
+/// Fixed-shape EGNN batch for the steady-state loops.
+data::Batch make_steady_batch() {
+  sym::SyntheticPointGroupDataset ds(12, 78);
+  std::vector<data::StructureSample> samples;
+  for (std::int64_t i = 0; i < 12; ++i) samples.push_back(ds.get(i));
+  data::CollateOptions copts;
+  copts.representation = data::Representation::kPointCloud;
+  return data::collate(samples, copts);
+}
+
+TEST(BackendMemory, ServeStepIsAllocationFreeAfterWarmup) {
+  mem::BufferPool& pool = mem::BufferPool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "MATSCI_TENSOR_POOL=0";
+
+  core::RngEngine rng(79);
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = 32;
+  cfg.pos_hidden = 8;
+  cfg.num_layers = 2;
+  models::EGNN encoder(cfg, rng);
+  const data::Batch batch = make_steady_batch();
+
+  core::NoGradGuard no_grad;
+  for (int i = 0; i < 3; ++i) encoder.encode(batch);  // warmup
+
+  const std::uint64_t fresh = pool.stats().fresh_allocs;
+  for (int i = 0; i < 5; ++i) encoder.encode(batch);
+  EXPECT_EQ(pool.stats().fresh_allocs, fresh)
+      << "inference step still hits the heap in steady state";
+}
+
+TEST(BackendMemory, TrainStepIsAllocationFreeAfterWarmup) {
+  mem::BufferPool& pool = mem::BufferPool::global();
+  if (!pool.enabled()) GTEST_SKIP() << "MATSCI_TENSOR_POOL=0";
+
+  core::RngEngine rng(80);
+  models::EGNNConfig cfg;
+  cfg.hidden_dim = 32;
+  cfg.pos_hidden = 8;
+  cfg.num_layers = 2;
+  models::EGNN encoder(cfg, rng);
+  const data::Batch batch = make_steady_batch();
+
+  const auto step = [&] {
+    encoder.zero_grad();
+    core::Tensor loss = core::mean(core::square(encoder.encode(batch)));
+    loss.backward();
+    return loss.item();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warmup: pool + arena fill up
+
+  mem::Arena& arena = mem::Arena::thread_local_arena();
+  const std::uint64_t fresh = pool.stats().fresh_allocs;
+  const std::uint64_t chunks = arena.chunks_allocated();
+  for (int i = 0; i < 5; ++i) step();
+  EXPECT_EQ(pool.stats().fresh_allocs, fresh)
+      << "train step still takes fresh pool allocations in steady state";
+  EXPECT_EQ(arena.chunks_allocated(), chunks)
+      << "backward traversal still grows the arena in steady state";
+}
+
+}  // namespace

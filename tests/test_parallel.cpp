@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "core/backend/backend.hpp"
 #include "core/graph_ops.hpp"
 #include "core/macros.hpp"
 #include "core/ops.hpp"
@@ -234,6 +236,51 @@ TEST(ParallelDeterminism, RadiusGraphEdgesAreThreadCountInvariant) {
     const graph::Graph got = graph::build_radius_graph(pts, opts);
     EXPECT_EQ(reference.src, got.src) << threads << " threads";
     EXPECT_EQ(reference.dst, got.dst) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, KernelsAreThreadCountInvariantUnderEveryBackend) {
+  // The thread-count contract holds per backend, not just for the
+  // default table: chunk layout depends only on shape and grain, and
+  // every kernel's chunk arithmetic is independent of thread count. Run
+  // the reassociating kernels (the ones that would betray a
+  // chunk-dependent accumulation first) under each compiled-and-
+  // supported tier.
+  namespace bk = core::backend;
+  struct BackendGuard {
+    bk::Backend saved = bk::active_backend();
+    ~BackendGuard() { bk::set_backend(saved); }
+  } backend_guard;
+
+  core::RngEngine rng(16);
+  core::Tensor a = core::Tensor::randn({160, 96}, rng);
+  core::Tensor b = core::Tensor::randn({96, 128}, rng);
+  core::Tensor x = core::Tensor::randn({8192, 64}, rng);
+  core::Tensor logits = core::Tensor::randn({2048, 33}, rng);
+
+  for (int i = 0; i < bk::kNumBackends; ++i) {
+    const auto backend = static_cast<bk::Backend>(i);
+    if (!bk::backend_supported(backend)) continue;
+    bk::set_backend(backend);
+    const std::string tag = std::string("backend ") + bk::backend_name(backend);
+    expect_invariant_across_threads(
+        [&] {
+          core::NoGradGuard no_grad;
+          return tensor_bits(core::matmul(a, b));
+        },
+        (tag + " matmul").c_str());
+    expect_invariant_across_threads(
+        [&] {
+          core::NoGradGuard no_grad;
+          return tensor_bits(core::sum(x));
+        },
+        (tag + " sum").c_str());
+    expect_invariant_across_threads(
+        [&] {
+          core::NoGradGuard no_grad;
+          return tensor_bits(core::softmax_rows(logits));
+        },
+        (tag + " softmax_rows").c_str());
   }
 }
 
