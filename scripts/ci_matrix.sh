@@ -6,9 +6,11 @@
 #             health monitor still build and pass without the macro.
 #   tsan      -DMATSCI_SANITIZE=thread build running every
 #             concurrency-sensitive label (serve, parallel, obs,
-#             health) — the health monitor runs inside DDP rank
+#             health, ddp) — the health monitor runs inside DDP rank
 #             threads, so its registry/ring accesses must be
-#             TSan-clean.
+#             TSan-clean; the ddp label adds the bucketed-collective
+#             engine, whose rank threads post buckets while pool
+#             workers reduce them, plus the elastic kill/rebuild path.
 #   asan      -DMATSCI_SANITIZE=address build running the serve and
 #             backend labels — the frontend's hot-swap drains retire
 #             whole scheduler/session object graphs while clients still
@@ -46,7 +48,7 @@ run_tsan() {
   cmake -B "$repo_root/build-tsan" -S "$repo_root" -DMATSCI_SANITIZE=thread
   cmake --build "$repo_root/build-tsan" -j "$jobs"
   ctest --test-dir "$repo_root/build-tsan" \
-    -L "serve|parallel|obs|health" --output-on-failure -j "$jobs"
+    -L "serve|parallel|obs|health|ddp" --output-on-failure -j "$jobs"
 }
 
 run_asan() {

@@ -69,6 +69,12 @@ selftest() {
     '{"record":"meta","bench":"serve_openloop"}' \
     '{"record":"run","closed_loop":false,"multiplier":10,"p99_us":9000}' \
     > "$dir/BENCH_serve_openloop.json"
+  # fig2's compressed-DDP records (comm/coll): per-compressor wire
+  # accounting + overlap fraction must aggregate untouched.
+  printf '%s\n%s\n' \
+    '{"record":"meta","bench":"fig2_scaleout"}' \
+    '{"record":"ddp_compression","compressor":"int8","grad_bytes":1000,"wire_bytes":254,"measured_ratio":0.254,"predicted_ratio":0.25,"overlap_fraction":0.42,"final_loss":1.5}' \
+    > "$dir/BENCH_fig2_scaleout.json"
   # A stale trajectory must be excluded from its own rebuild.
   printf '{"record":"meta","schema":"matsci.trajectory.v1"}\n' \
     > "$dir/BENCH_trajectory.json"
@@ -78,9 +84,9 @@ selftest() {
   local out="$dir/BENCH_trajectory.json"
   local lines
   lines=$(wc -l < "$out")
-  # 1 meta + 2 from a + 1 from b + 2 from serve_openloop
-  if [ "$lines" -ne 6 ]; then
-    echo "collect_bench selftest: expected 6 lines, got $lines" >&2
+  # 1 meta + 2 from a + 1 from b + 2 from serve_openloop + 2 from fig2
+  if [ "$lines" -ne 8 ]; then
+    echo "collect_bench selftest: expected 8 lines, got $lines" >&2
     cat "$out" >&2
     return 1
   fi
@@ -99,6 +105,13 @@ selftest() {
     echo "collect_bench selftest: open-loop artifact missing or untagged" >&2
     return 1
   fi
+  # The compression record must keep its per-compressor fields (ratio,
+  # overlap) so dashboards can plot predicted-vs-measured wire savings.
+  if ! grep -q '"source":"BENCH_fig2_scaleout.json","record":"ddp_compression","compressor":"int8"' "$out" ||
+     ! grep -q '"overlap_fraction":0.42' "$out"; then
+    echo "collect_bench selftest: fig2 compression record missing fields" >&2
+    return 1
+  fi
   if grep -q '"source":"BENCH_trajectory.json"' "$out"; then
     echo "collect_bench selftest: ingested its own output" >&2
     return 1
@@ -107,7 +120,7 @@ selftest() {
   # change the line count.
   aggregate "$dir" || return 1
   lines=$(wc -l < "$out")
-  if [ "$lines" -ne 6 ]; then
+  if [ "$lines" -ne 8 ]; then
     echo "collect_bench selftest: re-aggregation not idempotent" >&2
     return 1
   fi

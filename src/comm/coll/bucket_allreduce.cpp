@@ -1,0 +1,178 @@
+#include "comm/coll/bucket_allreduce.hpp"
+
+#include <algorithm>
+
+#include "comm/coll/group_state.hpp"
+#include "core/macros.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace matsci::comm::coll {
+
+namespace {
+
+struct BucketMetrics {
+  obs::Counter& bytes;
+  obs::Counter& compressed_bytes;
+  obs::Histogram& reduce_us;
+  obs::Series& overlap_fraction;
+
+  static BucketMetrics& get() {
+    static BucketMetrics* m = new BucketMetrics{
+        obs::MetricsRegistry::global().counter("comm.bucket.bytes"),
+        obs::MetricsRegistry::global().counter("comm.bucket.compressed_bytes"),
+        obs::MetricsRegistry::global().histogram("comm.bucket.reduce_us"),
+        obs::MetricsRegistry::global().series("comm.overlap_fraction"),
+    };
+    return *m;
+  }
+};
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+BucketAllreduce::BucketAllreduce(Communicator& comm,
+                                 std::vector<core::Tensor> params,
+                                 const CollOptions& opts)
+    : comm_(comm),
+      bucketer_(std::move(params), opts.bucket_bytes),
+      opts_(opts),
+      compressor_(make_compressor(opts)) {
+  state_.resize(bucketer_.num_buckets());
+}
+
+BucketAllreduce::~BucketAllreduce() {
+  bool in_flight = false;
+  for (const BucketState& s : state_) {
+    if (s.launched && !s.waited) {
+      in_flight = true;
+      break;
+    }
+  }
+  if (in_flight) {
+    // Exception unwind with posted buffers: withdraw / drain before the
+    // bucketer (and its flat buffers) is destroyed.
+    comm_.group()->coll_state().abandon(comm_.rank());
+  }
+}
+
+void BucketAllreduce::begin_step() {
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    BucketState& s = state_[i];
+    s.pending =
+        static_cast<std::int64_t>(bucketer_.bucket(i).param_indices.size());
+    s.launched = false;
+    s.waited = false;
+  }
+  step_bytes_ = 0;
+  step_compressed_bytes_ = 0;
+  step_armed_ = true;
+}
+
+core::GradReadyHook BucketAllreduce::hook() {
+  return [this](const std::shared_ptr<core::TensorImpl>& leaf) {
+    on_grad_ready(leaf);
+  };
+}
+
+void BucketAllreduce::on_grad_ready(
+    const std::shared_ptr<core::TensorImpl>& leaf) {
+  if (!step_armed_) return;
+  const std::int64_t b = bucketer_.bucket_of(leaf.get());
+  if (b < 0) return;  // grad-bearing non-parameter (e.g. force inputs)
+  BucketState& s = state_[static_cast<std::size_t>(b)];
+  MATSCI_CHECK(s.pending > 0,
+               "bucket " << b << " over-notified (param fired twice?)");
+  if (--s.pending == 0) {
+    launch(static_cast<std::size_t>(b));
+  }
+}
+
+void BucketAllreduce::launch(std::size_t bucket) {
+  MATSCI_TRACE_SCOPE("coll/bucket_launch");
+  BucketState& s = state_[bucket];
+  const std::span<float> flat = bucketer_.flatten(bucket);
+  const auto fp32_bytes =
+      static_cast<std::int64_t>(flat.size() * sizeof(float));
+  std::int64_t wire = fp32_bytes;
+  if (!compressor_->lossless()) {
+    if (opts_.error_feedback) {
+      // Error feedback: e = g + r, transmit C(e), carry r' = e - C(e).
+      if (s.residual.size() != flat.size()) {
+        s.residual = core::memory::FloatStorage::zeros(flat.size());
+      }
+      float* r = s.residual.data();
+      for (std::size_t i = 0; i < flat.size(); ++i) flat[i] += r[i];
+      for (std::size_t i = 0; i < flat.size(); ++i) r[i] = flat[i];
+      wire = compressor_->roundtrip(flat);
+      for (std::size_t i = 0; i < flat.size(); ++i) r[i] -= flat[i];
+    } else {
+      wire = compressor_->roundtrip(flat);
+    }
+  }
+  BucketMetrics& metrics = BucketMetrics::get();
+  metrics.bytes.add(fp32_bytes);
+  metrics.compressed_bytes.add(wire);
+  totals_.bytes += fp32_bytes;
+  totals_.compressed_bytes += wire;
+  step_bytes_ += fp32_bytes;
+  step_compressed_bytes_ += wire;
+  comm_.allreduce_mean_nb(static_cast<std::int64_t>(bucket), flat);
+  s.post_time = std::chrono::steady_clock::now();
+  s.launched = true;
+}
+
+StepStats BucketAllreduce::finish_step() {
+  MATSCI_CHECK(step_armed_, "finish_step without begin_step");
+  MATSCI_TRACE_SCOPE("coll/finish_step");
+  const auto backward_end = std::chrono::steady_clock::now();
+
+  // Buckets holding params the tape never reached (unused heads,
+  // frozen layers): their grads are zeros — they still reduce, keeping
+  // every rank's collective schedule identical regardless of which
+  // params its local graph happened to touch.
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (!state_[i].launched) launch(i);
+  }
+
+  StepStats stats;
+  stats.buckets = static_cast<std::int64_t>(state_.size());
+  double inflight_us = 0.0;
+  double hidden_us = 0.0;
+  BucketMetrics& metrics = BucketMetrics::get();
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    BucketState& s = state_[i];
+    const auto wait_start = std::chrono::steady_clock::now();
+    const WaitInfo info =
+        comm_.wait_allreduce(static_cast<std::int64_t>(i));
+    s.waited = true;
+    stats.exposed_wait_us +=
+        us_between(wait_start, std::chrono::steady_clock::now());
+    stats.reduce_us += info.reduce_us;
+    metrics.reduce_us.observe(info.reduce_us);
+    const double total = us_between(s.post_time, info.done_at);
+    if (total > 0.0) {
+      inflight_us += total;
+      const double hidden =
+          std::min(us_between(s.post_time, backward_end), total);
+      hidden_us += std::max(0.0, hidden);
+    }
+    bucketer_.unflatten(i);
+  }
+  stats.bytes = step_bytes_;
+  stats.compressed_bytes = step_compressed_bytes_;
+  stats.overlap_fraction = inflight_us > 0.0 ? hidden_us / inflight_us : 0.0;
+
+  ++totals_.steps;
+  totals_.overlap_fraction_sum += stats.overlap_fraction;
+  metrics.overlap_fraction.record(step_index_, stats.overlap_fraction);
+  ++step_index_;
+  step_armed_ = false;
+  return stats;
+}
+
+}  // namespace matsci::comm::coll

@@ -1,0 +1,73 @@
+#include "comm/coll/bucketer.hpp"
+
+#include <algorithm>
+
+#include "core/macros.hpp"
+
+namespace matsci::comm::coll {
+
+GradBucketer::GradBucketer(std::vector<core::Tensor> params,
+                           std::int64_t bucket_bytes)
+    : params_(std::move(params)) {
+  MATSCI_CHECK(bucket_bytes >= 1, "bucket_bytes must be >= 1");
+  const std::int64_t cap_elems = std::max<std::int64_t>(
+      1, bucket_bytes / static_cast<std::int64_t>(sizeof(float)));
+
+  Bucket current;
+  const auto close_current = [&] {
+    if (!current.param_indices.empty()) {
+      current.flat =
+          core::memory::FloatStorage::uninitialized(static_cast<std::size_t>(
+              current.numel));
+      buckets_.push_back(std::move(current));
+      current = Bucket{};
+    }
+  };
+
+  // Reverse registration order; a param that would overflow the cap
+  // closes the current bucket first (so an oversized param always lands
+  // alone in its own bucket).
+  for (std::size_t k = params_.size(); k-- > 0;) {
+    const core::Tensor& p = params_[k];
+    MATSCI_CHECK(p.defined(), "GradBucketer: undefined parameter");
+    const std::int64_t n = p.numel();
+    if (current.numel > 0 && current.numel + n > cap_elems) {
+      close_current();
+    }
+    const auto [it, inserted] = owner_.try_emplace(
+        p.impl().get(), static_cast<std::int64_t>(buckets_.size()));
+    MATSCI_CHECK(inserted, "GradBucketer: duplicate parameter payload");
+    current.param_indices.push_back(k);
+    current.offsets.push_back(static_cast<std::size_t>(current.numel));
+    current.numel += n;
+    total_numel_ += n;
+  }
+  close_current();
+}
+
+std::int64_t GradBucketer::bucket_of(const core::TensorImpl* impl) const {
+  const auto it = owner_.find(impl);
+  return it == owner_.end() ? -1 : it->second;
+}
+
+std::span<float> GradBucketer::flatten(std::size_t i) {
+  Bucket& b = buckets_[i];
+  for (std::size_t j = 0; j < b.param_indices.size(); ++j) {
+    core::Tensor& p = params_[b.param_indices[j]];
+    const std::span<float> g = p.grad_span();
+    std::copy(g.begin(), g.end(), b.flat.data() + b.offsets[j]);
+  }
+  return {b.flat.data(), b.flat.size()};
+}
+
+void GradBucketer::unflatten(std::size_t i) {
+  Bucket& b = buckets_[i];
+  for (std::size_t j = 0; j < b.param_indices.size(); ++j) {
+    core::Tensor& p = params_[b.param_indices[j]];
+    const std::span<float> g = p.grad_span();
+    const float* src = b.flat.data() + b.offsets[j];
+    std::copy(src, src + g.size(), g.begin());
+  }
+}
+
+}  // namespace matsci::comm::coll

@@ -1,0 +1,124 @@
+#include "comm/coll/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/macros.hpp"
+
+namespace matsci::comm::coll {
+
+std::string to_string(CompressorKind kind) {
+  switch (kind) {
+    case CompressorKind::kIdentity:
+      return "identity";
+    case CompressorKind::kInt8:
+      return "int8";
+    case CompressorKind::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class IdentityCompressor final : public Compressor {
+ public:
+  std::int64_t roundtrip(std::span<float> data) override {
+    return static_cast<std::int64_t>(data.size() * sizeof(float));
+  }
+  bool lossless() const override { return true; }
+  CompressorKind kind() const override { return CompressorKind::kIdentity; }
+};
+
+/// Symmetric per-bucket quantization: scale = max|x| / 127, each value
+/// becomes round(x/scale) clamped to [-127, 127], reconstructed as
+/// q * scale. Wire form: one int8 per element plus the fp32 scale.
+class Int8Compressor final : public Compressor {
+ public:
+  std::int64_t roundtrip(std::span<float> data) override {
+    const std::int64_t wire =
+        static_cast<std::int64_t>(data.size()) + sizeof(float);
+    float amax = 0.0f;
+    for (float v : data) amax = std::max(amax, std::fabs(v));
+    if (amax == 0.0f) return wire;  // all-zero bucket: exact already
+    const float scale = amax / 127.0f;
+    const float inv_scale = 1.0f / scale;
+    for (float& v : data) {
+      float q = std::round(v * inv_scale);
+      q = std::min(127.0f, std::max(-127.0f, q));
+      v = q * scale;
+    }
+    return wire;
+  }
+  bool lossless() const override { return false; }
+  CompressorKind kind() const override { return CompressorKind::kInt8; }
+};
+
+/// Magnitude top-k: keep the k = max(1, ceil(n * fraction)) largest
+/// |x| (ties broken toward the lower index, so the selection is
+/// deterministic), zero the rest. Wire form: fp32 value + int32 index
+/// per kept element.
+class TopKCompressor final : public Compressor {
+ public:
+  explicit TopKCompressor(double fraction) : fraction_(fraction) {
+    MATSCI_CHECK(fraction > 0.0 && fraction <= 1.0,
+                 "topk_fraction must be in (0, 1], got " << fraction);
+  }
+
+  std::int64_t roundtrip(std::span<float> data) override {
+    const std::size_t n = data.size();
+    if (n == 0) return 0;
+    const auto k = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(n),
+        std::max(1.0, std::ceil(static_cast<double>(n) * fraction_))));
+    const std::int64_t wire =
+        static_cast<std::int64_t>(k * (sizeof(float) + sizeof(std::int32_t)));
+    if (k == n) return wire;
+    order_.resize(n);
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    const auto larger = [&](std::size_t a, std::size_t b) {
+      const float ma = std::fabs(data[a]);
+      const float mb = std::fabs(data[b]);
+      if (ma != mb) return ma > mb;
+      return a < b;
+    };
+    std::nth_element(order_.begin(), order_.begin() + (k - 1), order_.end(),
+                     larger);
+    kept_.assign(order_.begin(), order_.begin() + k);
+    std::sort(kept_.begin(), kept_.end());
+    // Zero everything, then restore the survivors.
+    saved_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) saved_[i] = data[kept_[i]];
+    std::fill(data.begin(), data.end(), 0.0f);
+    for (std::size_t i = 0; i < k; ++i) data[kept_[i]] = saved_[i];
+    return wire;
+  }
+  bool lossless() const override { return false; }
+  CompressorKind kind() const override { return CompressorKind::kTopK; }
+
+ private:
+  double fraction_;
+  // Scratch reused across buckets to avoid per-step allocation churn.
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> kept_;
+  std::vector<float> saved_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_compressor(const CollOptions& opts) {
+  switch (opts.compressor) {
+    case CompressorKind::kIdentity:
+      return std::make_unique<IdentityCompressor>();
+    case CompressorKind::kInt8:
+      return std::make_unique<Int8Compressor>();
+    case CompressorKind::kTopK:
+      return std::make_unique<TopKCompressor>(opts.topk_fraction);
+  }
+  MATSCI_CHECK(false, "unknown compressor kind");
+  return nullptr;
+}
+
+}  // namespace matsci::comm::coll

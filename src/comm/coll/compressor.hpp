@@ -1,0 +1,62 @@
+#pragma once
+
+// Gradient compression strategies for the bucketed allreduce
+// (DESIGN.md §12). The thread-backed transport never serializes bytes,
+// so a compressor here is a lossy *roundtrip*: it replaces the bucket
+// contents with the compress→decompress image (exactly what the peer
+// would reconstruct) and reports how many bytes the compressed form
+// would occupy on a real wire — which is what fig2_scaleout feeds the
+// α-β PerfModel to compare predicted vs. measured savings.
+//
+// Convergence is protected by error feedback (1-bit SGD / deep gradient
+// compression lineage): BucketAllreduce accumulates the residual
+// e_t = g_t + r_{t-1} - C(g_t + r_{t-1}) locally and adds it back into
+// the next step's bucket, so quantization error is delayed, not lost.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace matsci::comm::coll {
+
+enum class CompressorKind : std::uint8_t {
+  kIdentity = 0,  ///< no-op, full fp32 on the wire
+  kInt8 = 1,      ///< per-bucket symmetric int8 quantization with scale
+  kTopK = 2,      ///< magnitude top-k sparsification (value+index pairs)
+};
+
+std::string to_string(CompressorKind kind);
+
+/// Options for the whole coll subsystem (bucketing + compression).
+struct CollOptions {
+  /// Bucket capacity in bytes of fp32 payload. 1 MiB mirrors the
+  /// PyTorch DDP default order of magnitude, scaled to our model sizes.
+  std::int64_t bucket_bytes = 1 << 20;
+  CompressorKind compressor = CompressorKind::kIdentity;
+  /// Fraction of elements kept by top-k (at least 1 element per bucket).
+  double topk_fraction = 0.01;
+  /// Accumulate compression residuals into the next step (error
+  /// feedback). Disable only for ablation.
+  bool error_feedback = true;
+};
+
+/// In-place lossy roundtrip over one flattened bucket.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Replace `data` with its compress→decompress image and return the
+  /// simulated wire size in bytes of the compressed form.
+  virtual std::int64_t roundtrip(std::span<float> data) = 0;
+
+  /// True when roundtrip never changes the data (identity): lets the
+  /// engine skip residual bookkeeping entirely.
+  virtual bool lossless() const = 0;
+
+  virtual CompressorKind kind() const = 0;
+};
+
+std::unique_ptr<Compressor> make_compressor(const CollOptions& opts);
+
+}  // namespace matsci::comm::coll

@@ -1,0 +1,106 @@
+#pragma once
+
+// Shared rendezvous state behind the non-blocking bucket collectives
+// (DESIGN.md §12). One GroupState lives inside each ProcessGroup; rank
+// threads post per-bucket contributions as their gradients become
+// ready, the last-arriving rank launches the reduction on the shared
+// thread pool, and every rank later waits for the averaged result —
+// overlapping communication with whatever backward work remains.
+//
+// Unlike the blocking collectives (which are barrier-ordered, so every
+// rank issues them in the same sequence), slots are matched by id:
+// ranks may post bucket 3 before bucket 1 without deadlocking, which is
+// exactly what happens when autograd readiness order differs per rank.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <string>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/parallel/thread_pool.hpp"
+
+namespace matsci::comm::coll {
+
+/// Completion record returned by wait(): how long the pool task spent
+/// reducing, and when it finished — the inputs to the per-step overlap
+/// accounting in BucketAllreduce.
+struct WaitInfo {
+  double reduce_us = 0.0;
+  std::chrono::steady_clock::time_point done_at{};
+};
+
+/// Match-based mean-allreduce slots for one rank group. Thread-safe;
+/// every slot id must be used with the same buffer size by all ranks
+/// (a mismatch poisons the slot and throws on every rank instead of
+/// deadlocking), and each rank must pair every post() with exactly one
+/// wait() before reusing the slot id.
+class GroupState {
+ public:
+  explicit GroupState(std::int64_t world_size);
+  /// Drives any still-launched reduction to completion so no pool task
+  /// outlives the state it captures.
+  ~GroupState();
+  GroupState(const GroupState&) = delete;
+  GroupState& operator=(const GroupState&) = delete;
+
+  std::int64_t world_size() const { return world_; }
+
+  /// Post this rank's contribution for `slot_id`. When the last rank
+  /// arrives the mean-reduction is submitted to the shared thread
+  /// pool. The buffer must stay alive and untouched until the matching
+  /// wait() returns (or quiesce() is called during unwind).
+  void post(std::int64_t slot_id, std::int64_t rank, std::span<float> data);
+
+  /// Block until `slot_id`'s reduction completes; afterwards this
+  /// rank's posted buffer holds the cross-rank mean. Helps execute the
+  /// reduction inline when the pool has not picked it up yet.
+  WaitInfo wait(std::int64_t slot_id, std::int64_t rank);
+
+  /// Mark the group failed: wakes every waiter (they throw
+  /// RankFailedError) and prevents new reductions from launching.
+  void notify_failure();
+
+  /// Unwind path for a rank abandoning its posted contributions (its
+  /// engine is being destroyed mid-round, typically during exception
+  /// unwind). Guarantees no reduction will ever read this rank's
+  /// buffers again: launched reductions are driven to completion
+  /// inline, unlaunched contributions are withdrawn (so a late-arriving
+  /// peer cannot trigger a reduce over a freed buffer — it blocks until
+  /// the group is marked failed and then throws). Must be called before
+  /// the rank frees its bucket buffers.
+  void abandon(std::int64_t rank);
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<float*> bufs;       ///< per-rank contribution, this round
+    std::size_t size = 0;           ///< floats per contribution (sticky)
+    bool size_set = false;
+    std::int64_t arrived = 0;
+    std::int64_t departed = 0;
+    bool done = false;
+    bool poisoned = false;          ///< contract violation (size mismatch)
+    std::string poison_msg;
+    double reduce_us = 0.0;
+    std::chrono::steady_clock::time_point done_at{};
+    core::parallel::TaskHandle task;
+    std::vector<double> scratch;    ///< double-precision accumulator
+  };
+
+  Slot& slot(std::int64_t id);
+  void reduce(Slot& s);
+
+  std::int64_t world_;
+  std::atomic<bool> failed_{false};
+  mutable std::mutex map_mu_;
+  std::unordered_map<std::int64_t, std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace matsci::comm::coll

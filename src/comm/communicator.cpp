@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "comm/coll/group_state.hpp"
 #include "core/macros.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,7 +18,9 @@ namespace {
 /// measured time fig2_scaleout compares against the α-β PerfModel).
 /// Bytes count each rank's buffer contribution, so the world-total for
 /// one logical allreduce is world_size * buffer_bytes — matching how
-/// the α-β ring model accounts traffic per rank.
+/// the α-β ring model accounts traffic per rank. Non-blocking bucket
+/// collectives are accounted separately (comm.bucket.*) by the
+/// BucketAllreduce engine.
 struct CommMetrics {
   obs::Counter& allreduce_calls;
   obs::Counter& allreduce_bytes;
@@ -37,13 +40,125 @@ struct CommMetrics {
   }
 };
 
+std::string join_ranks(const std::vector<std::int64_t>& ranks) {
+  std::string out;
+  for (std::int64_t r : ranks) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(r);
+  }
+  return out;
+}
+
 }  // namespace
 
 ProcessGroup::ProcessGroup(std::int64_t world_size)
     : world_size_(world_size),
-      barrier_(static_cast<std::ptrdiff_t>(world_size)),
-      bufs_(static_cast<std::size_t>(world_size), nullptr) {
+      failed_(static_cast<std::size_t>(world_size), false),
+      bufs_(static_cast<std::size_t>(world_size), nullptr),
+      sizes_(static_cast<std::size_t>(world_size), 0),
+      coll_(std::make_unique<coll::GroupState>(world_size)) {
   MATSCI_CHECK(world_size >= 1, "world_size must be >= 1");
+}
+
+ProcessGroup::~ProcessGroup() = default;
+
+void ProcessGroup::set_fault_hook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(hook);
+}
+
+void ProcessGroup::mark_failed(std::int64_t rank) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MATSCI_CHECK(rank >= 0 && rank < world_size_,
+                 "mark_failed rank " << rank << " out of range");
+    const auto idx = static_cast<std::size_t>(rank);
+    if (!failed_[idx]) {
+      failed_[idx] = true;
+      ++failed_count_;
+    }
+  }
+  cv_.notify_all();
+  coll_->notify_failure();
+}
+
+bool ProcessGroup::has_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_count_ > 0;
+}
+
+std::vector<std::int64_t> ProcessGroup::failed_ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::int64_t> out;
+  for (std::int64_t r = 0; r < world_size_; ++r) {
+    if (failed_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
+void ProcessGroup::throw_failed_locked() const {
+  if (failed_count_ == 0) return;
+  std::vector<std::int64_t> dead;
+  for (std::int64_t r = 0; r < world_size_; ++r) {
+    if (failed_[static_cast<std::size_t>(r)]) dead.push_back(r);
+  }
+  throw RankFailedError("collective on group with failed rank(s) " +
+                        join_ranks(dead));
+}
+
+void ProcessGroup::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  throw_failed_locked();
+  const std::int64_t gen = barrier_generation_;
+  if (++barrier_arrived_ == world_size_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] {
+    return barrier_generation_ != gen || failed_count_ > 0;
+  });
+  if (barrier_generation_ == gen) {
+    // Failure wake before the barrier released: withdraw this arrival
+    // (the barrier can never complete) and report the dead ranks.
+    --barrier_arrived_;
+    throw_failed_locked();
+  }
+}
+
+ProcessGroup::Rebuilt ProcessGroup::rebuild_survivors(std::int64_t old_rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  MATSCI_CHECK(failed_count_ > 0,
+               "rebuild_survivors called on a group with no failed ranks");
+  MATSCI_CHECK(old_rank >= 0 && old_rank < world_size_ &&
+                   !failed_[static_cast<std::size_t>(old_rank)],
+               "rebuild_survivors from dead or out-of-range rank "
+                   << old_rank);
+  rebuild_waiters_.push_back(old_rank);
+  cv_.notify_all();
+  // The live count can shrink while we wait (cascading failures), so
+  // re-evaluate it inside the predicate; whichever waiter first
+  // observes a full survivor set builds the group for everyone.
+  cv_.wait(lock, [&] {
+    return rebuilt_ != nullptr ||
+           static_cast<std::int64_t>(rebuild_waiters_.size()) ==
+               world_size_ - failed_count_;
+  });
+  if (rebuilt_ == nullptr) {
+    rebuilt_members_ = rebuild_waiters_;
+    std::sort(rebuilt_members_.begin(), rebuilt_members_.end());
+    rebuilt_ = std::make_shared<ProcessGroup>(
+        static_cast<std::int64_t>(rebuilt_members_.size()));
+    cv_.notify_all();
+  }
+  const auto it = std::lower_bound(rebuilt_members_.begin(),
+                                   rebuilt_members_.end(), old_rank);
+  MATSCI_CHECK(it != rebuilt_members_.end() && *it == old_rank,
+               "rank " << old_rank << " missing from rebuilt member set");
+  return Rebuilt{rebuilt_,
+                 static_cast<std::int64_t>(it - rebuilt_members_.begin())};
 }
 
 Communicator::Communicator(std::shared_ptr<ProcessGroup> group,
@@ -55,12 +170,53 @@ Communicator::Communicator(std::shared_ptr<ProcessGroup> group,
                        << group_->world_size());
 }
 
+void Communicator::collective_entry(const char* what) {
+  ++collective_calls_;
+  ProcessGroup& g = *group_;
+  ProcessGroup::FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(g.mu_);
+    hook = g.fault_hook_;
+  }
+  if (hook && hook(rank_, collective_calls_)) {
+    g.mark_failed(rank_);
+    throw RankKilledError("rank " + std::to_string(rank_) +
+                          " killed by fault injection at collective #" +
+                          std::to_string(collective_calls_) + " (" + what +
+                          ")");
+  }
+  std::lock_guard<std::mutex> lock(g.mu_);
+  g.throw_failed_locked();
+}
+
 void Communicator::barrier() {
+  collective_entry("barrier");
   if (world_size() == 1) return;
-  group_->barrier_.arrive_and_wait();
+  group_->barrier_wait();
+}
+
+void Communicator::post_and_validate(std::span<float> data, const char* what) {
+  // Per-rank cells: no lock needed, the barrier orders the writes.
+  group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
+  group_->sizes_[static_cast<std::size_t>(rank_)] = data.size();
+  group_->barrier_wait();
+  // Every rank sees the identical sizes_ snapshot here, so on a
+  // mismatch every rank takes the same throw (skipping the remaining
+  // barriers uniformly) instead of deadlocking with partial arrivals.
+  const std::size_t expect = group_->sizes_[0];
+  for (std::int64_t r = 1; r < world_size(); ++r) {
+    const std::size_t got = group_->sizes_[static_cast<std::size_t>(r)];
+    if (got != expect) {
+      throw matsci::Error(std::string(what) +
+                          " buffer size mismatch across ranks: rank 0 has " +
+                          std::to_string(expect) + " floats, rank " +
+                          std::to_string(r) + " has " + std::to_string(got));
+    }
+  }
 }
 
 void Communicator::allreduce_sum(std::span<float> data) {
+  collective_entry("allreduce");
   if (world_size() == 1) return;
   MATSCI_TRACE_SCOPE("comm/allreduce");
   CommMetrics& metrics = CommMetrics::get();
@@ -68,8 +224,7 @@ void Communicator::allreduce_sum(std::span<float> data) {
   metrics.allreduce_bytes.add(
       static_cast<std::int64_t>(data.size() * sizeof(float)));
   const obs::StopWatch watch;
-  group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
-  barrier();
+  post_and_validate(data, "allreduce");
   // Rank 0 reduces in double precision into the shared scratch buffer;
   // everyone copies back. (Single physical core: no benefit to a ring.)
   if (rank_ == 0) {
@@ -81,11 +236,11 @@ void Communicator::allreduce_sum(std::span<float> data) {
       }
     }
   }
-  barrier();
+  group_->barrier_wait();
   for (std::size_t i = 0; i < data.size(); ++i) {
     data[i] = static_cast<float>(group_->scratch_[i]);
   }
-  barrier();
+  group_->barrier_wait();
   metrics.allreduce_us.observe(watch.elapsed_us());
 }
 
@@ -97,34 +252,37 @@ void Communicator::allreduce_mean(std::span<float> data) {
 
 void Communicator::broadcast(std::span<float> data, std::int64_t root) {
   MATSCI_CHECK(root >= 0 && root < world_size(), "broadcast root " << root);
+  collective_entry("broadcast");
   if (world_size() == 1) return;
   MATSCI_TRACE_SCOPE("comm/broadcast");
   CommMetrics& metrics = CommMetrics::get();
   metrics.broadcast_calls.add(1);
   metrics.broadcast_bytes.add(
       static_cast<std::int64_t>(data.size() * sizeof(float)));
-  group_->bufs_[static_cast<std::size_t>(rank_)] = data.data();
-  barrier();
+  post_and_validate(data, "broadcast");
   if (rank_ != root) {
     const float* src = group_->bufs_[static_cast<std::size_t>(root)];
     std::memcpy(data.data(), src, data.size() * sizeof(float));
   }
-  barrier();
+  group_->barrier_wait();
 }
 
 double Communicator::allreduce_scalar_sum(double value) {
-  if (world_size() == 1) return value;
+  if (world_size() == 1) {
+    collective_entry("allreduce_scalar_sum");
+    return value;
+  }
   float v = static_cast<float>(value);
   allreduce_sum(std::span<float>(&v, 1));
   return static_cast<double>(v);
 }
 
 double Communicator::allreduce_scalar_max(double value) {
+  collective_entry("allreduce_scalar_max");
   if (world_size() == 1) return value;
   static thread_local float slot;
   slot = static_cast<float>(value);
-  group_->bufs_[static_cast<std::size_t>(rank_)] = &slot;
-  barrier();
+  post_and_validate(std::span<float>(&slot, 1), "allreduce_scalar_max");
   if (rank_ == 0) {
     double m = -1e300;
     for (std::int64_t r = 0; r < world_size(); ++r) {
@@ -133,9 +291,9 @@ double Communicator::allreduce_scalar_max(double value) {
     }
     group_->scratch_.assign(1, m);
   }
-  barrier();
+  group_->barrier_wait();
   const double result = group_->scratch_[0];
-  barrier();
+  group_->barrier_wait();
   return result;
 }
 
@@ -143,10 +301,24 @@ double Communicator::allreduce_scalar_min(double value) {
   return -allreduce_scalar_max(-value);
 }
 
-void run_ranks(std::int64_t world_size,
-               const std::function<void(Communicator&)>& rank_fn) {
+void Communicator::allreduce_mean_nb(std::int64_t slot, std::span<float> data) {
+  collective_entry("allreduce_mean_nb");
+  group_->coll_->post(slot, rank_, data);
+}
+
+coll::WaitInfo Communicator::wait_allreduce(std::int64_t slot) {
+  // Completion of an already-entered collective: no fault-hook check
+  // here — the buffer is posted, and a kill between post and wait would
+  // leave peers averaging a buffer whose owner is unwinding.
+  return group_->coll_->wait(slot, rank_);
+}
+
+RunRanksReport run_ranks(std::int64_t world_size,
+                         const std::function<void(Communicator&)>& rank_fn,
+                         const RunRanksOptions& opts) {
   MATSCI_CHECK(world_size >= 1, "world_size must be >= 1");
   auto group = std::make_shared<ProcessGroup>(world_size);
+  if (opts.fault_hook) group->set_fault_hook(opts.fault_hook);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(world_size));
@@ -158,13 +330,40 @@ void run_ranks(std::int64_t world_size,
         rank_fn(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Unblock peers stuck in collectives with this rank: they see
+        // RankFailedError instead of deadlocking.
+        group->mark_failed(r);
       }
     });
   }
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  // Classify: injected kills are expected (reported, not thrown);
+  // among real escapes prefer the primary error over the secondary
+  // RankFailedError fallout it caused on the other ranks.
+  RunRanksReport report;
+  std::exception_ptr primary;
+  std::exception_ptr fallout;
+  for (std::int64_t r = 0; r < world_size; ++r) {
+    const std::exception_ptr& e = errors[static_cast<std::size_t>(r)];
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const RankKilledError&) {
+      report.killed_ranks.push_back(r);
+    } catch (const RankFailedError&) {
+      if (!fallout) fallout = e;
+    } catch (...) {
+      if (!primary) primary = e;
+    }
   }
+  if (primary) std::rethrow_exception(primary);
+  if (fallout) std::rethrow_exception(fallout);
+  return report;
+}
+
+void run_ranks(std::int64_t world_size,
+               const std::function<void(Communicator&)>& rank_fn) {
+  run_ranks(world_size, rank_fn, RunRanksOptions{});
 }
 
 }  // namespace matsci::comm

@@ -1,42 +1,128 @@
 #pragma once
 
-#include <barrier>
 #include <cstdint>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/macros.hpp"
+
 namespace matsci::comm {
+
+namespace coll {
+class GroupState;
+struct WaitInfo;
+}  // namespace coll
+
+/// Thrown by collectives on the *surviving* ranks when a peer has been
+/// marked failed: the collective can never complete, so instead of
+/// deadlocking at the barrier every waiter unblocks with this error.
+/// Elastic DDP catches it and rebuilds a resized group; non-elastic
+/// callers see it propagate out of run_ranks.
+class RankFailedError : public matsci::Error {
+ public:
+  explicit RankFailedError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on the rank being killed by the fault-injection hook (the
+/// simulated process death). run_ranks treats it as an expected death:
+/// it is reported, not rethrown.
+class RankKilledError : public matsci::Error {
+ public:
+  explicit RankKilledError(const std::string& what) : Error(what) {}
+};
 
 /// Shared state for a group of communicating ranks. The toolkit's DDP
 /// substitutes threads for MPI processes (DESIGN.md §2): the collective
 /// semantics — synchronous allreduce at the gradient-averaging step,
 /// broadcast from a root, barriers — match MPI/oneCCL exactly, so the
 /// training code is structured the same way as the paper's.
+///
+/// Failure model (DESIGN.md §12): any rank can be marked failed (fault
+/// injection or an escaped exception); the barrier is a hand-rolled
+/// generation barrier so the survivors wake and throw RankFailedError
+/// instead of hanging, and rebuild_survivors() lets them agree on a
+/// fresh, densely re-ranked group.
 class ProcessGroup {
  public:
+  /// Returns true to kill this rank at this collective entry (the
+  /// rank's `collective_calls` counter starts at 1). Applies only to
+  /// the group it is installed on — rebuilt survivor groups do not
+  /// inherit it, so an injected fault fires at most one incarnation.
+  using FaultHook =
+      std::function<bool(std::int64_t rank, std::int64_t collective_calls)>;
+
   explicit ProcessGroup(std::int64_t world_size);
+  ~ProcessGroup();
   std::int64_t world_size() const { return world_size_; }
+
+  /// Install the fault-injection hook. Must happen before rank threads
+  /// start issuing collectives (run_ranks does it before spawning).
+  void set_fault_hook(FaultHook hook);
+
+  /// Mark `rank` dead: wakes every blocked collective so survivors
+  /// throw RankFailedError. Idempotent.
+  void mark_failed(std::int64_t rank);
+  bool has_failures() const;
+  std::vector<std::int64_t> failed_ranks() const;
+
+  /// Non-blocking collective rendezvous state (created eagerly).
+  coll::GroupState& coll_state() { return *coll_; }
+
+  struct Rebuilt {
+    std::shared_ptr<ProcessGroup> group;
+    std::int64_t rank = 0;  ///< dense new rank of the caller
+  };
+  /// Survivor rendezvous after a failure: blocks until every live rank
+  /// arrives, then all agree on one fresh ProcessGroup of size
+  /// world - failed, with new ranks assigned by ascending old rank.
+  /// Call once per surviving rank per group.
+  Rebuilt rebuild_survivors(std::int64_t old_rank);
 
  private:
   friend class Communicator;
+
+  /// Failure-aware generation barrier; throws RankFailedError instead
+  /// of blocking forever when any rank has been marked failed.
+  void barrier_wait();
+  void throw_failed_locked() const;
+
   std::int64_t world_size_;
-  std::barrier<> barrier_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t barrier_arrived_ = 0;
+  std::int64_t barrier_generation_ = 0;
+  std::vector<bool> failed_;
+  std::int64_t failed_count_ = 0;
+  FaultHook fault_hook_;
+
   std::vector<float*> bufs_;
+  std::vector<std::size_t> sizes_;
   std::vector<double> scratch_;
+
+  // Survivor-rebuild rendezvous (guarded by mu_).
+  std::vector<std::int64_t> rebuild_waiters_;
+  std::shared_ptr<ProcessGroup> rebuilt_;
+  std::vector<std::int64_t> rebuilt_members_;
+
+  std::unique_ptr<coll::GroupState> coll_;
 };
 
 /// Per-rank handle onto a ProcessGroup. All ranks must call each
-/// collective the same number of times with equally sized buffers
-/// (standard MPI contract); violations throw or deadlock just as real
-/// MPI would hang.
+/// blocking collective the same number of times (standard MPI
+/// contract); buffer sizes are exchanged and validated at every
+/// collective, so a size mismatch throws on every rank instead of
+/// deadlocking.
 class Communicator {
  public:
   Communicator(std::shared_ptr<ProcessGroup> group, std::int64_t rank);
 
   std::int64_t rank() const { return rank_; }
   std::int64_t world_size() const { return group_->world_size(); }
+  const std::shared_ptr<ProcessGroup>& group() const { return group_; }
 
   void barrier();
 
@@ -59,14 +145,54 @@ class Communicator {
   double allreduce_scalar_max(double value);
   double allreduce_scalar_min(double value);
 
+  /// Non-blocking entry points for the bucketed-collective subsystem
+  /// (comm/coll): post this rank's contribution for logical slot
+  /// `slot` and return immediately; the mean-reduction runs on the
+  /// shared thread pool once the last rank posts. Slots are matched by
+  /// id (not call order), so ranks may post buckets in different
+  /// orders. The buffer must stay alive until wait_allreduce returns.
+  void allreduce_mean_nb(std::int64_t slot, std::span<float> data);
+  coll::WaitInfo wait_allreduce(std::int64_t slot);
+
+  /// Collectives issued by this rank (fault-injection hook input).
+  std::int64_t collective_calls() const { return collective_calls_; }
+
  private:
+  /// Per-collective prologue: bumps the call counter, fires the fault
+  /// hook, and fails fast when the group already has dead ranks.
+  void collective_entry(const char* what);
+
+  /// Publish this rank's buffer + size, barrier, then validate that
+  /// every rank posted the same element count (throwing uniformly on
+  /// all ranks when not).
+  void post_and_validate(std::span<float> data, const char* what);
+
   std::shared_ptr<ProcessGroup> group_;
   std::int64_t rank_;
+  std::int64_t collective_calls_ = 0;
 };
 
-/// Launch `world_size` rank threads, each receiving its Communicator, and
-/// join them. The first exception thrown by any rank is rethrown on the
-/// caller after all threads have been joined.
+struct RunRanksOptions {
+  /// Fault-injection hook installed on the initial group (see
+  /// ProcessGroup::FaultHook).
+  ProcessGroup::FaultHook fault_hook;
+};
+
+struct RunRanksReport {
+  /// Ranks that died to the injected fault (original-group numbering).
+  std::vector<std::int64_t> killed_ranks;
+};
+
+/// Launch `world_size` rank threads, each receiving its Communicator,
+/// and join them. A rank killed by fault injection (RankKilledError) is
+/// recorded in the report, marked failed on the group, and NOT
+/// rethrown; any other escaped exception also marks its rank failed (so
+/// surviving ranks unblock instead of deadlocking) and is rethrown
+/// after all threads joined — real errors first, secondary
+/// RankFailedError fallout only when nothing else was thrown.
+RunRanksReport run_ranks(std::int64_t world_size,
+                         const std::function<void(Communicator&)>& rank_fn,
+                         const RunRanksOptions& opts);
 void run_ranks(std::int64_t world_size,
                const std::function<void(Communicator&)>& rank_fn);
 

@@ -1,6 +1,8 @@
 #include "core/autograd.hpp"
 
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "core/macros.hpp"
 #include "core/memory/arena.hpp"
@@ -60,7 +62,30 @@ ArenaVector<std::shared_ptr<TensorImpl>> topo_order(
 /// from inside another one cannot clobber the outer walk's containers.
 thread_local int g_backward_depth = 0;
 
+/// Per-thread leaf-readiness hook (see GradReadyHookGuard). A plain
+/// function pointer would not carry captures, and the guard keeps
+/// installs balanced, so a thread_local std::function is safe here.
+thread_local GradReadyHook g_grad_ready_hook;
+
+/// Remaining unprocessed consumers per requires-grad leaf during one
+/// backward walk; when a count hits zero the leaf's gradient is final.
+using ArenaLeafCountMap = std::unordered_map<
+    TensorImpl*, std::pair<std::shared_ptr<TensorImpl>, std::int64_t>,
+    std::hash<TensorImpl*>, std::equal_to<TensorImpl*>,
+    memory::ArenaStlAllocator<std::pair<
+        TensorImpl* const,
+        std::pair<std::shared_ptr<TensorImpl>, std::int64_t>>>>;
+
 }  // namespace
+
+GradReadyHookGuard::GradReadyHookGuard(GradReadyHook hook)
+    : previous_(std::move(g_grad_ready_hook)) {
+  g_grad_ready_hook = std::move(hook);
+}
+
+GradReadyHookGuard::~GradReadyHookGuard() {
+  g_grad_ready_hook = std::move(previous_);
+}
 
 void run_backward(const Tensor& root) {
   MATSCI_CHECK(root.defined(), "backward() on undefined tensor");
@@ -72,6 +97,7 @@ void run_backward(const Tensor& root) {
     if (impl->requires_grad) {
       impl->ensure_grad();
       impl->grad[0] += 1.0f;
+      if (g_grad_ready_hook) g_grad_ready_hook(impl);
     }
     return;
   }
@@ -91,17 +117,49 @@ void run_backward(const Tensor& root) {
     impl->ensure_grad();
     impl->grad[0] += 1.0f;
 
+    // Leaf-readiness accounting (only when a hook is installed): count
+    // how many tape nodes consume each requires-grad leaf. A leaf's
+    // gradient is final once the reverse walk has processed its last
+    // consumer — skipped dead-branch nodes count as processed, since a
+    // node without gradient contributes nothing either way.
+    ArenaLeafCountMap leaf_pending{
+        /*bucket_count=*/16, std::hash<TensorImpl*>(),
+        std::equal_to<TensorImpl*>(),
+        memory::ArenaStlAllocator<std::pair<
+            TensorImpl* const,
+            std::pair<std::shared_ptr<TensorImpl>, std::int64_t>>>(arena)};
+    if (g_grad_ready_hook) {
+      for (const auto& node : order) {
+        for (const auto& in : node->grad_fn->inputs) {
+          if (in != nullptr && in->grad_fn == nullptr && in->requires_grad) {
+            auto [it, inserted] =
+                leaf_pending.try_emplace(in.get(), std::make_pair(in, 0));
+            ++it->second.second;
+          }
+        }
+      }
+    }
+    const auto retire_leaf_inputs = [&](const GradFn& fn) {
+      if (!g_grad_ready_hook) return;
+      for (const auto& in : fn.inputs) {
+        if (in == nullptr || in->grad_fn != nullptr || !in->requires_grad) {
+          continue;
+        }
+        auto it = leaf_pending.find(in.get());
+        if (it != leaf_pending.end() && --it->second.second == 0) {
+          g_grad_ready_hook(it->second.first);
+        }
+      }
+    };
+
     // Reverse topological order: every node's grad is complete before
     // its backward runs.
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       TensorImpl& node = **it;
-      if (node.grad.empty()) {
-        // This node never received gradient (dead branch); skip.
-        continue;
-      }
-      if (node.grad_fn->backward) {
+      if (!node.grad.empty() && node.grad_fn->backward) {
         node.grad_fn->backward(node);
       }
+      retire_leaf_inputs(*node.grad_fn);
     }
 
     // Release the tape below the root so intermediate buffers free

@@ -25,6 +25,31 @@ struct GradFn {
 /// order, accumulating into leaf `.grad` buffers.
 void run_backward(const Tensor& root);
 
+/// Leaf-gradient readiness callback (DESIGN.md §12): invoked by
+/// run_backward the moment a leaf's gradient can no longer change —
+/// i.e. once every tape node consuming that leaf has been processed —
+/// while the rest of the backward pass is still running. This is the
+/// trigger that lets bucketed DDP launch a bucket's allreduce
+/// overlapped with the remaining backward work.
+///
+/// Leaves that the tape never touches (unused parameters) get no
+/// callback; callers must flush them when backward returns. The hook is
+/// per-thread (like grad mode) and may throw — the error propagates out
+/// of run_backward after the arena unwinds.
+using GradReadyHook = std::function<void(const std::shared_ptr<TensorImpl>&)>;
+
+/// RAII install/restore of the per-thread GradReadyHook.
+class GradReadyHookGuard {
+ public:
+  explicit GradReadyHookGuard(GradReadyHook hook);
+  ~GradReadyHookGuard();
+  GradReadyHookGuard(const GradReadyHookGuard&) = delete;
+  GradReadyHookGuard& operator=(const GradReadyHookGuard&) = delete;
+
+ private:
+  GradReadyHook previous_;
+};
+
 /// Construct an op result: wraps `data` with `shape`, and if grad mode is
 /// on and any input needs grad, attaches a GradFn with the given backward.
 /// `backward` may be empty when no input needs grad (it is then dropped).

@@ -131,6 +131,50 @@ struct KernelTable {
                        std::int64_t j0, std::int64_t j1, double xi, double yi,
                        double zi, const double* lat, const double* inv,
                        double* out);
+
+  // --- losses / segment softmax --------------------------------------------
+  /// Cross-entropy rows [r0, r1): writes row-wise softmax probabilities
+  /// into `probs` and returns the chunk's double loss partial
+  /// (sum of logsumexp(row) - row[label]). Labels must be pre-validated
+  /// by the caller (the kernel does no range checks).
+  double (*ce_loss_rows)(const float* logits, const std::int64_t* labels,
+                         float* probs, std::int64_t r0, std::int64_t r1,
+                         std::int64_t c);
+  /// ga[i, j] = g * (probs[i, j] - onehot(labels[i], j)) for rows
+  /// [r0, r1). Fully overwrites those rows.
+  void (*ce_grad_rows)(const float* probs, const std::int64_t* labels, float g,
+                       float* ga, std::int64_t r0, std::int64_t r1,
+                       std::int64_t c);
+  /// Stable binary-cross-entropy-with-logits partial over [begin, end):
+  /// sum of max(z,0) - z*t + log1p(exp(-|z|)) accumulated in double.
+  double (*bce_sum)(const float* z, const float* t, std::int64_t begin,
+                    std::int64_t end);
+  /// BCE gradients over [begin, end): ga[i] = g * (sigmoid(z[i]) - t[i])
+  /// and gt[i] = -g * z[i]. Either output may be null to skip it.
+  void (*bce_grad)(const float* z, const float* t, float g, float* ga,
+                   float* gt, std::int64_t begin, std::int64_t end);
+  /// Huber loss partial over [begin, end): sum of
+  /// |d| < beta ? 0.5 d^2 / beta : |d| - 0.5 beta for d = p - t, double
+  /// accumulated.
+  double (*huber_sum)(const float* p, const float* t, float beta,
+                      std::int64_t begin, std::int64_t end);
+  /// out[i] = gscale * clamp((p[i]-t[i]) / beta, -1, 1) over
+  /// [begin, end) — callers pass gscale = +g for d(loss)/dp and -g for
+  /// d(loss)/dt.
+  void (*huber_grad)(const float* p, const float* t, float gscale, float beta,
+                     float* out, std::int64_t begin, std::int64_t end);
+  /// out[r] = exp(x[r] - seg_max[seg[r]]) for r in [begin, end) (the
+  /// shifted-exponential phase of segment softmax; the order-dependent
+  /// per-segment sum stays with the caller).
+  void (*seg_shift_exp)(const float* x, const std::int64_t* seg,
+                        const float* seg_max, float* out, std::int64_t begin,
+                        std::int64_t end);
+  /// gx[r] = probs[r] * (go[r] - (float)dot[seg[r]]) for r in
+  /// [begin, end) — the within-segment softmax Jacobian application,
+  /// with `dot` the caller's per-segment double sum of go * probs.
+  void (*seg_softmax_grad)(const float* probs, const float* go,
+                           const std::int64_t* seg, const double* dot,
+                           float* gx, std::int64_t begin, std::int64_t end);
 };
 
 /// The active backend's kernel table (atomic pointer load; safe to call

@@ -283,21 +283,27 @@ Tensor segment_softmax(const Tensor& x,
   check_segments(segment, n, num_segments, "segment_softmax");
   const float* px = x.data();
 
-  // Per-segment max shift, then normalized exponentials. Stays scalar
-  // in every backend: the access pattern is index-driven.
+  // Per-segment max shift (serial: index-driven running max), then the
+  // shifted exponentials through the backend kernel, then the
+  // order-dependent per-segment double sum — kept serial in ascending
+  // row order so the normalization is bit-stable at any thread count.
   constexpr float kNegInf = -std::numeric_limits<float>::infinity();
   std::vector<float> seg_max(static_cast<std::size_t>(num_segments), kNegInf);
   for (std::int64_t r = 0; r < n; ++r) {
     float& m = seg_max[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])];
     m = std::max(m, px[r]);
   }
-  std::vector<double> seg_sum(static_cast<std::size_t>(num_segments), 0.0);
+  const backend::KernelTable& kt = backend::kernels();
   FloatStorage out = FloatStorage::uninitialized(static_cast<std::size_t>(n));
+  parallel::parallel_for(
+      0, n, rows_grain(4), [&](std::int64_t rb, std::int64_t re) {
+        kt.seg_shift_exp(px, segment.data(), seg_max.data(), out.data(), rb,
+                         re);
+      });
+  std::vector<double> seg_sum(static_cast<std::size_t>(num_segments), 0.0);
   for (std::int64_t r = 0; r < n; ++r) {
-    const std::int64_t s = segment[static_cast<std::size_t>(r)];
-    out[static_cast<std::size_t>(r)] =
-        std::exp(px[r] - seg_max[static_cast<std::size_t>(s)]);
-    seg_sum[static_cast<std::size_t>(s)] += out[static_cast<std::size_t>(r)];
+    seg_sum[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])] +=
+        out[static_cast<std::size_t>(r)];
   }
   for (std::int64_t r = 0; r < n; ++r) {
     out[static_cast<std::size_t>(r)] /= static_cast<float>(
@@ -313,19 +319,21 @@ Tensor segment_softmax(const Tensor& x,
         if (!ix->needs_grad()) return;
         const float* go = o.grad.data();
         // d/dx softmax within each segment: p_r (g_r − Σ_s p_s g_s).
+        // The per-segment dot stays serial (order-dependent double sum);
+        // the Jacobian application runs through the backend kernel.
         std::vector<double> dot(static_cast<std::size_t>(num_segments), 0.0);
         for (std::int64_t r = 0; r < n; ++r) {
           dot[static_cast<std::size_t>(segment[static_cast<std::size_t>(r)])] +=
               static_cast<double>(go[r]) * probs[static_cast<std::size_t>(r)];
         }
+        const backend::KernelTable& kt = backend::kernels();
         FloatStorage gx =
             FloatStorage::uninitialized(static_cast<std::size_t>(n));
-        for (std::int64_t r = 0; r < n; ++r) {
-          const std::int64_t s = segment[static_cast<std::size_t>(r)];
-          gx[static_cast<std::size_t>(r)] =
-              probs[static_cast<std::size_t>(r)] *
-              (go[r] - static_cast<float>(dot[static_cast<std::size_t>(s)]));
-        }
+        parallel::parallel_for(
+            0, n, rows_grain(4), [&](std::int64_t rb, std::int64_t re) {
+              kt.seg_softmax_grad(probs.data(), go, segment.data(), dot.data(),
+                                  gx.data(), rb, re);
+            });
         ix->accumulate_grad(gx.data());
       });
 }

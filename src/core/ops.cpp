@@ -754,30 +754,21 @@ Tensor cross_entropy(const Tensor& logits,
   MATSCI_CHECK(static_cast<std::int64_t>(labels.size()) == n,
                "cross_entropy: " << labels.size() << " labels for " << n
                                  << " rows");
+  // Labels are validated up front so the kernel-table entry can stay a
+  // check-free inner loop.
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::int64_t y = labels[i];
+    MATSCI_CHECK(y >= 0 && y < c,
+                 "label " << y << " out of range [0, " << c << ")");
+  }
   const float* pl = logits.data();
+  const backend::KernelTable& kt = backend::kernels();
   FloatStorage probs =
       FloatStorage::uninitialized(static_cast<std::size_t>(n * c));
   double loss = parallel::parallel_reduce(
       0, n, rows_grain(kRowGrainWork, 4 * c), 0.0,
       [&](std::int64_t ib, std::int64_t ie) {
-        double part = 0.0;
-        for (std::int64_t i = ib; i < ie; ++i) {
-          const std::int64_t y = labels[static_cast<std::size_t>(i)];
-          MATSCI_CHECK(y >= 0 && y < c,
-                       "label " << y << " out of range [0, " << c << ")");
-          const float* row = pl + i * c;
-          const float mx = *std::max_element(row, row + c);
-          double z = 0.0;
-          for (std::int64_t j = 0; j < c; ++j) {
-            probs[i * c + j] = std::exp(row[j] - mx);
-            z += probs[i * c + j];
-          }
-          const double logz = std::log(z) + mx;
-          part += logz - row[y];
-          const float inv = static_cast<float>(1.0 / z);
-          for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] *= inv;
-        }
-        return part;
+        return kt.ce_loss_rows(pl, labels.data(), probs.data(), ib, ie, c);
       },
       [](double x, double y) { return x + y; });
   loss /= static_cast<double>(n);
@@ -788,18 +779,14 @@ Tensor cross_entropy(const Tensor& logits,
       [il, n, c, labels, probs = std::move(probs)](TensorImpl& o) {
         if (!il->needs_grad()) return;
         const float g = o.grad[0] / static_cast<float>(n);
+        const backend::KernelTable& kt = backend::kernels();
         FloatStorage ga =
             FloatStorage::uninitialized(static_cast<std::size_t>(n * c));
         parallel::parallel_for(
             0, n, rows_grain(kRowGrainWork, c),
             [&](std::int64_t ib, std::int64_t ie) {
-              for (std::int64_t i = ib; i < ie; ++i) {
-                const std::int64_t y = labels[static_cast<std::size_t>(i)];
-                for (std::int64_t j = 0; j < c; ++j) {
-                  ga[i * c + j] =
-                      g * (probs[i * c + j] - (j == y ? 1.0f : 0.0f));
-                }
-              }
+              kt.ce_grad_rows(probs.data(), labels.data(), g, ga.data(), ib,
+                              ie, c);
             });
         il->accumulate_grad(ga.data());
       });
@@ -814,18 +801,10 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
   const std::int64_t n = logits.numel();
   const float* pz = logits.data();
   const float* pt = targets.data();
+  const backend::KernelTable& kt = backend::kernels();
   double loss = parallel::parallel_reduce(
       0, n, kReduceGrain, 0.0,
-      [&](std::int64_t ib, std::int64_t ie) {
-        double part = 0.0;
-        for (std::int64_t i = ib; i < ie; ++i) {
-          const float z = pz[i];
-          // max(z,0) - z*t + log(1+exp(-|z|)) — numerically stable form.
-          part += std::max(z, 0.0f) - z * pt[i] +
-                  std::log1p(std::exp(-std::fabs(z)));
-        }
-        return part;
-      },
+      [&](std::int64_t ib, std::int64_t ie) { return kt.bce_sum(pz, pt, ib, ie); },
       [](double x, double y) { return x + y; });
   loss /= static_cast<double>(n);
   auto il = logits.impl();
@@ -836,17 +815,23 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
         const float g = o.grad[0] / static_cast<float>(n);
         const float* pz2 = il->data.data();
         const float* pt2 = it->data.data();
+        const backend::KernelTable& kt = backend::kernels();
         if (il->needs_grad()) {
           FloatStorage ga =
               FloatStorage::uninitialized(static_cast<std::size_t>(n));
-          for (std::int64_t i = 0; i < n; ++i)
-            ga[i] = g * (sigmoid_scalar(pz2[i]) - pt2[i]);
+          parallel::parallel_for(
+              0, n, kElemGrain, [&](std::int64_t ib, std::int64_t ie) {
+                kt.bce_grad(pz2, pt2, g, ga.data(), nullptr, ib, ie);
+              });
           il->accumulate_grad(ga.data());
         }
         if (it->needs_grad()) {
           FloatStorage gt =
               FloatStorage::uninitialized(static_cast<std::size_t>(n));
-          for (std::int64_t i = 0; i < n; ++i) gt[i] = -g * pz2[i];
+          parallel::parallel_for(
+              0, n, kElemGrain, [&](std::int64_t ib, std::int64_t ie) {
+                kt.bce_grad(pz2, pt2, g, nullptr, gt.data(), ib, ie);
+              });
           it->accumulate_grad(gt.data());
         }
       });
@@ -876,16 +861,11 @@ Tensor huber_loss(const Tensor& pred, const Tensor& target, float beta) {
   const std::int64_t n = pred.numel();
   const float* pp = pred.data();
   const float* pt = target.data();
+  const backend::KernelTable& kt = backend::kernels();
   double loss = parallel::parallel_reduce(
       0, n, kReduceGrain, 0.0,
       [&](std::int64_t ib, std::int64_t ie) {
-        double part = 0.0;
-        for (std::int64_t i = ib; i < ie; ++i) {
-          const float d = pp[i] - pt[i];
-          const float ad = std::fabs(d);
-          part += ad < beta ? 0.5f * d * d / beta : ad - 0.5f * beta;
-        }
-        return part;
+        return kt.huber_sum(pp, pt, beta, ib, ie);
       },
       [](double x, double y) { return x + y; });
   loss /= static_cast<double>(n);
@@ -897,23 +877,23 @@ Tensor huber_loss(const Tensor& pred, const Tensor& target, float beta) {
         const float g = o.grad[0] / static_cast<float>(n);
         const float* pp2 = ip->data.data();
         const float* pt2 = it->data.data();
-        auto dval = [beta](float d) {
-          if (d > beta) return 1.0f;
-          if (d < -beta) return -1.0f;
-          return d / beta;
-        };
+        const backend::KernelTable& kt = backend::kernels();
         if (ip->needs_grad()) {
           FloatStorage ga =
               FloatStorage::uninitialized(static_cast<std::size_t>(n));
-          for (std::int64_t i = 0; i < n; ++i)
-            ga[i] = g * dval(pp2[i] - pt2[i]);
+          parallel::parallel_for(
+              0, n, kElemGrain, [&](std::int64_t ib, std::int64_t ie) {
+                kt.huber_grad(pp2, pt2, g, beta, ga.data(), ib, ie);
+              });
           ip->accumulate_grad(ga.data());
         }
         if (it->needs_grad()) {
           FloatStorage gt =
               FloatStorage::uninitialized(static_cast<std::size_t>(n));
-          for (std::int64_t i = 0; i < n; ++i)
-            gt[i] = -g * dval(pp2[i] - pt2[i]);
+          parallel::parallel_for(
+              0, n, kElemGrain, [&](std::int64_t ib, std::int64_t ie) {
+                kt.huber_grad(pp2, pt2, -g, beta, gt.data(), ib, ie);
+              });
           it->accumulate_grad(gt.data());
         }
       });

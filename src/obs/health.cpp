@@ -23,6 +23,7 @@ const char* to_string(AnomalyType type) {
     case AnomalyType::kGradNormSpike: return "grad_norm_spike";
     case AnomalyType::kEpsFloorDominance: return "eps_floor_dominance";
     case AnomalyType::kRankDivergence: return "rank_divergence";
+    case AnomalyType::kRankLost: return "rank_lost";
   }
   return "unknown";
 }

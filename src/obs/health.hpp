@@ -45,6 +45,7 @@ enum class AnomalyType {
   kGradNormSpike,      ///< gradient norm above rolling median + k·MAD
   kEpsFloorDominance,  ///< frac_at_eps_floor above threshold (§5.2)
   kRankDivergence,     ///< one rank's grad norm far from the global mean
+  kRankLost,           ///< a DDP rank died; survivors rebuilt the group
 };
 const char* to_string(AnomalyType type);
 

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "comm/coll/compressor.hpp"
 #include "comm/communicator.hpp"
 #include "train/trainer.hpp"
 
@@ -31,6 +33,24 @@ struct DDPOptions {
   obs::health::HealthOptions health;
   /// Rank-0 anomaly callback (same semantics as Trainer's).
   Trainer::AnomalyCallback on_anomaly;
+  /// Bucketed overlapped allreduce (comm/coll): gradients stream out in
+  /// reverse-registration-order buckets as backward finalizes them,
+  /// each bucket reducing on the shared pool while backward continues.
+  /// Identity compression is bit-identical to the monolithic path; set
+  /// false to fall back to one flat post-backward allreduce.
+  bool use_buckets = true;
+  /// Bucket sizing + compressor selection (identity / int8 / top-k with
+  /// error feedback) for the bucketed path.
+  comm::coll::CollOptions coll;
+  /// Elastic recovery (DESIGN.md §12): when a rank dies mid-training,
+  /// survivors rebuild a resized group, re-invoke the factory with
+  /// their new (rank, world), resume from the last checkpoint in
+  /// `checkpoint_dir`, and continue. Requires `checkpoint_dir`.
+  bool elastic = false;
+  std::string checkpoint_dir;
+  /// Fault-injection hook installed on the initial group (tests /
+  /// chaos drills); rebuilt survivor groups do not inherit it.
+  comm::ProcessGroup::FaultHook fault_hook;
 };
 
 struct DDPResult {
@@ -43,6 +63,15 @@ struct DDPResult {
   std::vector<obs::health::Anomaly> anomalies;
   /// Lockstep-skipped optimizer steps (counted once, not per rank).
   std::int64_t skipped_steps = 0;
+  /// Elastic recovery accounting.
+  std::int64_t recoveries = 0;             ///< group rebuilds performed
+  std::vector<std::int64_t> lost_ranks;    ///< original-group numbering
+  std::int64_t final_world = 0;            ///< world size at completion
+  /// Bucketed-path communication accounting (rank-0 view, summed over
+  /// incarnations; zero when use_buckets is false).
+  std::int64_t comm_bytes = 0;             ///< fp32 payload posted
+  std::int64_t comm_compressed_bytes = 0;  ///< simulated wire bytes
+  double mean_overlap_fraction = 0.0;      ///< mean over steps
   double samples_per_second() const {
     return wall_seconds > 0.0 ? total_samples / wall_seconds : 0.0;
   }

@@ -164,6 +164,11 @@ TEST(PointCloudAttention, GradientsReachAllParameters) {
   core::sum(core::square(encoder.encode(point_cloud_batch(5, 12))))
       .backward();
   for (const auto& [name, p] : encoder.named_parameters()) {
+    // The score MLP's output bias shifts every edge score in a segment
+    // equally, and segment_softmax is shift-invariant, so its true
+    // gradient is exactly zero — any nonzero value there is rounding
+    // noise (backend-dependent).
+    if (name.ends_with("score_mlp.layer1.bias")) continue;
     bool nonzero = false;
     core::Tensor t = p;
     for (const float g : t.grad_span()) {
