@@ -6,13 +6,16 @@
 #             health monitor still build and pass without the macro.
 #   tsan      -DMATSCI_SANITIZE=thread build running every
 #             concurrency-sensitive label (serve, parallel, obs,
-#             health, ddp) — the health monitor runs inside DDP rank
-#             threads, so its registry/ring accesses must be
+#             health, ddp, sim) — the health monitor runs inside DDP
+#             rank threads, so its registry/ring accesses must be
 #             TSan-clean; the ddp label adds the bucketed-collective
 #             engine, whose rank threads post buckets while pool
-#             workers reduce them, plus the elastic kill/rebuild path.
-#   asan      -DMATSCI_SANITIZE=address build running the serve and
-#             backend labels — the frontend's hot-swap drains retire
+#             workers reduce them, plus the elastic kill/rebuild path;
+#             the sim label drives MD waves through the frontend while
+#             dispatcher jobs serve from pool threads and the
+#             active-learning loop hot-swaps model versions mid-wave.
+#   asan      -DMATSCI_SANITIZE=address build running the serve,
+#             backend, and sim labels — the frontend's hot-swap drains retire
 #             whole scheduler/session object graphs while clients still
 #             hold futures into them, so lifetime bugs (use-after-free
 #             on a drained ServingModel, leaked promises) surface here,
@@ -48,7 +51,7 @@ run_tsan() {
   cmake -B "$repo_root/build-tsan" -S "$repo_root" -DMATSCI_SANITIZE=thread
   cmake --build "$repo_root/build-tsan" -j "$jobs"
   ctest --test-dir "$repo_root/build-tsan" \
-    -L "serve|parallel|obs|health|ddp" --output-on-failure -j "$jobs"
+    -L "serve|parallel|obs|health|ddp|sim" --output-on-failure -j "$jobs"
 }
 
 run_asan() {
@@ -56,7 +59,7 @@ run_asan() {
   cmake -B "$repo_root/build-asan" -S "$repo_root" \
     -DMATSCI_SANITIZE=address
   cmake --build "$repo_root/build-asan" -j "$jobs"
-  ctest --test-dir "$repo_root/build-asan" -L "serve|backend" \
+  ctest --test-dir "$repo_root/build-asan" -L "serve|backend|sim" \
     --output-on-failure -j "$jobs"
   # Pool off: every tensor buffer gets its own malloc/free so ASan
   # checks exact lifetimes (the pooled run above checks the recycling

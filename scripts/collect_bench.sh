@@ -75,6 +75,13 @@ selftest() {
     '{"record":"meta","bench":"fig2_scaleout"}' \
     '{"record":"ddp_compression","compressor":"int8","grad_bytes":1000,"wire_bytes":254,"measured_ratio":0.254,"predicted_ratio":0.25,"overlap_fraction":0.42,"final_loss":1.5}' \
     > "$dir/BENCH_fig2_scaleout.json"
+  # fig4_mdscale's MD-at-scale records: wave-throughput accounting and
+  # the active-learning outcome must aggregate with fields intact.
+  printf '%s\n%s\n%s\n' \
+    '{"record":"meta","bench":"fig4_mdscale"}' \
+    '{"record":"md_scale","mode":"wave","frames_per_s":120.5,"mean_batch_occupancy":7.8,"speedup_vs_sequential":4.2}' \
+    '{"record":"active_learning","gated_frame_fraction":0.31,"force_mae_pre":0.21,"force_mae_post":0.09}' \
+    > "$dir/BENCH_fig4_mdscale.json"
   # A stale trajectory must be excluded from its own rebuild.
   printf '{"record":"meta","schema":"matsci.trajectory.v1"}\n' \
     > "$dir/BENCH_trajectory.json"
@@ -85,8 +92,9 @@ selftest() {
   local lines
   lines=$(wc -l < "$out")
   # 1 meta + 2 from a + 1 from b + 2 from serve_openloop + 2 from fig2
-  if [ "$lines" -ne 8 ]; then
-    echo "collect_bench selftest: expected 8 lines, got $lines" >&2
+  # + 3 from fig4_mdscale
+  if [ "$lines" -ne 11 ]; then
+    echo "collect_bench selftest: expected 11 lines, got $lines" >&2
     cat "$out" >&2
     return 1
   fi
@@ -112,6 +120,17 @@ selftest() {
     echo "collect_bench selftest: fig2 compression record missing fields" >&2
     return 1
   fi
+  # The MD-at-scale records must keep their throughput and
+  # active-learning fields so dashboards can plot wave speedup and the
+  # post-fine-tune error drop.
+  if ! grep -q '"source":"BENCH_fig4_mdscale.json","record":"md_scale","mode":"wave"' "$out" ||
+     ! grep -q '"frames_per_s":120.5' "$out" ||
+     ! grep -q '"mean_batch_occupancy":7.8' "$out" ||
+     ! grep -q '"gated_frame_fraction":0.31' "$out" ||
+     ! grep -q '"force_mae_post":0.09' "$out"; then
+    echo "collect_bench selftest: fig4_mdscale record missing fields" >&2
+    return 1
+  fi
   if grep -q '"source":"BENCH_trajectory.json"' "$out"; then
     echo "collect_bench selftest: ingested its own output" >&2
     return 1
@@ -120,7 +139,7 @@ selftest() {
   # change the line count.
   aggregate "$dir" || return 1
   lines=$(wc -l < "$out")
-  if [ "$lines" -ne 8 ]; then
+  if [ "$lines" -ne 11 ]; then
     echo "collect_bench selftest: re-aggregation not idempotent" >&2
     return 1
   fi

@@ -61,107 +61,195 @@ double MDSimulator::energy_and_forces(const Structure& s, double cutoff,
   return energy;
 }
 
-MDSimulator::MDSimulator(Structure initial, MDOptions opts, std::uint64_t seed)
-    : structure_(std::move(initial)), opts_(opts), seed_(seed) {
+double LJForceProvider::energy_and_forces_over_pairs(
+    const Structure& s, double cutoff, const std::vector<NeighborPair>& pairs,
+    std::vector<core::Vec3>& forces) {
+  const std::int64_t n = s.num_atoms();
+  forces.assign(static_cast<std::size_t>(n), core::Vec3{});
+  const auto cart = s.cartesian();
+  const core::Mat3 inv = core::inverse3(s.lattice);
+  const double cut2 = cutoff * cutoff;
+  double energy = 0.0;
+
+  // Per-pair arithmetic and (sorted) visit order match the scan above,
+  // so the two paths produce bit-identical energies and forces.
+  for (const NeighborPair& pr : pairs) {
+    const std::size_t i = static_cast<std::size_t>(pr.i);
+    const std::size_t j = static_cast<std::size_t>(pr.j);
+    const core::Vec3 d =
+        graph::minimal_image_delta(cart[i], cart[j], s.lattice, inv);
+    const double r2 = core::sq_norm(d);
+    if (r2 > cut2 || r2 < 1e-12) continue;
+    const LJParams p = lj_parameters(s.species[i], s.species[j]);
+    const double sr2 = p.sigma * p.sigma / r2;
+    const double sr6 = sr2 * sr2 * sr2;
+    const double sr12 = sr6 * sr6;
+    energy += 4.0 * p.epsilon * (sr12 - sr6);
+    const double fmag = 24.0 * p.epsilon * (2.0 * sr12 - sr6) / r2;
+    const core::Vec3 fij = d * fmag;
+    forces[j] += fij;
+    forces[i] -= fij;
+  }
+  return energy;
+}
+
+LJForceProvider::LJForceProvider(double cutoff, NeighborListOptions nl)
+    : cutoff_(cutoff), nlist_(cutoff, nl) {}
+
+double LJForceProvider::energy_and_forces(const Structure& s,
+                                          std::vector<core::Vec3>& forces) {
+  nlist_.update(s);
+  return energy_and_forces_over_pairs(s, cutoff_, nlist_.pairs(), forces);
+}
+
+MDSimulator::MDSimulator(Structure initial, MDOptions opts, std::uint64_t seed,
+                         std::shared_ptr<ForceProvider> provider)
+    : structure_(std::move(initial)),
+      opts_(opts),
+      seed_(seed),
+      provider_(std::move(provider)) {
   structure_.validate();
   MATSCI_CHECK(opts.timestep > 0.0 && opts.steps >= 0 &&
                    opts.snapshot_every >= 1,
                "invalid MD options");
 }
 
-std::vector<MDSnapshot> MDSimulator::run() {
+void MDSimulator::prepare() {
+  if (prepared_) return;
   const std::int64_t n = structure_.num_atoms();
   core::RngEngine rng(seed_);
 
   // Maxwell-Boltzmann velocities (Å/fs).
-  std::vector<core::Vec3> vel(static_cast<std::size_t>(n));
-  std::vector<double> mass(static_cast<std::size_t>(n));
+  vel_.resize(static_cast<std::size_t>(n));
+  mass_.resize(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
-    mass[static_cast<std::size_t>(i)] =
+    mass_[static_cast<std::size_t>(i)] =
         element(structure_.species[static_cast<std::size_t>(i)]).mass;
     const double sig = std::sqrt(kBoltzmann * opts_.temperature /
-                                 (mass[static_cast<std::size_t>(i)] *
+                                 (mass_[static_cast<std::size_t>(i)] *
                                   kMassUnit));
-    vel[static_cast<std::size_t>(i)] = {rng.normal(0.0, sig),
-                                        rng.normal(0.0, sig),
-                                        rng.normal(0.0, sig)};
+    vel_[static_cast<std::size_t>(i)] = {rng.normal(0.0, sig),
+                                         rng.normal(0.0, sig),
+                                         rng.normal(0.0, sig)};
   }
   // Remove center-of-mass drift.
   core::Vec3 p_total{};
   double m_total = 0.0;
   for (std::int64_t i = 0; i < n; ++i) {
-    p_total += vel[static_cast<std::size_t>(i)] *
-               mass[static_cast<std::size_t>(i)];
-    m_total += mass[static_cast<std::size_t>(i)];
+    p_total += vel_[static_cast<std::size_t>(i)] *
+               mass_[static_cast<std::size_t>(i)];
+    m_total += mass_[static_cast<std::size_t>(i)];
   }
   for (std::int64_t i = 0; i < n; ++i) {
-    vel[static_cast<std::size_t>(i)] -= p_total * (1.0 / m_total);
+    vel_[static_cast<std::size_t>(i)] -= p_total * (1.0 / m_total);
   }
+  prepared_ = true;
+}
 
-  auto cart = structure_.cartesian();
-  std::vector<core::Vec3> forces;
-  double pot = energy_and_forces(structure_, opts_.cutoff, forces);
-  const core::Mat3 inv_lat = core::inverse3(structure_.lattice);
+void MDSimulator::set_initial_forces(double potential_energy,
+                                     std::vector<core::Vec3> forces) {
+  MATSCI_CHECK(static_cast<std::int64_t>(forces.size()) ==
+                   structure_.num_atoms(),
+               "initial forces: wrong atom count");
+  MATSCI_CHECK(!mid_step_, "set_initial_forces called mid-step");
+  pot_ = potential_energy;
+  forces_ = std::move(forces);
+  have_forces_ = true;
+}
+
+double MDSimulator::kinetic_energy() const {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < vel_.size(); ++i) {
+    ke += 0.5 * mass_[i] * kMassUnit * core::sq_norm(vel_[i]);
+  }
+  return ke;
+}
+
+void MDSimulator::begin_step() {
+  MATSCI_CHECK(prepared_ && have_forces_,
+               "begin_step before prepare()/set_initial_forces()");
+  MATSCI_CHECK(!mid_step_, "begin_step called twice without finish_step");
+  MATSCI_CHECK(!done(), "trajectory already complete");
+  const std::int64_t n = structure_.num_atoms();
   const double dt = opts_.timestep;
+  auto cart = structure_.cartesian();
+  // Velocity Verlet phase 1: half-kick, drift.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const double inv_m = 1.0 / (mass_[u] * kMassUnit);
+    vel_[u] += forces_[u] * (0.5 * dt * inv_m);
+    cart[u] += vel_[u] * dt;
+  }
+  // Write positions back as wrapped fractional coordinates.
+  const core::Mat3 inv_lat = core::inverse3(structure_.lattice);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    structure_.frac[u] = core::vecmat(cart[u], inv_lat);
+  }
+  structure_.wrap();
+  mid_step_ = true;
+}
 
-  auto kinetic = [&]() {
-    double ke = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      ke += 0.5 * mass[static_cast<std::size_t>(i)] * kMassUnit *
-            core::sq_norm(vel[static_cast<std::size_t>(i)]);
-    }
-    return ke;
-  };
+void MDSimulator::finish_step(double potential_energy,
+                              std::vector<core::Vec3> forces) {
+  MATSCI_CHECK(mid_step_, "finish_step without begin_step");
+  MATSCI_CHECK(static_cast<std::int64_t>(forces.size()) ==
+                   structure_.num_atoms(),
+               "finish_step: wrong atom count");
+  const std::int64_t n = structure_.num_atoms();
+  const double dt = opts_.timestep;
+  pot_ = potential_energy;
+  forces_ = std::move(forces);
+  // Velocity Verlet phase 2: half-kick with the new forces.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const double inv_m = 1.0 / (mass_[u] * kMassUnit);
+    vel_[u] += forces_[u] * (0.5 * dt * inv_m);
+  }
 
-  std::vector<MDSnapshot> traj;
-  for (std::int64_t step = 0; step < opts_.steps; ++step) {
-    // Velocity Verlet: half-kick, drift, recompute forces, half-kick.
-    for (std::int64_t i = 0; i < n; ++i) {
-      const double inv_m =
-          1.0 / (mass[static_cast<std::size_t>(i)] * kMassUnit);
-      vel[static_cast<std::size_t>(i)] +=
-          forces[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
-      cart[static_cast<std::size_t>(i)] +=
-          vel[static_cast<std::size_t>(i)] * dt;
-    }
-    // Write positions back as wrapped fractional coordinates.
-    for (std::int64_t i = 0; i < n; ++i) {
-      structure_.frac[static_cast<std::size_t>(i)] =
-          core::vecmat(cart[static_cast<std::size_t>(i)], inv_lat);
-    }
-    structure_.wrap();
-    cart = structure_.cartesian();
-
-    pot = energy_and_forces(structure_, opts_.cutoff, forces);
-    for (std::int64_t i = 0; i < n; ++i) {
-      const double inv_m =
-          1.0 / (mass[static_cast<std::size_t>(i)] * kMassUnit);
-      vel[static_cast<std::size_t>(i)] +=
-          forces[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
-    }
-
-    if (opts_.thermostat_every > 0 &&
-        (step + 1) % opts_.thermostat_every == 0) {
-      // Berendsen-style rescale to the target temperature.
-      const double ke = kinetic();
-      const double t_now =
-          2.0 * ke / (3.0 * static_cast<double>(n) * kBoltzmann);
-      if (t_now > 1e-9) {
-        const double scale = std::sqrt(opts_.temperature / t_now);
-        for (core::Vec3& v : vel) v = v * scale;
-      }
-    }
-
-    if ((step + 1) % opts_.snapshot_every == 0) {
-      MDSnapshot snap;
-      snap.structure = structure_;
-      snap.potential_energy = pot;
-      snap.kinetic_energy = kinetic();
-      snap.forces = forces;
-      traj.push_back(std::move(snap));
+  const std::int64_t step = steps_done_;
+  if (opts_.thermostat_every > 0 &&
+      (step + 1) % opts_.thermostat_every == 0) {
+    // Berendsen-style rescale to the target temperature.
+    const double ke = kinetic_energy();
+    const double t_now =
+        2.0 * ke / (3.0 * static_cast<double>(n) * kBoltzmann);
+    if (t_now > 1e-9) {
+      const double scale = std::sqrt(opts_.temperature / t_now);
+      for (core::Vec3& v : vel_) v = v * scale;
     }
   }
-  return traj;
+
+  if ((step + 1) % opts_.snapshot_every == 0) {
+    MDSnapshot snap;
+    snap.structure = structure_;
+    snap.potential_energy = pot_;
+    snap.kinetic_energy = kinetic_energy();
+    snap.forces = forces_;
+    traj_.push_back(std::move(snap));
+  }
+  mid_step_ = false;
+  ++steps_done_;
+}
+
+std::vector<MDSnapshot> MDSimulator::run() {
+  prepare();
+  std::shared_ptr<ForceProvider> provider = provider_;
+  if (provider == nullptr) {
+    provider = std::make_shared<LJForceProvider>(opts_.cutoff);
+  }
+  std::vector<core::Vec3> forces;
+  if (!have_forces_) {
+    const double pot = provider->energy_and_forces(structure_, forces);
+    set_initial_forces(pot, std::move(forces));
+  }
+  while (!done()) {
+    begin_step();
+    forces.clear();
+    const double pot = provider->energy_and_forces(structure_, forces);
+    finish_step(pot, std::move(forces));
+  }
+  return take_snapshots();
 }
 
 }  // namespace matsci::materials

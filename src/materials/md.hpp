@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/random.hpp"
+#include "materials/neighbor_list.hpp"
 #include "materials/structure.hpp"
 
 namespace matsci::materials {
@@ -17,10 +19,46 @@ struct LJParams {
 
 LJParams lj_parameters(std::int64_t z_i, std::int64_t z_j);
 
+/// What drives the dynamics: anything that can turn a configuration into
+/// a potential energy and per-atom forces. The hand-coded LJ surrogate
+/// and the served ML potential (src/sim) both implement this, so an
+/// MDSimulator can be pointed at either (ROADMAP item 4).
+class ForceProvider {
+ public:
+  virtual ~ForceProvider() = default;
+  /// Potential energy (eV) of `s`; fills `forces` (eV/Å, one per atom).
+  virtual double energy_and_forces(const Structure& s,
+                                   std::vector<core::Vec3>& forces) = 0;
+};
+
+/// The analytic LJ-mixture surrogate, accelerated by a reusable
+/// cell-list NeighborList (rebuilt on the skin/2 displacement
+/// threshold) and bit-exact against the O(N²) minimal-image scan.
+class LJForceProvider : public ForceProvider {
+ public:
+  explicit LJForceProvider(double cutoff, NeighborListOptions nl = {});
+
+  double energy_and_forces(const Structure& s,
+                           std::vector<core::Vec3>& forces) override;
+
+  const NeighborList& neighbor_list() const { return nlist_; }
+
+  /// LJ energy/forces over an existing candidate pair list (pairs beyond
+  /// `cutoff` are skipped exactly like the scan skips them).
+  static double energy_and_forces_over_pairs(
+      const Structure& s, double cutoff,
+      const std::vector<NeighborPair>& pairs,
+      std::vector<core::Vec3>& forces);
+
+ private:
+  double cutoff_;
+  NeighborList nlist_;
+};
+
 struct MDOptions {
   double timestep = 1.0;        ///< fs
   double temperature = 300.0;   ///< K, initial Maxwell-Boltzmann draw
-  double cutoff = 6.0;          ///< Å for pair interactions
+  double cutoff = 6.0;          ///< Å for pair interactions (LJ provider)
   std::int64_t steps = 200;
   std::int64_t snapshot_every = 10;
   /// Berendsen-style velocity rescale interval (0 = NVE).
@@ -37,17 +75,57 @@ struct MDSnapshot {
   std::vector<core::Vec3> forces;         ///< eV/Å per atom
 };
 
-/// Velocity-Verlet integrator with periodic minimal-image LJ forces.
-/// Deterministic given (structure, options, seed).
+/// Velocity-Verlet integrator over a pluggable ForceProvider (periodic
+/// minimal-image LJ by default). Deterministic given (structure,
+/// options, seed, provider).
+///
+/// Two driving modes share one integrator:
+///   - run() evaluates forces through the provider and integrates the
+///     whole trajectory (the seed behavior);
+///   - the stepwise API (prepare / set_initial_forces / begin_step /
+///     finish_step) hands force evaluation to an external driver —
+///     sim::TrajectoryScheduler uses it to coalesce the force
+///     evaluations of many concurrent trajectories into served
+///     micro-batches. One step is: begin_step() applies the half-kick
+///     and drift using the current forces and exposes the new
+///     configuration via structure(); the driver evaluates it and
+///     completes the step with finish_step(energy, forces).
 class MDSimulator {
  public:
-  MDSimulator(Structure initial, MDOptions opts, std::uint64_t seed);
+  MDSimulator(Structure initial, MDOptions opts, std::uint64_t seed,
+              std::shared_ptr<ForceProvider> provider = nullptr);
 
   /// Run the trajectory and return the collected snapshots.
   std::vector<MDSnapshot> run();
 
-  /// Potential energy and forces of a configuration (exposed for tests:
-  /// force should equal -dE/dx within finite-difference tolerance).
+  // -- Stepwise driving -------------------------------------------------
+  /// Draw Maxwell-Boltzmann velocities and zero the COM momentum.
+  /// Idempotent; implied by run().
+  void prepare();
+  /// Install the forces of the *initial* configuration (evaluated
+  /// externally). Required once before the first begin_step().
+  void set_initial_forces(double potential_energy,
+                          std::vector<core::Vec3> forces);
+  /// Half-kick + drift with the current forces; afterwards structure()
+  /// is the configuration whose forces finish_step() expects.
+  void begin_step();
+  /// Complete the step: second half-kick with the freshly evaluated
+  /// forces, thermostat, snapshot bookkeeping.
+  void finish_step(double potential_energy, std::vector<core::Vec3> forces);
+
+  bool done() const { return steps_done_ >= opts_.steps; }
+  std::int64_t steps_done() const { return steps_done_; }
+  const Structure& structure() const { return structure_; }
+  const MDOptions& options() const { return opts_; }
+  double potential_energy() const { return pot_; }
+  double kinetic_energy() const;
+  const std::vector<MDSnapshot>& snapshots() const { return traj_; }
+  std::vector<MDSnapshot> take_snapshots() { return std::move(traj_); }
+
+  /// Potential energy and forces of a configuration via the O(N²)
+  /// minimal-image scan (exposed for tests: force should equal -dE/dx
+  /// within finite-difference tolerance, and the cell-list path must be
+  /// bit-exact against this).
   static double energy_and_forces(const Structure& s, double cutoff,
                                   std::vector<core::Vec3>& forces);
 
@@ -55,6 +133,17 @@ class MDSimulator {
   Structure structure_;
   MDOptions opts_;
   std::uint64_t seed_;
+  std::shared_ptr<ForceProvider> provider_;
+
+  bool prepared_ = false;
+  bool have_forces_ = false;
+  bool mid_step_ = false;
+  std::int64_t steps_done_ = 0;
+  double pot_ = 0.0;
+  std::vector<double> mass_;
+  std::vector<core::Vec3> vel_;
+  std::vector<core::Vec3> forces_;
+  std::vector<MDSnapshot> traj_;
 };
 
 }  // namespace matsci::materials

@@ -1,0 +1,170 @@
+#include "materials/neighbor_list.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.hpp"
+#include "graph/radius_graph.hpp"
+
+namespace matsci::materials {
+
+namespace {
+
+/// Perpendicular width of the cell along lattice direction d: the
+/// distance between the two faces spanned by the other two vectors.
+/// Bins must be at least `reach` wide in this metric or a bin's 27-cell
+/// neighborhood misses minimal-image partners.
+double perpendicular_width(const core::Mat3& lattice, int d) {
+  const core::Vec3& a = lattice[(d + 1) % 3];
+  const core::Vec3& b = lattice[(d + 2) % 3];
+  const core::Vec3 n = core::cross(a, b);
+  const double area = core::norm(n);
+  MATSCI_CHECK(area > 1e-12, "degenerate lattice in neighbor list");
+  return std::fabs(core::det3(lattice)) / area;
+}
+
+}  // namespace
+
+NeighborList::NeighborList(double cutoff, NeighborListOptions opts)
+    : cutoff_(cutoff), opts_(opts) {
+  MATSCI_CHECK(cutoff > 0.0 && opts.skin >= 0.0,
+               "neighbor list needs cutoff > 0 and skin >= 0");
+}
+
+bool NeighborList::update(const Structure& s) {
+  const std::size_t n = static_cast<std::size_t>(s.num_atoms());
+  bool stale = !built_ || ref_cart_.size() != n;
+  if (!stale) {
+    for (int r = 0; r < 3 && !stale; ++r) {
+      for (int c = 0; c < 3 && !stale; ++c) {
+        stale = s.lattice[r][c] != ref_lattice_[r][c];
+      }
+    }
+  }
+  if (!stale) {
+    const auto cart = s.cartesian();
+    const core::Mat3 inv = core::inverse3(s.lattice);
+    const double limit2 = 0.25 * opts_.skin * opts_.skin;
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::Vec3 d = graph::minimal_image_delta(ref_cart_[i], cart[i],
+                                                      s.lattice, inv);
+      if (core::sq_norm(d) > limit2) {
+        stale = true;
+        break;
+      }
+    }
+  }
+  if (stale) build(s);
+  return stale;
+}
+
+void NeighborList::build(const Structure& s) {
+  const std::int64_t n = s.num_atoms();
+  const auto cart = s.cartesian();
+  const core::Mat3 inv = core::inverse3(s.lattice);
+  const double reach = cutoff_ + opts_.skin;
+  const double reach2 = reach * reach;
+  pairs_.clear();
+
+  std::int64_t ncell[3];
+  bool cells_ok = !opts_.disable_cells;
+  for (int d = 0; d < 3; ++d) {
+    ncell[d] = static_cast<std::int64_t>(
+        std::floor(perpendicular_width(s.lattice, d) / reach));
+    // Below 3 bins a bin's -1/0/+1 neighborhood aliases its own
+    // periodic image and pairs would be double-counted.
+    if (ncell[d] < 3) cells_ok = false;
+  }
+
+  if (!cells_ok) {
+    used_fallback_ = true;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const core::Vec3 d = graph::minimal_image_delta(
+            cart[static_cast<std::size_t>(i)],
+            cart[static_cast<std::size_t>(j)], s.lattice, inv);
+        if (core::sq_norm(d) <= reach2) {
+          pairs_.push_back({static_cast<std::int32_t>(i),
+                            static_cast<std::int32_t>(j)});
+        }
+      }
+    }
+  } else {
+    used_fallback_ = false;
+    const std::int64_t total_cells = ncell[0] * ncell[1] * ncell[2];
+    // Bin atoms by wrapped fractional coordinate.
+    std::vector<std::int64_t> cell_of(static_cast<std::size_t>(n));
+    std::vector<std::vector<std::int32_t>> bins(
+        static_cast<std::size_t>(total_cells));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const core::Vec3& f = s.frac[static_cast<std::size_t>(i)];
+      std::int64_t c[3];
+      for (int d = 0; d < 3; ++d) {
+        double fw = f[d] - std::floor(f[d]);
+        std::int64_t idx = static_cast<std::int64_t>(
+            std::floor(fw * static_cast<double>(ncell[d])));
+        if (idx < 0) idx = 0;
+        if (idx >= ncell[d]) idx = ncell[d] - 1;
+        c[d] = idx;
+      }
+      const std::int64_t flat = (c[0] * ncell[1] + c[1]) * ncell[2] + c[2];
+      cell_of[static_cast<std::size_t>(i)] = flat;
+      bins[static_cast<std::size_t>(flat)].push_back(
+          static_cast<std::int32_t>(i));
+    }
+
+    // Half the 26 neighbor offsets + the home cell: every unordered
+    // cell pair is visited exactly once (with ≥3 bins per direction no
+    // offset wraps onto the home cell).
+    static constexpr std::int64_t kHalfOffsets[13][3] = {
+        {1, 0, 0},  {0, 1, 0},   {0, 0, 1},  {1, 1, 0},  {1, -1, 0},
+        {1, 0, 1},  {1, 0, -1},  {0, 1, 1},  {0, 1, -1}, {1, 1, 1},
+        {1, 1, -1}, {1, -1, 1},  {1, -1, -1}};
+
+    auto emit = [&](std::int32_t a, std::int32_t b) {
+      const std::int32_t i = std::min(a, b);
+      const std::int32_t j = std::max(a, b);
+      const core::Vec3 d = graph::minimal_image_delta(
+          cart[static_cast<std::size_t>(i)],
+          cart[static_cast<std::size_t>(j)], s.lattice, inv);
+      if (core::sq_norm(d) <= reach2) pairs_.push_back({i, j});
+    };
+
+    for (std::int64_t cx = 0; cx < ncell[0]; ++cx) {
+      for (std::int64_t cy = 0; cy < ncell[1]; ++cy) {
+        for (std::int64_t cz = 0; cz < ncell[2]; ++cz) {
+          const std::int64_t home = (cx * ncell[1] + cy) * ncell[2] + cz;
+          const auto& atoms = bins[static_cast<std::size_t>(home)];
+          for (std::size_t a = 0; a < atoms.size(); ++a) {
+            for (std::size_t b = a + 1; b < atoms.size(); ++b) {
+              emit(atoms[a], atoms[b]);
+            }
+          }
+          for (const auto& off : kHalfOffsets) {
+            const std::int64_t ox = (cx + off[0] + ncell[0]) % ncell[0];
+            const std::int64_t oy = (cy + off[1] + ncell[1]) % ncell[1];
+            const std::int64_t oz = (cz + off[2] + ncell[2]) % ncell[2];
+            const std::int64_t other = (ox * ncell[1] + oy) * ncell[2] + oz;
+            const auto& neigh = bins[static_cast<std::size_t>(other)];
+            for (const std::int32_t a : atoms) {
+              for (const std::int32_t b : neigh) emit(a, b);
+            }
+          }
+        }
+      }
+    }
+    // The scan visits pairs in lexicographic (i, j) order; matching it
+    // makes every accumulation over the list bit-identical to the scan.
+    std::sort(pairs_.begin(), pairs_.end(),
+              [](const NeighborPair& a, const NeighborPair& b) {
+                return a.i != b.i ? a.i < b.i : a.j < b.j;
+              });
+  }
+
+  ref_cart_ = cart;
+  ref_lattice_ = s.lattice;
+  built_ = true;
+  ++rebuilds_;
+}
+
+}  // namespace matsci::materials

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vec3.hpp"
+#include "materials/structure.hpp"
+
+namespace matsci::materials {
+
+struct NeighborListOptions {
+  /// Verlet skin (Å): candidate pairs are collected out to
+  /// cutoff + skin, so the list stays valid until some atom has moved
+  /// more than skin/2 since the last build.
+  double skin = 0.4;
+  /// Force the O(N²) candidate scan even when the cell is large enough
+  /// for binning (used by bit-exactness tests to pin the two paths
+  /// against each other).
+  bool disable_cells = false;
+};
+
+/// One candidate pair, i < j. Distances are *not* stored: consumers
+/// recompute the minimal-image delta exactly like the brute-force scan,
+/// which is what makes the cell-list path bit-exact against it.
+struct NeighborPair {
+  std::int32_t i = 0;
+  std::int32_t j = 0;
+};
+
+/// Reusable cell-list neighbor search for periodic minimal-image pair
+/// interactions (the MD hot path; DESIGN.md §13).
+///
+/// build() bins atoms into cells no smaller than cutoff + skin along
+/// each lattice direction (perpendicular widths, so triclinic cells are
+/// handled) and emits every i<j pair whose minimal-image distance is
+/// below cutoff + skin, sorted lexicographically — the same order the
+/// O(N²) scan visits pairs in, so any accumulation over the list is
+/// bit-identical to the scan. When the cell is too small for ≥3 bins
+/// per direction (binning would alias periodic images), build() falls
+/// back to the full scan for candidates; correctness never depends on
+/// the geometry.
+///
+/// update() is the steady-state entry point: it rebuilds only when the
+/// structure's atom count or lattice changed, or when some atom has
+/// drifted more than skin/2 (minimal image) from its position at the
+/// last build — otherwise the cached list is still a superset of all
+/// in-cutoff pairs and is reused as-is.
+class NeighborList {
+ public:
+  explicit NeighborList(double cutoff, NeighborListOptions opts = {});
+
+  /// Ensure the pair list covers `s`; returns true when a rebuild
+  /// happened.
+  bool update(const Structure& s);
+
+  /// Unconditional rebuild.
+  void build(const Structure& s);
+
+  const std::vector<NeighborPair>& pairs() const { return pairs_; }
+  double cutoff() const { return cutoff_; }
+  std::int64_t rebuilds() const { return rebuilds_; }
+  /// True when the last build used the O(N²) candidate scan instead of
+  /// cell binning (cell too small, or disable_cells).
+  bool used_fallback() const { return used_fallback_; }
+
+ private:
+  double cutoff_;
+  NeighborListOptions opts_;
+  std::vector<NeighborPair> pairs_;
+  std::vector<core::Vec3> ref_cart_;  ///< positions at last build
+  core::Mat3 ref_lattice_ = core::identity3();
+  bool built_ = false;
+  bool used_fallback_ = false;
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace matsci::materials

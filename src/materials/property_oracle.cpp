@@ -6,6 +6,7 @@
 #include "core/macros.hpp"
 #include "graph/radius_graph.hpp"
 #include "materials/elements.hpp"
+#include "materials/md.hpp"
 
 namespace matsci::materials {
 
@@ -178,6 +179,15 @@ double PropertyOracle::adsorption_energy(
   }
   energy += noise_scale_ * structure_noise(s, 4);
   return energy;
+}
+
+double PropertyOracle::energy_and_forces(const Structure& s,
+                                         std::vector<core::Vec3>& forces,
+                                         double cutoff) const {
+  // Exact LJ-mixture labels (no pseudo-noise): the oracle is the same
+  // surrogate that generated the LiPS training trajectory, so gated MD
+  // frames get labels on the surface the potential is learning.
+  return MDSimulator::energy_and_forces(s, cutoff, forces);
 }
 
 }  // namespace matsci::materials

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
+#include "core/vec3.hpp"
 #include "materials/structure.hpp"
 
 namespace matsci::materials {
@@ -54,6 +56,15 @@ class PropertyOracle {
   /// `adsorbate` indexes the adsorbate atoms inside `s`.
   double adsorption_energy(const Structure& s,
                            std::span<const std::int64_t> adsorbate) const;
+
+  /// Ground-truth potential energy (eV) and per-atom forces (eV/Å) for
+  /// dynamics frames: the same LJ-mixture surrogate that labels the
+  /// LiPS trajectory, so active-learning labels (src/sim) are consistent
+  /// with the data the potential was pretrained on. Deterministic, no
+  /// pseudo-noise: forces must stay the exact gradient of the energy.
+  double energy_and_forces(const Structure& s,
+                           std::vector<core::Vec3>& forces,
+                           double cutoff = 6.0) const;
 
  private:
   double structure_noise(const Structure& s, std::uint64_t salt) const;

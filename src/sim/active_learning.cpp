@@ -1,0 +1,112 @@
+#include "sim/active_learning.hpp"
+
+#include "core/macros.hpp"
+#include "data/dataloader.hpp"
+#include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "optim/adam.hpp"
+#include "serve/session.hpp"
+#include "train/trainer.hpp"
+
+namespace matsci::sim {
+
+ActiveLearningLoop::ActiveLearningLoop(
+    serve::frontend::ServeFrontend& frontend,
+    std::vector<EnsembleMemberSpec> members,
+    const materials::PropertyOracle& oracle, ActiveLearningOptions opts)
+    : frontend_(&frontend),
+      members_(std::move(members)),
+      oracle_(&oracle),
+      opts_(std::move(opts)),
+      gate_(opts_.gate),
+      buffer_(opts_.buffer) {
+  MATSCI_CHECK(!members_.empty(), "active learning needs ensemble members");
+  for (const EnsembleMemberSpec& m : members_) {
+    MATSCI_CHECK(m.task != nullptr && m.make_serving_task != nullptr,
+                 "ensemble member '" << m.name
+                                     << "' needs a task and a factory");
+  }
+  MATSCI_CHECK(opts_.min_labels >= 1, "min_labels must be >= 1");
+}
+
+void ActiveLearningLoop::observe_frame(std::int64_t /*trajectory*/,
+                                       std::int64_t /*step*/,
+                                       const materials::Structure& s,
+                                       const ForceEval& ev) {
+  if (!gate_.should_label(ev)) return;
+
+  // Oracle round-trip: ground-truth energy/forces on the same surface
+  // the pretraining labels came from.
+  data::StructureSample sample = s.to_sample();
+  std::vector<core::Vec3> true_forces;
+  const double energy =
+      oracle_->energy_and_forces(s, true_forces, opts_.label_cutoff);
+  sample.scalar_targets["energy"] = static_cast<float>(
+      energy / static_cast<double>(s.num_atoms()));
+  sample.forces = std::move(true_forces);
+  buffer_.add(std::move(sample));
+  obs::MetricsRegistry::global().counter("sim.labels").add(1);
+
+  if (buffer_.total_added() >= opts_.min_labels &&
+      finetunes_ < opts_.max_finetunes) {
+    pending_ = true;
+  }
+}
+
+void ActiveLearningLoop::maybe_finetune() {
+  if (!pending_ || finetunes_ >= opts_.max_finetunes) return;
+  pending_ = false;
+  finetune_and_swap();
+}
+
+void ActiveLearningLoop::finetune_and_swap() {
+  ++finetunes_;
+  obs::MetricsRegistry::global().counter("sim.finetunes").add(1);
+
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    EnsembleMemberSpec& member = members_[m];
+
+    data::DataLoaderOptions lo;
+    lo.batch_size = opts_.batch_size;
+    lo.seed = opts_.seed + m;  // decorrelate member minibatch orders
+    lo.collate = opts_.collate;
+    data::DataLoader loader(buffer_, lo);
+
+    optim::Adam opt =
+        optim::make_adamw(member.task->parameters(), opts_.learning_rate);
+    train::TrainerOptions topts;
+    topts.max_epochs = opts_.finetune_epochs;
+    train::Trainer(topts).fit(*member.task, loader, nullptr, opt);
+
+    // Snapshot the fine-tuned weights into a fresh instance and publish
+    // it as the next version. deploy() swaps atomically and drains the
+    // old version — requests already in flight (the current wave's)
+    // are served by it, new submissions land on the new version.
+    const nn::StateDict sd = nn::state_dict(*member.task);
+    std::shared_ptr<tasks::EnergyForceTask> serving =
+        member.make_serving_task();
+    nn::load_into_module(*serving, sd);
+    serve::InferenceSessionOptions sopts;
+    sopts.collate = opts_.collate;
+    auto session = std::make_shared<serve::InferenceSession>(serving, sopts);
+    const std::uint64_t next =
+        frontend_->registry().active_version(member.name) + 1;
+    frontend_->deploy(member.name, next, session, opts_.scheduler);
+    obs::MetricsRegistry::global().counter("sim.swaps").add(1);
+  }
+}
+
+std::function<void(std::int64_t, std::int64_t, const materials::Structure&,
+                   const ForceEval&)>
+ActiveLearningLoop::frame_hook() {
+  return [this](std::int64_t traj, std::int64_t step,
+                const materials::Structure& s, const ForceEval& ev) {
+    observe_frame(traj, step, s, ev);
+  };
+}
+
+std::function<void()> ActiveLearningLoop::mid_wave_hook() {
+  return [this]() { maybe_finetune(); };
+}
+
+}  // namespace matsci::sim

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "materials/property_oracle.hpp"
+#include "serve/frontend/frontend.hpp"
+#include "sim/label_buffer.hpp"
+#include "sim/uncertainty.hpp"
+#include "tasks/energy_force.hpp"
+
+namespace matsci::sim {
+
+/// One ensemble member the loop fine-tunes and redeploys.
+struct EnsembleMemberSpec {
+  /// Registry name the member serves under.
+  std::string name;
+  /// The member's training copy: holds the current weights, is
+  /// fine-tuned in place, and is snapshotted (state_dict) into a fresh
+  /// instance for each deployment — the serving instance is never
+  /// mutated while live.
+  std::shared_ptr<tasks::EnergyForceTask> task;
+  /// Factory for an architecture-identical instance to deploy (weights
+  /// are copied in from `task`).
+  std::function<std::shared_ptr<tasks::EnergyForceTask>()> make_serving_task;
+};
+
+struct ActiveLearningOptions {
+  UncertaintyGateOptions gate;
+  LabelBufferOptions buffer;
+  /// Cutoff for the oracle's ground-truth labels (matches the LJ
+  /// surrogate that generated the pretraining trajectory).
+  double label_cutoff = 6.0;
+  /// Fine-tune once the buffer has accumulated this many labels.
+  std::int64_t min_labels = 8;
+  /// Bound on fine-tune/hot-swap cycles (each cycle retrains every
+  /// member and deploys a new version).
+  std::int64_t max_finetunes = 1;
+  std::int64_t finetune_epochs = 2;
+  std::int64_t batch_size = 8;
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 7;
+  /// Collate options for fine-tuning and for the redeployed sessions —
+  /// must match the members' original deployment so graphs are
+  /// identical.
+  data::CollateOptions collate;
+  /// Scheduler options for redeployed versions.
+  serve::SchedulerOptions scheduler;
+};
+
+/// The uncertainty-driven retraining loop (ROADMAP item 4): frames the
+/// ensemble disagrees on are labeled by the oracle into a replay
+/// LabelBuffer; once enough labels accumulate, every member is
+/// fine-tuned via the existing Trainer and hot-swapped into the
+/// registry as a new version — by design from inside a trajectory
+/// wave's mid-flight window, so the swap exercises the registry's
+/// drain-under-traffic guarantee (in-flight requests of the old version
+/// are served, zero loss).
+///
+/// Wire-up: frame_hook() goes to TrajectoryScheduler::set_frame_hook,
+/// mid_wave_hook() to set_mid_wave_hook. Gating marks a cycle pending;
+/// the next wave's mid-flight window executes it. All decisions are
+/// functions of frame order and ForceEvals only, so the loop is
+/// deterministic across thread counts and wave sizes.
+class ActiveLearningLoop {
+ public:
+  ActiveLearningLoop(serve::frontend::ServeFrontend& frontend,
+                     std::vector<EnsembleMemberSpec> members,
+                     const materials::PropertyOracle& oracle,
+                     ActiveLearningOptions opts = {});
+
+  /// Gate one advanced frame; label and buffer it when uncertain.
+  void observe_frame(std::int64_t trajectory, std::int64_t step,
+                     const materials::Structure& s, const ForceEval& ev);
+
+  /// Run a pending fine-tune/hot-swap cycle (no-op otherwise).
+  void maybe_finetune();
+
+  /// Adapters for TrajectoryScheduler.
+  std::function<void(std::int64_t, std::int64_t, const materials::Structure&,
+                     const ForceEval&)>
+  frame_hook();
+  std::function<void()> mid_wave_hook();
+
+  const UncertaintyGate& gate() const { return gate_; }
+  const LabelBuffer& buffer() const { return buffer_; }
+  std::int64_t labels() const { return buffer_.total_added(); }
+  std::int64_t finetunes() const { return finetunes_; }
+  bool pending() const { return pending_; }
+
+ private:
+  void finetune_and_swap();
+
+  serve::frontend::ServeFrontend* frontend_;
+  std::vector<EnsembleMemberSpec> members_;
+  const materials::PropertyOracle* oracle_;
+  ActiveLearningOptions opts_;
+  UncertaintyGate gate_;
+  LabelBuffer buffer_;
+  bool pending_ = false;
+  std::int64_t finetunes_ = 0;
+};
+
+}  // namespace matsci::sim

@@ -1,0 +1,24 @@
+#include "sim/force_backend.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::sim {
+
+LocalForceBackend::LocalForceBackend(
+    std::shared_ptr<materials::ForceProvider> provider)
+    : provider_(std::move(provider)) {
+  MATSCI_CHECK(provider_ != nullptr, "LocalForceBackend needs a provider");
+}
+
+std::vector<ForceEval> LocalForceBackend::evaluate(
+    const std::vector<const materials::Structure*>& wave,
+    const MidWaveHook& mid) {
+  if (mid) mid();
+  std::vector<ForceEval> out(wave.size());
+  for (std::size_t t = 0; t < wave.size(); ++t) {
+    out[t].energy = provider_->energy_and_forces(*wave[t], out[t].forces);
+  }
+  return out;
+}
+
+}  // namespace matsci::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "materials/md.hpp"
+#include "materials/structure.hpp"
+
+namespace matsci::sim {
+
+/// One evaluated configuration: the ensemble-combined energy/forces plus
+/// the disagreement statistics the uncertainty gate consumes.
+struct ForceEval {
+  double energy = 0.0;                ///< ensemble-mean total energy (eV)
+  std::vector<core::Vec3> forces;     ///< ensemble-mean forces (eV/Å)
+  /// Per-atom force standard deviation across ensemble members
+  /// (√ of the member variance of the force vector, eV/Å): the max over
+  /// atoms is the gate statistic, the mean a smoother monitor.
+  double max_force_std = 0.0;
+  double mean_force_std = 0.0;
+  /// Highest model version that served this evaluation (tracks
+  /// hot-swaps through the active-learning loop).
+  std::uint64_t version = 0;
+  /// Mean micro-batch size the member requests were served in (1 for
+  /// local evaluation) — the wave-coalescing observability signal.
+  double mean_batch_size = 1.0;
+};
+
+/// Batch force evaluator for the trajectory scheduler: turns a wave of
+/// configurations into ForceEvals. The served implementation
+/// (ServedForceBackend) submits every (configuration, ensemble member)
+/// request up front so the serve tier can coalesce them into
+/// micro-batches; `mid` — when provided — runs after all submissions
+/// and before the first gather, which is exactly the window where a
+/// model hot-swap exercises the registry's drain-under-traffic
+/// guarantee (the active-learning loop fine-tunes there).
+class ForceBackend {
+ public:
+  using MidWaveHook = std::function<void()>;
+
+  virtual ~ForceBackend() = default;
+
+  /// Evaluate every configuration in `wave` (pointers remain owned by
+  /// the caller and must stay valid for the duration of the call).
+  /// Results are index-aligned with `wave`.
+  virtual std::vector<ForceEval> evaluate(
+      const std::vector<const materials::Structure*>& wave,
+      const MidWaveHook& mid = {}) = 0;
+};
+
+/// Synchronous in-process backend over any materials::ForceProvider
+/// (typically the LJ surrogate): no batching, no uncertainty — the
+/// baseline the served path is benchmarked against, and the cheap
+/// stand-in for tests that don't need a model.
+class LocalForceBackend : public ForceBackend {
+ public:
+  explicit LocalForceBackend(
+      std::shared_ptr<materials::ForceProvider> provider);
+
+  std::vector<ForceEval> evaluate(
+      const std::vector<const materials::Structure*>& wave,
+      const MidWaveHook& mid = {}) override;
+
+ private:
+  std::shared_ptr<materials::ForceProvider> provider_;
+};
+
+}  // namespace matsci::sim

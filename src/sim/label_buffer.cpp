@@ -1,0 +1,27 @@
+#include "sim/label_buffer.hpp"
+
+#include "core/macros.hpp"
+
+namespace matsci::sim {
+
+LabelBuffer::LabelBuffer(LabelBufferOptions opts) : opts_(opts) {
+  MATSCI_CHECK(opts.capacity >= 1, "label buffer capacity must be >= 1");
+}
+
+void LabelBuffer::add(data::StructureSample sample) {
+  if (static_cast<std::int64_t>(ring_.size()) < opts_.capacity) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[static_cast<std::size_t>(next_)] = std::move(sample);
+    next_ = (next_ + 1) % opts_.capacity;
+  }
+  ++total_;
+}
+
+data::StructureSample LabelBuffer::get(std::int64_t index) const {
+  MATSCI_CHECK(index >= 0 && index < size(),
+               "label buffer index out of range");
+  return ring_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace matsci::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace matsci::sim {
+
+struct LabelBufferOptions {
+  /// Ring capacity: once full, new labels overwrite the oldest — the
+  /// replay buffer tracks the most recent region of configuration
+  /// space the dynamics has visited.
+  std::int64_t capacity = 512;
+};
+
+/// Replay buffer of oracle-labeled frames, exposed as a
+/// data::StructureDataset so the existing DataLoader/Trainer stack
+/// fine-tunes from it directly (no bespoke training path).
+class LabelBuffer : public data::StructureDataset {
+ public:
+  explicit LabelBuffer(LabelBufferOptions opts = {});
+
+  /// Append one labeled sample (FIFO-evicting the oldest at capacity).
+  void add(data::StructureSample sample);
+
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(ring_.size());
+  }
+  data::StructureSample get(std::int64_t index) const override;
+  std::string name() const override { return "sim/label_buffer"; }
+
+  /// Lifetime adds (>= size() once eviction starts).
+  std::int64_t total_added() const { return total_; }
+
+ private:
+  LabelBufferOptions opts_;
+  std::vector<data::StructureSample> ring_;
+  std::int64_t next_ = 0;  ///< eviction cursor once at capacity
+  std::int64_t total_ = 0;
+};
+
+}  // namespace matsci::sim

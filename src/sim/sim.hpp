@@ -1,0 +1,14 @@
+#pragma once
+
+// ML-potential molecular dynamics at scale (DESIGN.md §13): an ensemble
+// of served energy/force models drives many concurrent MD trajectories
+// through the production inference stack, with an uncertainty-gated
+// active-learning loop labeling, fine-tuning, and hot-swapping new
+// model versions under live traffic.
+
+#include "sim/active_learning.hpp"
+#include "sim/force_backend.hpp"
+#include "sim/label_buffer.hpp"
+#include "sim/ml_potential.hpp"
+#include "sim/trajectory_scheduler.hpp"
+#include "sim/uncertainty.hpp"

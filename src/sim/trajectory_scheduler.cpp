@@ -1,0 +1,103 @@
+#include "sim/trajectory_scheduler.hpp"
+
+#include "core/macros.hpp"
+#include "obs/metrics.hpp"
+
+namespace matsci::sim {
+
+TrajectoryScheduler::TrajectoryScheduler(
+    std::vector<std::shared_ptr<materials::MDSimulator>> trajectories,
+    std::shared_ptr<ForceBackend> backend, TrajectorySchedulerOptions opts)
+    : trajectories_(std::move(trajectories)),
+      backend_(std::move(backend)),
+      opts_(opts) {
+  MATSCI_CHECK(!trajectories_.empty(),
+               "trajectory scheduler needs at least one trajectory");
+  MATSCI_CHECK(backend_ != nullptr, "trajectory scheduler needs a backend");
+  MATSCI_CHECK(opts.wave_size >= 0, "wave_size must be >= 0");
+  for (const auto& t : trajectories_) {
+    MATSCI_CHECK(t != nullptr, "null trajectory");
+  }
+}
+
+void TrajectoryScheduler::seed_initial_forces() {
+  // The initial configurations also go through the backend in waves, so
+  // the first integration step uses exactly the forces the provider
+  // would have produced in single-trajectory mode.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    trajectories_[i]->prepare();
+    if (!trajectories_[i]->done()) pending.push_back(i);
+  }
+  const std::size_t chunk_cap =
+      opts_.wave_size == 0 ? pending.size()
+                           : static_cast<std::size_t>(opts_.wave_size);
+  for (std::size_t begin = 0; begin < pending.size(); begin += chunk_cap) {
+    const std::size_t end = std::min(begin + chunk_cap, pending.size());
+    std::vector<const materials::Structure*> wave;
+    wave.reserve(end - begin);
+    for (std::size_t k = begin; k < end; ++k) {
+      wave.push_back(&trajectories_[pending[k]]->structure());
+    }
+    std::vector<ForceEval> evals = backend_->evaluate(wave, mid_wave_hook_);
+    for (std::size_t k = begin; k < end; ++k) {
+      ForceEval& ev = evals[k - begin];
+      trajectories_[pending[k]]->set_initial_forces(ev.energy,
+                                                    std::move(ev.forces));
+    }
+  }
+  seeded_ = true;
+}
+
+void TrajectoryScheduler::advance_chunk(const std::vector<std::size_t>& chunk) {
+  std::vector<const materials::Structure*> wave;
+  wave.reserve(chunk.size());
+  for (const std::size_t id : chunk) {
+    trajectories_[id]->begin_step();
+    wave.push_back(&trajectories_[id]->structure());
+  }
+  std::vector<ForceEval> evals = backend_->evaluate(wave, mid_wave_hook_);
+  for (std::size_t k = 0; k < chunk.size(); ++k) {
+    const std::size_t id = chunk[k];
+    const ForceEval& ev = evals[k];
+    // Copy the forces in: `ev` stays intact for the frame hook.
+    trajectories_[id]->finish_step(ev.energy, ev.forces);
+    ++frames_;
+    if (frame_hook_) {
+      frame_hook_(static_cast<std::int64_t>(id),
+                  trajectories_[id]->steps_done(),
+                  trajectories_[id]->structure(), ev);
+    }
+  }
+  obs::MetricsRegistry::global().counter("sim.frames").add(
+      static_cast<std::int64_t>(chunk.size()));
+}
+
+bool TrajectoryScheduler::step_wave() {
+  if (!seeded_) seed_initial_forces();
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    if (!trajectories_[i]->done()) live.push_back(i);
+  }
+  if (live.empty()) return false;
+  ++waves_;
+  obs::MetricsRegistry::global().counter("sim.waves").add(1);
+
+  const std::size_t chunk_cap =
+      opts_.wave_size == 0 ? live.size()
+                           : static_cast<std::size_t>(opts_.wave_size);
+  for (std::size_t begin = 0; begin < live.size(); begin += chunk_cap) {
+    const std::size_t end = std::min(begin + chunk_cap, live.size());
+    advance_chunk(std::vector<std::size_t>(live.begin() + begin,
+                                           live.begin() + end));
+  }
+  return true;
+}
+
+std::int64_t TrajectoryScheduler::run() {
+  while (step_wave()) {
+  }
+  return frames_;
+}
+
+}  // namespace matsci::sim

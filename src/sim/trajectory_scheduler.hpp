@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "materials/md.hpp"
+#include "sim/force_backend.hpp"
+
+namespace matsci::sim {
+
+struct TrajectorySchedulerOptions {
+  /// Trajectories handed to the backend per evaluate() call: the live
+  /// set of each lockstep step is processed in chunks of this size, in
+  /// trajectory-id order. 0 = the whole live set in one call.
+  std::int64_t wave_size = 0;
+};
+
+/// Advances N concurrent MDSimulator trajectories in lockstep waves:
+/// every live trajectory completes step k before any starts k+1, and
+/// within a step the force evaluations of up to wave_size trajectories
+/// are handed to the ForceBackend as one wave so the serve tier
+/// coalesces them into micro-batches.
+///
+/// Determinism: trajectories are integrated by their own MDSimulators
+/// (deterministic per (structure, options, seed)), force evaluations are
+/// per-configuration and bit-exact whether batched or not (serve
+/// contract), and waves are formed in trajectory-id order from state
+/// that does not depend on timing — so the full multi-trajectory result
+/// is bit-identical across thread counts and wave sizes.
+class TrajectoryScheduler {
+ public:
+  /// Called once per advanced frame, after its wave has been gathered:
+  /// (trajectory id, completed step count, configuration, evaluation).
+  /// The active-learning loop gates frames here.
+  using FrameHook = std::function<void(
+      std::int64_t, std::int64_t, const materials::Structure&,
+      const ForceEval&)>;
+
+  TrajectoryScheduler(
+      std::vector<std::shared_ptr<materials::MDSimulator>> trajectories,
+      std::shared_ptr<ForceBackend> backend,
+      TrajectorySchedulerOptions opts = {});
+
+  void set_frame_hook(FrameHook hook) { frame_hook_ = std::move(hook); }
+  /// Forwarded to ForceBackend::evaluate — runs with the wave's
+  /// requests in flight (the hot-swap window).
+  void set_mid_wave_hook(ForceBackend::MidWaveHook hook) {
+    mid_wave_hook_ = std::move(hook);
+  }
+
+  /// Advance every live trajectory by one step (one lockstep wave over
+  /// the live set). Returns false once all trajectories are done.
+  bool step_wave();
+
+  /// Drive all trajectories to completion; returns total frames
+  /// advanced.
+  std::int64_t run();
+
+  std::int64_t frames_advanced() const { return frames_; }
+  std::int64_t waves() const { return waves_; }
+  const std::vector<std::shared_ptr<materials::MDSimulator>>& trajectories()
+      const {
+    return trajectories_;
+  }
+
+ private:
+  /// Evaluate `live` (a subset of trajectory ids, already begun) in
+  /// wave_size chunks and finish their steps.
+  void advance_chunk(const std::vector<std::size_t>& chunk);
+  void seed_initial_forces();
+
+  std::vector<std::shared_ptr<materials::MDSimulator>> trajectories_;
+  std::shared_ptr<ForceBackend> backend_;
+  TrajectorySchedulerOptions opts_;
+  FrameHook frame_hook_;
+  ForceBackend::MidWaveHook mid_wave_hook_;
+  bool seeded_ = false;
+  std::int64_t frames_ = 0;
+  std::int64_t waves_ = 0;
+};
+
+}  // namespace matsci::sim

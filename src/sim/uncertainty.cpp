@@ -1,0 +1,28 @@
+#include "sim/uncertainty.hpp"
+
+#include "core/macros.hpp"
+#include "obs/metrics.hpp"
+
+namespace matsci::sim {
+
+UncertaintyGate::UncertaintyGate(UncertaintyGateOptions opts) : opts_(opts) {
+  MATSCI_CHECK(opts.force_std_threshold >= 0.0,
+               "gate threshold must be non-negative");
+}
+
+bool UncertaintyGate::should_label(const ForceEval& ev) {
+  ++seen_;
+  obs::MetricsRegistry::global()
+      .histogram("sim.force_std",
+                 {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0})
+      .observe(ev.max_force_std);
+  const bool gate = ev.max_force_std > opts_.force_std_threshold;
+  if (gate) {
+    ++gated_;
+    obs::MetricsRegistry::global().counter("sim.gated_frames").add(1);
+  }
+  obs::MetricsRegistry::global().gauge("sim.gate_rate").set(gate_rate());
+  return gate;
+}
+
+}  // namespace matsci::sim

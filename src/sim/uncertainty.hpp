@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/force_backend.hpp"
+
+namespace matsci::sim {
+
+struct UncertaintyGateOptions {
+  /// A frame whose max per-atom ensemble force std exceeds this (eV/Å)
+  /// is routed to the oracle for a ground-truth label.
+  double force_std_threshold = 0.05;
+};
+
+/// The active-learning gate: watches the committee disagreement of every
+/// frame the scheduler advances and flags the frames the ensemble is
+/// least sure about. Pure function of the ForceEval, so gating is
+/// deterministic; the counters feed the sim.gate_rate gauge.
+class UncertaintyGate {
+ public:
+  explicit UncertaintyGate(UncertaintyGateOptions opts = {});
+
+  /// True when `ev` should be labeled. Updates seen/gated counts and
+  /// the obs gauges.
+  bool should_label(const ForceEval& ev);
+
+  std::int64_t seen() const { return seen_; }
+  std::int64_t gated() const { return gated_; }
+  double gate_rate() const {
+    return seen_ == 0 ? 0.0
+                      : static_cast<double>(gated_) /
+                            static_cast<double>(seen_);
+  }
+  const UncertaintyGateOptions& options() const { return opts_; }
+
+ private:
+  UncertaintyGateOptions opts_;
+  std::int64_t seen_ = 0;
+  std::int64_t gated_ = 0;
+};
+
+}  // namespace matsci::sim

@@ -24,9 +24,18 @@ EnergyForceTask::EnergyForceTask(std::shared_ptr<models::Encoder> encoder,
 }
 
 core::Tensor EnergyForceTask::predict_forces(const data::Batch& batch) const {
+  core::Tensor energy_norm;
+  return forces_impl(batch, energy_norm);
+}
+
+core::Tensor EnergyForceTask::forces_impl(const data::Batch& batch,
+                                          core::Tensor& energy_norm) const {
   // Force evaluation runs its own tape (also from inside NoGradGuard
   // scopes) and must not disturb any gradients accumulated by training:
   // snapshot parameter grads, run the coordinate backward, restore.
+  // Concurrent serving threads would race on those shared grads, so the
+  // whole pass holds grad_mutex_.
+  std::lock_guard<std::mutex> lock(grad_mutex_);
   core::GradModeGuard grad_on(true);
   const auto params = parameters();
   std::vector<core::memory::FloatStorage> saved;
@@ -42,8 +51,7 @@ core::Tensor EnergyForceTask::predict_forces(const data::Batch& batch) const {
 
   // Physical total energy: the "energy" label is per-atom, so the graph
   // total is (ŷ·σ + μ)·n_atoms; its coordinate gradient is σ·∂(ŷ·n)/∂x.
-  core::Tensor energy_norm =
-      head_->forward(encoder_->encode(differentiable));  // [G, 1]
+  energy_norm = head_->forward(encoder_->encode(differentiable));  // [G, 1]
   core::Tensor atom_counts = core::segment_counts(
       batch.topology.node_graph, batch.topology.num_graphs);  // [G, 1]
   core::sum(core::mul(energy_norm, atom_counts)).backward();
@@ -67,8 +75,36 @@ core::Tensor EnergyForceTask::predict_energy(const data::Batch& batch) const {
 
 std::vector<Prediction> EnergyForceTask::predict_batch(
     const data::Batch& batch, const std::string& target_key) const {
+  if (target_key == kForcesTarget) {
+    // Energy + forces from one differentiable forward; sliced back to
+    // per-structure predictions via the node→graph segment map.
+    core::Tensor energy_norm;
+    const core::Tensor forces = forces_impl(batch, energy_norm);
+    const auto& topo = batch.topology;
+    std::vector<Prediction> out(static_cast<std::size_t>(topo.num_graphs));
+    for (std::int64_t g = 0; g < topo.num_graphs; ++g) {
+      Prediction& p = out[static_cast<std::size_t>(g)];
+      const double n_atoms =
+          static_cast<double>(topo.graph_sizes[static_cast<std::size_t>(g)]);
+      p.value = static_cast<float>(
+          (energy_norm.at(g, 0) * stats_.stddev + stats_.mean) * n_atoms);
+      p.scores.reserve(static_cast<std::size_t>(
+          3 * topo.graph_sizes[static_cast<std::size_t>(g)]));
+    }
+    for (std::int64_t i = 0; i < topo.num_nodes; ++i) {
+      auto& scores =
+          out[static_cast<std::size_t>(
+                  topo.node_graph[static_cast<std::size_t>(i)])]
+              .scores;
+      scores.push_back(forces.at(i, 0));
+      scores.push_back(forces.at(i, 1));
+      scores.push_back(forces.at(i, 2));
+    }
+    return out;
+  }
   MATSCI_CHECK(target_key == energy_key_,
-               "energy-force task serves '" << energy_key_ << "', not '"
+               "energy-force task serves '" << energy_key_ << "' or '"
+                                            << kForcesTarget << "', not '"
                                             << target_key << "'");
   core::NoGradGuard no_grad;
   core::Tensor norm = head_->forward(encoder_->encode(batch));

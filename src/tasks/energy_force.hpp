@@ -1,5 +1,7 @@
 #pragma once
 
+#include <mutex>
+
 #include "data/transforms.hpp"
 #include "models/output_head.hpp"
 #include "tasks/task.hpp"
@@ -20,6 +22,12 @@ namespace matsci::tasks {
 /// forces and the module is in eval mode.
 class EnergyForceTask : public Task {
  public:
+  /// Serving target that returns energy *and* forces per structure (used
+  /// by src/sim's ML-potential MD): Prediction.value carries the total
+  /// energy in eV and Prediction.scores the 3·n_atoms force components
+  /// (eV/Å, atom-major xyz).
+  static constexpr const char* kForcesTarget = "forces";
+
   EnergyForceTask(std::shared_ptr<models::Encoder> encoder,
                   std::string energy_key, models::OutputHeadConfig head_cfg,
                   core::RngEngine& rng, data::TargetStats stats = {});
@@ -37,15 +45,25 @@ class EnergyForceTask : public Task {
   /// Denormalized energy predictions [G, 1].
   core::Tensor predict_energy(const data::Batch& batch) const;
 
-  /// Serving hook for the energy target (denormalized eV values).
+  /// Serving hook. For the energy target, Prediction.value is the
+  /// denormalized per-atom energy (eV). For kForcesTarget, see above.
   std::vector<Prediction> predict_batch(
       const data::Batch& batch, const std::string& target_key) const override;
 
  private:
+  /// Coordinate-gradient pass shared by predict_forces and the forces
+  /// serving target: returns forces [N, 3] and fills `energy_norm`
+  /// [G, 1] from the same forward. The parameter-grad snapshot/restore
+  /// dance touches state shared across threads, so the whole pass is
+  /// serialized by grad_mutex_.
+  core::Tensor forces_impl(const data::Batch& batch,
+                           core::Tensor& energy_norm) const;
+
   std::shared_ptr<models::Encoder> encoder_;
   std::string energy_key_;
   std::shared_ptr<models::OutputHead> head_;
   data::TargetStats stats_;
+  mutable std::mutex grad_mutex_;
 };
 
 }  // namespace matsci::tasks

@@ -123,5 +123,131 @@ TEST(MD, RejectsBadOptions) {
                matsci::Error);
 }
 
+// --- Cell-list neighbor search ----------------------------------------------
+
+TEST(NeighborList, CellListBitExactAgainstScan) {
+  // Supercell large enough for >= 3 bins per direction at this cutoff,
+  // so the cell path (not the fallback) is exercised.
+  const Structure sc = LiPSDataset::initial_structure().supercell(3, 3, 3);
+  const double cutoff = 4.0;
+
+  std::vector<core::Vec3> scan_forces;
+  const double scan_energy =
+      MDSimulator::energy_and_forces(sc, cutoff, scan_forces);
+
+  LJForceProvider provider(cutoff);
+  std::vector<core::Vec3> cell_forces;
+  const double cell_energy = provider.energy_and_forces(sc, cell_forces);
+  EXPECT_FALSE(provider.neighbor_list().used_fallback());
+
+  // Bit-exact: identical contributing pairs, identical per-pair
+  // arithmetic, identical (lexicographic) accumulation order.
+  EXPECT_EQ(scan_energy, cell_energy);
+  ASSERT_EQ(scan_forces.size(), cell_forces.size());
+  for (std::size_t i = 0; i < scan_forces.size(); ++i) {
+    EXPECT_EQ(scan_forces[i].x, cell_forces[i].x);
+    EXPECT_EQ(scan_forces[i].y, cell_forces[i].y);
+    EXPECT_EQ(scan_forces[i].z, cell_forces[i].z);
+  }
+}
+
+TEST(NeighborList, FallsBackWhenCellTooSmall) {
+  // A single 6.2 Å LiPS cell cannot host 3 bins of 6.0 + skin.
+  const Structure s = LiPSDataset::initial_structure();
+  LJForceProvider provider(6.0);
+  std::vector<core::Vec3> cell_forces;
+  const double cell_energy = provider.energy_and_forces(s, cell_forces);
+  EXPECT_TRUE(provider.neighbor_list().used_fallback());
+
+  std::vector<core::Vec3> scan_forces;
+  const double scan_energy =
+      MDSimulator::energy_and_forces(s, 6.0, scan_forces);
+  EXPECT_EQ(scan_energy, cell_energy);
+  for (std::size_t i = 0; i < scan_forces.size(); ++i) {
+    EXPECT_EQ(scan_forces[i].x, cell_forces[i].x);
+  }
+}
+
+TEST(NeighborList, RebuildsOnlyPastDisplacementThreshold) {
+  Structure s = LiPSDataset::initial_structure().supercell(3, 3, 3);
+  NeighborListOptions nlo;
+  nlo.skin = 0.4;
+  NeighborList nl(4.0, nlo);
+  EXPECT_TRUE(nl.update(s));  // first touch builds
+  EXPECT_EQ(nl.rebuilds(), 1);
+  EXPECT_FALSE(nl.update(s));  // unchanged: cached list reused
+
+  // Sub-threshold drift (< skin/2) keeps the cached list.
+  const double cell = 6.2 * 3.0;
+  Structure drifted = s;
+  drifted.frac[0].x += 0.5 * (0.4 / 2.0) / cell;
+  EXPECT_FALSE(nl.update(drifted));
+  EXPECT_EQ(nl.rebuilds(), 1);
+
+  // Past skin/2 the list is stale and must rebuild.
+  Structure moved = s;
+  moved.frac[0].x += 1.5 * (0.4 / 2.0) / cell;
+  EXPECT_TRUE(nl.update(moved));
+  EXPECT_EQ(nl.rebuilds(), 2);
+}
+
+TEST(MD, CellListTrajectoryBitExactVsScanTrajectory) {
+  // Whole-trajectory equivalence: a provider with cells enabled and one
+  // forced onto the O(N²) candidate scan integrate identically.
+  MDOptions opts;
+  opts.timestep = 1.0;
+  opts.cutoff = 4.0;
+  opts.steps = 10;
+  opts.snapshot_every = 5;
+  const Structure sc = LiPSDataset::initial_structure().supercell(2, 2, 2);
+
+  MDSimulator with_cells(sc, opts, 9);  // default provider: cell list
+  NeighborListOptions scan_opts;
+  scan_opts.disable_cells = true;
+  MDSimulator with_scan(
+      sc, opts, 9, std::make_shared<LJForceProvider>(opts.cutoff, scan_opts));
+
+  const auto ta = with_cells.run();
+  const auto tb = with_scan.run();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t f = 0; f < ta.size(); ++f) {
+    EXPECT_EQ(ta[f].potential_energy, tb[f].potential_energy);
+    EXPECT_EQ(ta[f].kinetic_energy, tb[f].kinetic_energy);
+    for (std::size_t i = 0; i < ta[f].forces.size(); ++i) {
+      EXPECT_EQ(ta[f].forces[i].x, tb[f].forces[i].x);
+    }
+  }
+}
+
+TEST(MD, StepwiseApiMatchesRun) {
+  // Driving the integrator externally (the TrajectoryScheduler contract)
+  // reproduces run() exactly.
+  MDOptions opts;
+  opts.steps = 20;
+  opts.snapshot_every = 10;
+  const Structure s0 = LiPSDataset::initial_structure();
+
+  MDSimulator whole(s0, opts, 3);
+  const auto ref = whole.run();
+
+  MDSimulator stepped(s0, opts, 3);
+  LJForceProvider provider(opts.cutoff);
+  stepped.prepare();
+  std::vector<core::Vec3> forces;
+  const double e0 = provider.energy_and_forces(stepped.structure(), forces);
+  stepped.set_initial_forces(e0, forces);
+  while (!stepped.done()) {
+    stepped.begin_step();
+    const double e = provider.energy_and_forces(stepped.structure(), forces);
+    stepped.finish_step(e, forces);
+  }
+  const auto traj = stepped.take_snapshots();
+  ASSERT_EQ(ref.size(), traj.size());
+  for (std::size_t f = 0; f < ref.size(); ++f) {
+    EXPECT_EQ(ref[f].potential_energy, traj[f].potential_energy);
+    EXPECT_EQ(ref[f].kinetic_energy, traj[f].kinetic_energy);
+  }
+}
+
 }  // namespace
 }  // namespace matsci::materials

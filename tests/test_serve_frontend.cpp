@@ -596,5 +596,41 @@ TEST(ServeFrontend, ExportsServeSeriesThroughObsRegistry) {
   EXPECT_GE(snap.counters.at("serve.cache.hit"), 1);
 }
 
+TEST(ServeFrontend, MdFramesMustBypassTheCache) {
+  // Regression for the ML-potential MD path (src/sim): canonical
+  // hashing quantizes coordinates on a 1e-4 Å grid, so two frames of a
+  // continuously-evolving trajectory that differ by less than ~grid/2
+  // collide onto one cache key — a cached-energy reply would feed the
+  // integrator stale forces. Sim traffic therefore submits with
+  // use_cache = false; this test pins both the collision and the
+  // bypass.
+  ServeFrontend fe;
+  fe.deploy("pot", 1, make_session(make_task(21)));
+
+  data::StructureSample frame = sample_pool(1, 77)[0];
+  data::StructureSample next_frame = frame;
+  next_frame.positions[0].x += 2e-5;  // one MD step's worth of motion
+
+  // The two frames are physically different but hash identically.
+  EXPECT_EQ(sym::canonical_structure_hash(frame),
+            sym::canonical_structure_hash(next_frame));
+
+  auto first = fe.submit("pot", frame, "band_gap");
+  ASSERT_EQ(first.status, SubmitStatus::kAccepted);
+  first.future.get();
+
+  // A cached client would be handed frame-1's answer for frame-2.
+  auto stale = fe.submit("pot", next_frame, "band_gap");
+  EXPECT_EQ(stale.status, SubmitStatus::kCacheHit);
+
+  // The sim backend's bypass: always recomputed, never a cache hit.
+  FrontendRequestOptions bypass;
+  bypass.use_cache = false;
+  auto fresh = fe.submit("pot", next_frame, "band_gap", bypass);
+  EXPECT_EQ(fresh.status, SubmitStatus::kAccepted);
+  fresh.future.get();
+  EXPECT_EQ(fe.stats().cache_hits, 1);
+}
+
 }  // namespace
 }  // namespace matsci::serve::frontend
