@@ -27,9 +27,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/obs.hpp"
 #include "core/parallel/thread_pool.hpp"
 #include "materials/lips.hpp"
 #include "materials/property_oracle.hpp"
@@ -102,6 +104,11 @@ struct ScaleResult {
   double frames_per_s = 0.0;
   double mean_batch_occupancy = 0.0;
   std::int64_t frames = 0;
+  /// 1 when the last MD wave's trace id appears both in the "sim/wave"
+  /// span and in at least one "serve/stage/forward" span — the
+  /// sim-tier half of the telemetry plane's end-to-end continuity
+  /// acceptance (vacuously 1 with obs off).
+  std::int64_t trace_continuity_ok = 1;
 };
 
 /// Run the full trajectory set once at the given wave size (1 =
@@ -132,6 +139,22 @@ ScaleResult run_at_wave_size(ServeFrontend& fe,
   out.frames_per_s = static_cast<double>(out.frames) / elapsed_s;
   out.mean_batch_occupancy =
       occupancy_n == 0 ? 0.0 : occupancy_sum / static_cast<double>(occupancy_n);
+
+  // Sim-tier trace continuity: every wave mints one TraceContext whose
+  // member force requests are its children, so the last wave's trace id
+  // (fresh enough to survive ring wrap) must show up both in the wave
+  // span and in the serve tier's forward-stage spans.
+  const std::uint64_t wave_trace = backend->last_wave_trace_id();
+  if (obs::http::TelemetryServer::compiled_in() && wave_trace != 0) {
+    bool wave_span = false, forward_span = false;
+    for (const obs::TraceEvent& e : obs::Tracer::global().collect()) {
+      if (e.trace_id != wave_trace || e.name == nullptr) continue;
+      const std::string_view name(e.name);
+      wave_span = wave_span || name == "sim/wave";
+      forward_span = forward_span || name == "serve/stage/forward";
+    }
+    out.trace_continuity_ok = wave_span && forward_span ? 1 : 0;
+  }
   return out;
 }
 
@@ -170,6 +193,11 @@ void run_md_scale(obs::BenchReporter& reporter) {
   std::printf("%-14s %12.1f %12.2f\n", "wave", wave.frames_per_s,
               wave.mean_batch_occupancy);
   std::printf("speedup: %.2fx  (acceptance: >= 3x)\n", speedup);
+  if (obs::http::TelemetryServer::compiled_in()) {
+    std::printf("wave trace continuity (sim/wave -> serve/stage/forward): "
+                "%s\n",
+                wave.trace_continuity_ok != 0 ? "ok" : "BROKEN");
+  }
 
   reporter.add(obs::JsonRecord()
                    .set("record", "md_scale")
@@ -186,7 +214,9 @@ void run_md_scale(obs::BenchReporter& reporter) {
                    .set("steps", kSteps)
                    .set("frames_per_s", wave.frames_per_s)
                    .set("mean_batch_occupancy", wave.mean_batch_occupancy)
-                   .set("speedup_vs_sequential", speedup));
+                   .set("speedup_vs_sequential", speedup)
+                   .set("wave_trace_continuity_ok",
+                        wave.trace_continuity_ok));
 }
 
 void run_active_learning(obs::BenchReporter& reporter) {

@@ -4,18 +4,25 @@
 #   obs-off   -DMATSCI_OBS=OFF build + the obs/health test labels —
 #             proves the MATSCI_TRACE_SCOPE compile-out path and the
 #             health monitor still build and pass without the macro.
+#             The obs_http label matches the "obs" regex too: the
+#             telemetry-plane tests must all GTEST_SKIP cleanly there
+#             (zero-size TraceContext, no socket code linked).
 #   tsan      -DMATSCI_SANITIZE=thread build running every
 #             concurrency-sensitive label (serve, parallel, obs,
-#             health, ddp, sim) — the health monitor runs inside DDP
+#             obs_http, health, ddp, sim) — the health monitor runs inside DDP
 #             rank threads, so its registry/ring accesses must be
 #             TSan-clean; the ddp label adds the bucketed-collective
 #             engine, whose rank threads post buckets while pool
 #             workers reduce them, plus the elastic kill/rebuild path;
 #             the sim label drives MD waves through the frontend while
 #             dispatcher jobs serve from pool threads and the
-#             active-learning loop hot-swaps model versions mid-wave.
+#             active-learning loop hot-swaps model versions mid-wave;
+#             the obs_http label scrapes /metrics from a client socket
+#             while pool mutators hammer the sharded registry and the
+#             dispatcher serves — exemplar stores, the in-flight set,
+#             and the wake-pipe shutdown must all be TSan-clean.
 #   asan      -DMATSCI_SANITIZE=address build running the serve,
-#             backend, and sim labels — the frontend's hot-swap drains retire
+#             backend, sim, and obs_http labels — the frontend's hot-swap drains retire
 #             whole scheduler/session object graphs while clients still
 #             hold futures into them, so lifetime bugs (use-after-free
 #             on a drained ServingModel, leaked promises) surface here,
@@ -51,7 +58,8 @@ run_tsan() {
   cmake -B "$repo_root/build-tsan" -S "$repo_root" -DMATSCI_SANITIZE=thread
   cmake --build "$repo_root/build-tsan" -j "$jobs"
   ctest --test-dir "$repo_root/build-tsan" \
-    -L "serve|parallel|obs|health|ddp|sim" --output-on-failure -j "$jobs"
+    -L "serve|parallel|obs|obs_http|health|ddp|sim" \
+    --output-on-failure -j "$jobs"
 }
 
 run_asan() {
@@ -59,7 +67,7 @@ run_asan() {
   cmake -B "$repo_root/build-asan" -S "$repo_root" \
     -DMATSCI_SANITIZE=address
   cmake --build "$repo_root/build-asan" -j "$jobs"
-  ctest --test-dir "$repo_root/build-asan" -L "serve|backend|sim" \
+  ctest --test-dir "$repo_root/build-asan" -L "serve|backend|sim|obs_http" \
     --output-on-failure -j "$jobs"
   # Pool off: every tensor buffer gets its own malloc/free so ASan
   # checks exact lifetimes (the pooled run above checks the recycling

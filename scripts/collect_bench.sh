@@ -64,10 +64,13 @@ selftest() {
     > "$dir/BENCH_a.json"
   printf '{"record":"meta","bench":"b"}\n' > "$dir/BENCH_b.json"
   # Open-loop serving artifact (closed_loop:false distinguishes it from
-  # bench_serving's closed-loop records) — must ride the same glob.
+  # bench_serving's closed-loop records) — must ride the same glob. The
+  # run line carries the telemetry-plane fields: mid-overload /metrics
+  # scrape accounting, end-to-end trace continuity, and per-stage
+  # latency attribution.
   printf '%s\n%s\n' \
     '{"record":"meta","bench":"serve_openloop"}' \
-    '{"record":"run","closed_loop":false,"multiplier":10,"p99_us":9000}' \
+    '{"record":"run","closed_loop":false,"multiplier":10,"p99_us":9000,"scrapes":8,"scrapes_valid":8,"scrape_mean_us":410.2,"scrape_max_us":902.7,"trace_continuity_ok":1,"stage_queue_wait_mean_us":1800.4,"stage_forward_mean_us":950.1}' \
     > "$dir/BENCH_serve_openloop.json"
   # fig2's compressed-DDP records (comm/coll): per-compressor wire
   # accounting + overlap fraction must aggregate untouched.
@@ -79,7 +82,7 @@ selftest() {
   # the active-learning outcome must aggregate with fields intact.
   printf '%s\n%s\n%s\n' \
     '{"record":"meta","bench":"fig4_mdscale"}' \
-    '{"record":"md_scale","mode":"wave","frames_per_s":120.5,"mean_batch_occupancy":7.8,"speedup_vs_sequential":4.2}' \
+    '{"record":"md_scale","mode":"wave","frames_per_s":120.5,"mean_batch_occupancy":7.8,"speedup_vs_sequential":4.2,"wave_trace_continuity_ok":1}' \
     '{"record":"active_learning","gated_frame_fraction":0.31,"force_mae_pre":0.21,"force_mae_post":0.09}' \
     > "$dir/BENCH_fig4_mdscale.json"
   # A stale trajectory must be excluded from its own rebuild.
@@ -113,6 +116,16 @@ selftest() {
     echo "collect_bench selftest: open-loop artifact missing or untagged" >&2
     return 1
   fi
+  # The telemetry-plane fields must survive aggregation: scrape
+  # accounting + continuity verdict + stage attribution are what
+  # dashboards alert on.
+  if ! grep -q '"scrapes":8,"scrapes_valid":8' "$out" ||
+     ! grep -q '"trace_continuity_ok":1' "$out" ||
+     ! grep -q '"stage_queue_wait_mean_us":1800.4' "$out" ||
+     ! grep -q '"stage_forward_mean_us":950.1' "$out"; then
+    echo "collect_bench selftest: telemetry fields missing from open-loop record" >&2
+    return 1
+  fi
   # The compression record must keep its per-compressor fields (ratio,
   # overlap) so dashboards can plot predicted-vs-measured wire savings.
   if ! grep -q '"source":"BENCH_fig2_scaleout.json","record":"ddp_compression","compressor":"int8"' "$out" ||
@@ -124,6 +137,7 @@ selftest() {
   # active-learning fields so dashboards can plot wave speedup and the
   # post-fine-tune error drop.
   if ! grep -q '"source":"BENCH_fig4_mdscale.json","record":"md_scale","mode":"wave"' "$out" ||
+     ! grep -q '"wave_trace_continuity_ok":1' "$out" ||
      ! grep -q '"frames_per_s":120.5' "$out" ||
      ! grep -q '"mean_batch_occupancy":7.8' "$out" ||
      ! grep -q '"gated_frame_fraction":0.31' "$out" ||

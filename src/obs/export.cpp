@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/macros.hpp"
+#include "obs/context.hpp"
 
 namespace matsci::obs {
 
@@ -106,7 +107,16 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
        << "\",\"cat\":\"matsci\",\"ph\":\"X\",\"ts\":"
        << json_number(static_cast<double>(ev.start_ns - epoch_ns) / 1.0e3)
        << ",\"dur\":" << json_number(static_cast<double>(ev.dur_ns) / 1.0e3)
-       << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+       << ",\"pid\":1,\"tid\":" << ev.tid;
+    if (ev.trace_id != 0) {
+      // Request-tracing ids ride in "args" (Chrome/Perfetto show them in
+      // the span detail pane; the validator ignores extra fields).
+      os << ",\"args\":{\"trace_id\":\"" << trace_id_hex(ev.trace_id)
+         << "\",\"span_id\":\"" << trace_id_hex(ev.span_id)
+         << "\",\"parent_span_id\":\"" << trace_id_hex(ev.parent_span_id)
+         << "\"}";
+    }
+    os << "}";
   }
   os << "\n]}\n";
   return os.str();
@@ -448,7 +458,15 @@ std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot) {
     }
     // The +Inf bucket is mandatory and must equal _count, even for
     // hand-built snapshots whose counts lack an overflow slot.
-    os << n << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    os << n << "_bucket{le=\"+Inf\"} " << hist.count;
+    if (hist.exemplar_trace_id != 0) {
+      // OpenMetrics-style exemplar: the last traced observation, keyed
+      // by its trace id so a dashboard can jump from a latency series
+      // straight to the offending request's spans in /tracez.
+      os << " # {trace_id=\"" << trace_id_hex(hist.exemplar_trace_id)
+         << "\"} " << json_number(hist.exemplar_value);
+    }
+    os << "\n";
     os << n << "_sum " << json_number(hist.sum) << "\n"
        << n << "_count " << hist.count << "\n";
   }
@@ -482,6 +500,64 @@ bool prom_valid_value(const std::string& value) {
   char* end = nullptr;
   std::strtod(value.c_str(), &end);
   return end != nullptr && *end == '\0';
+}
+
+/// Parse a `key="escaped value"` comma-separated label body (the text
+/// between '{' and '}'); used for both a sample's label set and an
+/// exemplar's. Fills *le_value (when non-null) with the decoded value
+/// of the "le" label.
+bool parse_prom_labels(const std::string& labels, std::string* le_value,
+                       std::size_t line_no, std::string* error) {
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    const std::size_t eq = labels.find('=', pos);
+    if (eq == std::string::npos) {
+      return prom_fail(error, line_no, "label without '='");
+    }
+    const std::string key = labels.substr(pos, eq - pos);
+    if (!prom_valid_name(key)) {
+      return prom_fail(error, line_no, "bad label name '" + key + "'");
+    }
+    if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+      return prom_fail(error, line_no, "label value must be quoted");
+    }
+    std::string decoded;
+    std::size_t i = eq + 2;
+    bool closed = false;
+    for (; i < labels.size(); ++i) {
+      const char c = labels[i];
+      if (c == '\\') {
+        if (i + 1 >= labels.size()) {
+          return prom_fail(error, line_no, "dangling escape in label");
+        }
+        const char esc = labels[++i];
+        if (esc == '\\') decoded += '\\';
+        else if (esc == '"') decoded += '"';
+        else if (esc == 'n') decoded += '\n';
+        else return prom_fail(error, line_no, "bad label escape");
+      } else if (c == '"') {
+        closed = true;
+        ++i;
+        break;
+      } else if (c == '\n') {
+        return prom_fail(error, line_no, "raw newline in label value");
+      } else {
+        decoded += c;
+      }
+    }
+    if (!closed) {
+      return prom_fail(error, line_no, "unterminated label value");
+    }
+    if (key == "le" && le_value != nullptr) *le_value = decoded;
+    if (i < labels.size()) {
+      if (labels[i] != ',') {
+        return prom_fail(error, line_no, "expected ',' between labels");
+      }
+      ++i;
+    }
+    pos = i;
+  }
+  return true;
 }
 
 }  // namespace
@@ -535,59 +611,35 @@ bool validate_prometheus_text(const std::string& text, std::string* error) {
     if (!prom_valid_name(name)) {
       return prom_fail(error, line_no, "bad metric name '" + name + "'");
     }
+    // Optional OpenMetrics-style exemplar after the sample value:
+    //   name{labels} value # {exemplar_labels} exemplar_value
+    const std::size_t exm = value.find(" # ");
+    if (exm != std::string::npos) {
+      const std::string exemplar = value.substr(exm + 3);
+      value = value.substr(0, exm);
+      if (exemplar.empty() || exemplar[0] != '{') {
+        return prom_fail(error, line_no, "exemplar must start with '{'");
+      }
+      const std::size_t close = exemplar.find('}');
+      if (close == std::string::npos) {
+        return prom_fail(error, line_no, "unterminated exemplar label set");
+      }
+      if (!parse_prom_labels(exemplar.substr(1, close - 1), nullptr, line_no,
+                             error)) {
+        return false;
+      }
+      if (close + 2 > exemplar.size() || exemplar[close + 1] != ' ' ||
+          !prom_valid_value(exemplar.substr(close + 2))) {
+        return prom_fail(error, line_no, "bad exemplar value");
+      }
+    }
     if (!prom_valid_value(value)) {
       return prom_fail(error, line_no, "bad sample value '" + value + "'");
     }
     // Label pairs: key="escaped value", comma separated.
     std::string le_value;
-    std::size_t pos = 0;
-    while (pos < labels.size()) {
-      const std::size_t eq = labels.find('=', pos);
-      if (eq == std::string::npos) {
-        return prom_fail(error, line_no, "label without '='");
-      }
-      const std::string key = labels.substr(pos, eq - pos);
-      if (!prom_valid_name(key)) {
-        return prom_fail(error, line_no, "bad label name '" + key + "'");
-      }
-      if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
-        return prom_fail(error, line_no, "label value must be quoted");
-      }
-      std::string decoded;
-      std::size_t i = eq + 2;
-      bool closed = false;
-      for (; i < labels.size(); ++i) {
-        const char c = labels[i];
-        if (c == '\\') {
-          if (i + 1 >= labels.size()) {
-            return prom_fail(error, line_no, "dangling escape in label");
-          }
-          const char esc = labels[++i];
-          if (esc == '\\') decoded += '\\';
-          else if (esc == '"') decoded += '"';
-          else if (esc == 'n') decoded += '\n';
-          else return prom_fail(error, line_no, "bad label escape");
-        } else if (c == '"') {
-          closed = true;
-          ++i;
-          break;
-        } else if (c == '\n') {
-          return prom_fail(error, line_no, "raw newline in label value");
-        } else {
-          decoded += c;
-        }
-      }
-      if (!closed) {
-        return prom_fail(error, line_no, "unterminated label value");
-      }
-      if (key == "le") le_value = decoded;
-      if (i < labels.size()) {
-        if (labels[i] != ',') {
-          return prom_fail(error, line_no, "expected ',' between labels");
-        }
-        ++i;
-      }
-      pos = i;
+    if (!parse_prom_labels(labels, &le_value, line_no, error)) {
+      return false;
     }
     // Histogram structure: cumulative buckets ending at le="+Inf".
     constexpr const char* kBucket = "_bucket";
@@ -647,17 +699,22 @@ std::vector<JsonRecord> snapshot_records(
                                                                   value));
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    records.push_back(JsonRecord()
-                          .set("record", "histogram")
-                          .set("name", name)
-                          .set("count", hist.count)
-                          .set("sum", hist.sum)
-                          .set("min", hist.min)
-                          .set("max", hist.max)
-                          .set("mean", hist.mean())
-                          .set("p50", hist.percentile(0.50))
-                          .set("p95", hist.percentile(0.95))
-                          .set("p99", hist.percentile(0.99)));
+    JsonRecord rec;
+    rec.set("record", "histogram")
+        .set("name", name)
+        .set("count", hist.count)
+        .set("sum", hist.sum)
+        .set("min", hist.min)
+        .set("max", hist.max)
+        .set("mean", hist.mean())
+        .set("p50", hist.percentile(0.50))
+        .set("p95", hist.percentile(0.95))
+        .set("p99", hist.percentile(0.99));
+    if (hist.exemplar_trace_id != 0) {
+      rec.set("exemplar_trace_id", trace_id_hex(hist.exemplar_trace_id))
+          .set("exemplar_value", hist.exemplar_value);
+    }
+    records.push_back(std::move(rec));
   }
   for (const auto& [name, points] : snapshot.series) {
     std::string arr = "[";

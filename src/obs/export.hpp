@@ -48,7 +48,9 @@ bool validate_json(const std::string& text, std::string* error = nullptr);
 /// and _count), and series (exposed as a gauge carrying the last
 /// value). Names are sanitized to [a-zA-Z0-9_:] and prefixed
 /// "matsci_"; label values and HELP strings are escaped per the text
-/// exposition format.
+/// exposition format. A histogram with a recorded exemplar emits it on
+/// its `+Inf` bucket line in OpenMetrics style:
+///   `... # {trace_id="<16-hex>"} <observed value>`.
 std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot);
 void write_prometheus(const std::string& path,
                       const MetricsRegistry::Snapshot& snapshot);
@@ -61,11 +63,12 @@ std::string prometheus_escape_help(const std::string& s);
 
 /// Structural validator for the text exposition format (the `obs`
 /// round-trip test feeds prometheus_text back through this): every
-/// non-comment line must parse as `name[{labels}] value`, label values
-/// must be properly quoted/escaped, histogram bucket counts must be
-/// cumulative (non-decreasing), and every histogram must end its
-/// buckets with le="+Inf" equal to its `_count`. On failure, *error
-/// (if given) says what broke.
+/// non-comment line must parse as `name[{labels}] value` with an
+/// optional OpenMetrics exemplar suffix (` # {labels} value`), label
+/// values must be properly quoted/escaped, histogram bucket counts
+/// must be cumulative (non-decreasing), and every histogram must end
+/// its buckets with le="+Inf" equal to its `_count`. On failure,
+/// *error (if given) says what broke.
 bool validate_prometheus_text(const std::string& text,
                               std::string* error = nullptr);
 

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "core/macros.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -348,6 +349,21 @@ std::string FlightRecorder::dump(const std::string& path,
   }
   metrics_json += "]";
   bundle.set_raw("metrics", metrics_json);
+
+  // Requests that were in flight in the serving stack when the bundle
+  // was taken: the post-mortem names the exact trace ids that never
+  // finished, so they can be pulled out of /tracez or client logs.
+  std::string inflight_json = "[";
+  const std::vector<TraceContext> inflight = InflightSet::global().snapshot();
+  for (std::size_t i = 0; i < inflight.size(); ++i) {
+    if (i > 0) inflight_json += ",";
+    inflight_json += JsonRecord()
+                         .set("trace_id", trace_id_hex(inflight[i].trace_id()))
+                         .set("span_id", trace_id_hex(inflight[i].span_id()))
+                         .str();
+  }
+  inflight_json += "]";
+  bundle.set_raw("inflight", inflight_json);
 
   // Drain the trace rings into an embedded Chrome trace object so the
   // bundle alone reconstructs the timeline around the failure.

@@ -105,7 +105,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   }
 }
 
-void Histogram::observe(double v) {
+void Histogram::observe(double v, std::uint64_t exemplar_trace_id) {
   const std::size_t bucket = static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   const std::size_t shard = detail::thread_shard();
@@ -116,6 +116,13 @@ void Histogram::observe(double v) {
   detail::atomic_add(s.sum, v);
   detail::atomic_min(s.min, v);
   detail::atomic_max(s.max, v);
+  if (exemplar_trace_id != 0) {
+    // Two independent relaxed stores: concurrent traced writers may
+    // interleave id and value from different observations, which the
+    // exemplar contract tolerates (HistogramSnapshot doc).
+    exemplar_value_.store(v, std::memory_order_relaxed);
+    exemplar_trace_id_.store(exemplar_trace_id, std::memory_order_relaxed);
+  }
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -139,6 +146,9 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.min = min;
     snap.max = max;
   }
+  snap.exemplar_trace_id =
+      exemplar_trace_id_.load(std::memory_order_relaxed);
+  snap.exemplar_value = exemplar_value_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -154,6 +164,8 @@ void Histogram::reset() {
     s.max.store(-std::numeric_limits<double>::infinity(),
                 std::memory_order_relaxed);
   }
+  exemplar_trace_id_.store(0, std::memory_order_relaxed);
+  exemplar_value_.store(0.0, std::memory_order_relaxed);
 }
 
 // --- Series ------------------------------------------------------------------

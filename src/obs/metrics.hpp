@@ -85,6 +85,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;  ///< 0 when empty
   double max = 0.0;  ///< 0 when empty
+  /// Most recent observation that carried a trace id (OpenMetrics-style
+  /// exemplar): 0 when no traced observation has landed. Last-write-wins
+  /// across shards; id and value are sampled independently (relaxed), so
+  /// under concurrent traced writes they may belong to different
+  /// observations — good enough for the "jump from this p99 to one
+  /// culprit trace" workflow exemplars exist for.
+  std::uint64_t exemplar_trace_id = 0;
+  double exemplar_value = 0.0;
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 
@@ -107,7 +115,10 @@ class Histogram {
   /// overflow bucket.
   explicit Histogram(std::vector<double> upper_bounds);
 
-  void observe(double v);
+  /// Record one observation. A non-zero `exemplar_trace_id` additionally
+  /// publishes (id, v) as the histogram's exemplar (two extra relaxed
+  /// stores; passing 0 — the default — costs nothing).
+  void observe(double v, std::uint64_t exemplar_trace_id = 0);
   HistogramSnapshot snapshot() const;
   void reset();
 
@@ -130,6 +141,10 @@ class Histogram {
   /// kShards * num_buckets_ bucket counts, shard-major.
   std::unique_ptr<std::atomic<std::int64_t>[]> bucket_counts_;
   std::array<ShardStats, kShards> stats_;
+  /// Last-write-wins exemplar (see HistogramSnapshot): written only by
+  /// observes that carry a trace id, read by snapshot().
+  std::atomic<std::uint64_t> exemplar_trace_id_{0};
+  std::atomic<double> exemplar_value_{0.0};
 };
 
 /// Step-keyed sample sequence — the obs-side mirror of a training

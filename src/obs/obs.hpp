@@ -5,13 +5,19 @@
 //                     histograms, step-keyed series (sharded, lock-free
 //                     emission paths)
 //   obs/trace.hpp   — MATSCI_TRACE_SCOPE spans into per-thread rings
+//   obs/context.hpp — TraceContext request-tracing ids (mint/child),
+//                     record_span, and the in-flight request set
 //   obs/export.hpp  — Chrome trace_event JSON, Prometheus text, and
 //                     BENCH_*.json JSON-lines snapshots (BenchReporter)
 //   obs/health.hpp  — training health monitor: per-layer gradient
 //                     stats, anomaly detection (rolling median/MAD),
 //                     flight-recorder post-mortem bundles
+//   obs/http/http_server.hpp — embedded telemetry HTTP server
+//                     (/metrics /healthz /statusz /tracez)
 
+#include "obs/context.hpp"
 #include "obs/export.hpp"
 #include "obs/health.hpp"
+#include "obs/http/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"

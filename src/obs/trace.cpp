@@ -44,6 +44,12 @@ Tracer::Ring& Tracer::ring_for_this_thread() {
 
 void Tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t dur_ns) {
+  record(name, start_ns, dur_ns, 0, 0, 0);
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, std::uint64_t trace_id,
+                    std::uint64_t span_id, std::uint64_t parent_span_id) {
   Ring& ring = ring_for_this_thread();
   std::lock_guard<std::mutex> lock(ring.mu);
   TraceEvent& ev = ring.slots[ring.head];
@@ -51,6 +57,9 @@ void Tracer::record(const char* name, std::uint64_t start_ns,
   ev.start_ns = start_ns;
   ev.dur_ns = dur_ns;
   ev.tid = ring.tid;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.parent_span_id = parent_span_id;
   ring.head = (ring.head + 1) % kRingCapacity;
   ++ring.total;
 }

@@ -32,6 +32,11 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  ///< steady clock, since its (process) epoch
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;  ///< dense tracer-assigned thread id, from 1
+  /// Request-tracing ids (obs/context.hpp); 0 on spans recorded without
+  /// a TraceContext (MATSCI_TRACE_SCOPE and the 3-arg record()).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 class Tracer {
@@ -48,6 +53,12 @@ class Tracer {
 
   /// Append one completed span to the calling thread's ring.
   void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Same, carrying request-tracing ids (see obs/context.hpp —
+  /// record_span() is the usual entry point).
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t trace_id, std::uint64_t span_id,
+              std::uint64_t parent_span_id);
 
   /// Merge every thread's ring, sorted by start time. Spans being
   /// recorded concurrently may or may not be included; the merge is

@@ -24,8 +24,10 @@ AdmissionController::AdmissionController(AdmissionOptions opts,
 
 AdmissionDecision AdmissionController::decide(Priority priority,
                                               std::int64_t queue_depth,
-                                              std::int64_t deadline_us) const {
+                                              std::int64_t deadline_us,
+                                              std::uint64_t trace_id) const {
   AdmissionDecision d;
+  d.trace_id = trace_id;
   const double per_request_us = service_estimate_us();
   const double wait_us = static_cast<double>(queue_depth) * per_request_us /
                          static_cast<double>(workers_);

@@ -38,6 +38,11 @@ struct AdmissionDecision {
   /// to drain to this class's admit threshold (clamped). A graceful
   /// "retry-after" instead of a bare rejection.
   double retry_after_us = 0.0;
+  /// Trace id of the request being decided (echoed from decide()'s
+  /// argument). Shed responses hand it back to the client so a rejected
+  /// request is still correlatable with the server's shed span and the
+  /// retry-after histogram exemplar. 0 when tracing is off.
+  std::uint64_t trace_id = 0;
   bool admitted() const { return outcome == AdmissionOutcome::kAdmit; }
 };
 
@@ -62,9 +67,12 @@ class AdmissionController {
                       std::int64_t num_workers);
 
   /// Decide for one request. `deadline_us` is the request's dispatch
-  /// budget (0 = none); `queue_depth` the scheduler's current depth.
+  /// budget (0 = none); `queue_depth` the scheduler's current depth;
+  /// `trace_id` (0 = untraced) is echoed into the decision so shed
+  /// outcomes stay correlatable with the request's trace.
   AdmissionDecision decide(Priority priority, std::int64_t queue_depth,
-                           std::int64_t deadline_us) const;
+                           std::int64_t deadline_us,
+                           std::uint64_t trace_id = 0) const;
 
   /// Feed one observed per-request service time (forward-pass cost per
   /// structure, queue wait excluded) into the EWMA.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/macros.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 
 namespace matsci::serve::frontend {
@@ -15,6 +16,12 @@ struct FrontendMetrics {
   obs::Counter& shed_deadline;
   obs::Histogram& retry_after_us;
   obs::Gauge& queue_depth;
+  /// Frontend-side stage attribution: time to answer from the cache,
+  /// and time spent deciding to shed. Both carry the request's trace id
+  /// as an exemplar (see serve.stage.* in scheduler.cpp for the queued
+  /// stages).
+  obs::Histogram& stage_cache_us;
+  obs::Histogram& stage_shed_us;
 
   static FrontendMetrics& get() {
     static FrontendMetrics* m = new FrontendMetrics{
@@ -25,6 +32,8 @@ struct FrontendMetrics {
         obs::MetricsRegistry::global().histogram(
             "serve.frontend.retry_after_us"),
         obs::MetricsRegistry::global().gauge("serve.frontend.queue_depth"),
+        obs::MetricsRegistry::global().histogram("serve.stage.cache_us"),
+        obs::MetricsRegistry::global().histogram("serve.stage.shed_us"),
     };
     return *m;
   }
@@ -90,6 +99,15 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
                                     const FrontendRequestOptions& ropts) {
   FrontendMetrics& metrics = FrontendMetrics::get();
   SubmitOutcome out;
+  // Mint the request's trace context here, at the serving boundary —
+  // every stage span downstream (cache/shed/queue_wait/forward) carries
+  // this id. A valid parent (e.g. a sim wave) keeps its trace id.
+  const obs::TraceContext ctx = ropts.parent.valid()
+                                    ? ropts.parent.child()
+                                    : obs::TraceContext::mint();
+  out.trace = ctx;
+  const std::uint64_t t0 = obs::span_clock_ns();
+  const obs::StopWatch watch;
 
   // A submit racing a hot-swap can catch the displaced version just as
   // its intake closes (kShutdown) — re-resolve and land on the new
@@ -120,6 +138,9 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
         ready.set_value(std::move(result));
         out.status = SubmitStatus::kCacheHit;
         out.future = ready.get_future();
+        metrics.stage_cache_us.observe(watch.elapsed_us(), ctx.trace_id());
+        obs::record_span("serve/stage/cache", t0, obs::span_clock_ns() - t0,
+                         ctx);
         return out;
       }
     }
@@ -130,11 +151,12 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
     MATSCI_CHECK(admission != nullptr,
                  "frontend: no admission controller for deployed model '"
                      << name << "'");
-    const AdmissionDecision decision =
-        admission->decide(ropts.priority, depth, ropts.deadline_us);
+    const AdmissionDecision decision = admission->decide(
+        ropts.priority, depth, ropts.deadline_us, ctx.trace_id());
     if (!decision.admitted()) {
       out.retry_after_us = decision.retry_after_us;
-      metrics.retry_after_us.observe(decision.retry_after_us);
+      metrics.retry_after_us.observe(decision.retry_after_us,
+                                     decision.trace_id);
       if (decision.outcome == AdmissionOutcome::kQueueFull) {
         shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
         metrics.shed_full.add(1);
@@ -144,6 +166,9 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
         metrics.shed_deadline.add(1);
         out.status = SubmitStatus::kShedDeadline;
       }
+      metrics.stage_shed_us.observe(watch.elapsed_us(), ctx.trace_id());
+      obs::record_span("serve/stage/shed", t0, obs::span_clock_ns() - t0,
+                       ctx);
       return out;
     }
 
@@ -151,6 +176,7 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
     sopts.priority = ropts.priority;
     sopts.deadline_us = ropts.deadline_us;
     sopts.cache_key = cache_key;
+    sopts.trace = ctx;
     PushResult push =
         scheduler.try_submit(structure, target, std::move(sopts));
     switch (push.status) {
@@ -159,6 +185,12 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
         metrics.admitted.add(1);
         out.status = SubmitStatus::kAccepted;
         out.future = std::move(push.future);
+        // Accepted: the request is now in flight until its promise
+        // resolves (scheduler) or its deadline drops it (queue) —
+        // either fulfillment path removes it from the set.
+        obs::InflightSet::global().insert(ctx);
+        obs::record_span("serve/stage/admission", t0,
+                         obs::span_clock_ns() - t0, ctx);
         return out;
       case PushStatus::kQueueFull: {
         // Raced past admission into a just-filled queue: shed with the
@@ -169,7 +201,10 @@ SubmitOutcome ServeFrontend::submit(const std::string& name,
         out.retry_after_us = std::max(
             admission->options().min_retry_after_us,
             admission->estimated_wait_us(scheduler.queue_depth()));
-        metrics.retry_after_us.observe(out.retry_after_us);
+        metrics.retry_after_us.observe(out.retry_after_us, ctx.trace_id());
+        metrics.stage_shed_us.observe(watch.elapsed_us(), ctx.trace_id());
+        obs::record_span("serve/stage/shed", t0, obs::span_clock_ns() - t0,
+                         ctx);
         return out;
       }
       case PushStatus::kShutdown:

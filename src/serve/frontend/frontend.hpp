@@ -34,6 +34,11 @@ struct SubmitOutcome {
   /// Version that handled (or rejected) the request; 0 for
   /// kNoSuchModel.
   std::uint64_t version = 0;
+  /// The request's trace context, minted at admission — set on EVERY
+  /// outcome, including sheds, so a rejected client can quote the
+  /// trace id when it retries or files a report. Zero-size/invalid
+  /// under -DMATSCI_OBS=OFF.
+  [[no_unique_address]] obs::TraceContext trace;
 
   bool ok() const {
     return status == SubmitStatus::kAccepted ||
@@ -55,6 +60,10 @@ struct FrontendRequestOptions {
   /// Set false to bypass the response cache for this request (always
   /// recompute; the fresh answer still populates the cache).
   bool use_cache = true;
+  /// Optional parent trace context: when valid, the request's context
+  /// is minted as its child (same trace id) instead of starting a new
+  /// trace — how a sim wave's trace spans its member requests.
+  [[no_unique_address]] obs::TraceContext parent;
 };
 
 /// Monotonic counters for one frontend (also mirrored into the obs

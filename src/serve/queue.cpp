@@ -43,6 +43,9 @@ void RequestQueue::drop_expired_locked(
     if (it->request.deadline <= now) {
       it->promise.set_exception(std::make_exception_ptr(
           ShedError("request shed: dispatch deadline exceeded while queued")));
+      // The scheduler's fulfillment path never sees a dropped request,
+      // so it must leave the in-flight trace set here.
+      obs::InflightSet::global().erase(it->request.trace);
       it = pending_.erase(it);
       ++deadline_drops_;
     } else {

@@ -11,6 +11,7 @@
 
 #include "core/macros.hpp"
 #include "data/sample.hpp"
+#include "obs/context.hpp"
 #include "tasks/task.hpp"
 
 namespace matsci::serve {
@@ -49,6 +50,10 @@ struct PredictRequest {
   /// Opaque annotation carried through to completion callbacks — the
   /// frontend stores its response-cache key here. Empty = uncached.
   std::string cache_key;
+  /// Request-tracing context minted at frontend admission and carried
+  /// through every serving stage (DESIGN.md §10). Zero-size under
+  /// -DMATSCI_OBS=OFF.
+  [[no_unique_address]] obs::TraceContext trace;
 };
 
 /// What the client's future resolves to.

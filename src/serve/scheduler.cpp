@@ -4,6 +4,7 @@
 
 #include "core/macros.hpp"
 #include "data/collate.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -23,6 +24,12 @@ struct ServeMetrics {
   obs::Histogram& queue_wait_us;
   obs::Histogram& batch_size;
   obs::Gauge& queue_depth;
+  /// Per-stage latency attribution (DESIGN.md §10): where a request's
+  /// time goes inside the scheduler. Each carries the request's trace
+  /// id as a Prometheus exemplar, linking the histogram to /tracez.
+  obs::Histogram& stage_queue_wait_us;
+  obs::Histogram& stage_batch_assembly_us;
+  obs::Histogram& stage_forward_us;
 
   static ServeMetrics& get() {
     static ServeMetrics* m = new ServeMetrics{
@@ -33,10 +40,24 @@ struct ServeMetrics {
         obs::MetricsRegistry::global().histogram(
             "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256}),
         obs::MetricsRegistry::global().gauge("serve.queue_depth"),
+        obs::MetricsRegistry::global().histogram("serve.stage.queue_wait_us"),
+        obs::MetricsRegistry::global().histogram(
+            "serve.stage.batch_assembly_us"),
+        obs::MetricsRegistry::global().histogram("serve.stage.forward_us"),
     };
     return *m;
   }
 };
+
+/// steady_clock time_point -> the Tracer's span clock (nanoseconds on
+/// the same steady epoch), for spans whose start predates this call
+/// site (e.g. queue wait starts at enqueue time).
+std::uint64_t to_span_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -87,6 +108,7 @@ PushResult BatchScheduler::try_submit(data::StructureSample structure,
                        std::chrono::microseconds(sopts.deadline_us);
   }
   request.cache_key = std::move(sopts.cache_key);
+  request.trace = sopts.trace;
   return queue_.try_push(std::move(request));
 }
 
@@ -114,9 +136,16 @@ void BatchScheduler::dispatch_loop() {
     }
     const auto popped = std::chrono::steady_clock::now();
     for (const PendingRequest& p : batch) {
-      metrics.queue_wait_us.observe(
+      const double wait_us =
           std::chrono::duration<double, std::micro>(popped - p.enqueued)
-              .count());
+              .count();
+      metrics.queue_wait_us.observe(wait_us);
+      metrics.stage_queue_wait_us.observe(wait_us, p.request.trace.trace_id());
+      // Span start is the enqueue instant: queue wait began before this
+      // code ran, so the span is back-dated onto the tracer's clock.
+      obs::record_span("serve/stage/queue_wait", to_span_ns(p.enqueued),
+                       to_span_ns(popped) - to_span_ns(p.enqueued),
+                       p.request.trace);
     }
     metrics.queue_depth.set(static_cast<double>(queue_.size()));
     const std::int64_t drops = queue_.deadline_drops();
@@ -135,14 +164,29 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
   metrics.requests.add(static_cast<std::int64_t>(batch.size()));
   metrics.batch_size.observe(static_cast<double>(batch.size()));
 
+  // The micro-batch gets its own span, a child of the anchor request's
+  // context (pop_batch puts the anchor first). Member forward spans
+  // parent onto it, so /tracez shows which requests shared a batch.
+  const obs::TraceContext batch_ctx = batch.front().request.trace.valid()
+                                          ? batch.front().request.trace.child()
+                                          : obs::TraceContext{};
+  const auto assembly_start = std::chrono::steady_clock::now();
   std::vector<data::StructureSample> samples;
   samples.reserve(batch.size());
   for (const PendingRequest& p : batch) {
     samples.push_back(p.request.structure);
   }
+  const auto forward_start = std::chrono::steady_clock::now();
+  const double assembly_us = std::chrono::duration<double, std::micro>(
+                                 forward_start - assembly_start)
+                                 .count();
+  metrics.stage_batch_assembly_us.observe(assembly_us,
+                                          batch_ctx.trace_id());
+  obs::record_span("serve/stage/batch_assembly", to_span_ns(assembly_start),
+                   to_span_ns(forward_start) - to_span_ns(assembly_start),
+                   batch_ctx);
 
   std::vector<tasks::Prediction> predictions;
-  const auto forward_start = std::chrono::steady_clock::now();
   try {
     MATSCI_TRACE_SCOPE("serve/predict");
     predictions = session_->predict(samples, batch.front().request.target);
@@ -154,6 +198,7 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
     const std::exception_ptr error = std::current_exception();
     for (PendingRequest& p : batch) {
       p.promise.set_exception(error);
+      obs::InflightSet::global().erase(p.request.trace);
     }
     return;
   }
@@ -161,6 +206,10 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
   const auto now = std::chrono::steady_clock::now();
   const double service_us =
       std::chrono::duration<double, std::micro>(now - forward_start).count();
+  const std::uint64_t forward_start_ns = to_span_ns(forward_start);
+  const std::uint64_t forward_dur_ns = to_span_ns(now) - forward_start_ns;
+  obs::record_span("serve/batch", to_span_ns(assembly_start),
+                   to_span_ns(now) - to_span_ns(assembly_start), batch_ctx);
   std::vector<double> latencies_us;
   latencies_us.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -172,6 +221,12 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
             .count();
     result.service_us = service_us;
     latencies_us.push_back(result.latency_us);
+    metrics.stage_forward_us.observe(service_us,
+                                     batch[i].request.trace.trace_id());
+    // The member's forward span parents onto the batch span, not the
+    // member's own previous stage — that is the batch linkage.
+    obs::record_span("serve/stage/forward", forward_start_ns, forward_dur_ns,
+                     batch[i].request.trace, batch_ctx.span_id());
     if (opts_.on_result) {
       try {
         opts_.on_result(batch[i].request, result);
@@ -180,6 +235,7 @@ void BatchScheduler::serve_batch(std::vector<PendingRequest>& batch) {
       }
     }
     batch[i].promise.set_value(std::move(result));
+    obs::InflightSet::global().erase(batch[i].request.trace);
   }
   stats_.record_batch(static_cast<std::int64_t>(batch.size()), latencies_us);
 }

@@ -45,6 +45,11 @@ struct SubmitOptions {
   std::int64_t deadline_us = 0;
   /// Opaque annotation passed through to on_result (cache key).
   std::string cache_key;
+  /// Request-tracing context (minted by the frontend at admission);
+  /// copied into the queued PredictRequest so queue-wait, batch, and
+  /// forward spans all carry the request's trace id. Zero-size under
+  /// -DMATSCI_OBS=OFF.
+  [[no_unique_address]] obs::TraceContext trace;
 };
 
 /// The serving engine: batch jobs on the process-wide

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/macros.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 
 namespace matsci::sim {
@@ -38,6 +39,13 @@ std::vector<ForceEval> ServedForceBackend::evaluate(
   serve::frontend::FrontendRequestOptions ropts;
   ropts.priority = opts_.priority;
   ropts.use_cache = opts_.use_cache;
+  // One trace per wave: every member request is minted as a child of
+  // the wave context, so the whole (trajectories × members) fan-out
+  // shares one trace id from here through the serve forward spans.
+  const obs::TraceContext wave_ctx = obs::TraceContext::mint();
+  ropts.parent = wave_ctx;
+  last_wave_trace_id_ = wave_ctx.trace_id();
+  const std::uint64_t wave_start_ns = obs::span_clock_ns();
 
   // Submit everything before gathering anything: the serve schedulers
   // see the whole wave at once and coalesce it into micro-batches.
@@ -127,6 +135,8 @@ std::vector<ForceEval> ServedForceBackend::evaluate(
     ev.mean_force_std = n > 0 ? std_sum / static_cast<double>(n) : 0.0;
     ev.max_force_std = std_max;
   }
+  obs::record_span("sim/wave", wave_start_ns,
+                   obs::span_clock_ns() - wave_start_ns, wave_ctx);
   return out;
 }
 

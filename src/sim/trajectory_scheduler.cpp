@@ -82,6 +82,14 @@ bool TrajectoryScheduler::step_wave() {
   if (live.empty()) return false;
   ++waves_;
   obs::MetricsRegistry::global().counter("sim.waves").add(1);
+  // Wave occupancy for the /statusz scrape: how many trajectories are
+  // still running vs. the lockstep wave width they are advanced in.
+  obs::MetricsRegistry::global().gauge("sim.wave.live").set(
+      static_cast<double>(live.size()));
+  obs::MetricsRegistry::global().gauge("sim.wave.size").set(
+      static_cast<double>(opts_.wave_size == 0
+                              ? live.size()
+                              : static_cast<std::size_t>(opts_.wave_size)));
 
   const std::size_t chunk_cap =
       opts_.wave_size == 0 ? live.size()
